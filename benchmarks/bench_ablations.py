@@ -1,0 +1,107 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Ablation A** — linear-map reconstruction (paper optimization 5.2.4 #1):
+  reconstruct the map during deserialization vs transmit it explicitly.
+* **Ablation B** — delta restore payloads (paper future work 5.2.4 #2):
+  full-map restore vs delta restore under sparse and zero mutation.
+* **Ablation C** — portable vs optimized field access (paper 5.3.1),
+  isolated on the restore-heavy scenario III workload.
+"""
+
+import pytest
+
+from repro.bench.harness import PAPER_NETWORK
+from repro.nrmi.config import NRMIConfig
+
+from benchmarks.conftest import SIZES, pedantic_remote
+
+ABLATION_SIZES = (64, 256, 1024)
+
+
+# ------------------------------------------------- Ablation A: linear map
+
+
+@pytest.mark.parametrize("ship_map", [False, True], ids=["reconstruct", "ship"])
+@pytest.mark.parametrize("size", ABLATION_SIZES)
+def test_ablation_linear_map_transport(benchmark, bench_world, ship_map, size):
+    benchmark.group = "ablation-A/linear-map"
+    world = bench_world(config=NRMIConfig(ship_linear_map=ship_map))
+
+    def call(workload, seed):
+        world.service.mutate("III", workload.root, seed)
+
+    pedantic_remote(benchmark, world, "III", size, call)
+
+
+def test_ablation_linear_map_ship_costs_bytes(bench_world):
+    """Shipping the map must cost measurable extra request bytes."""
+    from repro.bench.trees import generate_workload
+
+    results = {}
+    for ship in (False, True):
+        world = bench_world(config=NRMIConfig(ship_linear_map=ship))
+        workload = generate_workload("III", 256, 77)
+        world.service.mutate("III", workload.root, 77)
+        snap = world.resolver.resolve(world.server.address).stats.snapshot()
+        results[ship] = snap["bytes_sent"]
+    assert results[True] > results[False] + 200
+
+
+# ------------------------------------------------- Ablation B: delta
+
+
+@pytest.mark.parametrize("policy", ["full", "delta"])
+@pytest.mark.parametrize("size", ABLATION_SIZES)
+def test_ablation_delta_sparse_mutation(benchmark, bench_world, policy, size):
+    benchmark.group = "ablation-B/delta-sparse"
+    world = bench_world(config=NRMIConfig(policy=policy))
+
+    def call(workload, seed):
+        world.service.mutate_sparse(workload.root, seed, 0.05)
+
+    pedantic_remote(benchmark, world, "II", size, call)
+
+
+@pytest.mark.parametrize("policy", ["full", "delta"])
+def test_ablation_delta_noop_call(benchmark, bench_world, policy):
+    """Paper 5.2.4: with delta, passing by copy-restore and changing
+    nothing should cost almost the same as passing by copy."""
+    benchmark.group = "ablation-B/delta-noop"
+    world = bench_world(config=NRMIConfig(policy=policy))
+
+    def call(workload, seed):
+        world.service.noop(workload.root)
+
+    pedantic_remote(benchmark, world, "II", 256, call)
+
+
+def test_ablation_delta_noop_response_bytes(bench_world):
+    from repro.bench.trees import generate_workload
+
+    received = {}
+    for policy in ("none", "delta", "full"):
+        world = bench_world(config=NRMIConfig(policy=policy))
+        workload = generate_workload("II", 256, 78)
+        world.service.noop(workload.root)
+        snap = world.resolver.resolve(world.server.address).stats.snapshot()
+        received[policy] = snap["bytes_received"]
+    # delta ≈ plain copy; full ships the whole map back.
+    assert received["delta"] < received["none"] + 200
+    assert received["full"] > received["delta"] * 5
+
+
+# ------------------------------------------------- Ablation C: accessors
+
+
+@pytest.mark.parametrize("implementation", ["portable", "optimized"])
+@pytest.mark.parametrize("size", ABLATION_SIZES)
+def test_ablation_accessors(benchmark, bench_world, implementation, size):
+    benchmark.group = "ablation-C/accessors"
+    world = bench_world(
+        config=NRMIConfig(profile="modern", implementation=implementation)
+    )
+
+    def call(workload, seed):
+        world.service.mutate("III", workload.root, seed)
+
+    pedantic_remote(benchmark, world, "III", size, call)

@@ -1,0 +1,82 @@
+"""Ablation D — call batching: N solo round trips vs one batched frame.
+
+On the paper's LAN model every exchange pays per-message latency; batching
+amortizes it. This bench issues N small copy-restore calls both ways and
+reports the simulated network time via ``extra_info`` (the compute time
+is nearly identical by construction).
+"""
+
+import pytest
+
+from repro.bench.trees import TreeNode
+from repro.core.markers import Remote
+from repro.nrmi.config import NRMIConfig
+
+from benchmarks.conftest import ROUNDS, pedantic_remote
+
+CALL_COUNTS = (4, 16, 64)
+
+
+class TinyService(Remote):
+    def bump(self, node):
+        node.data += 1
+        return node.data
+
+
+@pytest.fixture
+def tiny_world(bench_world):
+    return bench_world(config=NRMIConfig(), service=TinyService())
+
+
+@pytest.mark.parametrize("calls", CALL_COUNTS)
+def test_batching_solo_calls(benchmark, tiny_world, calls):
+    benchmark.group = f"ablation-D/batching/{calls}"
+    world = tiny_world
+
+    def run():
+        nodes = [TreeNode(i) for i in range(calls)]
+        for node in nodes:
+            world.service.bump(node)
+        return nodes
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["simulated_network_ms_total"] = round(
+        world.network_ms(), 3
+    )
+
+
+@pytest.mark.parametrize("calls", CALL_COUNTS)
+def test_batching_batched_calls(benchmark, tiny_world, calls):
+    benchmark.group = f"ablation-D/batching/{calls}"
+    world = tiny_world
+
+    def run():
+        nodes = [TreeNode(i) for i in range(calls)]
+        with world.client.batch() as batch:
+            handles = [batch.call(world.service, "bump", node) for node in nodes]
+        assert [handle.result() for handle in handles] == [
+            node.data for node in nodes
+        ]
+        return nodes
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["simulated_network_ms_total"] = round(
+        world.network_ms(), 3
+    )
+
+
+def test_batching_saves_network_time(bench_world):
+    """One frame of 32 calls must beat 32 frames on simulated wire time."""
+    solo_world = bench_world(config=NRMIConfig(), service=TinyService())
+    nodes = [TreeNode(i) for i in range(32)]
+    for node in nodes:
+        solo_world.service.bump(node)
+    solo_network = solo_world.network_ms()
+
+    batch_world = bench_world(config=NRMIConfig(), service=TinyService())
+    nodes = [TreeNode(i) for i in range(32)]
+    with batch_world.client.batch() as batch:
+        for node in nodes:
+            batch.call(batch_world.service, "bump", node)
+    batch_network = batch_world.network_ms()
+    assert batch_network < solo_network / 3

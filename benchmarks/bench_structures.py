@@ -1,0 +1,40 @@
+"""Extension workloads: copy-restore beyond binary trees.
+
+Not in the paper's tables — these benches extend the evaluation to the
+data-structure families the paper's introduction motivates (linked
+lists, hash indexes, general graphs), under the same LAN model.
+"""
+
+import pytest
+
+from repro.bench.structures import (
+    FAMILIES,
+    StructureService,
+    generate_structure,
+)
+from repro.nrmi.config import NRMIConfig
+
+from benchmarks.conftest import ROUNDS, SEED, pedantic_remote
+
+SIZES = (64, 256)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("policy", ["full", "delta"])
+def test_structure_families(benchmark, bench_world, family, size, policy):
+    benchmark.group = f"structures/{family}/{size}"
+    world = bench_world(
+        config=NRMIConfig(policy=policy), service=StructureService()
+    )
+    counter = iter(range(10_000))
+
+    def setup():
+        rep = next(counter)
+        return (generate_structure(family, size, SEED + rep), SEED + rep), {}
+
+    def call(workload, seed):
+        world.service.mutate(family, workload.root, seed)
+
+    benchmark.pedantic(call, setup=setup, rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["simulated_network_ms_total"] = round(world.network_ms(), 3)

@@ -1,0 +1,27 @@
+"""Table 1 — Baseline 1: local execution (processing overhead only).
+
+Paper layout: scenarios I/II/III × tree sizes 16..1024, fast and slow
+host. The benchmark measures the mutator alone; the slow-host column of
+the report harness applies the 750/440 MHz scale factor deterministically.
+"""
+
+import pytest
+
+from repro.bench.mutators import mutator_for
+from repro.bench.trees import generate_workload
+
+from benchmarks.conftest import ROUNDS, SCENARIOS, SEED, SIZES
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("size", SIZES)
+def test_table1_local_execution(benchmark, scenario, size):
+    benchmark.group = f"table1/{scenario}"
+    mutate = mutator_for(scenario)
+    counter = iter(range(10_000))
+
+    def setup():
+        rep = next(counter)
+        return (generate_workload(scenario, size, SEED + rep).root, SEED + rep), {}
+
+    benchmark.pedantic(mutate, setup=setup, rounds=ROUNDS, iterations=1, warmup_rounds=1)

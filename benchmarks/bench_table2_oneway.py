@@ -1,0 +1,28 @@
+"""Table 2 — Baseline 2: RMI call-by-copy, one-way traffic (no restore).
+
+The tree ships to the server, the server mutates its private copy, and
+only the (scalar) return value comes back — the paper's "without caring to
+restore the changes to the client" configuration.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    SCENARIOS,
+    SIZES,
+    make_rmi_config,
+    pedantic_remote,
+)
+
+
+@pytest.mark.parametrize("profile", ["legacy", "modern"])
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("size", SIZES)
+def test_table2_oneway(benchmark, bench_world, profile, scenario, size):
+    benchmark.group = f"table2/{profile}/{scenario}"
+    world = bench_world(config=make_rmi_config(profile))
+
+    def call(workload, seed):
+        world.service.mutate(scenario, workload.root, seed)
+
+    pedantic_remote(benchmark, world, scenario, size, call)

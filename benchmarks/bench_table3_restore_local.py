@@ -1,0 +1,32 @@
+"""Table 3 — Baseline 3: RMI with manual restore, local machine.
+
+The full by-hand copy-restore emulation (return types, isomorphic
+traversal, shadow tree) with no network between the endpoints: the paper's
+two-JVMs-one-machine configuration.
+"""
+
+import pytest
+
+from repro.bench.manual_restore import ManualTreeService, manual_call
+
+from benchmarks.conftest import (
+    SCENARIOS,
+    SIZES,
+    make_rmi_config,
+    pedantic_remote,
+)
+
+
+@pytest.mark.parametrize("profile", ["legacy", "modern"])
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("size", SIZES)
+def test_table3_manual_restore_local(benchmark, bench_world, profile, scenario, size):
+    benchmark.group = f"table3/{profile}/{scenario}"
+    world = bench_world(
+        config=make_rmi_config(profile), network=None, service=ManualTreeService()
+    )
+
+    def call(workload, seed):
+        manual_call(world.service, workload, seed)
+
+    pedantic_remote(benchmark, world, scenario, size, call)

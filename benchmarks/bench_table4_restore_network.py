@@ -1,0 +1,29 @@
+"""Table 4 — RMI with manual restore over the LAN (two-way traffic).
+
+Same emulation as Table 3, but every byte crosses the simulated 100 Mbps
+network in both directions.
+"""
+
+import pytest
+
+from repro.bench.manual_restore import ManualTreeService, manual_call
+
+from benchmarks.conftest import (
+    SCENARIOS,
+    SIZES,
+    make_rmi_config,
+    pedantic_remote,
+)
+
+
+@pytest.mark.parametrize("profile", ["legacy", "modern"])
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("size", SIZES)
+def test_table4_manual_restore_network(benchmark, bench_world, profile, scenario, size):
+    benchmark.group = f"table4/{profile}/{scenario}"
+    world = bench_world(config=make_rmi_config(profile), service=ManualTreeService())
+
+    def call(workload, seed):
+        manual_call(world.service, workload, seed)
+
+    pedantic_remote(benchmark, world, scenario, size, call)

@@ -1,0 +1,32 @@
+"""Table 5 — NRMI call-by-copy-restore.
+
+Three configurations, as in the paper: the portable implementation on the
+legacy profile (JDK 1.3), and both the portable and optimized
+implementations on the modern profile (JDK 1.4). The call site is one
+line; the middleware does all restoration.
+"""
+
+import pytest
+
+from repro.nrmi.config import NRMIConfig
+
+from benchmarks.conftest import SCENARIOS, SIZES, pedantic_remote
+
+CONFIGS = {
+    "legacy-portable": NRMIConfig(profile="legacy", implementation="portable"),
+    "modern-portable": NRMIConfig(profile="modern", implementation="portable"),
+    "modern-optimized": NRMIConfig(profile="modern", implementation="optimized"),
+}
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("size", SIZES)
+def test_table5_nrmi(benchmark, bench_world, config_name, scenario, size):
+    benchmark.group = f"table5/{config_name}/{scenario}"
+    world = bench_world(config=CONFIGS[config_name])
+
+    def call(workload, seed):
+        world.service.mutate(scenario, workload.root, seed)
+
+    pedantic_remote(benchmark, world, scenario, size, call)

@@ -1,0 +1,91 @@
+"""Shared machinery for the pytest-benchmark suite.
+
+Every benchmark regenerates its workload per round (``pedantic`` with a
+``setup`` callable): the remote method mutates the tree, so reusing one
+tree across rounds would measure ever-larger inputs.
+
+The benchmark clock measures real compute (marshal, execute, restore);
+simulated network time is attached to ``benchmark.extra_info`` so the
+JSON output carries the same decomposition the paper's tables imply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import PAPER_NETWORK
+from repro.bench.manual_restore import ManualTreeService, manual_call
+from repro.bench.mutators import TreeService
+from repro.bench.trees import generate_workload
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint
+from repro.transport.resolver import ChannelResolver
+from repro.transport.simnet import SimulatedChannel
+
+SIZES = (16, 64, 256, 1024)
+SCENARIOS = ("I", "II", "III")
+SEED = 2003
+ROUNDS = 3
+
+
+class BenchWorld:
+    """A server/client pair with optional simulated network accounting."""
+
+    def __init__(self, config: NRMIConfig, network=PAPER_NETWORK, service=None):
+        self.resolver = ChannelResolver()
+        self.sim_channels = []
+        self.server = Endpoint(name="bench-server", config=config, resolver=self.resolver)
+        self.client = Endpoint(name="bench-client", config=config, resolver=self.resolver)
+        if network is not None:
+            def wrap(inner):
+                channel = SimulatedChannel(inner, network)
+                self.sim_channels.append(channel)
+                return channel
+
+            self.resolver.set_wrapper(self.server.address, wrap)
+            self.resolver.set_wrapper(self.client.address, wrap)
+        impl = service if service is not None else TreeService()
+        self.server.bind("svc", impl)
+        self.service = self.client.lookup(self.server.address, "svc")
+
+    def network_ms(self) -> float:
+        return sum(c.simulated_seconds for c in self.sim_channels) * 1000.0
+
+    def close(self):
+        self.client.close()
+        self.server.close()
+        self.resolver.close_all()
+
+
+@pytest.fixture
+def bench_world():
+    worlds = []
+
+    def factory(config=None, network=PAPER_NETWORK, service=None) -> BenchWorld:
+        world = BenchWorld(config or NRMIConfig(), network=network, service=service)
+        worlds.append(world)
+        return world
+
+    yield factory
+    for world in worlds:
+        world.close()
+
+
+def pedantic_remote(benchmark, world, scenario, size, call):
+    """Run ``call(workload, seed)`` per round on a fresh workload."""
+    counter = iter(range(10_000))
+
+    def setup():
+        rep = next(counter)
+        return (generate_workload(scenario, size, SEED + rep), SEED + rep), {}
+
+    benchmark.pedantic(call, setup=setup, rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["simulated_network_ms_total"] = round(world.network_ms(), 3)
+    snap = world.resolver.resolve(world.server.address).stats.snapshot()
+    benchmark.extra_info["bytes_to_server"] = snap["bytes_sent"]
+    benchmark.extra_info["bytes_from_server"] = snap["bytes_received"]
+
+
+def make_rmi_config(profile: str, policy: str = "none") -> NRMIConfig:
+    implementation = "portable" if profile == "legacy" else "optimized"
+    return NRMIConfig(profile=profile, implementation=implementation, policy=policy)

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""A small end-to-end system composing the middleware's features.
+
+A head office serves two services:
+
+* ``accounts`` — bound behind an **interface contract** (only the four
+  declared operations are remotely callable) and wrapped **Activatable**
+  (the ledger materializes on first use);
+* branches sync their local ledgers with **one batched round trip** for
+  the day's transactions, each call restoring its `Restorable` envelope
+  in place.
+
+Run: ``python examples/bank_branches.py``
+"""
+
+from repro import nrmi
+from repro.core import Remote, Restorable
+from repro.rmi.activation import Activatable
+
+
+class TxEnvelope(Restorable):
+    """One transaction travelling by copy-restore: the head office stamps
+    the authoritative balance and a confirmation id into it."""
+
+    def __init__(self, account, amount_cents):
+        self.account = account
+        self.amount_cents = amount_cents
+        self.confirmation = None
+        self.balance_after = None
+
+
+class AccountsContract:
+    """The remote interface branches program against."""
+
+    def open_account(self, account): ...
+
+    def post(self, envelope): ...
+
+    def balance(self, account): ...
+
+    def statement(self, account): ...
+
+
+class AccountsService(Remote):
+    """The head-office implementation (note: more methods than the
+    contract — the extras are not remotely reachable)."""
+
+    def __init__(self):
+        print("  [head office] ledger activated")
+        self._balances = {}
+        self._history = {}
+        self._sequence = 0
+
+    def open_account(self, account):
+        self._balances.setdefault(account, 0)
+        self._history.setdefault(account, [])
+
+    def post(self, envelope):
+        self._sequence += 1
+        self._balances[envelope.account] += envelope.amount_cents
+        self._history[envelope.account].append(envelope.amount_cents)
+        envelope.confirmation = f"C{self._sequence:06d}"
+        envelope.balance_after = self._balances[envelope.account]
+
+    def balance(self, account):
+        return self._balances[account]
+
+    def statement(self, account):
+        return list(self._history[account])
+
+    def wipe_everything(self):  # deliberately outside the contract
+        self._balances.clear()
+
+
+def main() -> None:
+    slot = Activatable(AccountsService)
+    server = nrmi.Endpoint(name="head-office")
+    branch = nrmi.Endpoint(name="branch-17")
+    try:
+        server.bind("accounts", slot, interface=AccountsContract)
+        print(f"head office serving (ledger dormant: {not slot.is_active})")
+
+        accounts = branch.lookup(server.address, "accounts")
+        accounts.open_account("alice")
+        accounts.open_account("bob")
+        print(f"ledger active after first call: {slot.is_active}")
+
+        # The day's transactions, synced in ONE round trip.
+        envelopes = [
+            TxEnvelope("alice", +120_00),
+            TxEnvelope("alice", -35_50),
+            TxEnvelope("bob", +900_00),
+            TxEnvelope("bob", -125_25),
+            TxEnvelope("alice", +10_00),
+        ]
+        channel = branch.channel_to(server.address)
+        before = channel.stats.snapshot()["requests"]
+        with branch.batch() as batch:
+            for envelope in envelopes:
+                batch.call(accounts, "post", envelope)
+        trips = channel.stats.snapshot()["requests"] - before
+        print(f"posted {len(envelopes)} transactions in {trips} round trip(s)")
+
+        for envelope in envelopes:
+            print(f"  {envelope.account:5s} {envelope.amount_cents:+8d}  "
+                  f"-> {envelope.confirmation}  balance {envelope.balance_after}")
+        assert all(envelope.confirmation for envelope in envelopes)
+        assert accounts.balance("alice") == 120_00 - 35_50 + 10_00
+        assert accounts.statement("bob") == [900_00, -125_25]
+
+        try:
+            accounts.wipe_everything()
+            raise SystemExit("the contract should have blocked this!")
+        except Exception as exc:
+            print(f"off-contract call refused: {type(exc).__name__}")
+
+        slot.deactivate()
+        print(f"ledger deactivated; next call re-activates: "
+              f"{accounts.balance('alice') if _reopen(accounts) else ''}", end="")
+        print(" (fresh ledger: balances reset — deactivation dropped state)")
+    finally:
+        branch.close()
+        server.close()
+
+
+def _reopen(accounts) -> bool:
+    accounts.open_account("alice")
+    return True
+
+
+if __name__ == "__main__":
+    main()

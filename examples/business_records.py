@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The paper's multiple-indexing example (Section 4.3).
+
+A business application indexes the same customer and transaction objects
+many ways at once: a recent-transactions list, per-customer histories, a
+by-zip index, a by-name index, a daily tax record. All of these are
+aliases to the same heap objects. A remote call that updates purchase
+records must leave *every* index consistent — which copy-restore does
+automatically, because it overwrites the original objects in place.
+
+Run: ``python examples/business_records.py``
+"""
+
+from repro import nrmi
+from repro.core import Remote, Restorable, Serializable
+
+
+class Customer(Serializable):
+    def __init__(self, name: str, zip_code: str) -> None:
+        self.name = name
+        self.zip_code = zip_code
+        self.balance_cents = 0
+        self.transactions = []  # aliases into the ledger
+
+    def __repr__(self) -> str:
+        return f"Customer({self.name}, balance={self.balance_cents})"
+
+
+class Transaction(Serializable):
+    def __init__(self, tx_id: int, customer: Customer, amount_cents: int) -> None:
+        self.tx_id = tx_id
+        self.customer = customer      # alias back to the customer
+        self.amount_cents = amount_cents
+        self.settled = False
+        self.tax_cents = 0
+
+
+class Ledger(Restorable):
+    """The root the client passes by copy-restore: owns every index."""
+
+    def __init__(self) -> None:
+        self.recent = []                  # most recent transactions
+        self.by_zip: dict = {}            # zip -> [customers]
+        self.by_name: dict = {}           # name -> customer
+        self.daily_tax = []               # transactions taxed today
+
+    def add_customer(self, customer: Customer) -> None:
+        self.by_zip.setdefault(customer.zip_code, []).append(customer)
+        self.by_name[customer.name] = customer
+
+    def add_transaction(self, tx: Transaction) -> None:
+        self.recent.append(tx)
+        tx.customer.transactions.append(tx)
+
+
+class SettlementService(Remote):
+    """The remote back office: settles transactions and computes tax."""
+
+    TAX_PERMILLE = 85
+
+    def settle(self, ledger: Ledger) -> int:
+        """Settle every unsettled transaction; returns how many."""
+        settled = 0
+        for tx in ledger.recent:
+            if tx.settled:
+                continue
+            tx.settled = True
+            tx.tax_cents = tx.amount_cents * self.TAX_PERMILLE // 1000
+            tx.customer.balance_cents -= tx.amount_cents + tx.tax_cents
+            ledger.daily_tax.append(tx)
+            settled += 1
+        return settled
+
+
+def main() -> None:
+    ledger = Ledger()
+    ada = Customer("Ada", "30332")
+    bob = Customer("Bob", "30318")
+    ledger.add_customer(ada)
+    ledger.add_customer(bob)
+    ledger.add_transaction(Transaction(1, ada, 1000))
+    ledger.add_transaction(Transaction(2, bob, 2500))
+    ledger.add_transaction(Transaction(3, ada, 400))
+
+    # Client-side aliases outside the ledger object, as real apps have.
+    adas_first_purchase = ada.transactions[0]
+
+    with nrmi.serve(SettlementService(), name="settlement") as server:
+        client = nrmi.Endpoint(name="branch-office")
+        try:
+            back_office = client.lookup(server.address, "settlement")
+            count = back_office.settle(ledger)
+            print(f"settled {count} transactions remotely")
+
+            # Every index observes the same settled objects:
+            assert all(tx.settled for tx in ledger.recent)
+            assert ledger.by_name["Ada"] is ada           # identity preserved
+            assert ada.balance_cents == -(1000 + 85) - (400 + 34)
+            assert bob.balance_cents == -(2500 + 212)
+            assert adas_first_purchase.settled            # alias outside ledger
+            assert adas_first_purchase.tax_cents == 85
+            assert len(ledger.daily_tax) == 3
+            assert ledger.daily_tax[0] is ledger.recent[0]  # aliasing intact
+
+            print(f"Ada (via by_name index):   {ledger.by_name['Ada']}")
+            print(f"Ada (via by_zip index):    {ledger.by_zip['30332'][0]}")
+            print(f"Ada's first purchase tax:  {adas_first_purchase.tax_cents} cents")
+            print("every index — recent list, per-customer history, by-zip, "
+                  "by-name, daily tax — stayed consistent")
+        finally:
+            client.close()
+
+
+if __name__ == "__main__":
+    main()

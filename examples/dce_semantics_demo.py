@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Calling-semantics comparison on the paper's running example.
+
+Runs the paper's ``foo`` mutator against the Figure 1 tree under four
+semantics and prints what the caller observes:
+
+* local call              → Figure 2 (the gold standard);
+* NRMI copy-restore       → Figure 2, indistinguishable from local;
+* DCE RPC partial restore → Figure 9 (updates to data that became
+  unreachable from the parameter are silently lost);
+* RMI call-by-copy        → nothing changes at all.
+
+Run: ``python examples/dce_semantics_demo.py``
+"""
+
+from repro import nrmi
+from repro.bench.figures import (
+    build_figure1,
+    expected_figure2,
+    expected_figure9,
+    expected_unchanged,
+    foo,
+    render,
+    snapshot,
+)
+from repro.bench.trees import TreeNode
+from repro.core import Remote
+from repro.nrmi import NRMIConfig
+
+
+class FooService(Remote):
+    def foo(self, tree: TreeNode) -> TreeNode:
+        return foo(tree)
+
+
+def run_remote(policy: str):
+    fig = build_figure1()
+    with nrmi.serve(FooService(), name="foo", config=NRMIConfig(policy=policy)) as server:
+        client = nrmi.Endpoint(config=NRMIConfig(policy=policy))
+        try:
+            client.lookup(server.address, "foo").foo(fig.t)
+        finally:
+            client.close()
+    return fig
+
+
+def main() -> None:
+    fig = build_figure1()
+    foo(fig.t)
+    local = snapshot(fig)
+    print("local call (Figure 2):")
+    print(render(local))
+    assert local == expected_figure2()
+
+    nrmi_state = snapshot(run_remote("full"))
+    print("\nNRMI copy-restore:")
+    print(render(nrmi_state))
+    assert nrmi_state == expected_figure2()
+    print("  -> identical to the local call, aliases included")
+
+    dce_state = snapshot(run_remote("dce"))
+    print("\nDCE RPC (Figure 9):")
+    print(render(dce_state))
+    assert dce_state == expected_figure9()
+    print("  -> alias1/alias2 updates LOST: their nodes became unreachable "
+          "from the parameter")
+
+    copy_state = snapshot(run_remote("none"))
+    print("\nRMI call-by-copy:")
+    print(render(copy_state))
+    assert copy_state == expected_unchanged()
+    print("  -> the server mutated a private copy; the caller saw nothing")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""The paper's GUI translation example (Section 4.3), headless.
+
+A model-view GUI aliases one vector of display strings from many widgets:
+menus, toolbars, labels all point into the same shared model. Changing the
+language calls a *remote* translation server; because the string vector is
+inside a ``Restorable`` model, NRMI restores the translated strings in
+place and every widget observes the change — with **no** update code on
+the client.
+
+The paper: "The distributed version code only has two tiny changes
+compared to local code: a single class needs to implement
+java.rmi.Restorable and a method has to be looked up using a remote lookup
+mechanism before getting called."
+
+Run: ``python examples/translation_app.py``
+"""
+
+from repro import nrmi
+from repro.core import Remote, Restorable, Serializable
+
+# --------------------------------------------------------------------------
+# A tiny headless widget toolkit. Widgets hold *aliases* into the UI model —
+# the pattern that makes copy-restore valuable.
+# --------------------------------------------------------------------------
+
+
+class UiModel(Restorable):
+    """The shared model: one mutable cell per display string.
+
+    Each label lives in its own single-element list so that widgets can
+    alias the cell and observe in-place updates (strings themselves are
+    immutable values, in Python as in Java).
+    """
+
+    def __init__(self, labels: list[str]) -> None:
+        self.cells = [[label] for label in labels]
+
+    def texts(self) -> list[str]:
+        return [cell[0] for cell in self.cells]
+
+
+class Widget:
+    """Base widget: renders the text cells it aliases."""
+
+    def __init__(self, name: str, cells: list[list[str]]) -> None:
+        self.name = name
+        self.cells = cells  # aliases into UiModel.cells
+
+    def render(self) -> str:
+        return f"[{self.name}: " + " | ".join(cell[0] for cell in self.cells) + "]"
+
+
+class MenuBar(Widget):
+    pass
+
+
+class ToolBar(Widget):
+    pass
+
+
+class StatusLabel(Widget):
+    pass
+
+
+# --------------------------------------------------------------------------
+# The remote translation server (the paper's: English, German, French).
+# --------------------------------------------------------------------------
+
+
+class TranslationServer(Remote):
+    """Accepts a vector of words and rewrites them in the chosen language."""
+
+    DICTIONARY = {
+        "de": {
+            "File": "Datei", "Edit": "Bearbeiten", "View": "Ansicht",
+            "Open": "Öffnen", "Save": "Speichern", "Close": "Schließen",
+            "Ready": "Bereit", "Help": "Hilfe",
+        },
+        "fr": {
+            "File": "Fichier", "Edit": "Édition", "View": "Affichage",
+            "Open": "Ouvrir", "Save": "Enregistrer", "Close": "Fermer",
+            "Ready": "Prêt", "Help": "Aide",
+        },
+        "en": {},  # identity: the model's native language
+    }
+    REVERSE = {
+        lang: {foreign: english for english, foreign in table.items()}
+        for lang, table in DICTIONARY.items()
+    }
+
+    def translate(self, model: UiModel, language: str) -> int:
+        """Rewrite every cell of *model* into *language*; returns count."""
+        table = self.DICTIONARY.get(language)
+        if table is None:
+            raise ValueError(f"unsupported language {language!r}")
+        translated = 0
+        for cell in model.cells:
+            english = self._to_english(cell[0])
+            cell[0] = table.get(english, english)
+            translated += 1
+        return translated
+
+    def _to_english(self, word: str) -> str:
+        for reverse in self.REVERSE.values():
+            if word in reverse:
+                return reverse[word]
+        return word
+
+
+def main() -> None:
+    labels = ["File", "Edit", "View", "Open", "Save", "Close", "Ready", "Help"]
+    model = UiModel(labels)
+
+    # Three widgets aliasing overlapping subsets of the model's cells.
+    menu = MenuBar("menu", model.cells[0:3])
+    toolbar = ToolBar("toolbar", model.cells[3:6])
+    status = StatusLabel("status", [model.cells[6], model.cells[7], model.cells[0]])
+
+    with nrmi.serve(TranslationServer(), name="translator") as server:
+        client = nrmi.Endpoint(name="gui-client")
+        try:
+            translator = client.lookup(server.address, "translator")
+
+            print("initial UI:")
+            for widget in (menu, toolbar, status):
+                print("  " + widget.render())
+
+            for language in ("de", "fr", "en"):
+                translator.translate(model, language)
+                print(f"\nafter remote translate({language!r}):")
+                for widget in (menu, toolbar, status):
+                    print("  " + widget.render())
+
+            assert menu.render() == "[menu: File | Edit | View]"
+            print("\nall widgets tracked the model through three remote calls"
+                  "\n(no client-side update code — copy-restore did the work)")
+        finally:
+            client.close()
+
+
+if __name__ == "__main__":
+    main()

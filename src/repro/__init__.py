@@ -1,0 +1,43 @@
+"""repro — a reproduction of "NRMI: Natural and Efficient Middleware".
+
+NRMI (Tilevich & Smaragdakis, ICDCS 2003) is a drop-in replacement for Java
+RMI that adds *call-by-copy-restore* semantics for arbitrary linked data
+structures. This package reimplements the full system in Python:
+
+* :mod:`repro.serde` — alias/cycle-preserving serialization (the Java
+  Serialization analogue), from which the linear map falls out for free;
+* :mod:`repro.core` — the copy-restore algorithm itself, the delta
+  extension, and the DCE RPC partial-restore baseline;
+* :mod:`repro.transport` — in-process, TCP, and simulated-network channels;
+* :mod:`repro.rmi` — the RMI substrate: registry, exported objects, stubs,
+  remote-pointer references, and reference-counting distributed GC;
+* :mod:`repro.nrmi` — the NRMI drop-in API (``Restorable``, ``export``,
+  ``lookup``) and the invocation pipeline;
+* :mod:`repro.bench` — workloads and drivers reproducing the paper's
+  Tables 1-6 and Figures 1-9.
+
+Quickstart::
+
+    from repro import nrmi
+    from repro.core import Restorable
+
+    class Box(Restorable):          # passed by copy-restore
+        def __init__(self, items):
+            self.items = items
+
+    class Service:
+        def fill(self, box):
+            box.items.append("added remotely")
+
+    with nrmi.serve(Service(), name="svc") as endpoint:
+        svc = nrmi.lookup(endpoint, "svc")
+        box = Box([])
+        svc.fill(box)
+        assert box.items == ["added remotely"]   # restored in place
+"""
+
+from repro._version import __version__
+from repro.core.markers import Restorable, Serializable
+from repro.serde.registry import register_class
+
+__all__ = ["__version__", "Restorable", "Serializable", "register_class"]

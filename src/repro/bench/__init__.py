@@ -1,0 +1,32 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 5.3).
+
+* :mod:`repro.bench.trees` — randomly generated binary-tree workloads for
+  the three benchmark scenarios (no aliases / aliases + stable structure /
+  aliases + arbitrary structure changes);
+* :mod:`repro.bench.mutators` — the remote tree services, written with
+  plain attribute access so the same code runs on local objects and on
+  remote pointers;
+* :mod:`repro.bench.manual_restore` — the hand-written call-by-copy
+  emulations of copy-restore the paper describes (return-value
+  reassignment, isomorphic traversal, shadow tree), with the line counts
+  Section 5.3.2 reports;
+* :mod:`repro.bench.figures` — the running example (Figures 1-9) as
+  executable heap states;
+* :mod:`repro.bench.harness` — drivers measuring compute time, simulated
+  network time, bytes, and round trips for every configuration;
+* :mod:`repro.bench.tables` — the paper's Tables 1-6 as data plus the
+  reproduction's table specifications;
+* :mod:`repro.bench.report` — CLI that regenerates each table.
+"""
+
+from repro.bench.trees import TreeNode, TreeWorkload, generate_workload
+from repro.bench.mutators import TreeService, mutate_data, mutate_structure
+
+__all__ = [
+    "TreeNode",
+    "TreeWorkload",
+    "generate_workload",
+    "TreeService",
+    "mutate_data",
+    "mutate_structure",
+]

@@ -1,0 +1,169 @@
+"""The paper's running example (Figures 1-9) as executable heap states.
+
+``build_figure1`` constructs the tree of Figure 1 — a binary tree whose
+interior nodes are aliased by ``alias1`` and ``alias2`` — and ``foo`` is
+the paper's mutator verbatim. The ``expected_*`` functions return
+comparable snapshots of the heap states the paper's figures draw, which
+the test suite asserts against every calling semantics:
+
+* Figure 2 — local call / call-by-reference / NRMI copy-restore;
+* Figure 9 — DCE RPC partial restore;
+* call-by-copy — no client-visible change at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.bench.trees import TreeNode
+
+
+@dataclass
+class Figure1:
+    """The running example: tree ``t`` plus two aliases into it."""
+
+    t: TreeNode
+    alias1: TreeNode  # the original t.left   (data 1)
+    alias2: TreeNode  # the original t.right  (data 7)
+    node12: TreeNode  # the original t.right.right (data 12)
+    node3: TreeNode   # the original t.right.right.left (data 3)
+
+
+def build_figure1() -> Figure1:
+    """Figure 1: t(5) with left 1, right 7, right.right 12, 12.left 3."""
+    node3 = TreeNode(3)
+    node12 = TreeNode(12, left=node3)
+    right = TreeNode(7, right=node12)
+    left = TreeNode(1)
+    t = TreeNode(5, left=left, right=right)
+    return Figure1(t=t, alias1=left, alias2=right, node12=node12, node3=node3)
+
+
+def foo(tree: TreeNode) -> TreeNode:
+    """The paper's Section 2 mutator, verbatim (returns the new subtree)."""
+    tree.left.data = 0
+    tree.right.data = 9
+    tree.right.right.data = 8
+    tree.left = None
+    temp = TreeNode(2, tree.right.right, None)
+    tree.right.right = None
+    tree.right = temp
+    return temp
+
+
+Snapshot = Dict[str, Tuple[Optional[int], ...]]
+
+
+def snapshot(fig: Figure1) -> Snapshot:
+    """Project the observable state of the running example's heap.
+
+    Tuple layout per entry: (data, left.data, right.data) with None for
+    missing children; identity facts are captured as booleans.
+    """
+
+    def view(node: Optional[TreeNode]) -> Tuple[Optional[int], ...]:
+        if node is None:
+            return (None, None, None)
+        return (
+            node.data,
+            node.left.data if node.left is not None else None,
+            node.right.data if node.right is not None else None,
+        )
+
+    return {
+        "t": view(fig.t),
+        "t.right": view(fig.t.right),
+        "alias1": view(fig.alias1),
+        "alias2": view(fig.alias2),
+        "node12": view(fig.node12),
+        "t.left_is_none": (fig.t.left is None,),
+        "t.right.left_is_node12": (
+            fig.t.right is not None and fig.t.right.left is fig.node12,
+        ),
+        "node12.left_is_node3": (fig.node12.left is fig.node3,),
+    }
+
+
+def expected_figure2() -> Snapshot:
+    """Figure 2: the state after a local (or copy-restore) call to foo."""
+    return {
+        "t": (5, None, 2),
+        "t.right": (2, 8, None),
+        "alias1": (0, None, None),
+        "alias2": (9, None, None),
+        "node12": (8, 3, None),
+        "t.left_is_none": (True,),
+        "t.right.left_is_node12": (True,),
+        "node12.left_is_node3": (True,),
+    }
+
+
+def expected_figure9() -> Snapshot:
+    """Figure 9: DCE RPC — changes to param-unreachable nodes are lost."""
+    return {
+        "t": (5, None, 2),
+        "t.right": (2, 8, None),
+        "alias1": (1, None, None),        # update lost
+        "alias2": (7, None, 8),           # update lost; still points at node12
+        "node12": (8, 3, None),           # reachable via temp: restored
+        "t.left_is_none": (True,),
+        "t.right.left_is_node12": (True,),
+        "node12.left_is_node3": (True,),
+    }
+
+
+def expected_unchanged() -> Snapshot:
+    """Plain call-by-copy: the caller's heap is untouched."""
+    return {
+        "t": (5, 1, 7),
+        "t.right": (7, None, 12),
+        "alias1": (1, None, None),
+        "alias2": (7, None, 12),
+        "node12": (12, 3, None),
+        "t.left_is_none": (False,),
+        "t.right.left_is_node12": (False,),
+        "node12.left_is_node3": (True,),
+    }
+
+
+def render(snap: Snapshot) -> str:
+    """Human-readable dump, used by ``python -m repro.bench.figures``."""
+    lines = []
+    for key in sorted(snap):
+        lines.append(f"  {key:28s} {snap[key]}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    from repro.core.markers import Remote
+    from repro.nrmi.runtime import Endpoint, serve
+    from repro.nrmi.config import NRMIConfig
+
+    class FooService(Remote):
+        def foo(self, tree: TreeNode) -> TreeNode:
+            return foo(tree)
+
+    print("Figure 1 (initial state):")
+    print(render(snapshot(build_figure1())))
+
+    fig = build_figure1()
+    foo(fig.t)
+    print("\nFigure 2 (after local foo(t)):")
+    print(render(snapshot(fig)))
+
+    for policy, label in (("full", "NRMI copy-restore"), ("dce", "DCE RPC"), ("none", "RMI call-by-copy")):
+        fig = build_figure1()
+        with serve(FooService(), name="foo-svc", config=NRMIConfig(policy=policy)) as server:
+            client = Endpoint(config=NRMIConfig(policy=policy))
+            try:
+                service = client.lookup(server.address, "foo-svc")
+                service.foo(fig.t)
+            finally:
+                client.close()
+        print(f"\nAfter remote foo(t) under {label}:")
+        print(render(snapshot(fig)))
+
+
+if __name__ == "__main__":
+    main()

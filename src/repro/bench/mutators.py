@@ -1,0 +1,140 @@
+"""Server-side tree mutators.
+
+The remote method "performs random changes to its input tree" (paper
+5.3.2). Two mutators cover the scenarios:
+
+* :func:`mutate_data` — changes node payloads only (scenario II keeps the
+  structure intact);
+* :func:`mutate_structure` — additionally swaps children, detaches
+  subtrees, and splices in newly allocated nodes (scenarios I and III).
+
+Both are written with **plain attribute access and no identity-based
+bookkeeping**, so exactly the same code runs on local trees, on
+deserialized copies (NRMI / RMI), and on :class:`RemotePointer` proxies
+(the call-by-reference baseline) — the paper's point that the server code
+"can proceed at full speed" unchanged. Decisions are drawn from a seeded
+stream in deterministic preorder, so a given seed produces the same
+mutation everywhere; tests exploit this to compare remote configurations
+against local execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.markers import Remote
+from repro.bench.trees import TreeNode
+from repro.util.rng import DeterministicRandom
+
+#: Probabilities of each mutation applied per visited node.
+DATA_CHANGE_CHANCE = 0.6
+SWAP_CHANCE = 0.15
+DETACH_CHANCE = 0.08
+SPLICE_CHANCE = 0.15
+
+
+def mutate_data(root: Any, seed: int) -> int:
+    """Randomly overwrite node payloads; structure untouched.
+
+    Returns the number of nodes changed.
+    """
+    rng = DeterministicRandom(seed).fork("mutate-data")
+    changed = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if rng.chance(DATA_CHANGE_CHANCE):
+            node.data = rng.randint(10_001, 20_000)
+            changed += 1
+        stack.append(node.right)
+        stack.append(node.left)
+    return changed
+
+
+def mutate_structure(root: Any, seed: int) -> int:
+    """Randomly change data *and* structure; the root object stays the root.
+
+    Per visited node (deterministic preorder) the mutator may overwrite the
+    payload, swap the children, detach a subtree (orphaning nodes the
+    caller may still alias — the hard case for by-hand restoration), or
+    splice a freshly allocated node above a child. Returns the number of
+    mutations applied.
+    """
+    rng = DeterministicRandom(seed).fork("mutate-structure")
+    mutations = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if rng.chance(DATA_CHANGE_CHANCE):
+            node.data = rng.randint(10_001, 20_000)
+            mutations += 1
+        if rng.chance(SWAP_CHANCE):
+            node.left, node.right = node.right, node.left
+            mutations += 1
+        if rng.chance(DETACH_CHANCE):
+            if rng.chance(0.5):
+                node.left = None
+            else:
+                node.right = None
+            mutations += 1
+        if rng.chance(SPLICE_CHANCE):
+            fresh = TreeNode(rng.randint(20_001, 30_000))
+            if rng.chance(0.5):
+                fresh.left = node.left
+                node.left = fresh
+            else:
+                fresh.right = node.right
+                node.right = fresh
+            mutations += 1
+        stack.append(node.right)
+        stack.append(node.left)
+    return mutations
+
+
+def mutate_sparse(root: Any, seed: int, fraction: float = 0.05) -> int:
+    """Overwrite only ~*fraction* of the payloads (delta-policy ablation).
+
+    With few changes, the delta restore policy ships almost nothing back,
+    while the full policy still returns the entire linear map.
+    """
+    rng = DeterministicRandom(seed).fork("mutate-sparse")
+    changed = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if rng.chance(fraction):
+            node.data = rng.randint(10_001, 20_000)
+            changed += 1
+        stack.append(node.right)
+        stack.append(node.left)
+    return changed
+
+
+def mutator_for(scenario: str):
+    """The mutator a scenario's remote method applies."""
+    return mutate_data if scenario == "II" else mutate_structure
+
+
+class TreeService(Remote):
+    """The remote tree service used by the NRMI and baseline benchmarks."""
+
+    def mutate_data(self, tree: Any, seed: int) -> int:
+        return mutate_data(tree, seed)
+
+    def mutate_structure(self, tree: Any, seed: int) -> int:
+        return mutate_structure(tree, seed)
+
+    def mutate(self, scenario: str, tree: Any, seed: int) -> int:
+        return mutator_for(scenario)(tree, seed)
+
+    def mutate_sparse(self, tree: Any, seed: int, fraction: float = 0.05) -> int:
+        return mutate_sparse(tree, seed, fraction)
+
+    def noop(self, tree: Any) -> None:
+        """Receives the tree and changes nothing (delta-policy ablation)."""

@@ -1,0 +1,236 @@
+"""Regenerate the paper's tables: ``python -m repro.bench.report --table N``.
+
+Prints each table in the paper's layout (rows: benchmark scenario; columns:
+tree size; one section per serialization profile) with measured
+milliseconds per call, and — with ``--compare`` — the paper's value beside
+each cell. ``--all`` regenerates everything; ``--loc`` reports the
+by-hand-emulation line counts of Section 5.3.2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bench import harness
+from repro.bench.manual_restore import loc_per_scenario
+from repro.bench.tables import (
+    PAPER_MANUAL_LOC,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5_JDK13,
+    PAPER_TABLE5_JDK14,
+    PAPER_TABLE6,
+    PROFILE_FOR_JDK,
+    SCENARIOS,
+    SIZES,
+    TABLE_TITLES,
+)
+
+Cell = str
+Row = List[Cell]
+
+#: When set (by ``--json``), every measured BenchRecord is appended here
+#: and written out at the end of the run.
+_JSON_SINK: Optional[List[Dict[str, Any]]] = None
+
+
+def _sink(record: harness.BenchRecord) -> harness.BenchRecord:
+    if _JSON_SINK is not None:
+        entry = dataclasses.asdict(record)
+        entry["ms_total"] = record.ms_total
+        _JSON_SINK.append(entry)
+    return record
+
+
+def _fmt(ms: Optional[float]) -> str:
+    if ms is None:
+        return "-"
+    if ms < 1.0:
+        return "<1"
+    return f"{ms:.0f}"
+
+
+def _print_grid(title: str, sections: Dict[str, Dict[str, Dict[int, Cell]]]) -> None:
+    print(f"\n=== {title} ===")
+    for section, rows in sections.items():
+        print(f"-- {section} --")
+        header = "Bench/Size " + "".join(f"{size:>16}" for size in SIZES)
+        print(header)
+        for scenario in SCENARIOS:
+            cells = "".join(f"{rows[scenario].get(size, '-'):>16}" for size in SIZES)
+            print(f"{scenario:<11}{cells}")
+
+
+def _cell(record: harness.BenchRecord, paper: Optional[float], compare: bool) -> Cell:
+    measured = record.cell()
+    if not compare:
+        return measured
+    return f"{measured}({_fmt(paper)})"
+
+
+def run_table1(reps: int, compare: bool, sizes=SIZES) -> None:
+    sections: Dict[str, Dict[str, Dict[int, Cell]]] = {}
+    rows: Dict[str, Dict[int, Cell]] = {s: {} for s in SCENARIOS}
+    for scenario in SCENARIOS:
+        for size in sizes:
+            fast = _sink(harness.run_local(scenario, size, reps=reps, machine="fast"))
+            slow = _sink(harness.run_local(scenario, size, reps=reps, machine="slow"))
+            cell = f"{fast.cell()}/{slow.cell()}"
+            if compare:
+                paper_fast, paper_slow = PAPER_TABLE1["jdk14"][scenario][size]
+                cell += f"({_fmt(paper_fast)}/{_fmt(paper_slow)})"
+            rows[scenario][size] = cell
+    sections["local fast/slow (paper: JDK 1.4 columns)"] = rows
+    _print_grid(TABLE_TITLES["1"], sections)
+
+
+def _run_profiled_table(
+    table: str,
+    runner: Callable[..., harness.BenchRecord],
+    paper: Dict[str, Dict[str, Dict[int, Optional[float]]]],
+    reps: int,
+    compare: bool,
+    sizes=SIZES,
+    **kwargs,
+) -> None:
+    sections: Dict[str, Dict[str, Dict[int, Cell]]] = {}
+    for jdk, profile in PROFILE_FOR_JDK.items():
+        rows: Dict[str, Dict[int, Cell]] = {s: {} for s in SCENARIOS}
+        for scenario in SCENARIOS:
+            for size in sizes:
+                record = _sink(
+                    runner(scenario, size, profile=profile, reps=reps, **kwargs)
+                )
+                rows[scenario][size] = _cell(
+                    record, paper[jdk][scenario][size], compare
+                )
+        sections[f"profile={profile} (paper: {jdk.upper()})"] = rows
+    _print_grid(TABLE_TITLES[table], sections)
+
+
+def run_table2(reps: int, compare: bool, sizes=SIZES) -> None:
+    _run_profiled_table("2", harness.run_oneway, PAPER_TABLE2, reps, compare, sizes)
+
+
+def run_table3(reps: int, compare: bool, sizes=SIZES) -> None:
+    _run_profiled_table(
+        "3", harness.run_manual_restore, PAPER_TABLE3, reps, compare, sizes,
+        network=None,
+    )
+
+
+def run_table4(reps: int, compare: bool, sizes=SIZES) -> None:
+    _run_profiled_table("4", harness.run_manual_restore, PAPER_TABLE4, reps, compare, sizes)
+
+
+def run_table5(reps: int, compare: bool, sizes=SIZES) -> None:
+    sections: Dict[str, Dict[str, Dict[int, Cell]]] = {}
+
+    rows: Dict[str, Dict[int, Cell]] = {s: {} for s in SCENARIOS}
+    for scenario in SCENARIOS:
+        for size in sizes:
+            record = _sink(harness.run_nrmi(
+                scenario, size, profile="legacy", implementation="portable", reps=reps
+            ))
+            rows[scenario][size] = _cell(
+                record, PAPER_TABLE5_JDK13[scenario][size], compare
+            )
+    sections["profile=legacy, portable (paper: JDK 1.3)"] = rows
+
+    rows = {s: {} for s in SCENARIOS}
+    for scenario in SCENARIOS:
+        for size in sizes:
+            portable = _sink(harness.run_nrmi(
+                scenario, size, profile="modern", implementation="portable", reps=reps
+            ))
+            optimized = _sink(harness.run_nrmi(
+                scenario, size, profile="modern", implementation="optimized", reps=reps
+            ))
+            cell = f"{portable.cell()}/{optimized.cell()}"
+            if compare:
+                paper_portable, paper_optimized = PAPER_TABLE5_JDK14[scenario][size]
+                cell += f"({_fmt(paper_portable)}/{_fmt(paper_optimized)})"
+            rows[scenario][size] = cell
+    sections["profile=modern, portable/optimized (paper: JDK 1.4)"] = rows
+    _print_grid(TABLE_TITLES["5"], sections)
+
+
+def run_table6(reps: int, compare: bool, sizes=SIZES) -> None:
+    _run_profiled_table(
+        "6", harness.run_remote_ref, PAPER_TABLE6, min(reps, 3), compare, sizes
+    )
+
+
+def run_loc(compare: bool) -> None:
+    measured = loc_per_scenario()
+    print("\n=== Manual-emulation extra lines of code (Section 5.3.2) ===")
+    print(f"scenario I   : {measured['I']} lines (paper: ~45, return types)")
+    print(f"scenario II  : {measured['II']} lines (paper: ~45+16)")
+    print(f"scenario III : {measured['III']} lines (paper: ~45+16+35)")
+    if compare:
+        print(f"paper section counts: {PAPER_MANUAL_LOC}")
+    print("NRMI version : 0 extra lines (declare Restorable + registry lookup)")
+
+
+_RUNNERS = {
+    "1": run_table1,
+    "2": run_table2,
+    "3": run_table3,
+    "4": run_table4,
+    "5": run_table5,
+    "6": run_table6,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="nrmi-bench", description="Regenerate the NRMI paper's tables."
+    )
+    parser.add_argument("--table", choices=sorted(_RUNNERS), action="append",
+                        help="table number to regenerate (repeatable)")
+    parser.add_argument("--all", action="store_true", help="regenerate every table")
+    parser.add_argument("--loc", action="store_true",
+                        help="report manual-emulation line counts (5.3.2)")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="repetitions per cell (median reported)")
+    parser.add_argument("--compare", action="store_true",
+                        help="print the paper's value next to each cell")
+    parser.add_argument("--sizes", type=str, default=None,
+                        help="comma-separated tree sizes (default 16,64,256,1024)")
+    parser.add_argument("--json", type=str, default=None, metavar="FILE",
+                        help="also write every measured record as JSON")
+    args = parser.parse_args(argv)
+
+    sizes = SIZES
+    if args.sizes:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+
+    tables = sorted(_RUNNERS) if args.all else (args.table or [])
+    if not tables and not args.loc:
+        parser.print_help()
+        return 2
+    global _JSON_SINK
+    if args.json:
+        _JSON_SINK = []
+    try:
+        for table in tables:
+            _RUNNERS[table](reps=args.reps, compare=args.compare, sizes=sizes)
+        if args.loc or args.all:
+            run_loc(compare=args.compare)
+    finally:
+        if args.json and _JSON_SINK is not None:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(_JSON_SINK, handle, indent=2)
+            print(f"\nwrote {len(_JSON_SINK)} records to {args.json}")
+            _JSON_SINK = None
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Additional workload families beyond the paper's binary trees.
+
+The paper's evaluation uses random binary trees, but its motivation names
+"lists, graphs, trees, hash tables" (Section 1). This module adds the
+other shapes as clearly-labelled **extension workloads**, each with the
+same contract as the tree workloads: deterministic generation by seed, a
+client-side alias set, a deterministic server-side mutator usable on both
+local objects and remote pointers, and a ``visible_data()`` observation
+the oracle tests compare against local execution.
+
+Families:
+
+* **linked list** — a singly linked list with aliases to interior cells;
+  mutation reverses random sublists and splices new cells (the structure
+  whose by-hand restoration via "return the new head" breaks as soon as
+  one alias exists);
+* **hash index** — a dict-of-buckets keyed by category, values aliased by
+  a "recent" list (the multiple-indexing pattern of Section 4.3);
+* **general graph** — nodes with arbitrary out-edges (cycles included),
+  mutation rewires edges and payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.core.markers import Remote, Restorable
+from repro.util.rng import DeterministicRandom
+
+FAMILIES = ("list", "hash", "graph")
+
+
+class Cell(Restorable):
+    """A linked-list cell."""
+
+    def __init__(self, value: int, tail: "Cell" = None) -> None:
+        self.value = value
+        self.tail = tail
+
+
+class Entry(Restorable):
+    """A record stored in the hash index."""
+
+    def __init__(self, key: str, amount: int) -> None:
+        self.key = key
+        self.amount = amount
+        self.touched = False
+
+
+class GraphNode(Restorable):
+    """A node with arbitrary out-edges."""
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self.edges = []
+
+
+class HashIndex(Restorable):
+    """Dict-of-buckets plus a 'recent' alias list (multiple indexing)."""
+
+    def __init__(self) -> None:
+        self.buckets = {}
+        self.recent = []
+
+
+@dataclass
+class StructureWorkload:
+    """One extension-workload instance."""
+
+    family: str
+    size: int
+    seed: int
+    root: Any = None
+    aliases: List[Any] = field(default_factory=list)
+
+    def visible_data(self) -> tuple:
+        if self.family == "list":
+            values = []
+            cell = self.root
+            guard = 0
+            while cell is not None and guard < self.size * 4:
+                values.append(cell.value)
+                cell = cell.tail
+                guard += 1
+            alias_view = tuple(alias.value for alias in self.aliases)
+            return tuple(values), alias_view
+        if self.family == "hash":
+            buckets = tuple(
+                (key, tuple((entry.key, entry.amount, entry.touched) for entry in bucket))
+                for key, bucket in sorted(self.root.buckets.items())
+            )
+            recent = tuple(
+                (entry.key, entry.amount, entry.touched) for entry in self.root.recent
+            )
+            alias_view = tuple(
+                (alias.key, alias.amount, alias.touched) for alias in self.aliases
+            )
+            return buckets, recent, alias_view
+        # graph: BFS projection from root + alias payloads
+        seen = []
+        order = {}
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            if id(node) in order:
+                continue
+            order[id(node)] = len(order)
+            seen.append(node)
+            queue.extend(node.edges)
+        shape = tuple(
+            (node.label, tuple(order[id(edge)] for edge in node.edges))
+            for node in seen
+        )
+        alias_view = tuple(alias.label for alias in self.aliases)
+        return shape, alias_view
+
+
+# ---------------------------------------------------------------- builders
+
+
+def generate_structure(family: str, size: int, seed: int) -> StructureWorkload:
+    if family not in FAMILIES:
+        raise ValueError(f"family must be one of {FAMILIES}, got {family!r}")
+    if size < 1:
+        raise ValueError(f"size must be positive, got {size}")
+    rng = DeterministicRandom(seed).fork(f"struct-{family}-{size}")
+    workload = StructureWorkload(family=family, size=size, seed=seed)
+    if family == "list":
+        head = None
+        cells = []
+        for index in range(size):
+            head = Cell(rng.randint(0, 10_000), head)
+            cells.append(head)
+        workload.root = head
+        workload.aliases = rng.sample(cells[:-1] or cells, max(1, size // 8))
+    elif family == "hash":
+        index = HashIndex()
+        entries = []
+        for number in range(size):
+            entry = Entry(f"k{number}", rng.randint(0, 10_000))
+            bucket = f"b{rng.randint(0, max(1, size // 8))}"
+            index.buckets.setdefault(bucket, []).append(entry)
+            entries.append(entry)
+        index.recent = rng.sample(entries, max(1, size // 4))
+        workload.root = index
+        workload.aliases = rng.sample(entries, max(1, size // 8))
+    else:
+        nodes = [GraphNode(number) for number in range(size)]
+        for node in nodes:
+            for _ in range(rng.randint(0, 3)):
+                node.edges.append(rng.choice(nodes))
+        workload.root = nodes[0]
+        # Root must reach everything for copy-restore to carry it all:
+        # chain unreached nodes onto the root.
+        reached = set()
+        stack = [nodes[0]]
+        while stack:
+            node = stack.pop()
+            if id(node) in reached:
+                continue
+            reached.add(id(node))
+            stack.extend(node.edges)
+        for node in nodes:
+            if id(node) not in reached:
+                nodes[0].edges.append(node)
+        workload.aliases = rng.sample(nodes[1:] or nodes, max(1, size // 8))
+    return workload
+
+
+# ---------------------------------------------------------------- mutators
+
+
+def mutate_structure_family(family: str, root: Any, seed: int) -> int:
+    """Deterministic server-side mutation for each family."""
+    rng = DeterministicRandom(seed).fork(f"mutate-{family}")
+    changes = 0
+    if family == "list":
+        # Reverse the first K cells and splice fresh cells behind them.
+        cell, previous = root.tail, None
+        count = 0
+        while cell is not None and count < 64:
+            if rng.chance(0.5):
+                cell.value = rng.randint(10_001, 20_000)
+                changes += 1
+            if rng.chance(0.2):
+                fresh = Cell(rng.randint(20_001, 30_000), cell.tail)
+                cell.tail = fresh
+                changes += 1
+            previous, cell = cell, cell.tail
+            count += 1
+        if rng.chance(0.5) and root.tail is not None:
+            # Detach the second cell but keep mutating it: the alias case.
+            detached = root.tail
+            root.tail = detached.tail
+            detached.value = -detached.value
+            changes += 2
+    elif family == "hash":
+        for key in sorted(root.buckets):
+            for entry in root.buckets[key]:
+                if rng.chance(0.4):
+                    entry.amount += 7
+                    entry.touched = True
+                    changes += 1
+        if root.recent and rng.chance(0.8):
+            promoted = root.recent[0]
+            bucket = root.buckets.setdefault("hot", [])
+            if promoted not in bucket:
+                bucket.append(promoted)
+                changes += 1
+    else:
+        visited = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            if rng.chance(0.5):
+                node.label = rng.randint(10_001, 20_000)
+                changes += 1
+            if node.edges and rng.chance(0.3):
+                node.edges.pop(rng.randint(0, len(node.edges) - 1))
+                changes += 1
+            if rng.chance(0.2):
+                fresh = GraphNode(rng.randint(20_001, 30_000))
+                fresh.edges.append(node)
+                node.edges.append(fresh)
+                changes += 1
+            stack.extend(node.edges)
+    return changes
+
+
+class StructureService(Remote):
+    """The remote service mutating extension workloads."""
+
+    def mutate(self, family: str, root: Any, seed: int) -> int:
+        return mutate_structure_family(family, root, seed)

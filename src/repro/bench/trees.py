@@ -1,0 +1,134 @@
+"""Random aliased binary trees: the paper's benchmark workload.
+
+Each benchmark passes "a single randomly-generated binary tree parameter"
+to a remote method (paper 5.3.2). Three scenarios, ordered by how hard the
+copy-restore semantics is to emulate by hand:
+
+* **Scenario I** — no client-side aliases into the tree;
+* **Scenario II** — aliases exist, the remote call changes node *data*
+  but leaves the structure intact;
+* **Scenario III** — aliases exist and the remote call may restructure
+  the tree arbitrarily (rotate, detach, allocate new nodes).
+
+A workload bundles the tree, the alias list (standing in for the many ways
+real applications index into shared structure: caches, GUI views, multiple
+indexes), and the generation parameters so a seed regenerates it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.markers import Restorable
+from repro.util.rng import DeterministicRandom
+
+SCENARIOS = ("I", "II", "III")
+
+#: Fraction of nodes the client aliases in scenarios II and III.
+ALIAS_FRACTION = 0.125
+
+
+class TreeNode(Restorable):
+    """A binary tree node carrying an int payload (passed by copy-restore)."""
+
+    def __init__(
+        self,
+        data: int,
+        left: Optional["TreeNode"] = None,
+        right: Optional["TreeNode"] = None,
+    ) -> None:
+        self.data = data
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"TreeNode({self.data})"
+
+
+@dataclass
+class TreeWorkload:
+    """One benchmark input: a tree plus the caller's aliases into it."""
+
+    scenario: str
+    size: int
+    seed: int
+    root: TreeNode = None
+    aliases: List[TreeNode] = field(default_factory=list)
+
+    def nodes_in_order(self) -> List[TreeNode]:
+        """All nodes, deterministic preorder (explicit stack; any depth)."""
+        out: List[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            out.append(node)
+            stack.append(node.right)
+            stack.append(node.left)
+        return out
+
+    def visible_data(self) -> tuple:
+        """Everything the caller can observe: tree preorder + alias views.
+
+        Structure and values reachable from the root (with placeholders for
+        missing children) and the data/child-data seen through each alias.
+        The oracle tests compare this against local execution.
+        """
+        shape: List[object] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                shape.append(None)
+                continue
+            shape.append(node.data)
+            stack.append(node.right)
+            stack.append(node.left)
+        alias_view = []
+        for alias in self.aliases:
+            alias_view.append(
+                (
+                    alias.data,
+                    alias.left.data if alias.left is not None else None,
+                    alias.right.data if alias.right is not None else None,
+                )
+            )
+        return tuple(shape), tuple(alias_view)
+
+
+def _build_random_tree(size: int, rng: DeterministicRandom) -> TreeNode:
+    """Grow a random-shaped binary tree with *size* nodes."""
+    root = TreeNode(rng.randint(0, 10_000))
+    nodes = [root]
+    while len(nodes) < size:
+        parent = rng.choice(nodes)
+        child = TreeNode(rng.randint(0, 10_000))
+        if parent.left is None and (parent.right is not None or rng.chance(0.5)):
+            parent.left = child
+        elif parent.right is None:
+            parent.right = child
+        else:
+            continue  # both slots taken; draw another parent
+        nodes.append(child)
+    return root
+
+
+def generate_workload(scenario: str, size: int, seed: int) -> TreeWorkload:
+    """Generate the benchmark input for (*scenario*, *size*, *seed*)."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"scenario must be one of {SCENARIOS}, got {scenario!r}")
+    if size < 1:
+        raise ValueError(f"size must be positive, got {size}")
+    rng = DeterministicRandom(seed).fork(f"tree-{scenario}-{size}")
+    workload = TreeWorkload(scenario=scenario, size=size, seed=seed)
+    workload.root = _build_random_tree(size, rng)
+    if scenario != "I":
+        nodes = workload.nodes_in_order()
+        alias_count = max(1, int(len(nodes) * ALIAS_FRACTION))
+        # Never alias the root: the interesting aliases point at interior
+        # nodes that restructuring can orphan (paper Figure 1).
+        candidates = nodes[1:] or nodes
+        workload.aliases = rng.sample(candidates, alias_count)
+    return workload

@@ -1,0 +1,252 @@
+"""Steps 5-6 of the algorithm: in-place overwrite and pointer conversion.
+
+Given the match between original and modified linear-map entries (step 4),
+the engine:
+
+* **step 5** — for each old object, overwrites the *original* version's
+  state with the *modified* version's state, converting any pointer to a
+  modified-old object into a pointer to the corresponding original;
+* **step 6** — for each new object (allocated by the server), converts its
+  pointers to modified-old objects into pointers to the originals.
+
+Both steps run in a single traversal of the modified graph, as the paper's
+Section 5.2.3 describes. The only subtlety Python adds over Java is hashed
+containers: overwriting an object that is a key in a dict (or member of a
+set) can change its hash, so the engine applies rewrites in two waves —
+field/sequence overwrites first, dict/set rebuilds last — so every key is
+hashed exactly once, after its final state is in place.
+
+Immutable containers (tuples, frozensets) cannot be overwritten; they are
+rebuilt with converted elements, preserving sharing, and the *parents* get
+the rebuilt value. This mirrors how Java treats Strings and boxed
+primitives as values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.matching import MatchResult
+from repro.errors import RestoreError
+from repro.serde.accessors import FieldAccessor, OPTIMIZED_ACCESSOR
+from repro.serde.hooks import transient_fields
+from repro.serde.kinds import Kind, classify, is_immutable_container
+from repro.util.identity import IdentityMap, IdentitySet
+
+
+class RestoreStats:
+    """What a restore pass did — used by tests and the benchmark report."""
+
+    __slots__ = ("old_overwritten", "new_adopted", "immutables_rebuilt")
+
+    def __init__(self) -> None:
+        self.old_overwritten = 0
+        self.new_adopted = 0
+        self.immutables_rebuilt = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RestoreStats(old={self.old_overwritten}, new={self.new_adopted}, "
+            f"immutables={self.immutables_rebuilt})"
+        )
+
+
+class RestoreEngine:
+    """Applies the restore phase on the caller site.
+
+    The engine is configured with a field accessor — the portable or the
+    optimized one — which is the axis the paper's two NRMI implementations
+    differ on (Section 5.3.1).
+    """
+
+    def __init__(
+        self,
+        accessor: FieldAccessor = OPTIMIZED_ACCESSOR,
+        opaque: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        self._accessor = accessor
+        # Objects the engine must treat as leaves: neither overwritten nor
+        # descended into. The RMI layer marks remote stubs and pointers
+        # opaque — they pass by reference and own no restorable state.
+        self._opaque = opaque
+
+    def restore(
+        self,
+        match: MatchResult,
+        result: Any = None,
+        skip: Optional[IdentitySet] = None,
+    ) -> Tuple[Any, RestoreStats]:
+        """Reproduce the server's mutations on the caller's originals.
+
+        ``match`` pairs each original object with its returned modified
+        version; ``result`` is the (deep-copied) return value, whose
+        pointers into the structure are converted too so the caller's view
+        is seamless; ``skip`` holds objects that are *already* originals
+        (delta restore resolves unchanged objects directly) and must be
+        neither overwritten nor descended into.
+
+        Returns ``(converted_result, stats)``.
+        """
+        accessor = self._accessor
+        m2o = match.modified_to_original
+        skip_set = skip if skip is not None else IdentitySet()
+        stats = RestoreStats()
+        rebuilt: IdentityMap[Any] = IdentityMap()  # modified immutable -> rebuilt
+
+        def convert(value: Any) -> Any:
+            """Map a value in the modified graph to its caller-site value."""
+            kind = classify(value)
+            if kind is Kind.PRIMITIVE:
+                return value
+            original = m2o.get(value)
+            if original is not None:
+                return original
+            if is_immutable_container(kind):
+                cached = rebuilt.get(value)
+                if cached is not None:
+                    return cached
+                if kind is Kind.TUPLE:
+                    replacement = tuple(convert(item) for item in value)
+                else:
+                    replacement = frozenset(convert(item) for item in value)
+                rebuilt[value] = replacement
+                stats.immutables_rebuilt += 1
+                return replacement
+            # New object (server-allocated) or an already-original object:
+            # keep identity; its own slots are fixed by the traversal.
+            return value
+
+        # ---- traversal of the modified graph, collecting rewrite actions
+        sequence_actions: List[Callable[[], None]] = []
+        hashed_actions: List[Callable[[], None]] = []
+
+        visited = IdentitySet()
+        stack: List[Any] = [result]
+        stack.extend(reversed(match.modifieds))
+        while stack:
+            obj = stack.pop()
+            kind = classify(obj)
+            if kind is Kind.PRIMITIVE or kind is Kind.UNSUPPORTED:
+                continue
+            if obj in visited or obj in skip_set:
+                continue
+            if self._opaque is not None and self._opaque(obj):
+                continue
+            visited.add(obj)
+
+            if is_immutable_container(kind):
+                # Not rewritable; just keep walking through it.
+                stack.extend(reversed(list(obj)))
+                continue
+
+            original = m2o.get(obj)
+            target = original if original is not None else obj
+            if original is not None:
+                stats.old_overwritten += 1
+            else:
+                stats.new_adopted += 1
+
+            if kind is Kind.OBJECT:
+                state = accessor.get_state(obj)
+                stack.extend(value for _name, value in reversed(state))
+                sequence_actions.append(
+                    self._make_object_action(target, state, convert, accessor)
+                )
+            elif kind is Kind.LIST:
+                stack.extend(reversed(obj))
+                items = list(obj)
+                sequence_actions.append(self._make_list_action(target, items, convert))
+            elif kind is Kind.BYTEARRAY:
+                data = bytes(obj)
+                sequence_actions.append(self._make_bytearray_action(target, data))
+            elif kind is Kind.DICT:
+                pairs = list(obj.items())
+                for key, value in reversed(pairs):
+                    stack.append(value)
+                    stack.append(key)
+                hashed_actions.append(self._make_dict_action(target, pairs, convert))
+            elif kind is Kind.SET:
+                items = list(obj)
+                stack.extend(reversed(items))
+                hashed_actions.append(self._make_set_action(target, items, convert))
+            else:  # pragma: no cover - kinds are exhaustive above
+                raise RestoreError(f"cannot restore object of kind {kind}")
+
+        # ---- apply: fields and sequences first, hashed containers last
+        for action in sequence_actions:
+            action()
+        for action in hashed_actions:
+            action()
+
+        return convert(result), stats
+
+    # ----------------------------------------------------- action builders
+
+    @staticmethod
+    def _make_object_action(
+        target: Any,
+        state: List[Tuple[str, Any]],
+        convert: Callable[[Any], Any],
+        accessor: FieldAccessor,
+    ) -> Callable[[], None]:
+        def apply() -> None:
+            new_state = [(name, convert(value)) for name, value in state]
+            transients = transient_fields(type(target))
+            preserved = []
+            if transients:
+                # Transient fields never travel, so the caller's local
+                # values must survive the overwrite untouched.
+                preserved = [
+                    (name, value)
+                    for name, value in accessor.get_state(target)
+                    if name in transients
+                ]
+            stale = {name for name, _ in accessor.get_state(target)}
+            stale.difference_update(name for name, _ in new_state)
+            stale.difference_update(transients)
+            accessor.set_state(target, new_state + preserved)
+            for name in stale:
+                try:
+                    object.__delattr__(target, name)
+                except AttributeError:
+                    pass
+
+        return apply
+
+    @staticmethod
+    def _make_list_action(
+        target: list, items: List[Any], convert: Callable[[Any], Any]
+    ) -> Callable[[], None]:
+        def apply() -> None:
+            target[:] = [convert(item) for item in items]
+
+        return apply
+
+    @staticmethod
+    def _make_bytearray_action(target: bytearray, data: bytes) -> Callable[[], None]:
+        def apply() -> None:
+            target[:] = data
+
+        return apply
+
+    @staticmethod
+    def _make_dict_action(
+        target: dict, pairs: List[Tuple[Any, Any]], convert: Callable[[Any], Any]
+    ) -> Callable[[], None]:
+        def apply() -> None:
+            converted = [(convert(key), convert(value)) for key, value in pairs]
+            target.clear()
+            target.update(converted)
+
+        return apply
+
+    @staticmethod
+    def _make_set_action(
+        target: set, items: List[Any], convert: Callable[[Any], Any]
+    ) -> Callable[[], None]:
+        def apply() -> None:
+            converted = [convert(item) for item in items]
+            target.clear()
+            target.update(converted)
+
+        return apply

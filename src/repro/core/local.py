@@ -1,0 +1,55 @@
+"""Local-execution baselines (paper Table 1 and semantic oracle).
+
+``call_local`` is Baseline 1: the method runs in the caller's address
+space, so Python's ordinary call-by-reference-value semantics applies — the
+gold standard every remote configuration is compared against.
+
+``call_by_copy_local`` runs the method on a serialization round-tripped
+deep copy of the arguments *without* restoring, which is what plain RMI
+gives a caller who ignores the return value. Tests use it to demonstrate
+the mutations call-by-copy silently drops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
+from repro.serde.reader import ObjectReader
+from repro.serde.registry import ClassRegistry
+from repro.serde.writer import ObjectWriter
+
+
+def call_local(method: Callable, *args: Any) -> Any:
+    """Baseline 1: plain local invocation (call-by-reference)."""
+    return method(*args)
+
+
+def copy_graph(
+    value: Any,
+    profile: SerializationProfile = MODERN_PROFILE,
+    registry: Optional[ClassRegistry] = None,
+) -> Any:
+    """Deep-copy *value* through the middleware's own serializer."""
+    writer = ObjectWriter(profile=profile, registry=registry)
+    writer.write_root(value)
+    reader = ObjectReader(writer.getvalue(), profile=profile, registry=registry)
+    copy = reader.read_root()
+    reader.expect_end()
+    return copy
+
+
+def call_by_copy_local(
+    method: Callable,
+    args: Tuple[Any, ...],
+    profile: SerializationProfile = MODERN_PROFILE,
+    registry: Optional[ClassRegistry] = None,
+) -> Any:
+    """Run *method* on serialized copies of *args*; mutations are dropped."""
+    writer = ObjectWriter(profile=profile, registry=registry)
+    for arg in args:
+        writer.write_root(arg)
+    reader = ObjectReader(writer.getvalue(), profile=profile, registry=registry)
+    copies = [reader.read_root() for _ in args]
+    reader.expect_end()
+    return method(*copies)

@@ -1,0 +1,65 @@
+"""Marker base classes selecting per-type calling semantics.
+
+NRMI follows RMI's design of letting the programmer pick the semantics per
+type (paper Section 5.1):
+
+* subclasses of ``java.rmi.server.UnicastRemoteObject`` pass by reference
+  → here, :class:`Remote`;
+* types implementing ``java.io.Serializable`` pass by copy
+  → here, :class:`Serializable`;
+* types implementing ``java.rmi.Restorable`` (NRMI's addition) pass by
+  copy-restore → here, :class:`Restorable`.
+
+``Restorable`` extends ``Serializable``, reflecting that copy-restore is an
+extension of copy. Subclassing a marker auto-registers the class with the
+global serialization registry, so a single line —
+``class Box(Restorable): ...`` — is all a programmer writes, matching the
+paper's "declaring a class to implement java.rmi.Restorable is all that is
+required".
+
+Plain containers (lists, dicts, sets, ...) and registered non-marker
+classes pass by copy; everything reachable from a restorable parameter is
+passed by copy-restore, mirroring the paper's parent-object policy for JDK
+types like arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.serde.registry import global_registry
+
+
+class Serializable:
+    """Marker: instances pass by-copy in remote calls (deep copy).
+
+    Subclasses are automatically registered for serialization.
+    """
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        global_registry.register(cls)
+
+
+class Restorable(Serializable):
+    """Marker: instances pass by-copy-restore in remote calls.
+
+    After the remote method returns, every mutation the server made to data
+    reachable from the parameter is reproduced in place on the caller's
+    original objects — visible through all aliases, exactly as a local call
+    would be.
+    """
+
+
+class Remote:
+    """Marker: instances are remotely accessible and pass by-reference.
+
+    The analogue of ``java.rmi.Remote`` + ``UnicastRemoteObject``: when an
+    exported instance appears in a remote call, a remote reference (stub)
+    travels instead of a copy.
+    """
+
+
+def is_restorable(obj: Any) -> bool:
+    """True if *obj* selects call-by-copy-restore semantics."""
+    return isinstance(obj, Restorable)

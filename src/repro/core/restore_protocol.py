@@ -1,0 +1,369 @@
+"""Restore policies: what travels back after the remote method returns.
+
+Four policies, all sharing the request-side machinery (one stream, one
+handle table, linear map recorded on both endpoints):
+
+``none``
+    Plain call-by-copy: only the return value travels back (Java RMI).
+
+``full``
+    NRMI as implemented in the paper: the whole retained linear map travels
+    back along with the return value (Section 5.2.2).
+
+``delta``
+    The paper's future-work optimization (Section 5.2.4 #2): the server
+    snapshots each retained object's shallow state after unmarshalling and
+    ships back only the objects that changed, plus new objects. References
+    to *unchanged* old objects are encoded as back-references into the
+    caller's own linear map, so passing an object by copy-restore and not
+    changing it costs almost the same as passing it by copy.
+
+``dce``
+    The DCE RPC semantics baseline (Section 4.2): only objects still
+    *reachable from the parameters after the call* are restored. Changes to
+    data that became unreachable are silently lost — the behaviour the
+    paper's Figure 9 illustrates with Microsoft RPC.
+
+A policy runs on both endpoints: ``snapshot``/``build_response`` on the
+server, ``parse_response`` on the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.core.copy_restore import RestoreEngine, RestoreStats
+from repro.core.matching import match_maps
+from repro.errors import RestoreError
+from repro.serde.accessors import FieldAccessor, OPTIMIZED_ACCESSOR
+from repro.serde.kinds import Kind, classify
+from repro.serde.reader import ObjectReader
+from repro.serde.registry import ClassRegistry, Externalizer
+from repro.serde.walker import reachable
+from repro.serde.writer import ObjectWriter
+from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
+from repro.util.buffers import BufferReader, BufferWriter
+from repro.util.identity import IdentityMap, IdentitySet
+
+_OLDREF_EXT = "nrmi.oldref"
+
+_PRIMITIVE_COMPARABLE = (type(None), bool, int, float, complex, str, bytes)
+
+
+@dataclass
+class ServerRestoreContext:
+    """Everything the server side of a policy needs."""
+
+    retained: List[Any]
+    restore_roots: List[Any]
+    profile: SerializationProfile = MODERN_PROFILE
+    registry: Optional[ClassRegistry] = None
+    accessor: FieldAccessor = OPTIMIZED_ACCESSOR
+    externalizers: Tuple = ()
+    # Reachability stop predicate (remote stubs/pointers are leaves).
+    stop: Optional[Any] = None
+
+
+@dataclass
+class ClientRestoreContext:
+    """Everything the caller side of a policy needs."""
+
+    originals: List[Any]
+    profile: SerializationProfile = MODERN_PROFILE
+    registry: Optional[ClassRegistry] = None
+    engine: RestoreEngine = field(default_factory=RestoreEngine)
+    externalizers: Tuple = ()
+
+
+class RestorePolicy:
+    """Interface both endpoints agree on (the name travels in the request)."""
+
+    name = "abstract"
+
+    def snapshot(self, context: ServerRestoreContext) -> Any:
+        """Capture pre-execution state on the server (default: nothing)."""
+        return None
+
+    def build_response(
+        self, result: Any, context: ServerRestoreContext, snapshot: Any
+    ) -> bytes:
+        raise NotImplementedError
+
+    def parse_response(
+        self, payload: bytes, context: ClientRestoreContext
+    ) -> Tuple[Any, Optional[RestoreStats]]:
+        """Apply the restore on the caller; return (result, stats)."""
+        raise NotImplementedError
+
+
+class NoRestorePolicy(RestorePolicy):
+    """Plain call-by-copy: the return value is the whole response."""
+
+    name = "none"
+
+    def build_response(
+        self, result: Any, context: ServerRestoreContext, snapshot: Any
+    ) -> bytes:
+        writer = ObjectWriter(
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=context.externalizers,
+        )
+        writer.write_root(result)
+        return writer.getvalue()
+
+    def parse_response(
+        self, payload: bytes, context: ClientRestoreContext
+    ) -> Tuple[Any, Optional[RestoreStats]]:
+        reader = ObjectReader(
+            payload,
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=context.externalizers,
+        )
+        result = reader.read_root()
+        reader.expect_end()
+        return result, None
+
+
+class FullRestorePolicy(RestorePolicy):
+    """NRMI: ship the whole retained linear map back (paper Section 5.2.2)."""
+
+    name = "full"
+
+    def build_response(
+        self, result: Any, context: ServerRestoreContext, snapshot: Any
+    ) -> bytes:
+        writer = ObjectWriter(
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=context.externalizers,
+        )
+        writer.write_root(result)
+        writer.write_root(context.retained)
+        return writer.getvalue()
+
+    def parse_response(
+        self, payload: bytes, context: ClientRestoreContext
+    ) -> Tuple[Any, Optional[RestoreStats]]:
+        reader = ObjectReader(
+            payload,
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=context.externalizers,
+        )
+        result = reader.read_root()
+        modifieds = reader.read_root()
+        reader.expect_end()
+        if not isinstance(modifieds, list):
+            raise RestoreError("full-restore payload root is not a list")
+        match = match_maps(context.originals, modifieds)
+        result, stats = context.engine.restore(match, result)
+        return result, stats
+
+
+def _shallow_state(obj: Any, accessor: FieldAccessor) -> Tuple[Any, ...]:
+    """A shallow fingerprint of *obj* holding strong references."""
+    kind = classify(obj)
+    if kind is Kind.OBJECT:
+        return tuple(accessor.get_state(obj))
+    if kind is Kind.LIST:
+        return tuple(obj)
+    if kind is Kind.DICT:
+        return tuple(obj.items())
+    if kind is Kind.SET:
+        return tuple(obj)
+    if kind is Kind.BYTEARRAY:
+        return (bytes(obj),)
+    raise RestoreError(f"cannot snapshot object of kind {kind}")
+
+
+def _values_equal(old: Any, new: Any) -> bool:
+    """Identity for reference values, equality for primitives."""
+    if old is new:
+        return True
+    if type(old) is not type(new):
+        return False
+    if isinstance(old, _PRIMITIVE_COMPARABLE):
+        return old == new
+    return False
+
+
+def _state_changed(old_state: Tuple[Any, ...], new_state: Tuple[Any, ...]) -> bool:
+    if len(old_state) != len(new_state):
+        return True
+    for old_item, new_item in zip(old_state, new_state):
+        if _values_equal(old_item, new_item):
+            continue
+        if (
+            isinstance(old_item, tuple)
+            and isinstance(new_item, tuple)
+            and len(old_item) == 2
+            and len(new_item) == 2
+        ):
+            # (name, value) / (key, value) pairs are rebuilt on every
+            # snapshot, so compare their two slots instead of their identity.
+            if _values_equal(old_item[0], new_item[0]) and _values_equal(
+                old_item[1], new_item[1]
+            ):
+                continue
+        return True
+    return False
+
+
+def _encode_index(index: int) -> bytes:
+    writer = BufferWriter()
+    writer.write_uvarint(index)
+    return writer.getvalue()
+
+
+def _decode_index(payload: bytes) -> int:
+    reader = BufferReader(payload)
+    index = reader.read_uvarint()
+    reader.expect_end()
+    return index
+
+
+class DeltaRestorePolicy(RestorePolicy):
+    """Ship only changed old objects; reference unchanged ones by position."""
+
+    name = "delta"
+
+    def snapshot(self, context: ServerRestoreContext) -> List[Tuple[Any, ...]]:
+        accessor = context.accessor
+        return [_shallow_state(obj, accessor) for obj in context.retained]
+
+    def build_response(
+        self, result: Any, context: ServerRestoreContext, snapshot: Any
+    ) -> bytes:
+        accessor = context.accessor
+        changed_indices: List[int] = []
+        unchanged: IdentityMap[int] = IdentityMap()
+        for index, (obj, before) in enumerate(zip(context.retained, snapshot)):
+            if _state_changed(before, _shallow_state(obj, accessor)):
+                changed_indices.append(index)
+            else:
+                unchanged[obj] = index
+        oldref = Externalizer(
+            name=_OLDREF_EXT,
+            claims=lambda obj: obj in unchanged,
+            replace=lambda obj: _encode_index(unchanged[obj]),
+            resolve=lambda payload: None,  # never used on the server
+        )
+        writer = ObjectWriter(
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=(oldref,) + tuple(context.externalizers),
+        )
+        writer.write_root(result)
+        writer.write_root(changed_indices)
+        writer.write_root([context.retained[i] for i in changed_indices])
+        return writer.getvalue()
+
+    def parse_response(
+        self, payload: bytes, context: ClientRestoreContext
+    ) -> Tuple[Any, Optional[RestoreStats]]:
+        originals = context.originals
+        resolved = IdentitySet()
+
+        def resolve(raw: bytes) -> Any:
+            index = _decode_index(raw)
+            try:
+                obj = originals[index]
+            except IndexError:
+                raise RestoreError(f"delta payload references old object {index}") from None
+            resolved.add(obj)
+            return obj
+
+        oldref = Externalizer(
+            name=_OLDREF_EXT,
+            claims=lambda obj: False,  # never used on the caller
+            replace=lambda obj: b"",
+            resolve=resolve,
+        )
+        reader = ObjectReader(
+            payload,
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=(oldref,) + tuple(context.externalizers),
+        )
+        result = reader.read_root()
+        changed_indices = reader.read_root()
+        changed_objects = reader.read_root()
+        reader.expect_end()
+        match = match_maps(
+            [originals[i] for i in changed_indices], changed_objects
+        )
+        result, stats = context.engine.restore(match, result, skip=resolved)
+        return result, stats
+
+
+class DceRestorePolicy(RestorePolicy):
+    """DCE RPC semantics: restore only what the parameters still reach.
+
+    Old objects that became unreachable from the parameters keep their
+    *original* (stale) values on the caller — the Figure 9 behaviour.
+    """
+
+    name = "dce"
+
+    def build_response(
+        self, result: Any, context: ServerRestoreContext, snapshot: Any
+    ) -> bytes:
+        still_reachable = IdentitySet()
+        for obj in reachable(
+            list(context.restore_roots),
+            context.accessor,
+            mutable_only=True,
+            stop=context.stop,
+        ):
+            still_reachable.add(obj)
+        kept_indices = [
+            index
+            for index, obj in enumerate(context.retained)
+            if obj in still_reachable
+        ]
+        writer = ObjectWriter(
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=context.externalizers,
+        )
+        writer.write_root(result)
+        writer.write_root(kept_indices)
+        writer.write_root([context.retained[i] for i in kept_indices])
+        return writer.getvalue()
+
+    def parse_response(
+        self, payload: bytes, context: ClientRestoreContext
+    ) -> Tuple[Any, Optional[RestoreStats]]:
+        reader = ObjectReader(
+            payload,
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=context.externalizers,
+        )
+        result = reader.read_root()
+        kept_indices = reader.read_root()
+        kept_objects = reader.read_root()
+        reader.expect_end()
+        match = match_maps(
+            [context.originals[i] for i in kept_indices], kept_objects
+        )
+        result, stats = context.engine.restore(match, result)
+        return result, stats
+
+
+_POLICIES: Dict[str, Type[RestorePolicy]] = {
+    policy.name: policy
+    for policy in (NoRestorePolicy, FullRestorePolicy, DeltaRestorePolicy, DceRestorePolicy)
+}
+
+
+def policy_by_name(name: str) -> RestorePolicy:
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown restore policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,54 @@
+"""Per-parameter calling-semantics resolution.
+
+Given an argument value, decide how it travels (paper Section 5.1):
+
+========================  =======================================
+argument                  mode
+========================  =======================================
+primitive                 BY_VALUE (plain copy of the value)
+``Remote`` instance       BY_REFERENCE (stub travels)
+``Restorable`` instance   BY_COPY_RESTORE
+anything serializable     BY_COPY
+========================  =======================================
+
+The mode is decided by the *top-level* type of each parameter; everything
+reachable from a copy-restore parameter is itself copy-restored (and must
+be serializable), per the paper's parent-object policy.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+from repro.core.markers import Remote, Restorable
+from repro.serde.kinds import Kind, classify
+
+
+class PassingMode(Enum):
+    """How one argument of a remote call travels."""
+
+    BY_VALUE = "value"
+    BY_COPY = "copy"
+    BY_COPY_RESTORE = "copy-restore"
+    BY_REFERENCE = "reference"
+
+    @property
+    def restores(self) -> bool:
+        return self is PassingMode.BY_COPY_RESTORE
+
+
+def resolve_mode(arg: Any) -> PassingMode:
+    """Resolve the passing mode for one argument value."""
+    if isinstance(arg, Remote):
+        return PassingMode.BY_REFERENCE
+    if isinstance(arg, Restorable):
+        return PassingMode.BY_COPY_RESTORE
+    if classify(arg) is Kind.PRIMITIVE:
+        return PassingMode.BY_VALUE
+    return PassingMode.BY_COPY
+
+
+def resolve_modes(args: tuple) -> tuple:
+    """Resolve the passing mode of every positional argument."""
+    return tuple(resolve_mode(arg) for arg in args)

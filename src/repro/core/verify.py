@@ -1,0 +1,136 @@
+"""Heap-equivalence checking: the library form of the paper's invariant.
+
+The paper states its benchmark invariant as *"all the changes are visible
+to the caller ... as if both the caller and the callee were executing
+within the same address space"*. Checking that rigorously means comparing
+two heaps up to isomorphism **including aliasing**: not just equal values,
+but the same sharing structure.
+
+:func:`fingerprint` projects the heap reachable from given roots into a
+canonical, comparable form: objects are numbered by first visit in a
+deterministic traversal and every reference becomes the target's number.
+Two root-lists have equal fingerprints iff the heaps are isomorphic and
+the roots correspond — which is exactly "a local call and a remote call
+left the caller in the same state".
+
+Used by the test suite, the benchmark harness's ``verify`` mode, and
+available to applications as a debugging aid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.serde.accessors import FieldAccessor, OPTIMIZED_ACCESSOR
+from repro.serde.kinds import Kind, classify
+from repro.util.identity import IdentityMap
+
+
+def fingerprint(
+    roots: List[Any],
+    accessor: FieldAccessor = OPTIMIZED_ACCESSOR,
+    opaque: Optional[Callable[[Any], bool]] = None,
+) -> Tuple:
+    """A canonical projection of the heap reachable from *roots*.
+
+    ``opaque`` objects (e.g. remote references) are represented by type
+    name only and not descended into.
+    """
+    numbers: IdentityMap[int] = IdentityMap()
+    cells: List[Tuple] = []
+    iso_cache: IdentityMap[str] = IdentityMap()
+
+    def iso_key(value: Any) -> str:
+        """A heap-address-independent ordering key for set members.
+
+        Set iteration order depends on identity hashes, which differ
+        between otherwise-isomorphic heaps; numbering members in that
+        order would make fingerprints of equivalent heaps diverge. The
+        key is the member's own canonical fingerprint computed in an
+        isolated numbering context (memoized per outer call). Members
+        with value-identical subgraphs tie — their relative order is then
+        irrelevant precisely because they are indistinguishable by value.
+        """
+        cached = iso_cache.get(value)
+        if cached is None:
+            cached = repr(fingerprint([value], accessor, opaque))
+            iso_cache[value] = cached
+        return cached
+
+    def token(value: Any):
+        kind = classify(value)
+        if kind is Kind.PRIMITIVE:
+            return ("prim", type(value).__name__, value)
+        existing = numbers.get(value)
+        if existing is not None:
+            return ("ref", existing)
+        number = len(numbers)
+        numbers[value] = number
+        if opaque is not None and opaque(value):
+            cells.append((number, "opaque", type(value).__name__))
+        elif kind is Kind.OBJECT:
+            state = sorted(accessor.get_state(value))
+            cells.append(
+                (
+                    number,
+                    "obj",
+                    type(value).__name__,
+                    tuple((name, token(child)) for name, child in state),
+                )
+            )
+        elif kind is Kind.LIST:
+            cells.append((number, "list", tuple(token(item) for item in value)))
+        elif kind is Kind.TUPLE:
+            cells.append((number, "tuple", tuple(token(item) for item in value)))
+        elif kind in (Kind.SET, Kind.FROZENSET):
+            ordered_members = sorted(value, key=iso_key)
+            member_tokens = [repr(token(item)) for item in ordered_members]
+            cells.append((number, kind.name.lower(), tuple(sorted(member_tokens))))
+        elif kind is Kind.DICT:
+            entries = [(token(key), token(val)) for key, val in value.items()]
+            cells.append((number, "dict", tuple(sorted(entries, key=repr))))
+        elif kind is Kind.BYTEARRAY:
+            cells.append((number, "bytearray", bytes(value)))
+        else:
+            cells.append((number, "unknown", type(value).__name__))
+        return ("ref", number)
+
+    root_tokens = tuple(token(root) for root in roots)
+    return (root_tokens, tuple(cells))
+
+
+def heaps_equivalent(
+    roots_a: List[Any],
+    roots_b: List[Any],
+    accessor: FieldAccessor = OPTIMIZED_ACCESSOR,
+    opaque: Optional[Callable[[Any], bool]] = None,
+) -> bool:
+    """True iff the two heaps are isomorphic with corresponding roots."""
+    return fingerprint(roots_a, accessor, opaque) == fingerprint(
+        roots_b, accessor, opaque
+    )
+
+
+def explain_difference(
+    roots_a: List[Any], roots_b: List[Any], limit: int = 5
+) -> str:
+    """A short human-readable description of where two heaps diverge."""
+    fp_a = fingerprint(roots_a)
+    fp_b = fingerprint(roots_b)
+    if fp_a == fp_b:
+        return "heaps are equivalent"
+    lines: List[str] = []
+    if fp_a[0] != fp_b[0]:
+        lines.append(f"roots differ: {fp_a[0]!r} vs {fp_b[0]!r}")
+    cells_a = {cell[0]: cell for cell in fp_a[1]}
+    cells_b = {cell[0]: cell for cell in fp_b[1]}
+    for number in sorted(set(cells_a) | set(cells_b)):
+        if cells_a.get(number) != cells_b.get(number):
+            lines.append(
+                f"object #{number}: {cells_a.get(number)!r} vs "
+                f"{cells_b.get(number)!r}"
+            )
+            if len(lines) >= limit:
+                lines.append("...")
+                break
+    return "\n".join(lines)

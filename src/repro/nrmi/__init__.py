@@ -1,0 +1,68 @@
+"""NRMI: the drop-in middleware API.
+
+The programmer-facing layer, mirroring the paper's Section 5.1:
+
+* declare a class ``Restorable`` → its instances pass by copy-restore;
+* declare it ``Serializable`` (or use plain containers) → by copy;
+* subclass ``Remote`` → by reference (stubs);
+* primitives always pass by value.
+
+Minimal usage::
+
+    from repro import nrmi
+    from repro.core import Remote, Restorable
+
+    class Counter(Restorable):
+        def __init__(self):
+            self.value = 0
+
+    class Service(Remote):
+        def bump(self, counter):
+            counter.value += 1
+
+    with nrmi.serve(Service(), name="svc") as server:
+        client = nrmi.Endpoint(name="client")
+        svc = client.lookup(server.address, "svc")
+        counter = Counter()
+        svc.bump(counter)
+        assert counter.value == 1      # restored in place
+
+``NRMIConfig`` selects the serialization profile (``legacy``/``modern``,
+modelling JDK 1.3/1.4), the restore implementation
+(``portable``/``optimized``), and the restore policy (``full`` — the
+paper's NRMI; ``delta`` — its future-work optimization; ``dce`` — the DCE
+RPC baseline; ``none`` — plain RMI call-by-copy).
+"""
+
+from repro.core.markers import Remote, Restorable, Serializable
+from repro.nrmi.annotations import no_restore, restore_policy
+from repro.nrmi.batch import BatchHandle, CallBatch
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.interfaces import CheckedStub, validate_implementation
+from repro.nrmi.runtime import (
+    Endpoint,
+    async_call,
+    default_endpoint,
+    lookup,
+    serve,
+)
+from repro.rmi.activation import Activatable
+
+__all__ = [
+    "Remote",
+    "Restorable",
+    "Serializable",
+    "NRMIConfig",
+    "Endpoint",
+    "async_call",
+    "default_endpoint",
+    "lookup",
+    "serve",
+    "no_restore",
+    "restore_policy",
+    "CallBatch",
+    "BatchHandle",
+    "CheckedStub",
+    "validate_implementation",
+    "Activatable",
+]

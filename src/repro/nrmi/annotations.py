@@ -1,0 +1,72 @@
+"""Method-level semantics annotations for remote services.
+
+NRMI picks calling semantics per *type* (the paper's design); sometimes a
+server also wants to pin the restore behaviour per *method* — e.g. a
+read-only query over a big restorable structure shouldn't pay for a
+restore payload at all, whatever the argument types say. The decorators
+here attach that choice to the method; the dispatcher honours it and the
+response tells the caller which policy actually built the payload, so
+both sides always agree.
+
+Rules:
+
+* An override never *upgrades* a plain call-by-copy request: if the
+  caller sent no restorable arguments (policy ``none``), there is no
+  recorded linear map to restore into, so ``none`` it stays.
+* Between restoring policies (``full``/``delta``/``dce``) the server's
+  choice wins — the caller's recorded map supports all three.
+
+Example::
+
+    class Library(Remote):
+        @no_restore
+        def count_books(self, catalog):   # read-only: skip the restore
+            return len(catalog.books)
+
+        @restore_policy("delta")
+        def reindex(self, catalog):       # sparse writes: delta pays off
+            ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar
+
+_VALID = ("none", "full", "delta", "dce")
+
+POLICY_ATTR = "__nrmi_policy__"
+
+F = TypeVar("F", bound=Callable)
+
+
+def restore_policy(name: str) -> Callable[[F], F]:
+    """Pin the restore policy used when this remote method is invoked."""
+    if name not in _VALID:
+        raise ValueError(f"policy must be one of {_VALID}, got {name!r}")
+
+    def decorate(fn: F) -> F:
+        setattr(fn, POLICY_ATTR, name)
+        return fn
+
+    return decorate
+
+
+def no_restore(fn: F) -> F:
+    """Shorthand: the method never sends a restore payload (read-only)."""
+    return restore_policy("none")(fn)
+
+
+def method_policy_override(target: Callable) -> Optional[str]:
+    """The policy a server method pinned, or None."""
+    return getattr(target, POLICY_ATTR, None)
+
+
+def effective_policy(requested: str, target: Callable) -> str:
+    """Combine the caller's requested policy with the method's override."""
+    override = method_policy_override(target)
+    if override is None:
+        return requested
+    if requested == "none":
+        # No linear map was recorded on the caller: cannot upgrade.
+        return "none"
+    return override

@@ -1,0 +1,145 @@
+"""Call batching: many invocations, one round trip per endpoint.
+
+On a network where latency dominates (every NRMI exchange pays a full
+round trip), batching N small calls into one frame amortizes the latency
+N ways. The batch marshals each call exactly as a solo call would —
+including per-call copy-restore — queues the requests, then flushes one
+``CALL_BATCH`` frame per target endpoint; replies are applied in order.
+
+Usage::
+
+    with client.batch() as batch:
+        first = batch.call(service, "price", cart_a)
+        second = batch.call(service, "price", cart_b)
+    assert first.result() == 42          # available after the with-block
+
+Semantics notes:
+
+* Each call is marshalled **when queued**, so later local mutations of an
+  argument are not visible to the batched call — identical to having
+  called at that moment over a slow network.
+* Cross-call aliasing is *not* unified: two calls sharing an argument
+  produce two server-side copies (each call is an independent stream),
+  exactly as two sequential solo calls would.
+* Failures are per-call: one call raising remotely does not poison the
+  others; its exception surfaces from its handle's ``result()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import RemoteError
+from repro.nrmi.invocation import PreparedCall, complete_call, prepare_call
+from repro.rmi.protocol import (
+    Status,
+    decode_batch_responses,
+    encode_batch,
+    split_response,
+)
+from repro.rmi.remote_ref import RemoteStub
+
+
+class BatchHandle:
+    """The pending result of one batched call."""
+
+    __slots__ = ("_state", "_value")
+
+    _PENDING, _VALUE, _ERROR = 0, 1, 2
+
+    def __init__(self) -> None:
+        self._state = self._PENDING
+        self._value: Any = None
+
+    def _resolve(self, value: Any) -> None:
+        self._state = self._VALUE
+        self._value = value
+
+    def _fail(self, error: BaseException) -> None:
+        self._state = self._ERROR
+        self._value = error
+
+    @property
+    def done(self) -> bool:
+        return self._state != self._PENDING
+
+    def result(self) -> Any:
+        if self._state == self._PENDING:
+            raise RemoteError("batch not flushed yet; leave the with-block first")
+        if self._state == self._ERROR:
+            raise self._value
+        return self._value
+
+
+class CallBatch:
+    """Queues calls through one client endpoint; flushes per target."""
+
+    def __init__(self, endpoint: Any) -> None:
+        self._endpoint = endpoint
+        self._queued: List[tuple] = []  # (address, PreparedCall, BatchHandle)
+        self._flushed = False
+
+    def call(self, stub: RemoteStub, method: str, *args: Any, **kwargs: Any) -> BatchHandle:
+        """Queue ``stub.method(*args, **kwargs)``; returns its handle."""
+        if self._flushed:
+            raise RemoteError("batch already flushed")
+        if not isinstance(stub, RemoteStub):
+            raise RemoteError(f"batch.call needs a stub, got {type(stub).__name__}")
+        prepared = prepare_call(
+            self._endpoint, stub.descriptor, method, args, kwargs=kwargs
+        )
+        handle = BatchHandle()
+        self._queued.append((stub.descriptor.address, prepared, handle))
+        return handle
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def flush(self) -> None:
+        """Send every queued call (one frame per endpoint), apply replies."""
+        if self._flushed:
+            return
+        self._flushed = True
+        by_address: Dict[str, List[tuple]] = {}
+        for address, prepared, handle in self._queued:
+            by_address.setdefault(address, []).append((prepared, handle))
+        for address, entries in by_address.items():
+            self._flush_one_endpoint(address, entries)
+
+    def _flush_one_endpoint(self, address: str, entries: List[tuple]) -> None:
+        request = encode_batch([prepared.request for prepared, _handle in entries])
+        try:
+            channel = self._endpoint.channel_to(address)
+            response = channel.request(request)
+            status, reader = split_response(response)
+            if status is not Status.OK:
+                raise RemoteError(
+                    f"batch to {address} failed: {reader.read_str()}"
+                )
+            sub_responses = decode_batch_responses(reader)
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            for _prepared, handle in entries:
+                handle._fail(exc)
+            return
+        if len(sub_responses) != len(entries):
+            error = RemoteError(
+                f"batch reply carries {len(sub_responses)} results "
+                f"for {len(entries)} calls"
+            )
+            for _prepared, handle in entries:
+                handle._fail(error)
+            return
+        for (prepared, handle), sub_response in zip(entries, sub_responses):
+            try:
+                handle._resolve(
+                    complete_call(self._endpoint, prepared, sub_response)
+                )
+            except BaseException as exc:  # noqa: BLE001 - per-call failure
+                handle._fail(exc)
+
+    def __enter__(self) -> "CallBatch":
+        return self
+
+    def __exit__(self, exc_type: Any, _exc: Any, _tb: Any) -> None:
+        if exc_type is None:
+            self.flush()

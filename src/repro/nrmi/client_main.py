@@ -1,0 +1,82 @@
+"""One-shot NRMI client: invoke a remote method from the shell.
+
+The counterpart of :mod:`repro.nrmi.server_main`, for smoke-testing a
+deployment without writing a script::
+
+    python -m repro.nrmi.client_main \\
+        --address tcp://127.0.0.1:45123 --name trees \\
+        --method mutate --args '["III", null, 7]'
+
+``--args`` is a JSON array of positional arguments (JSON maps onto the
+wire's primitives and containers: numbers, strings, booleans, null,
+arrays, objects). The result is printed as JSON when possible, else via
+``repr``. ``--list`` prints the registry's bindings instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional
+
+from repro.nrmi.runtime import Endpoint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nrmi-call", description="Invoke a remote NRMI method once."
+    )
+    parser.add_argument("--address", required=True, help="e.g. tcp://host:port")
+    parser.add_argument("--name", help="registry binding to look up")
+    parser.add_argument("--method", help="method to invoke")
+    parser.add_argument("--args", default="[]",
+                        help="JSON array of positional arguments")
+    parser.add_argument("--list", action="store_true",
+                        help="list the remote registry's bindings and exit")
+    parser.add_argument("--ping", action="store_true",
+                        help="liveness-check the endpoint and exit")
+    return parser
+
+
+def render(result: Any) -> str:
+    try:
+        return json.dumps(result, indent=2, sort_keys=True)
+    except (TypeError, ValueError):
+        return repr(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    client = Endpoint(name="nrmi-call")
+    try:
+        if args.ping:
+            alive = client.ping(args.address)
+            print("alive" if alive else "unreachable")
+            return 0 if alive else 1
+        if args.list:
+            registry_names = client.lookup_registry_names(args.address)
+            print(render(registry_names))
+            return 0
+        if not args.name or not args.method:
+            print("--name and --method are required (or use --list/--ping)",
+                  file=sys.stderr)
+            return 2
+        try:
+            call_args = json.loads(args.args)
+        except json.JSONDecodeError as exc:
+            print(f"--args is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(call_args, list):
+            print("--args must be a JSON array", file=sys.stderr)
+            return 2
+        stub = client.lookup(args.address, args.name)
+        result = getattr(stub, args.method)(*call_args)
+        print(render(result))
+        return 0
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

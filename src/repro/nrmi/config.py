@@ -1,0 +1,79 @@
+"""NRMI runtime configuration.
+
+The paper evaluates a matrix of configurations; this dataclass is how the
+reproduction spells each of them:
+
+===========================  =========================================
+paper configuration          NRMIConfig
+===========================  =========================================
+RMI, JDK 1.3                 profile="legacy",  policy="none"
+RMI, JDK 1.4                 profile="modern",  policy="none"
+NRMI portable (1.3 or 1.4)   implementation="portable", policy="full"
+NRMI optimized (1.4 only)    implementation="optimized", policy="full",
+                             profile="modern"
+NRMI + delta (future work)   policy="delta"
+DCE RPC semantics            policy="dce"
+===========================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_VALID_PROFILES = ("legacy", "modern")
+_VALID_IMPLEMENTATIONS = ("portable", "optimized")
+_VALID_POLICIES = ("none", "full", "delta", "dce")
+
+
+@dataclass(frozen=True)
+class NRMIConfig:
+    """How an endpoint marshals, restores, and accounts.
+
+    ``profile``
+        Serialization substrate: ``legacy`` (JDK 1.3-like) or ``modern``
+        (JDK 1.4-like).
+    ``implementation``
+        Field-access machinery used by the restore engine and reachability
+        computation: ``portable`` (reflective, uncached) or ``optimized``
+        (cached class plans) — the paper's two NRMI implementations.
+    ``policy``
+        Restore policy applied when a call has restorable parameters.
+    ``leak_budget``
+        Optional cap on live remotely-referenced exports; exceeding it
+        raises :class:`~repro.errors.DistributedLeakError` (models the
+        paper's 1 GB heap limit in the Table 6 experiment).
+    """
+
+    profile: str = "modern"
+    implementation: str = "optimized"
+    policy: str = "full"
+    leak_budget: int | None = None
+    # Ablation of the paper's optimization 5.2.4 #1: transmit the linear
+    # map explicitly instead of reconstructing it during deserialization.
+    # Always off in the paper's NRMI; exists here for the ablation bench.
+    ship_linear_map: bool = False
+    # DGC lease duration for exported references (None = no leases; refs
+    # live until released). Java RMI's default is 10 minutes.
+    lease_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.profile not in _VALID_PROFILES:
+            raise ValueError(
+                f"profile must be one of {_VALID_PROFILES}, got {self.profile!r}"
+            )
+        if self.implementation not in _VALID_IMPLEMENTATIONS:
+            raise ValueError(
+                "implementation must be one of "
+                f"{_VALID_IMPLEMENTATIONS}, got {self.implementation!r}"
+            )
+        if self.policy not in _VALID_POLICIES:
+            raise ValueError(
+                f"policy must be one of {_VALID_POLICIES}, got {self.policy!r}"
+            )
+        if self.implementation == "optimized" and self.profile == "legacy":
+            # The paper's optimized NRMI exists only on JDK 1.4; mirror that
+            # constraint so configurations stay meaningful.
+            raise ValueError(
+                "the optimized implementation requires the modern profile "
+                "(the paper's optimized NRMI is JDK 1.4-only)"
+            )

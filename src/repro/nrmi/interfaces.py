@@ -1,0 +1,146 @@
+"""Remote interface contracts.
+
+Java RMI services expose a *remote interface*: clients program against
+it, and only its methods are callable remotely. This module brings the
+same discipline here:
+
+* declare an interface (a plain class with method stubs);
+* bind a service with ``endpoint.bind(name, impl, interface=I)`` — the
+  binding validates the implementation and the dispatcher then refuses
+  any method outside the contract (defence against callers poking at
+  implementation internals);
+* optionally check a stub against the interface on the client.
+
+Example::
+
+    class PricingContract:
+        def price(self, cart): ...
+        def quote(self, sku, quantity): ...
+
+    endpoint.bind("pricing", PricingImpl(), interface=PricingContract)
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, FrozenSet, Iterable, List
+
+from repro.errors import RemoteError
+
+
+def interface_methods(interface: type) -> FrozenSet[str]:
+    """The public callable names an interface declares (MRO included)."""
+    names = set()
+    for name, member in inspect.getmembers(interface, callable):
+        if not name.startswith("_"):
+            names.add(name)
+    if not names:
+        raise RemoteError(
+            f"interface {interface.__name__} declares no public methods"
+        )
+    return frozenset(names)
+
+
+def validate_implementation(impl: Any, interface: type) -> FrozenSet[str]:
+    """Check *impl* provides every interface method; returns the whitelist.
+
+    *impl* may be an instance (methods looked up bound) or a class
+    (methods looked up unbound — used for lazily-activated services whose
+    instance must not be constructed just to validate).
+
+    Signatures are compared structurally: the implementation must accept
+    every call the interface describes (same positional arity or more
+    permissive, compatible keyword names).
+    """
+    is_class = isinstance(impl, type)
+    source = impl if is_class else type(impl)
+    label = source.__name__
+    methods = interface_methods(interface)
+    missing: List[str] = []
+    incompatible: List[str] = []
+    for name in sorted(methods):
+        target = getattr(impl, name, None)
+        if not callable(target):
+            missing.append(name)
+            continue
+        declared = getattr(interface, name)
+        if _signatures_clash(declared, target, target_unbound=is_class):
+            incompatible.append(name)
+    if missing or incompatible:
+        problems = []
+        if missing:
+            problems.append(f"missing: {', '.join(missing)}")
+        if incompatible:
+            problems.append(f"incompatible signature: {', '.join(incompatible)}")
+        raise RemoteError(
+            f"{label} does not implement "
+            f"{interface.__name__} ({'; '.join(problems)})"
+        )
+    return methods
+
+
+def _positional_capacity(signature: inspect.Signature) -> tuple:
+    """(min_required, max_allowed_or_None) positional args after self."""
+    minimum = 0
+    maximum: Any = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            maximum += 1
+            if parameter.default is inspect.Parameter.empty:
+                minimum += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            maximum = None
+    return minimum, maximum
+
+
+def _strip_self(signature: inspect.Signature) -> inspect.Signature:
+    parameters = list(signature.parameters.values())
+    if parameters and parameters[0].name in ("self", "cls"):
+        return signature.replace(parameters=parameters[1:])
+    return signature
+
+
+def _signatures_clash(declared: Any, target: Any, target_unbound: bool = False) -> bool:
+    """True when *target* cannot accept calls shaped like *declared*."""
+    try:
+        declared_sig = inspect.signature(declared)
+        target_sig = inspect.signature(target)
+    except (TypeError, ValueError):
+        return False  # builtins etc.: give the benefit of the doubt
+    # `declared` is an unbound function (self included); `target` is bound
+    # unless validating a class (lazily-activated services).
+    declared_sig = _strip_self(declared_sig)
+    if target_unbound:
+        target_sig = _strip_self(target_sig)
+    declared_min, declared_max = _positional_capacity(declared_sig)
+    target_min, target_max = _positional_capacity(target_sig)
+    if target_min > declared_min:
+        return True  # impl demands more than the contract promises callers
+    if target_max is not None and (declared_max is None or declared_max > target_max):
+        return True  # impl cannot absorb the contract's maximum arity
+    return False
+
+
+class CheckedStub:
+    """A client-side wrapper allowing only the interface's methods."""
+
+    def __init__(self, stub: Any, interface: type) -> None:
+        self._stub = stub
+        self._interface = interface
+        self._methods = interface_methods(interface)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name not in self.__dict__["_methods"]:
+            raise AttributeError(
+                f"{self.__dict__['_interface'].__name__} declares no "
+                f"method {name!r}"
+            )
+        return getattr(self.__dict__["_stub"], name)
+
+    def __repr__(self) -> str:
+        return f"CheckedStub({self._interface.__name__}, {self._stub!r})"

@@ -1,0 +1,305 @@
+"""The invocation pipeline: both halves of a remote call.
+
+Client side (:func:`client_call`):
+
+1. resolve each argument's passing mode from its type;
+2. marshal all arguments into **one** stream (one handle table → aliasing
+   across arguments preserved), recording the linear map as a side effect;
+3. keep the subset of the map reachable from the copy-restore arguments —
+   "create a linear map ... keep a reference to it" (algorithm step 1);
+4. send; on reply, hand the payload to the agreed restore policy, which
+   matches maps and applies steps 4-6 of the algorithm.
+
+Server side (:func:`handle_call`):
+
+1. unmarshal the arguments, reconstructing the linear map during
+   deserialization (the paper's optimization — the map never crosses the
+   wire);
+2. retain the same subset, computed by the same deterministic rule, so the
+   two endpoints' retained lists are index-aligned by construction;
+3. run the method at full speed — no read/write barriers, no traffic;
+4. let the policy build the response (return value + restore payload in
+   one stream, so the return value shares structure with restored data).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.restore_protocol import (
+    ClientRestoreContext,
+    ServerRestoreContext,
+    policy_by_name,
+)
+from repro.core.semantics import PassingMode, resolve_modes
+from repro.errors import (
+    RemoteError,
+    RemoteInvocationError,
+    UnmarshalError,
+)
+from repro.nrmi.annotations import effective_policy
+from repro.rmi.protocol import (
+    CallRequest,
+    Status,
+    decode_call,
+    encode_call,
+    exception_response,
+    ok_response,
+    policy_from_wire,
+    policy_wire_id,
+    split_response,
+)
+from repro.rmi.remote_ref import RemoteDescriptor, is_opaque_remote
+from repro.serde.accessors import FieldAccessor
+from repro.serde.linear_map import LinearMap
+from repro.serde.profiles import profile_by_name
+from repro.serde.reader import ObjectReader
+from repro.serde.walker import reachable
+from repro.serde.writer import ObjectWriter
+from repro.util.buffers import BufferReader
+from repro.util.identity import IdentitySet
+from repro.util.logging import get_logger
+
+logger = get_logger("nrmi.invocation")
+
+
+def compute_retained(
+    linear_map: LinearMap, roots: Sequence[Any], accessor: FieldAccessor
+) -> List[Any]:
+    """The subset of the linear map reachable from the copy-restore roots.
+
+    Both endpoints run this over isomorphic graphs with identical map
+    order, so position *i* on one side corresponds to position *i* on the
+    other — the invariant that makes step 4's match-up positional.
+    """
+    if not roots:
+        return []
+    reach = IdentitySet()
+    for obj in reachable(
+        list(roots), accessor, mutable_only=True, stop=is_opaque_remote
+    ):
+        reach.add(obj)
+    return [obj for obj in linear_map if obj in reach]
+
+
+def _restore_roots(args: Sequence[Any], modes: Sequence[PassingMode]) -> List[Any]:
+    return [
+        arg
+        for arg, mode in zip(args, modes)
+        if mode is PassingMode.BY_COPY_RESTORE
+    ]
+
+
+class PreparedCall:
+    """A marshalled request plus the caller-side state its reply needs."""
+
+    __slots__ = ("request", "originals", "descriptor", "method")
+
+    def __init__(
+        self,
+        request: bytes,
+        originals: List[Any],
+        descriptor: RemoteDescriptor,
+        method: str,
+    ) -> None:
+        self.request = request
+        self.originals = originals
+        self.descriptor = descriptor
+        self.method = method
+
+
+def prepare_call(
+    endpoint: Any,
+    descriptor: RemoteDescriptor,
+    method: str,
+    args: Tuple[Any, ...],
+    policy_name: str | None = None,
+    kwargs: dict | None = None,
+) -> PreparedCall:
+    """Marshal one call into a request, recording the retained originals."""
+    kwarg_items = tuple((kwargs or {}).items())
+    kwarg_names = tuple(name for name, _value in kwarg_items)
+    args = tuple(args) + tuple(value for _name, value in kwarg_items)
+    modes = resolve_modes(args)
+    has_restorable = any(mode is PassingMode.BY_COPY_RESTORE for mode in modes)
+    if not has_restorable:
+        policy_name = "none"
+    elif policy_name is None:
+        policy_name = endpoint.config.policy
+    profile = endpoint.profile
+    externalizers = endpoint.externalizers()
+
+    ship_map = bool(getattr(endpoint.config, "ship_linear_map", False))
+    writer = ObjectWriter(profile=profile, externalizers=externalizers)
+    for arg in args:
+        writer.write_root(arg)
+    if ship_map and policy_name != "none":
+        # Ablation: transmit the map as an extra root. Its entries are all
+        # back references, so this costs ~2 bytes per reachable object plus
+        # an extra encode/decode pass — the cost optimization 5.2.4 #1 avoids.
+        writer.write_root(list(writer.linear_map.objects))
+    args_payload = writer.getvalue()
+
+    originals: List[Any] = []
+    if policy_name != "none":
+        originals = compute_retained(
+            writer.linear_map, _restore_roots(args, modes), endpoint.accessor
+        )
+
+    request = encode_call(
+        CallRequest(
+            object_id=descriptor.object_id,
+            method=method,
+            policy=policy_name,
+            profile=profile.name,
+            modes=modes,
+            args_payload=args_payload,
+            ship_map=ship_map and policy_name != "none",
+            kwarg_names=kwarg_names,
+        )
+    )
+    return PreparedCall(
+        request=request,
+        originals=originals,
+        descriptor=descriptor,
+        method=method,
+    )
+
+
+def complete_call(endpoint: Any, prepared: PreparedCall, response: bytes) -> Any:
+    """Apply one reply: raise remote errors or run the restore phase."""
+    descriptor = prepared.descriptor
+    method = prepared.method
+    profile = endpoint.profile
+    externalizers = endpoint.externalizers()
+    status, reader = split_response(response)
+    if status is Status.EXCEPTION:
+        exc_type = reader.read_str()
+        message = reader.read_str()
+        remote_tb = reader.read_str()
+        raise RemoteInvocationError(exc_type, message, remote_tb)
+    if status is Status.PROTOCOL_ERROR:
+        raise RemoteError(f"protocol error from {descriptor.address}: {reader.read_str()}")
+
+    # The response leads with the policy the SERVER actually applied: a
+    # method-level @restore_policy/@no_restore annotation may have
+    # overridden the caller's request (never upgrading from 'none').
+    applied_policy_name = policy_from_wire(reader.read_u8())
+    payload = reader.read_bytes(reader.remaining)
+    policy = policy_by_name(applied_policy_name)
+    context = ClientRestoreContext(
+        originals=prepared.originals,
+        profile=profile,
+        engine=endpoint.engine,
+        externalizers=externalizers,
+    )
+    try:
+        result, stats = policy.parse_response(payload, context)
+    except RemoteError:
+        raise
+    except Exception as exc:
+        raise UnmarshalError(f"failed to unmarshal reply for {method!r}: {exc}") from exc
+    endpoint.record_restore_stats(stats)
+    return result
+
+
+def client_call(
+    endpoint: Any,
+    descriptor: RemoteDescriptor,
+    method: str,
+    args: Tuple[Any, ...],
+    policy_name: str | None = None,
+    kwargs: dict | None = None,
+) -> Any:
+    """Perform one remote call through *endpoint*; returns the result.
+
+    Keyword arguments travel as trailing named roots; their passing modes
+    resolve from their types exactly like positional arguments.
+
+    Raises :class:`RemoteInvocationError` if the remote method raised, and
+    transport/marshalling errors for middleware failures.
+    """
+    prepared = prepare_call(
+        endpoint, descriptor, method, args, policy_name=policy_name, kwargs=kwargs
+    )
+    channel = endpoint.channel_to(descriptor.address)
+    response = channel.request(prepared.request)
+    return complete_call(endpoint, prepared, response)
+
+
+def handle_call(endpoint: Any, reader: BufferReader) -> bytes:
+    """Server half: decode, retain, execute, build the restore response."""
+    request = decode_call(reader)
+    profile = profile_by_name(request.profile)
+    externalizers = endpoint.externalizers()
+
+    args_reader = ObjectReader(
+        request.args_payload, profile=profile, externalizers=externalizers
+    )
+    args = [args_reader.read_root() for _ in request.modes]
+    shipped_map: List[Any] | None = None
+    if request.ship_map:
+        shipped_map = args_reader.read_root()
+    args_reader.expect_end()
+
+    impl = endpoint.exports.get(request.object_id)
+    if request.method.startswith("_"):
+        raise RemoteError(f"refusing to dispatch private method {request.method!r}")
+    allowed = endpoint.exports.allowed_methods(request.object_id)
+    if allowed is not None and request.method not in allowed:
+        raise RemoteError(
+            f"method {request.method!r} is outside the remote interface "
+            f"of object {request.object_id}"
+        )
+    target = getattr(impl, request.method, None)
+    if not callable(target):
+        raise RemoteError(
+            f"{type(impl).__name__} has no remote method {request.method!r}"
+        )
+
+    policy_name = effective_policy(request.policy, target)
+    policy = policy_by_name(policy_name)
+    roots = _restore_roots(args, request.modes)
+    retained: List[Any] = []
+    if policy_name != "none":
+        if shipped_map is not None:
+            # Ablation path: trust the transmitted map instead of the one
+            # reconstructed during deserialization.
+            base_map = LinearMap(shipped_map)
+        else:
+            base_map = args_reader.linear_map
+        retained = compute_retained(base_map, roots, endpoint.accessor)
+
+    context = ServerRestoreContext(
+        retained=retained,
+        restore_roots=roots,
+        profile=profile,
+        accessor=endpoint.accessor,
+        externalizers=externalizers,
+        stop=is_opaque_remote,
+    )
+    snapshot = policy.snapshot(context)
+
+    positional = args
+    keyword = {}
+    if request.kwarg_names:
+        split = len(args) - len(request.kwarg_names)
+        positional = args[:split]
+        keyword = dict(zip(request.kwarg_names, args[split:]))
+    try:
+        result = target(*positional, **keyword)
+    except Exception as exc:  # noqa: BLE001 - becomes the remote exception
+        logger.debug(
+            "remote method %s.%s raised %s: %s",
+            type(impl).__name__,
+            request.method,
+            type(exc).__name__,
+            exc,
+        )
+        return exception_response(
+            type(exc).__name__, str(exc), traceback.format_exc()
+        )
+
+    response_payload = policy.build_response(result, context, snapshot)
+    return ok_response(bytes([policy_wire_id(policy_name)]) + response_payload)

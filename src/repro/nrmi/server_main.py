@@ -1,0 +1,112 @@
+"""Standalone NRMI server: serve services over TCP from the command line.
+
+The `rmiregistry`-style entry point for real multi-process deployments::
+
+    python -m repro.nrmi.server_main \\
+        --bind trees=repro.bench.mutators:TreeService \\
+        --host 127.0.0.1 --port 0 \\
+        --announce /tmp/nrmi-address
+
+Each ``--bind NAME=MODULE:CLASS`` imports ``CLASS`` from ``MODULE``,
+instantiates it with no arguments, and binds it under ``NAME``. With
+``--announce FILE`` the final ``tcp://host:port`` address is written to
+FILE (and to stdout) once the server is accepting — the rendezvous a
+launching process or test harness waits on.
+
+The process serves until SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import signal
+import sys
+import threading
+from typing import Any, List, Optional, Tuple
+
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint
+
+
+def parse_binding(spec: str) -> Tuple[str, str, str]:
+    """Split ``NAME=MODULE:CLASS`` into its three parts."""
+    name, separator, target = spec.partition("=")
+    if not separator or not name:
+        raise ValueError(f"binding must look like NAME=MODULE:CLASS, got {spec!r}")
+    module_name, separator, class_name = target.partition(":")
+    if not separator or not module_name or not class_name:
+        raise ValueError(f"binding target must look like MODULE:CLASS, got {target!r}")
+    return name, module_name, class_name
+
+
+def instantiate(module_name: str, class_name: str) -> Any:
+    module = importlib.import_module(module_name)
+    try:
+        cls = getattr(module, class_name)
+    except AttributeError:
+        raise ValueError(f"{module_name} has no attribute {class_name}") from None
+    return cls()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nrmi-server", description="Serve NRMI services over TCP."
+    )
+    parser.add_argument(
+        "--bind",
+        action="append",
+        required=True,
+        metavar="NAME=MODULE:CLASS",
+        help="service binding (repeatable)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = pick a free one)")
+    parser.add_argument("--announce", default=None, metavar="FILE",
+                        help="write the bound address to FILE when ready")
+    parser.add_argument("--profile", choices=["legacy", "modern"], default="modern")
+    parser.add_argument("--policy", choices=["none", "full", "delta", "dce"],
+                        default="full")
+    parser.add_argument("--lease-seconds", type=float, default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    implementation = "portable" if args.profile == "legacy" else "optimized"
+    config = NRMIConfig(
+        profile=args.profile,
+        implementation=implementation,
+        policy=args.policy,
+        lease_seconds=args.lease_seconds,
+    )
+    endpoint = Endpoint(name="nrmi-server", config=config)
+    try:
+        for spec in args.bind:
+            name, module_name, class_name = parse_binding(spec)
+            service = instantiate(module_name, class_name)
+            endpoint.bind(name, service)
+            print(f"bound {name!r} -> {module_name}:{class_name}", flush=True)
+        address = endpoint.serve_tcp(host=args.host, port=args.port)
+        print(f"serving at {address}", flush=True)
+        if args.announce:
+            with open(args.announce, "w", encoding="utf-8") as handle:
+                handle.write(address)
+
+        stop = threading.Event()
+
+        def shutdown(_signum: int, _frame: Any) -> None:
+            stop.set()
+
+        signal.signal(signal.SIGINT, shutdown)
+        signal.signal(signal.SIGTERM, shutdown)
+        stop.wait()
+        print("shutting down", flush=True)
+        return 0
+    finally:
+        endpoint.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

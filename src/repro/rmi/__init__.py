@@ -1,0 +1,37 @@
+"""The RMI substrate: object export, remote references, protocol, DGC.
+
+This package plays the role of ``java.rmi`` in the paper: it gives objects
+network identity. On top of it, :mod:`repro.nrmi` implements the calling
+semantics (copy, copy-restore, reference).
+
+* :mod:`repro.rmi.export` — the exported-object table (object ids);
+* :mod:`repro.rmi.dgc` — reference-counting distributed GC, including the
+  cycle-leak accounting that reproduces the paper's Table 6 failure;
+* :mod:`repro.rmi.remote_ref` — stubs (method-level proxies, the RMI
+  remote-object model) and remote pointers (field-level proxies, the naive
+  call-by-reference of the paper's Figure 3);
+* :mod:`repro.rmi.protocol` — wire encoding of requests and responses;
+* :mod:`repro.rmi.registry` — the name registry service;
+* :mod:`repro.rmi.dispatcher` — the server-side request router.
+"""
+
+from repro.rmi.export import ExportTable
+from repro.rmi.dgc import DistributedGC
+from repro.rmi.remote_ref import (
+    RemoteDescriptor,
+    RemotePointer,
+    RemoteStub,
+    is_opaque_remote,
+)
+from repro.rmi.registry import RegistryService, REGISTRY_OBJECT_ID
+
+__all__ = [
+    "ExportTable",
+    "DistributedGC",
+    "RemoteDescriptor",
+    "RemotePointer",
+    "RemoteStub",
+    "is_opaque_remote",
+    "RegistryService",
+    "REGISTRY_OBJECT_ID",
+]

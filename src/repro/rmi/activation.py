@@ -1,0 +1,83 @@
+"""Activation: services that come to life on first use.
+
+The analogue of Java RMI Activation (``java.rmi.activation``): a binding
+can hold a *factory* instead of a live instance; the first incoming call
+instantiates the service, later calls reuse it, and the server can
+deactivate it (dropping state and memory) at any time — the next call
+re-activates transparently. Clients cannot tell the difference.
+
+Usage::
+
+    endpoint.bind("reports", Activatable(ReportService))
+
+    # ... later, reclaim the memory:
+    slot.deactivate()
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.core.markers import Remote
+
+
+class Activatable(Remote):
+    """A bindable slot that instantiates its service lazily.
+
+    ``factory`` is any zero-argument callable returning the service
+    instance (typically the service class itself). Instantiation happens
+    at most once per activation, under a lock, on the dispatching thread
+    of the first call.
+    """
+
+    def __init__(self, factory: Callable[[], Any]) -> None:
+        if not callable(factory):
+            raise TypeError(f"factory must be callable, got {type(factory).__name__}")
+        self._factory = factory
+        self._instance: Optional[Any] = None
+        self._lock = threading.Lock()
+        self._activations = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def ensure_active(self) -> Any:
+        """Return the live instance, creating it if necessary."""
+        instance = self._instance
+        if instance is not None:
+            return instance
+        with self._lock:
+            if self._instance is None:
+                self._instance = self._factory()
+                self._activations += 1
+            return self._instance
+
+    def deactivate(self) -> bool:
+        """Drop the live instance (its state with it); True if one existed."""
+        with self._lock:
+            had_instance = self._instance is not None
+            self._instance = None
+            return had_instance
+
+    @property
+    def is_active(self) -> bool:
+        return self._instance is not None
+
+    @property
+    def activation_count(self) -> int:
+        return self._activations
+
+    # -- dispatch ----------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called for attributes not found normally, i.e. the service's
+        # methods: activate and forward. Dunder/underscore lookups fall
+        # through to AttributeError so the slot never masquerades during
+        # serialization walks or debugging.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.ensure_active(), name)
+
+    def __repr__(self) -> str:
+        state = "active" if self.is_active else "dormant"
+        return f"Activatable({getattr(self._factory, '__name__', self._factory)!r}, {state})"

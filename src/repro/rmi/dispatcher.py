@@ -1,0 +1,111 @@
+"""Server-side request router.
+
+One dispatcher per endpoint: parses the operation byte and routes to the
+call pipeline, the remote-pointer field protocol, or the DGC. Application
+exceptions travel back as EXCEPTION responses; anything else that escapes
+is reported as a PROTOCOL_ERROR so a buggy peer cannot kill the server.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro.errors import ReproError, SerializationError
+from repro.rmi.protocol import (
+    Op,
+    decode_batch,
+    decode_dgc_release,
+    decode_dgc_renew,
+    decode_field_get,
+    decode_field_set,
+    encode_batch_responses,
+    exception_response,
+    ok_response,
+    protocol_error_response,
+)
+from repro.util.buffers import BufferWriter
+from repro.util.buffers import BufferReader
+from repro.util.logging import get_logger
+
+logger = get_logger("rmi.dispatcher")
+
+
+class Dispatcher:
+    """Routes framed requests arriving at one endpoint."""
+
+    def __init__(self, endpoint: Any) -> None:
+        self._endpoint = endpoint
+
+    def handle(self, request: bytes) -> bytes:
+        try:
+            reader = BufferReader(request)
+            op = reader.read_u8()
+            if op == Op.CALL:
+                # Imported here: the invocation pipeline sits above the RMI
+                # substrate, so a module-level import would be cyclic.
+                from repro.nrmi.invocation import handle_call
+
+                return handle_call(self._endpoint, reader)
+            if op == Op.FIELD_GET:
+                return self._handle_field_get(reader)
+            if op == Op.FIELD_SET:
+                return self._handle_field_set(reader)
+            if op == Op.DGC_RELEASE:
+                return self._handle_dgc_release(reader)
+            if op == Op.DGC_RENEW:
+                return self._handle_dgc_renew(reader)
+            if op == Op.CALL_BATCH:
+                # Each sub-request is a complete frame; route recursively
+                # so every operation (and its error handling) is uniform.
+                sub_responses = [self.handle(sub) for sub in decode_batch(reader)]
+                return ok_response(encode_batch_responses(sub_responses))
+            if op == Op.PING:
+                return ok_response()
+            logger.warning("unknown operation byte %s", op)
+            return protocol_error_response(f"unknown operation byte {op}")
+        except SerializationError as exc:
+            # A frame we could not even decode is the peer's protocol
+            # problem, not an application exception.
+            logger.warning("undecodable request: %s", exc)
+            return protocol_error_response(f"{type(exc).__name__}: {exc}")
+        except ReproError as exc:
+            logger.debug("middleware error while dispatching: %s", exc)
+            return exception_response(type(exc).__name__, str(exc), traceback.format_exc())
+        except Exception as exc:  # noqa: BLE001 - never kill the server loop
+            logger.warning("protocol error while dispatching: %s", exc, exc_info=True)
+            return protocol_error_response(f"{type(exc).__name__}: {exc}")
+
+    def _handle_field_get(self, reader: BufferReader) -> bytes:
+        endpoint = self._endpoint
+        object_id, name = decode_field_get(reader)
+        impl = endpoint.exports.get(object_id)
+        try:
+            value = getattr(impl, name)
+        except AttributeError as exc:
+            return exception_response("AttributeError", str(exc), "")
+        endpoint.metrics.counter("pointer.field_get").add()
+        return ok_response(endpoint.encode_pointer_value(value))
+
+    def _handle_field_set(self, reader: BufferReader) -> bytes:
+        endpoint = self._endpoint
+        object_id, name, value_payload = decode_field_set(reader)
+        impl = endpoint.exports.get(object_id)
+        value = endpoint.decode_pointer_value(value_payload)
+        setattr(impl, name, value)
+        endpoint.metrics.counter("pointer.field_set").add()
+        return ok_response()
+
+    def _handle_dgc_release(self, reader: BufferReader) -> bytes:
+        endpoint = self._endpoint
+        for object_id, count in decode_dgc_release(reader):
+            endpoint.exports.dgc.release(object_id, count)
+        return ok_response()
+
+    def _handle_dgc_renew(self, reader: BufferReader) -> bytes:
+        endpoint = self._endpoint
+        out = BufferWriter()
+        object_ids = decode_dgc_renew(reader)
+        for object_id in object_ids:
+            out.write_u8(1 if endpoint.exports.dgc.renew(object_id) else 0)
+        return ok_response(out.getvalue())

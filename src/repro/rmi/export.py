@@ -1,0 +1,107 @@
+"""The exported-object table: network identity for local objects.
+
+The analogue of the RMI runtime's object table. Exporting an object assigns
+it a stable object id; remote references carry ``(endpoint address,
+object id)`` and the dispatcher resolves incoming ids back to the live
+object. Export is idempotent per object. When the DGC reports an object
+unreferenced it is unexported, unless it was *pinned* (the registry
+service is pinned for the endpoint's lifetime).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro.errors import NoSuchObjectError
+from repro.rmi.dgc import DistributedGC
+from repro.util.identity import IdentityMap
+
+
+class ExportTable:
+    """Thread-safe bidirectional map between objects and object ids."""
+
+    def __init__(
+        self,
+        leak_budget: Optional[int] = None,
+        lease_seconds: Optional[float] = None,
+        clock=None,
+    ) -> None:
+        from repro.util.clock import SYSTEM_CLOCK
+
+        self._lock = threading.RLock()
+        self._by_id: Dict[int, Any] = {}
+        self._ids: IdentityMap[int] = IdentityMap()
+        self._pinned: set[int] = set()
+        self._allowed: Dict[int, frozenset] = {}
+        self._next_id = 1
+        self.dgc = DistributedGC(
+            on_unreferenced=self._on_unreferenced,
+            leak_budget=leak_budget,
+            lease_seconds=lease_seconds,
+            clock=clock if clock is not None else SYSTEM_CLOCK,
+        )
+
+    def export(self, obj: Any, pin: bool = False) -> int:
+        """Assign (or return the existing) object id for *obj*."""
+        with self._lock:
+            object_id = self._ids.get(obj)
+            if object_id is None:
+                object_id = self._next_id
+                self._next_id += 1
+                self._by_id[object_id] = obj
+                self._ids[obj] = object_id
+            if pin:
+                self._pinned.add(object_id)
+            return object_id
+
+    def export_marshalled(self, obj: Any) -> int:
+        """Export *obj* because a reference to it is leaving the endpoint.
+
+        Bumps the DGC count — this is the hook the remote-reference
+        externalizer and the pointer protocol use.
+        """
+        object_id = self.export(obj)
+        self.dgc.on_marshal(object_id)
+        return object_id
+
+    def get(self, object_id: int) -> Any:
+        with self._lock:
+            try:
+                return self._by_id[object_id]
+            except KeyError:
+                raise NoSuchObjectError(object_id) from None
+
+    def id_of(self, obj: Any) -> Optional[int]:
+        with self._lock:
+            return self._ids.get(obj)
+
+    def set_allowed_methods(self, object_id: int, methods: frozenset) -> None:
+        """Restrict remote dispatch on *object_id* to *methods*."""
+        with self._lock:
+            if object_id not in self._by_id:
+                raise NoSuchObjectError(object_id)
+            self._allowed[object_id] = frozenset(methods)
+
+    def allowed_methods(self, object_id: int):
+        """The method whitelist for *object_id*, or None (unrestricted)."""
+        with self._lock:
+            return self._allowed.get(object_id)
+
+    def unexport(self, object_id: int) -> None:
+        with self._lock:
+            obj = self._by_id.pop(object_id, None)
+            if obj is not None:
+                self._ids.pop(obj, None)
+            self._pinned.discard(object_id)
+            self._allowed.pop(object_id, None)
+
+    def _on_unreferenced(self, object_id: int) -> None:
+        with self._lock:
+            if object_id in self._pinned:
+                return
+        self.unexport(object_id)
+
+    def live_count(self) -> int:
+        with self._lock:
+            return len(self._by_id)

@@ -1,0 +1,285 @@
+"""Wire protocol: request/response envelopes for every operation.
+
+Operations:
+
+=============  =====================================================
+``CALL``       invoke a method on an exported object (NRMI semantics)
+``FIELD_GET``  read an attribute through a remote pointer
+``FIELD_SET``  write an attribute through a remote pointer
+``DGC_RELEASE``drop remote references (distributed GC)
+``PING``       liveness probe
+=============  =====================================================
+
+A ``CALL`` request carries the target object id, method name, the agreed
+restore policy and serialization profile, the per-argument passing modes,
+and the single serde stream containing every argument (one handle table —
+cross-argument aliasing preserved). Responses are ``OK`` with an
+operation-specific payload, ``EXCEPTION`` with the remote error, or
+``PROTOCOL_ERROR`` with a message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Tuple
+
+from repro.core.semantics import PassingMode
+from repro.errors import UnmarshalError, WireFormatError
+from repro.util.buffers import BufferReader, BufferWriter
+
+
+class Op(IntEnum):
+    CALL = 1
+    FIELD_GET = 2
+    FIELD_SET = 3
+    DGC_RELEASE = 4
+    PING = 5
+    DGC_RENEW = 6
+    CALL_BATCH = 7
+
+
+class Status(IntEnum):
+    OK = 0
+    EXCEPTION = 1
+    PROTOCOL_ERROR = 2
+
+
+_MODE_TO_ID = {
+    PassingMode.BY_VALUE: 0,
+    PassingMode.BY_COPY: 1,
+    PassingMode.BY_COPY_RESTORE: 2,
+    PassingMode.BY_REFERENCE: 3,
+}
+_ID_TO_MODE = {v: k for k, v in _MODE_TO_ID.items()}
+
+_POLICY_TO_ID = {"none": 0, "full": 1, "delta": 2, "dce": 3}
+_ID_TO_POLICY = {v: k for k, v in _POLICY_TO_ID.items()}
+
+
+def policy_wire_id(name: str) -> int:
+    """The one-byte wire id of a restore policy name."""
+    try:
+        return _POLICY_TO_ID[name]
+    except KeyError:
+        raise WireFormatError(f"unknown restore policy {name!r}") from None
+
+
+def policy_from_wire(policy_id: int) -> str:
+    try:
+        return _ID_TO_POLICY[policy_id]
+    except KeyError:
+        raise WireFormatError(f"unknown restore policy id {policy_id}") from None
+
+_PROFILE_TO_ID = {"legacy": 0, "modern": 1}
+_ID_TO_PROFILE = {v: k for k, v in _PROFILE_TO_ID.items()}
+
+
+@dataclass
+class CallRequest:
+    object_id: int
+    method: str
+    policy: str
+    profile: str
+    modes: Tuple[PassingMode, ...]
+    args_payload: bytes
+    # Ablation knob (paper 5.2.4 #1): when True the caller transmitted its
+    # linear map explicitly as an extra root instead of relying on the
+    # receiver reconstructing it during deserialization.
+    ship_map: bool = False
+    # Names of trailing keyword arguments: the last len(kwarg_names)
+    # entries of modes / args_payload roots are the keyword values, in
+    # this order.
+    kwarg_names: Tuple[str, ...] = ()
+
+
+def encode_call(request: CallRequest) -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Op.CALL)
+    writer.write_uvarint(request.object_id)
+    writer.write_str(request.method)
+    writer.write_u8(_POLICY_TO_ID[request.policy])
+    writer.write_u8(_PROFILE_TO_ID[request.profile])
+    writer.write_u8(1 if request.ship_map else 0)
+    writer.write_uvarint(len(request.modes))
+    for mode in request.modes:
+        writer.write_u8(_MODE_TO_ID[mode])
+    writer.write_uvarint(len(request.kwarg_names))
+    for name in request.kwarg_names:
+        writer.write_str(name)
+    writer.write_bytes(request.args_payload)
+    return writer.getvalue()
+
+
+def decode_call(reader: BufferReader) -> CallRequest:
+    object_id = reader.read_uvarint()
+    method = reader.read_str()
+    policy_id = reader.read_u8()
+    profile_id = reader.read_u8()
+    try:
+        policy = _ID_TO_POLICY[policy_id]
+        profile = _ID_TO_PROFILE[profile_id]
+    except KeyError as exc:
+        raise WireFormatError(f"unknown policy/profile id: {exc}") from None
+    ship_map = bool(reader.read_u8())
+    argc = reader.read_uvarint()
+    modes = []
+    for _ in range(argc):
+        mode_id = reader.read_u8()
+        try:
+            modes.append(_ID_TO_MODE[mode_id])
+        except KeyError:
+            raise WireFormatError(f"unknown passing-mode id {mode_id}") from None
+    kwarg_count = reader.read_uvarint()
+    kwarg_names = tuple(reader.read_str() for _ in range(kwarg_count))
+    if kwarg_count > len(modes):
+        raise WireFormatError("more keyword names than argument modes")
+    args_payload = reader.read_bytes(reader.remaining)
+    return CallRequest(
+        object_id=object_id,
+        method=method,
+        policy=policy,
+        profile=profile,
+        modes=tuple(modes),
+        args_payload=args_payload,
+        ship_map=ship_map,
+        kwarg_names=kwarg_names,
+    )
+
+
+def encode_field_get(object_id: int, name: str) -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Op.FIELD_GET)
+    writer.write_uvarint(object_id)
+    writer.write_str(name)
+    return writer.getvalue()
+
+
+def decode_field_get(reader: BufferReader) -> Tuple[int, str]:
+    object_id = reader.read_uvarint()
+    name = reader.read_str()
+    reader.expect_end()
+    return object_id, name
+
+
+def encode_field_set(object_id: int, name: str, value_payload: bytes) -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Op.FIELD_SET)
+    writer.write_uvarint(object_id)
+    writer.write_str(name)
+    writer.write_bytes(value_payload)
+    return writer.getvalue()
+
+
+def decode_field_set(reader: BufferReader) -> Tuple[int, str, bytes]:
+    object_id = reader.read_uvarint()
+    name = reader.read_str()
+    value_payload = reader.read_bytes(reader.remaining)
+    return object_id, name, value_payload
+
+
+def encode_dgc_release(releases: List[Tuple[int, int]]) -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Op.DGC_RELEASE)
+    writer.write_uvarint(len(releases))
+    for object_id, count in releases:
+        writer.write_uvarint(object_id)
+        writer.write_uvarint(count)
+    return writer.getvalue()
+
+
+def decode_dgc_release(reader: BufferReader) -> List[Tuple[int, int]]:
+    count = reader.read_uvarint()
+    releases = [(reader.read_uvarint(), reader.read_uvarint()) for _ in range(count)]
+    reader.expect_end()
+    return releases
+
+
+def encode_dgc_renew(object_ids: List[int]) -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Op.DGC_RENEW)
+    writer.write_uvarint(len(object_ids))
+    for object_id in object_ids:
+        writer.write_uvarint(object_id)
+    return writer.getvalue()
+
+
+def decode_dgc_renew(reader: BufferReader) -> List[int]:
+    count = reader.read_uvarint()
+    object_ids = [reader.read_uvarint() for _ in range(count)]
+    reader.expect_end()
+    return object_ids
+
+
+def encode_batch(sub_requests: List[bytes]) -> bytes:
+    """Bundle complete request frames (op byte included) into one frame."""
+    writer = BufferWriter()
+    writer.write_u8(Op.CALL_BATCH)
+    writer.write_uvarint(len(sub_requests))
+    for sub in sub_requests:
+        writer.write_len_bytes(sub)
+    return writer.getvalue()
+
+
+def decode_batch(reader: BufferReader) -> List[bytes]:
+    count = reader.read_uvarint()
+    subs = [reader.read_len_bytes() for _ in range(count)]
+    reader.expect_end()
+    return subs
+
+
+def encode_batch_responses(sub_responses: List[bytes]) -> bytes:
+    writer = BufferWriter()
+    writer.write_uvarint(len(sub_responses))
+    for sub in sub_responses:
+        writer.write_len_bytes(sub)
+    return writer.getvalue()
+
+
+def decode_batch_responses(reader: BufferReader) -> List[bytes]:
+    count = reader.read_uvarint()
+    subs = [reader.read_len_bytes() for _ in range(count)]
+    reader.expect_end()
+    return subs
+
+
+def encode_ping() -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Op.PING)
+    return writer.getvalue()
+
+
+# ---------------------------------------------------------------- responses
+
+
+def ok_response(payload: bytes = b"") -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Status.OK)
+    writer.write_bytes(payload)
+    return writer.getvalue()
+
+
+def exception_response(exc_type: str, message: str, traceback_text: str) -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Status.EXCEPTION)
+    writer.write_str(exc_type)
+    writer.write_str(message)
+    writer.write_str(traceback_text)
+    return writer.getvalue()
+
+
+def protocol_error_response(message: str) -> bytes:
+    writer = BufferWriter()
+    writer.write_u8(Status.PROTOCOL_ERROR)
+    writer.write_str(message)
+    return writer.getvalue()
+
+
+def split_response(response: bytes) -> Tuple[Status, BufferReader]:
+    """Parse the status byte; the reader is positioned at the payload."""
+    reader = BufferReader(response)
+    try:
+        status = Status(reader.read_u8())
+    except (ValueError, WireFormatError) as exc:
+        raise UnmarshalError(f"malformed response: {exc}") from exc
+    return status, reader

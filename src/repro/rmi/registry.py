@@ -1,0 +1,59 @@
+"""The name registry: ``rmiregistry`` as an ordinary remote service.
+
+The registry is itself an exported :class:`~repro.core.markers.Remote`
+object with the well-known object id :data:`REGISTRY_OBJECT_ID`, so
+``bind``/``lookup`` ride the same CALL protocol as every application
+method — the same bootstrapping trick Java RMI uses.
+
+Bound values are remote references (binding marshals the service as a stub
+when the bind call itself is remote); looking a name up returns the
+reference, which marshals back to the caller as a stub.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+from repro.core.markers import Remote
+from repro.errors import AlreadyBoundError, NotBoundError
+
+#: The registry's well-known object id at every endpoint.
+REGISTRY_OBJECT_ID = 1
+
+
+class RegistryService(Remote):
+    """Name-to-reference bindings, exported at a well-known object id."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bindings: Dict[str, Any] = {}
+
+    def bind(self, name: str, ref: Any) -> None:
+        """Bind *name*; raises :class:`AlreadyBoundError` if taken."""
+        with self._lock:
+            if name in self._bindings:
+                raise AlreadyBoundError(name)
+            self._bindings[name] = ref
+
+    def rebind(self, name: str, ref: Any) -> None:
+        """Bind *name*, replacing any existing binding."""
+        with self._lock:
+            self._bindings[name] = ref
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bindings:
+                raise NotBoundError(name)
+            del self._bindings[name]
+
+    def lookup(self, name: str) -> Any:
+        with self._lock:
+            try:
+                return self._bindings[name]
+            except KeyError:
+                raise NotBoundError(name) from None
+
+    def list_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._bindings)

@@ -1,0 +1,140 @@
+"""Remote references: stubs and remote pointers.
+
+Two proxy flavours, matching the paper's discussion:
+
+* :class:`RemoteStub` — the RMI model: a *method-level* proxy for an
+  exported service object. Calling a method on the stub marshals the
+  arguments to the owner and runs the method there. This is how NRMI
+  clients talk to servers.
+
+* :class:`RemotePointer` — the naive call-by-reference of the paper's
+  Figure 3: a *field-level* proxy. Every attribute read or write is one
+  network round trip to the data's owner; reading a non-primitive field
+  exports it on the owner and hands back another pointer. The paper's
+  Table 6 shows why nobody should want this — it exists here as the
+  faithful baseline.
+
+Both are *opaque* to serialization walks and to the restore engine: they
+travel as descriptors via externalizers and own no restorable state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.markers import Remote
+from repro.util.buffers import BufferReader, BufferWriter
+
+#: Externalizer names, shared by both endpoints.
+REMOTE_EXT = "rmi.remote"
+POINTER_EXT = "rmi.pointer"
+
+#: Attribute values a remote pointer transfers by value rather than by
+#: reference (immutable leaves; everything else stays on its owner).
+POINTER_VALUE_TYPES = (type(None), bool, int, float, complex, str, bytes)
+
+
+class RemoteDescriptor:
+    """The wire form of a remote reference: owner address + object id."""
+
+    __slots__ = ("address", "object_id")
+
+    def __init__(self, address: str, object_id: int) -> None:
+        self.address = address
+        self.object_id = object_id
+
+    def encode(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_str(self.address)
+        writer.write_uvarint(self.object_id)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "RemoteDescriptor":
+        reader = BufferReader(payload)
+        address = reader.read_str()
+        object_id = reader.read_uvarint()
+        reader.expect_end()
+        return cls(address, object_id)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RemoteDescriptor)
+            and self.address == other.address
+            and self.object_id == other.object_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.object_id))
+
+    def __repr__(self) -> str:
+        return f"RemoteDescriptor({self.address!r}, {self.object_id})"
+
+
+class RemoteStub:
+    """Method-level proxy to an object exported at another endpoint.
+
+    ``stub.method(*args)`` marshals the call through the local endpoint's
+    invocation pipeline; the configured calling semantics (copy,
+    copy-restore, reference — per argument type) apply exactly as they
+    would for a directly looked-up service.
+    """
+
+    def __init__(self, endpoint: Any, descriptor: RemoteDescriptor) -> None:
+        self._endpoint = endpoint
+        self._descriptor = descriptor
+
+    @property
+    def descriptor(self) -> RemoteDescriptor:
+        return self._descriptor
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        endpoint = self.__dict__["_endpoint"]
+        descriptor = self.__dict__["_descriptor"]
+
+        def remote_method(*args: Any, **kwargs: Any) -> Any:
+            return endpoint.invoke(descriptor, name, args, kwargs=kwargs)
+
+        remote_method.__name__ = name
+        return remote_method
+
+    def __repr__(self) -> str:
+        return f"RemoteStub({self._descriptor.address!r}#{self._descriptor.object_id})"
+
+
+class RemotePointer:
+    """Field-level proxy: every attribute access is a network round trip."""
+
+    def __init__(self, endpoint: Any, descriptor: RemoteDescriptor) -> None:
+        object.__setattr__(self, "_endpoint", endpoint)
+        object.__setattr__(self, "_descriptor", descriptor)
+
+    @property
+    def descriptor(self) -> RemoteDescriptor:
+        return object.__getattribute__(self, "_descriptor")
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        endpoint = object.__getattribute__(self, "_endpoint")
+        descriptor = object.__getattribute__(self, "_descriptor")
+        return endpoint.pointer_field_get(descriptor, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name.startswith("_"):
+            object.__setattr__(self, name, value)
+            return
+        endpoint = object.__getattribute__(self, "_endpoint")
+        descriptor = object.__getattribute__(self, "_descriptor")
+        endpoint.pointer_field_set(descriptor, name, value)
+
+    def __repr__(self) -> str:
+        descriptor = object.__getattribute__(self, "_descriptor")
+        return f"RemotePointer({descriptor.address!r}#{descriptor.object_id})"
+
+
+def is_opaque_remote(obj: Any) -> bool:
+    """True for objects graph algorithms must treat as leaves."""
+    return isinstance(obj, (Remote, RemoteStub, RemotePointer))

@@ -1,0 +1,123 @@
+"""Value adapters: stdlib value types over the wire.
+
+Application data is full of ``datetime``, ``Decimal``, ``uuid.UUID`` —
+immutable stdlib values the core wire format has no tags for and whose
+classes cannot be made ``Serializable``. Adapters bridge them: each is an
+externalizer that encodes the value into a compact payload and decodes it
+back, registered under a stable name on both endpoints.
+
+Adapters are value-like by construction (externalized objects never join
+the linear map), which is semantically right: immutable values cannot be
+"restored in place", only referenced.
+
+The default adapters are installed into the global registry on import of
+:mod:`repro.serde` — both endpoints of this library always agree on them.
+Applications can add their own::
+
+    from repro.serde.adapters import register_value_adapter
+
+    register_value_adapter(
+        IPv4Address, "myapp.ipv4",
+        encode=lambda a: str(a).encode(),
+        decode=lambda b: IPv4Address(b.decode()),
+    )
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import uuid
+from typing import Any, Callable, Optional
+
+from repro.serde.registry import ClassRegistry, Externalizer, global_registry
+
+
+def register_value_adapter(
+    cls: type,
+    name: str,
+    encode: Callable[[Any], bytes],
+    decode: Callable[[bytes], Any],
+    registry: Optional[ClassRegistry] = None,
+) -> None:
+    """Teach the wire format a value type via an encode/decode pair.
+
+    Claims are exact-type (subclasses would silently lose information).
+    """
+    target = registry if registry is not None else global_registry
+    target.register_externalizer(
+        Externalizer(
+            name=name,
+            claims=lambda obj: type(obj) is cls,
+            replace=encode,
+            resolve=decode,
+        )
+    )
+
+
+# ------------------------------------------------------- default adapters
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def _encode_datetime(value: datetime.datetime) -> bytes:
+    return value.isoformat().encode("ascii")
+
+
+def _decode_datetime(payload: bytes) -> datetime.datetime:
+    return datetime.datetime.fromisoformat(payload.decode("ascii"))
+
+
+def _encode_date(value: datetime.date) -> bytes:
+    return value.isoformat().encode("ascii")
+
+
+def _decode_date(payload: bytes) -> datetime.date:
+    return datetime.date.fromisoformat(payload.decode("ascii"))
+
+
+def _encode_time(value: datetime.time) -> bytes:
+    return value.isoformat().encode("ascii")
+
+
+def _decode_time(payload: bytes) -> datetime.time:
+    return datetime.time.fromisoformat(payload.decode("ascii"))
+
+
+def _encode_timedelta(value: datetime.timedelta) -> bytes:
+    return f"{value.days}:{value.seconds}:{value.microseconds}".encode("ascii")
+
+
+def _decode_timedelta(payload: bytes) -> datetime.timedelta:
+    days, seconds, microseconds = (int(part) for part in payload.split(b":"))
+    return datetime.timedelta(days=days, seconds=seconds, microseconds=microseconds)
+
+
+def _encode_decimal(value: decimal.Decimal) -> bytes:
+    return str(value).encode("ascii")
+
+
+def _decode_decimal(payload: bytes) -> decimal.Decimal:
+    return decimal.Decimal(payload.decode("ascii"))
+
+
+def _encode_uuid(value: uuid.UUID) -> bytes:
+    return value.bytes
+
+
+def _decode_uuid(payload: bytes) -> uuid.UUID:
+    return uuid.UUID(bytes=payload)
+
+
+def install_default_adapters(registry: Optional[ClassRegistry] = None) -> None:
+    """Register the stdlib adapters (idempotent per registry)."""
+    pairs = (
+        (datetime.datetime, "std.datetime", _encode_datetime, _decode_datetime),
+        (datetime.date, "std.date", _encode_date, _decode_date),
+        (datetime.time, "std.time", _encode_time, _decode_time),
+        (datetime.timedelta, "std.timedelta", _encode_timedelta, _decode_timedelta),
+        (decimal.Decimal, "std.decimal", _encode_decimal, _decode_decimal),
+        (uuid.UUID, "std.uuid", _encode_uuid, _decode_uuid),
+    )
+    for cls, name, encode, decode in pairs:
+        register_value_adapter(cls, name, encode, decode, registry=registry)

@@ -1,0 +1,161 @@
+"""Wire-stream inspector: decode a stream into a human-readable listing.
+
+A debugging tool for the NRMI wire format::
+
+    from repro.serde.dump import dump_stream
+    print(dump_stream(payload))
+
+or from the shell::
+
+    python -m repro.serde.dump payload.bin
+
+The inspector is *structural*: it parses tags, handles, class and field
+descriptors without instantiating anything, so it works even when the
+receiving process has none of the classes registered — exactly when you
+need to see what a peer actually sent.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from repro.errors import WireFormatError
+from repro.serde.tags import Tag, WIRE_MAGIC, WIRE_VERSION
+from repro.util.buffers import BufferReader
+
+
+class _Inspector:
+    def __init__(self, data: bytes) -> None:
+        self.buf = BufferReader(data)
+        self.lines: List[str] = []
+        self.next_handle = 0
+        self.classes: List[str] = []
+        self.names: List[str] = []
+
+    def run(self) -> str:
+        magic = self.buf.read_bytes(len(WIRE_MAGIC))
+        if magic != WIRE_MAGIC:
+            raise WireFormatError(f"not an NRMI stream (magic {magic!r})")
+        version = self.buf.read_u8()
+        flags = self.buf.read_u8()
+        self.lines.append(f"NRMI stream v{version} flags=0x{flags:02x}")
+        root = 0
+        while self.buf.remaining:
+            self.lines.append(f"root[{root}]:")
+            self._value(depth=1)
+            root += 1
+        return "\n".join(self.lines)
+
+    def _emit(self, depth: int, text: str) -> None:
+        self.lines.append("  " * depth + text)
+
+    def _alloc(self) -> int:
+        handle = self.next_handle
+        self.next_handle += 1
+        return handle
+
+    def _read_class(self) -> str:
+        key = self.buf.read_uvarint()
+        if key == 0:
+            name = self.buf.read_str()
+            version = self.buf.read_uvarint()
+            label = f"{name}@v{version}" if version else name
+            self.classes.append(label)
+            return label
+        return self.classes[key - 1]
+
+    def _read_name(self) -> str:
+        key = self.buf.read_uvarint()
+        if key == 0:
+            name = self.buf.read_str()
+            self.names.append(name)
+            return name
+        return self.names[key - 1]
+
+    def _value(self, depth: int) -> None:
+        tag = Tag(self.buf.read_u8())
+        if tag is Tag.NONE:
+            self._emit(depth, "None")
+        elif tag is Tag.TRUE:
+            self._emit(depth, "True")
+        elif tag is Tag.FALSE:
+            self._emit(depth, "False")
+        elif tag is Tag.INT:
+            self._emit(depth, f"int {self.buf.read_varint()}")
+        elif tag is Tag.INT_BIG:
+            negative = self.buf.read_u8()
+            magnitude = int.from_bytes(self.buf.read_len_bytes(), "big")
+            self._emit(depth, f"bigint {'-' if negative else ''}{magnitude}")
+        elif tag is Tag.FLOAT:
+            self._emit(depth, f"float {self.buf.read_f64()!r}")
+        elif tag is Tag.COMPLEX:
+            self._emit(depth, f"complex({self.buf.read_f64()}, {self.buf.read_f64()})")
+        elif tag is Tag.STR:
+            handle = self._alloc()
+            text = self.buf.read_str()
+            shown = text if len(text) <= 40 else text[:37] + "..."
+            self._emit(depth, f"str #{handle} {shown!r}")
+        elif tag is Tag.BYTES:
+            handle = self._alloc()
+            data = self.buf.read_len_bytes()
+            self._emit(depth, f"bytes #{handle} ({len(data)} bytes)")
+        elif tag is Tag.BYTEARRAY:
+            handle = self._alloc()
+            data = self.buf.read_len_bytes()
+            self._emit(depth, f"bytearray #{handle} ({len(data)} bytes)")
+        elif tag is Tag.REF:
+            self._emit(depth, f"ref -> #{self.buf.read_uvarint()}")
+        elif tag in (Tag.LIST, Tag.TUPLE, Tag.SET, Tag.FROZENSET):
+            handle = self._alloc()
+            count = self.buf.read_uvarint()
+            self._emit(depth, f"{tag.name.lower()} #{handle} ({count} items)")
+            for _ in range(count):
+                self._value(depth + 1)
+        elif tag is Tag.DICT:
+            handle = self._alloc()
+            count = self.buf.read_uvarint()
+            self._emit(depth, f"dict #{handle} ({count} entries)")
+            for _ in range(count):
+                self._value(depth + 1)  # key
+                self._value(depth + 1)  # value
+        elif tag is Tag.OBJECT:
+            handle = self._alloc()
+            class_name = self._read_class()
+            count = self.buf.read_uvarint()
+            self._emit(depth, f"object #{handle} {class_name} ({count} fields)")
+            for _ in range(count):
+                field = self._read_name()
+                self._emit(depth + 1, f".{field} =")
+                self._value(depth + 2)
+        elif tag is Tag.EXTERNAL:
+            handle = self._alloc()
+            ext_name = self._read_name()
+            payload = self.buf.read_len_bytes()
+            self._emit(
+                depth, f"external #{handle} {ext_name!r} ({len(payload)} bytes)"
+            )
+        else:  # pragma: no cover - Tag() above rejects unknown bytes
+            raise WireFormatError(f"unhandled tag {tag}")
+
+
+def dump_stream(data: bytes) -> str:
+    """Render an NRMI wire stream as an indented structural listing."""
+    try:
+        return _Inspector(data).run()
+    except ValueError as exc:
+        raise WireFormatError(f"unknown tag byte in stream: {exc}") from exc
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 1:
+        print("usage: python -m repro.serde.dump <stream-file>", file=sys.stderr)
+        return 2
+    with open(args[0], "rb") as handle:
+        print(dump_stream(handle.read()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Per-class serialization hooks: the Java Serialization feature set NRMI
+builds on, reproduced for this wire format.
+
+Classes may customize how their instances travel:
+
+``__nrmi_transient__``
+    A class attribute naming fields that never leave the process (like
+    Java's ``transient``): caches, open handles, back-pointers to runtime
+    objects. Omitted on encode; simply absent after decode.
+
+``__nrmi_replace__(self)``
+    Called on encode (like ``writeReplace``): the returned object is
+    serialized *instead of* the instance. Must return a serializable
+    value.
+
+``__nrmi_resolve__(self)``
+    Called after an instance has been fully decoded (like
+    ``readResolve``): the returned object replaces the decoded instance
+    in the result graph. Canonicalizing enums/singletons is the classic
+    use.
+
+Notes on semantics:
+
+* Replacement happens once per identity: if the same instance appears
+  multiple times, all occurrences decode to the same resolved object.
+* A ``__nrmi_resolve__`` swap means the decoded shell's identity is not
+  the final identity, so resolved objects **leave the linear map** —
+  they behave as values, like tuples. Copy-restore therefore does not
+  overwrite them in place; this matches Java NRMI, where readResolve
+  types (enums, interned values) are value-like.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet
+
+TRANSIENT_ATTR = "__nrmi_transient__"
+REPLACE_METHOD = "__nrmi_replace__"
+RESOLVE_METHOD = "__nrmi_resolve__"
+VERSION_ATTR = "__nrmi_version__"
+UPGRADE_METHOD = "__nrmi_upgrade__"
+
+
+def class_version(cls: type) -> int:
+    """The class's declared serialization version (0 when undeclared).
+
+    The writer stamps the version into each class descriptor; a decoder
+    holding a *newer* class runs ``__nrmi_upgrade__(wire_version)`` on
+    every decoded instance after its fields are set — schema evolution
+    without breaking old peers (the serialVersionUID problem, solved by
+    migration instead of rejection).
+    """
+    return int(getattr(cls, VERSION_ATTR, 0))
+
+
+def has_upgrade(cls: type) -> bool:
+    return hasattr(cls, UPGRADE_METHOD)
+
+
+def apply_upgrade(obj: Any, wire_version: int) -> None:
+    getattr(obj, UPGRADE_METHOD)(wire_version)
+
+
+def transient_fields(cls: type) -> FrozenSet[str]:
+    """The union of transient field names declared along the MRO."""
+    names: set[str] = set()
+    for klass in cls.__mro__:
+        declared = klass.__dict__.get(TRANSIENT_ATTR)
+        if declared:
+            names.update(declared)
+    return frozenset(names)
+
+
+def has_replace(obj: Any) -> bool:
+    return hasattr(type(obj), REPLACE_METHOD)
+
+
+def apply_replace(obj: Any) -> Any:
+    return getattr(obj, REPLACE_METHOD)()
+
+
+def has_resolve(cls: type) -> bool:
+    return hasattr(cls, RESOLVE_METHOD)
+
+
+def apply_resolve(obj: Any) -> Any:
+    return getattr(obj, RESOLVE_METHOD)()

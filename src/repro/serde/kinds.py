@@ -1,0 +1,94 @@
+"""Classification of Python objects into wire-format kinds.
+
+The classification is shared by the encoder, the graph walker, and the
+copy-restore engine, so all three agree on which objects are *mutable
+identity-bearing* (linear-map members, restorable in place) and which are
+value-like (primitives and immutable containers, rewritten by reference in
+their parents instead).
+"""
+
+from __future__ import annotations
+
+import types
+from enum import Enum, auto
+from typing import Any
+
+
+class Kind(Enum):
+    """The serializer's view of an object's shape."""
+
+    PRIMITIVE = auto()   # None, bool, int, float, complex, str, bytes
+    LIST = auto()
+    TUPLE = auto()
+    SET = auto()
+    FROZENSET = auto()
+    DICT = auto()
+    BYTEARRAY = auto()
+    OBJECT = auto()      # class instance with fields
+    UNSUPPORTED = auto()
+
+
+_PRIMITIVE_TYPES = (type(None), bool, int, float, complex, str, bytes)
+
+# Exact-type dispatch for containers: subclasses of list/dict/... carry
+# class-specific behaviour and must be registered and treated as OBJECTs
+# with container state, which this reproduction does not need — the paper's
+# RestorableHashMap pattern is modelled by registered classes holding a
+# container field.
+_EXACT_KIND = {
+    list: Kind.LIST,
+    tuple: Kind.TUPLE,
+    set: Kind.SET,
+    frozenset: Kind.FROZENSET,
+    dict: Kind.DICT,
+    bytearray: Kind.BYTEARRAY,
+}
+
+_MUTABLE_KINDS = frozenset(
+    {Kind.LIST, Kind.SET, Kind.DICT, Kind.BYTEARRAY, Kind.OBJECT}
+)
+
+_IMMUTABLE_CONTAINER_KINDS = frozenset({Kind.TUPLE, Kind.FROZENSET})
+
+
+_CODE_LIKE_TYPES = (
+    type,
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.MethodType,
+    types.ModuleType,
+    types.GeneratorType,
+    types.CoroutineType,
+)
+
+
+def classify(obj: Any) -> Kind:
+    """Return the wire kind of *obj*.
+
+    Instances of arbitrary classes classify as ``OBJECT``; whether they are
+    actually serializable is decided later against the class registry.
+    Code-like objects (functions, classes, modules, generators) are
+    unsupported: middleware moves data, never code.
+    """
+    obj_type = type(obj)
+    kind = _EXACT_KIND.get(obj_type)
+    if kind is not None:
+        return kind
+    if isinstance(obj, _PRIMITIVE_TYPES):
+        # Covers bool/int/... subclasses too: they serialize by value.
+        return Kind.PRIMITIVE
+    if isinstance(obj, _CODE_LIKE_TYPES):
+        return Kind.UNSUPPORTED
+    if hasattr(obj, "__dict__") or hasattr(obj_type, "__slots__"):
+        return Kind.OBJECT
+    return Kind.UNSUPPORTED
+
+
+def is_mutable_kind(kind: Kind) -> bool:
+    """True for kinds whose instances join the linear map."""
+    return kind in _MUTABLE_KINDS
+
+
+def is_immutable_container(kind: Kind) -> bool:
+    """True for tuple/frozenset: traversed, but rebuilt rather than mutated."""
+    return kind in _IMMUTABLE_CONTAINER_KINDS

@@ -1,0 +1,66 @@
+"""The linear map: the data structure at the heart of copy-restore.
+
+Paper, Section 3, step 1: *"Create a linear map of all objects reachable
+from the reference parameter. Keep a reference to it."* The map is an
+ordered list of every **mutable** object the serializer met, in handle
+order. Because the decoder allocates objects in exactly the stream order the
+encoder wrote them, both endpoints hold index-aligned maps without the map
+itself ever crossing the wire (paper optimization 5.2.4 #1).
+
+Index alignment is what makes step 4 ("match up the two linear maps")
+trivial: ``original.objects[i]`` and ``modified.objects[i]`` are the two
+versions of the same logical object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from repro.util.identity import IdentityMap
+
+
+class LinearMap:
+    """An ordered, identity-indexed list of the mutable reachable objects."""
+
+    __slots__ = ("_objects", "_index")
+
+    def __init__(self, objects: Optional[List[Any]] = None) -> None:
+        self._objects: List[Any] = []
+        self._index: IdentityMap[int] = IdentityMap()
+        if objects:
+            for obj in objects:
+                self.append(obj)
+
+    def append(self, obj: Any) -> int:
+        """Add *obj* and return its position; each object appears once."""
+        existing = self._index.get(obj)
+        if existing is not None:
+            return existing
+        position = len(self._objects)
+        self._objects.append(obj)
+        self._index[obj] = position
+        return position
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._objects)
+
+    def __getitem__(self, position: int) -> Any:
+        return self._objects[position]
+
+    def __contains__(self, obj: object) -> bool:
+        return obj in self._index
+
+    def position_of(self, obj: Any) -> Optional[int]:
+        """The object's position, or None if it is not in the map."""
+        return self._index.get(obj)
+
+    @property
+    def objects(self) -> List[Any]:
+        """The underlying ordered list (do not mutate)."""
+        return self._objects
+
+    def __repr__(self) -> str:
+        return f"LinearMap({len(self)} objects)"

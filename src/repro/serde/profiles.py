@@ -1,0 +1,68 @@
+"""Serialization runtime profiles.
+
+The paper evaluates every configuration under two JDKs:
+
+* **JDK 1.3** — RMI layered over slow general-purpose facilities: reflective
+  field access with security checks and no descriptor caching;
+* **JDK 1.4** — serialization flattened onto direct memory access
+  ("Unsafe"), roughly 50-60% faster in the paper's LAN setting.
+
+The reproduction models the pair as *profiles* of one wire format. A profile
+bundles the field accessor, whether class/field descriptors are interned
+(cached) in the stream, and whether a per-object validation pass runs. The
+``legacy`` profile therefore does strictly more work and writes strictly
+more bytes per object — the same mechanism, and hence the same *shape* of
+speedup, as the JDK 1.3 to 1.4 transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serde.accessors import (
+    FieldAccessor,
+    OPTIMIZED_ACCESSOR,
+    PORTABLE_ACCESSOR,
+)
+
+
+@dataclass(frozen=True)
+class SerializationProfile:
+    """Immutable bundle of serializer behaviour knobs."""
+
+    name: str
+    accessor: FieldAccessor
+    intern_descriptors: bool
+    per_object_validation: bool
+
+    def __repr__(self) -> str:
+        return f"SerializationProfile({self.name!r})"
+
+
+#: Models JDK 1.3-era RMI: reflective access, full descriptors per object,
+#: per-object validation.
+LEGACY_PROFILE = SerializationProfile(
+    name="legacy",
+    accessor=PORTABLE_ACCESSOR,
+    intern_descriptors=False,
+    per_object_validation=True,
+)
+
+#: Models JDK 1.4-era RMI: cached class plans, interned descriptors.
+MODERN_PROFILE = SerializationProfile(
+    name="modern",
+    accessor=OPTIMIZED_ACCESSOR,
+    intern_descriptors=True,
+    per_object_validation=False,
+)
+
+_PROFILES = {p.name: p for p in (LEGACY_PROFILE, MODERN_PROFILE)}
+
+
+def profile_by_name(name: str) -> SerializationProfile:
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r}; expected one of {sorted(_PROFILES)}"
+        ) from None

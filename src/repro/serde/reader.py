@@ -1,0 +1,338 @@
+"""The decoder: reconstructs object graphs from the NRMI wire format.
+
+Like the writer, the reader is **iterative** — a frame stack instead of
+recursion — and it rebuilds the handle table (and therefore the linear map)
+as a side effect of decoding, in exactly the order the writer allocated
+handles. This is the paper's optimization 5.2.4 #1: the linear map is never
+transmitted; the receiving side reconstructs it during deserialization.
+
+Cycles are handled by registering *shells* for mutable containers and
+objects before their contents are read; back references resolve to the
+shell, which is filled in as decoding proceeds. Immutable containers
+(tuples, frozensets) cannot be shelled, but a cycle through an immutable
+container is unconstructable in Python in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import WireFormatError
+from repro.serde.hooks import (
+    apply_resolve,
+    apply_upgrade,
+    class_version,
+    has_resolve,
+    has_upgrade,
+)
+from repro.serde.linear_map import LinearMap
+from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
+from repro.serde.registry import ClassRegistry, global_registry
+from repro.serde.tags import Tag, WIRE_MAGIC, WIRE_VERSION
+from repro.util.buffers import BufferReader
+
+_NO_VALUE = object()
+_FRAME_PUSHED = object()
+
+# Frame kinds.
+_F_LIST = 0
+_F_TUPLE = 1
+_F_SET = 2
+_F_FROZENSET = 3
+_F_DICT = 4
+_F_OBJECT = 5
+
+
+class _Frame:
+    """Decoding state for one container whose children are still arriving."""
+
+    __slots__ = (
+        "kind",
+        "remaining",
+        "shell",
+        "items",
+        "handle_slot",
+        "pending_key",
+        "has_pending_key",
+        "pending_name",
+        "needs_resolve",
+        "wire_version",
+    )
+
+    def __init__(self, kind: int, remaining: int) -> None:
+        self.kind = kind
+        self.remaining = remaining
+        self.shell: Any = None
+        self.items: Optional[List[Any]] = None
+        self.handle_slot = -1
+        self.pending_key: Any = None
+        self.has_pending_key = False
+        self.pending_name: Optional[str] = None
+        self.needs_resolve = False
+        self.wire_version: Optional[int] = None
+
+
+class ObjectReader:
+    """Decodes a stream produced by :class:`repro.serde.writer.ObjectWriter`."""
+
+    def __init__(
+        self,
+        data: bytes,
+        profile: SerializationProfile = MODERN_PROFILE,
+        registry: Optional[ClassRegistry] = None,
+        externalizers: tuple = (),
+    ) -> None:
+        self.profile = profile
+        self.registry = registry if registry is not None else global_registry
+        self._local_externalizers = {ext.name: ext for ext in externalizers}
+        self.linear_map = LinearMap()
+        self._buf = BufferReader(data)
+        self._handles: List[Any] = []
+        self._classes: List[tuple] = []  # (class, wire_version)
+        self._names: List[str] = []
+        magic = self._buf.read_bytes(len(WIRE_MAGIC))
+        if magic != WIRE_MAGIC:
+            raise WireFormatError(f"bad magic {magic!r}; not an NRMI stream")
+        version = self._buf.read_u8()
+        if version != WIRE_VERSION:
+            raise WireFormatError(
+                f"unsupported wire version {version} (expected {WIRE_VERSION})"
+            )
+        self._buf.read_u8()  # reserved flags
+
+    # ------------------------------------------------------------------ API
+
+    def read_root(self) -> Any:
+        """Decode and return the next root value in the stream."""
+        return self._read_value()
+
+    def at_end(self) -> bool:
+        return self._buf.remaining == 0
+
+    def expect_end(self) -> None:
+        self._buf.expect_end()
+
+    # ------------------------------------------------------------ internals
+
+    def _register(self, obj: Any, mutable: bool) -> int:
+        slot = len(self._handles)
+        self._handles.append(obj)
+        if mutable:
+            self.linear_map.append(obj)
+        return slot
+
+    def _reserve(self) -> int:
+        slot = len(self._handles)
+        self._handles.append(_NO_VALUE)
+        return slot
+
+    def _read_class(self) -> tuple:
+        """Return (class, wire_version) for a class key."""
+        key = self._buf.read_uvarint()
+        if key == 0:
+            cls = self.registry.class_for(self._buf.read_str())
+            entry = (cls, self._buf.read_uvarint())
+            self._classes.append(entry)
+            return entry
+        try:
+            return self._classes[key - 1]
+        except IndexError:
+            raise WireFormatError(f"dangling class id {key}") from None
+
+    def _read_name(self) -> str:
+        key = self._buf.read_uvarint()
+        if key == 0:
+            name = self._buf.read_str()
+            self._names.append(name)
+            return name
+        try:
+            return self._names[key - 1]
+        except IndexError:
+            raise WireFormatError(f"dangling name id {key}") from None
+
+    def _read_value(self) -> Any:
+        stack: List[_Frame] = []
+        result: Any = _NO_VALUE
+        while True:
+            if result is _NO_VALUE:
+                result = self._step(stack)
+                if result is _FRAME_PUSHED:
+                    result = _NO_VALUE
+                    frame = stack[-1]
+                    if frame.remaining == 0:
+                        stack.pop()
+                        result = self._finish(frame)
+                    continue
+            if not stack:
+                return result
+            frame = stack[-1]
+            self._deliver(frame, result)
+            result = _NO_VALUE
+            if frame.remaining == 0:
+                stack.pop()
+                result = self._finish(frame)
+
+    def _step(self, stack: List[_Frame]) -> Any:
+        """Read one value header; return a value or push a frame."""
+        if stack:
+            frame = stack[-1]
+            if frame.kind == _F_OBJECT and frame.pending_name is None:
+                frame.pending_name = self._read_name()
+        buf = self._buf
+        tag = buf.read_u8()
+        if tag == Tag.NONE:
+            return None
+        if tag == Tag.TRUE:
+            return True
+        if tag == Tag.FALSE:
+            return False
+        if tag == Tag.INT:
+            return buf.read_varint()
+        if tag == Tag.INT_BIG:
+            negative = buf.read_u8()
+            magnitude = int.from_bytes(buf.read_len_bytes(), "big")
+            return -magnitude if negative else magnitude
+        if tag == Tag.FLOAT:
+            return buf.read_f64()
+        if tag == Tag.COMPLEX:
+            return complex(buf.read_f64(), buf.read_f64())
+        if tag == Tag.STR:
+            value = buf.read_str()
+            self._register(value, mutable=False)
+            return value
+        if tag == Tag.BYTES:
+            value = buf.read_len_bytes()
+            self._register(value, mutable=False)
+            return value
+        if tag == Tag.BYTEARRAY:
+            value = bytearray(buf.read_len_bytes())
+            self._register(value, mutable=True)
+            return value
+        if tag == Tag.REF:
+            slot = buf.read_uvarint()
+            try:
+                obj = self._handles[slot]
+            except IndexError:
+                raise WireFormatError(f"dangling handle {slot}") from None
+            if obj is _NO_VALUE:
+                raise WireFormatError(f"forward reference to handle {slot}")
+            return obj
+        if tag == Tag.LIST:
+            count = buf.read_uvarint()
+            frame = _Frame(_F_LIST, count)
+            frame.shell = []
+            self._register(frame.shell, mutable=True)
+            stack.append(frame)
+            return _FRAME_PUSHED
+        if tag == Tag.TUPLE:
+            count = buf.read_uvarint()
+            frame = _Frame(_F_TUPLE, count)
+            frame.items = []
+            frame.handle_slot = self._reserve()
+            stack.append(frame)
+            return _FRAME_PUSHED
+        if tag == Tag.SET:
+            count = buf.read_uvarint()
+            frame = _Frame(_F_SET, count)
+            frame.shell = set()
+            self._register(frame.shell, mutable=True)
+            stack.append(frame)
+            return _FRAME_PUSHED
+        if tag == Tag.FROZENSET:
+            count = buf.read_uvarint()
+            frame = _Frame(_F_FROZENSET, count)
+            frame.items = []
+            frame.handle_slot = self._reserve()
+            stack.append(frame)
+            return _FRAME_PUSHED
+        if tag == Tag.DICT:
+            count = buf.read_uvarint()
+            frame = _Frame(_F_DICT, count * 2)
+            frame.shell = {}
+            self._register(frame.shell, mutable=True)
+            stack.append(frame)
+            return _FRAME_PUSHED
+        if tag == Tag.OBJECT:
+            cls, wire_version = self._read_class()
+            count = buf.read_uvarint()
+            frame = _Frame(_F_OBJECT, count)
+            frame.shell = self.profile.accessor.new_instance(cls)
+            frame.needs_resolve = has_resolve(cls)
+            if wire_version != class_version(cls) and has_upgrade(cls):
+                frame.wire_version = wire_version
+            # Mirrors the writer: readResolve classes are value-like and
+            # stay out of the linear map, keeping the maps index-aligned.
+            frame.handle_slot = self._register(
+                frame.shell, mutable=not frame.needs_resolve
+            )
+            stack.append(frame)
+            return _FRAME_PUSHED
+        if tag == Tag.EXTERNAL:
+            ext_name = self._read_name()
+            payload = buf.read_len_bytes()
+            ext = self._local_externalizers.get(ext_name)
+            if ext is None:
+                ext = self.registry.externalizer_named(ext_name)
+            resolved = ext.resolve(payload)
+            self._register(resolved, mutable=False)
+            return resolved
+        raise WireFormatError(f"unknown tag byte 0x{tag:02x}")
+
+    def _deliver(self, frame: _Frame, value: Any) -> None:
+        frame.remaining -= 1
+        kind = frame.kind
+        if kind == _F_LIST:
+            frame.shell.append(value)
+        elif kind == _F_DICT:
+            if frame.has_pending_key:
+                frame.shell[frame.pending_key] = value
+                frame.pending_key = None
+                frame.has_pending_key = False
+            else:
+                frame.pending_key = value
+                frame.has_pending_key = True
+        elif kind == _F_SET:
+            frame.shell.add(value)
+        elif kind == _F_OBJECT:
+            if frame.pending_name is None:
+                raise WireFormatError("object field value without a field name")
+            self.profile.accessor.set_field(frame.shell, frame.pending_name, value)
+            frame.pending_name = None
+        else:  # tuple / frozenset accumulate
+            frame.items.append(value)
+
+    def _finish(self, frame: _Frame) -> Any:
+        kind = frame.kind
+        if kind == _F_TUPLE:
+            value = tuple(frame.items)
+            self._handles[frame.handle_slot] = value
+            return value
+        if kind == _F_FROZENSET:
+            value = frozenset(frame.items)
+            self._handles[frame.handle_slot] = value
+            return value
+        if frame.wire_version is not None:
+            # Schema evolution: the stream was written by a different
+            # class version; let the class migrate the decoded state.
+            apply_upgrade(frame.shell, frame.wire_version)
+        if frame.needs_resolve:
+            # readResolve analogue: the canonical object replaces the
+            # decoded shell everywhere (later back references included;
+            # references inside a cycle through the shell are the same
+            # documented limitation Java's readResolve has).
+            resolved = apply_resolve(frame.shell)
+            self._handles[frame.handle_slot] = resolved
+            return resolved
+        return frame.shell
+
+
+def decode_graph(
+    data: bytes,
+    count: int = 1,
+    profile: SerializationProfile = MODERN_PROFILE,
+    registry: Optional[ClassRegistry] = None,
+) -> tuple:
+    """Decode *count* roots; return ``(roots_list, linear_map)``."""
+    reader = ObjectReader(data, profile=profile, registry=registry)
+    roots = [reader.read_root() for _ in range(count)]
+    return roots, reader.linear_map

@@ -1,0 +1,133 @@
+"""Class and externalizer registry.
+
+Decoding instantiates only classes that were explicitly registered (or that
+inherit one of the marker bases in :mod:`repro.core.markers`, which register
+their subclasses automatically). This is the safety line that ``pickle``
+lacks: a byte stream can never cause an import or run arbitrary code.
+
+Externalizers let higher layers hijack serialization of special objects —
+the RMI layer registers one so exported remote objects travel as remote
+references (by-reference semantics), exactly as ``UnicastRemoteObject``
+instances do in Java RMI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ClassNotRegisteredError, SerializationError
+
+
+def qualified_name(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+class Externalizer:
+    """Hook that replaces objects with opaque payloads on the wire.
+
+    ``replace(obj)`` returns an encoded payload for objects the hook claims,
+    or ``None`` to decline. ``resolve(payload)`` reverses it on the decoding
+    side. Both sides must register the hook under the same name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        claims: Callable[[Any], bool],
+        replace: Callable[[Any], bytes],
+        resolve: Callable[[bytes], Any],
+    ) -> None:
+        self.name = name
+        self.claims = claims
+        self.replace = replace
+        self.resolve = resolve
+
+
+class ClassRegistry:
+    """Thread-safe registry of serializable classes and externalizers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._by_name: Dict[str, type] = {}
+        self._names: Dict[type, str] = {}
+        self._externalizers: Dict[str, Externalizer] = {}
+        self._ext_order: Tuple[Externalizer, ...] = ()
+
+    def register(self, cls: type, name: Optional[str] = None) -> type:
+        """Register *cls* for serialization; returns *cls* (decorator use)."""
+        if not isinstance(cls, type):
+            raise SerializationError(f"can only register classes, got {cls!r}")
+        reg_name = name or qualified_name(cls)
+        with self._lock:
+            existing = self._by_name.get(reg_name)
+            if existing is not None and existing is not cls:
+                raise SerializationError(
+                    f"name {reg_name!r} already registered for a different class"
+                )
+            self._by_name[reg_name] = cls
+            self._names[cls] = reg_name
+        return cls
+
+    def is_registered(self, cls: type) -> bool:
+        with self._lock:
+            return cls in self._names
+
+    def name_of(self, cls: type) -> str:
+        with self._lock:
+            try:
+                return self._names[cls]
+            except KeyError:
+                raise ClassNotRegisteredError(qualified_name(cls)) from None
+
+    def class_for(self, name: str) -> type:
+        with self._lock:
+            try:
+                return self._by_name[name]
+            except KeyError:
+                raise ClassNotRegisteredError(name) from None
+
+    def register_externalizer(self, ext: Externalizer) -> None:
+        with self._lock:
+            self._externalizers[ext.name] = ext
+            self._ext_order = tuple(self._externalizers.values())
+
+    def externalizer_for(self, obj: Any) -> Optional[Externalizer]:
+        for ext in self._ext_order:
+            if ext.claims(obj):
+                return ext
+        return None
+
+    def externalizer_named(self, name: str) -> Externalizer:
+        with self._lock:
+            try:
+                return self._externalizers[name]
+            except KeyError:
+                raise SerializationError(
+                    f"no externalizer named {name!r} registered on this side"
+                ) from None
+
+    def snapshot_classes(self) -> Dict[str, type]:
+        with self._lock:
+            return dict(self._by_name)
+
+
+#: Process-wide default registry. Tests that need isolation construct their
+#: own ClassRegistry and pass it to the writer/reader explicitly.
+global_registry = ClassRegistry()
+
+
+def register_class(cls: type, name: Optional[str] = None) -> type:
+    """Register a class with the process-wide registry (decorator-friendly).
+
+    Example::
+
+        @register_class
+        class TreeNode:
+            ...
+    """
+    return global_registry.register(cls, name)
+
+
+def register_externalizer(ext: Externalizer) -> None:
+    global_registry.register_externalizer(ext)

@@ -1,0 +1,60 @@
+"""Wire-format type tags.
+
+Every encoded value starts with one tag byte; every tag's payload is
+self-describing, so the stream can be decoded in a single pass.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+WIRE_MAGIC = b"NRM1"
+WIRE_VERSION = 1
+
+
+class Tag(IntEnum):
+    """One byte of type information preceding each encoded value."""
+
+    NONE = 0x00
+    TRUE = 0x01
+    FALSE = 0x02
+    INT = 0x03        # zig-zag varint, fits in 64 bits
+    INT_BIG = 0x04    # sign byte + magnitude bytes (arbitrary precision)
+    FLOAT = 0x05      # IEEE-754 double
+    COMPLEX = 0x06    # two doubles
+    STR = 0x07        # registers a handle (value-memoized by the writer)
+    BYTES = 0x08      # registers a handle
+    REF = 0x09        # uvarint back reference into the handle table
+    LIST = 0x0A       # mutable: enters the linear map
+    TUPLE = 0x0B
+    SET = 0x0C        # mutable: enters the linear map
+    FROZENSET = 0x0D
+    DICT = 0x0E       # mutable: enters the linear map
+    BYTEARRAY = 0x0F  # mutable: enters the linear map
+    OBJECT = 0x10     # mutable: enters the linear map
+    EXTERNAL = 0x11   # externalizer hook (e.g. remote references)
+
+
+# Tags that allocate a new handle when encountered in the stream, in the
+# exact order the writer allocated them. The decoder mirrors this rule to
+# reconstruct the handle table (and linear map) without transmitting either.
+HANDLE_TAGS = frozenset(
+    {
+        Tag.STR,
+        Tag.BYTES,
+        Tag.LIST,
+        Tag.TUPLE,
+        Tag.SET,
+        Tag.FROZENSET,
+        Tag.DICT,
+        Tag.BYTEARRAY,
+        Tag.OBJECT,
+        Tag.EXTERNAL,
+    }
+)
+
+# Handle-bearing tags whose objects are mutable, i.e. members of the linear
+# map (the objects copy-restore can overwrite in place).
+MUTABLE_TAGS = frozenset(
+    {Tag.LIST, Tag.SET, Tag.DICT, Tag.BYTEARRAY, Tag.OBJECT}
+)

@@ -1,0 +1,339 @@
+"""The encoder: serializes object graphs into the NRMI wire format.
+
+The writer is **iterative** (explicit work stack) so arbitrarily deep
+structures — a 100 000-node linked list, a degenerate tree — serialize
+without touching the interpreter recursion limit. The traversal is
+pre-order; the decoder replays the same order, which is what keeps the two
+endpoints' handle tables (and therefore linear maps) index-aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import NotSerializableError, SerializationError
+from repro.serde.hooks import (
+    apply_replace,
+    class_version,
+    has_replace,
+    has_resolve,
+    transient_fields,
+)
+from repro.serde.kinds import Kind, classify
+from repro.serde.linear_map import LinearMap
+from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
+from repro.serde.registry import ClassRegistry, global_registry
+from repro.serde.tags import Tag, WIRE_MAGIC, WIRE_VERSION
+from repro.util.buffers import BufferWriter
+from repro.util.identity import IdentityMap
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+# Work-stack task opcodes.
+_EMIT_VALUE = 0
+_EMIT_NAME = 1
+
+
+class ObjectWriter:
+    """Serializes one or more root values into a single stream.
+
+    All roots written through one ``ObjectWriter`` share one handle table,
+    so aliasing *across* the parameters of a remote call is preserved — the
+    property Section 4.1 of the paper calls out as wrongly believed
+    impossible for copy-restore middleware.
+    """
+
+    def __init__(
+        self,
+        profile: SerializationProfile = MODERN_PROFILE,
+        registry: Optional[ClassRegistry] = None,
+        externalizers: Tuple = (),
+        collect_stats: bool = False,
+    ) -> None:
+        self.profile = profile
+        self.registry = registry if registry is not None else global_registry
+        self._local_externalizers = tuple(externalizers)
+        #: Optional per-tag value counts (opt-in: costs one dict update
+        #: per encoded value, so benchmarks leave it off).
+        self.stats: Optional[Dict[str, int]] = {} if collect_stats else None
+        self.linear_map = LinearMap()
+        self._buf = BufferWriter()
+        self._handles: IdentityMap[int] = IdentityMap()
+        self._str_memo: Dict[str, int] = {}
+        self._bytes_memo: Dict[bytes, int] = {}
+        self._next_handle = 0
+        self._class_ids: Dict[type, int] = {}
+        self._name_ids: Dict[str, int] = {}
+        self._replacements: IdentityMap[Any] = IdentityMap()
+        self._root_count = 0
+        self._buf.write_bytes(WIRE_MAGIC)
+        self._buf.write_u8(WIRE_VERSION)
+        self._buf.write_u8(0)  # reserved flags
+
+    # ------------------------------------------------------------------ API
+
+    def write_root(self, value: Any) -> None:
+        """Serialize one root value (appended after any previous roots)."""
+        self._write_value(value)
+        self._root_count += 1
+
+    @property
+    def root_count(self) -> int:
+        return self._root_count
+
+    @property
+    def bytes_written(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return self._buf.getvalue()
+
+    # ------------------------------------------------------------ internals
+
+    def _alloc_handle(self, obj: Any, mutable: bool) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        self._handles[obj] = handle
+        if mutable:
+            self.linear_map.append(obj)
+        return handle
+
+    def _write_class_key(self, cls: type) -> None:
+        """Write a class reference: interned id, or 0 + name + version."""
+        if self.profile.intern_descriptors:
+            class_id = self._class_ids.get(cls)
+            if class_id is not None:
+                self._buf.write_uvarint(class_id)
+                return
+            self._class_ids[cls] = len(self._class_ids) + 1
+        self._buf.write_uvarint(0)
+        self._buf.write_str(self.registry.name_of(cls))
+        self._buf.write_uvarint(class_version(cls))
+
+    def _write_name_key(self, name: str) -> None:
+        """Write a field/externalizer name: interned id, or 0 + inline str."""
+        if self.profile.intern_descriptors:
+            name_id = self._name_ids.get(name)
+            if name_id is not None:
+                self._buf.write_uvarint(name_id)
+                return
+            self._name_ids[name] = len(self._name_ids) + 1
+        self._buf.write_uvarint(0)
+        self._buf.write_str(name)
+
+    def _validate_object(self, obj: Any, state: List[Tuple[str, Any]]) -> None:
+        """Legacy-profile per-object pass (models JDK 1.3 security checks)."""
+        seen = set()
+        for field_name, _value in state:
+            if field_name in seen:
+                raise SerializationError(
+                    f"duplicate field {field_name!r} on {type(obj).__name__}"
+                )
+            seen.add(field_name)
+        # The legacy stack also re-verifies registration on every object.
+        self.registry.name_of(type(obj))
+
+    def _count(self, label: str) -> None:
+        if self.stats is not None:
+            self.stats[label] = self.stats.get(label, 0) + 1
+
+    def _write_value(self, root: Any) -> None:
+        buf = self._buf
+        stack: List[Tuple[int, Any]] = [(_EMIT_VALUE, root)]
+        while stack:
+            opcode, payload = stack.pop()
+            if opcode == _EMIT_NAME:
+                self._write_name_key(payload)
+                continue
+            obj = payload
+            if self.stats is not None:
+                self._count(type(obj).__name__)
+            # --- scalars ------------------------------------------------
+            if obj is None:
+                buf.write_u8(Tag.NONE)
+                continue
+            if obj is True:
+                buf.write_u8(Tag.TRUE)
+                continue
+            if obj is False:
+                buf.write_u8(Tag.FALSE)
+                continue
+            kind = classify(obj)
+            if kind is Kind.OBJECT and has_replace(obj):
+                # writeReplace analogue: serialize the designated stand-in.
+                # Cached per identity so sharing survives the swap.
+                replacement = self._replacements.get(obj)
+                if replacement is None:
+                    replacement = apply_replace(obj)
+                    self._replacements[obj] = replacement
+                stack.append((_EMIT_VALUE, replacement))
+                continue
+            if kind is Kind.PRIMITIVE:
+                self._emit_primitive(obj)
+                continue
+            # --- memoized identities -------------------------------------
+            handle = self._handles.get(obj)
+            if handle is not None:
+                buf.write_u8(Tag.REF)
+                buf.write_uvarint(handle)
+                continue
+            if kind is Kind.LIST:
+                self._alloc_handle(obj, mutable=True)
+                buf.write_u8(Tag.LIST)
+                buf.write_uvarint(len(obj))
+                stack.extend((_EMIT_VALUE, item) for item in reversed(obj))
+            elif kind is Kind.TUPLE:
+                self._alloc_handle(obj, mutable=False)
+                buf.write_u8(Tag.TUPLE)
+                buf.write_uvarint(len(obj))
+                stack.extend((_EMIT_VALUE, item) for item in reversed(obj))
+            elif kind is Kind.SET or kind is Kind.FROZENSET:
+                mutable = kind is Kind.SET
+                self._alloc_handle(obj, mutable=mutable)
+                buf.write_u8(Tag.SET if mutable else Tag.FROZENSET)
+                items = list(obj)
+                buf.write_uvarint(len(items))
+                stack.extend((_EMIT_VALUE, item) for item in reversed(items))
+            elif kind is Kind.DICT:
+                self._alloc_handle(obj, mutable=True)
+                buf.write_u8(Tag.DICT)
+                buf.write_uvarint(len(obj))
+                for key, value in reversed(list(obj.items())):
+                    stack.append((_EMIT_VALUE, value))
+                    stack.append((_EMIT_VALUE, key))
+            elif kind is Kind.BYTEARRAY:
+                self._alloc_handle(obj, mutable=True)
+                buf.write_u8(Tag.BYTEARRAY)
+                buf.write_len_bytes(bytes(obj))
+            elif kind is Kind.OBJECT:
+                self._emit_object(obj, stack)
+            else:
+                # Unsupported shapes get one last chance: a value adapter
+                # (datetime, Decimal, UUID, application-registered types).
+                ext = self._find_externalizer(obj)
+                if ext is None:
+                    raise NotSerializableError(
+                        obj, path=self._describe_context(stack)
+                    )
+                self._emit_external(obj, ext)
+        # stack drained: root fully written
+
+    def _emit_primitive(self, obj: Any) -> None:
+        buf = self._buf
+        obj_type = type(obj)
+        if obj_type is int or isinstance(obj, int):
+            if _INT64_MIN <= obj <= _INT64_MAX:
+                buf.write_u8(Tag.INT)
+                buf.write_varint(int(obj))
+            else:
+                buf.write_u8(Tag.INT_BIG)
+                magnitude = abs(int(obj))
+                buf.write_u8(1 if obj < 0 else 0)
+                buf.write_len_bytes(
+                    magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+                )
+        elif obj_type is float:
+            buf.write_u8(Tag.FLOAT)
+            buf.write_f64(obj)
+        elif obj_type is complex:
+            buf.write_u8(Tag.COMPLEX)
+            buf.write_f64(obj.real)
+            buf.write_f64(obj.imag)
+        elif obj_type is str:
+            memo = self._str_memo.get(obj)
+            if memo is not None:
+                buf.write_u8(Tag.REF)
+                buf.write_uvarint(memo)
+                return
+            handle = self._alloc_handle(obj, mutable=False)
+            self._str_memo[obj] = handle
+            buf.write_u8(Tag.STR)
+            buf.write_str(obj)
+        elif obj_type is bytes:
+            memo = self._bytes_memo.get(obj)
+            if memo is not None:
+                buf.write_u8(Tag.REF)
+                buf.write_uvarint(memo)
+                return
+            handle = self._alloc_handle(obj, mutable=False)
+            self._bytes_memo[obj] = handle
+            buf.write_u8(Tag.BYTES)
+            buf.write_len_bytes(obj)
+        elif isinstance(obj, float):
+            buf.write_u8(Tag.FLOAT)
+            buf.write_f64(float(obj))
+        else:
+            # str/bytes subclasses degrade to their base value.
+            if isinstance(obj, str):
+                buf.write_u8(Tag.STR)
+                self._alloc_handle(obj, mutable=False)
+                buf.write_str(str(obj))
+            elif isinstance(obj, bytes):
+                buf.write_u8(Tag.BYTES)
+                self._alloc_handle(obj, mutable=False)
+                buf.write_len_bytes(bytes(obj))
+            elif isinstance(obj, complex):
+                buf.write_u8(Tag.COMPLEX)
+                buf.write_f64(obj.real)
+                buf.write_f64(obj.imag)
+            else:  # pragma: no cover - classify() guarantees coverage above
+                raise NotSerializableError(obj)
+
+    def _find_externalizer(self, obj: Any):
+        for ext in self._local_externalizers:
+            if ext.claims(obj):
+                return ext
+        return self.registry.externalizer_for(obj)
+
+    def _emit_external(self, obj: Any, ext) -> None:
+        self._alloc_handle(obj, mutable=False)
+        self._buf.write_u8(Tag.EXTERNAL)
+        self._write_name_key(ext.name)
+        self._buf.write_len_bytes(ext.replace(obj))
+
+    def _emit_object(self, obj: Any, stack: List[Tuple[int, Any]]) -> None:
+        ext = self._find_externalizer(obj)
+        if ext is not None:
+            self._emit_external(obj, ext)
+            return
+        cls = type(obj)
+        accessor = self.profile.accessor
+        state = accessor.get_state(obj)
+        transients = transient_fields(cls)
+        if transients:
+            state = [(name, value) for name, value in state if name not in transients]
+        if self.profile.per_object_validation:
+            self._validate_object(obj, state)
+        # readResolve classes are value-like: the decoded identity is not
+        # the shell's, so they must stay out of the linear map on both
+        # endpoints (the decoder applies the same rule).
+        self._alloc_handle(obj, mutable=not has_resolve(cls))
+        self._buf.write_u8(Tag.OBJECT)
+        self._write_class_key(type(obj))
+        self._buf.write_uvarint(len(state))
+        for field_name, value in reversed(state):
+            stack.append((_EMIT_VALUE, value))
+            stack.append((_EMIT_NAME, field_name))
+
+    @staticmethod
+    def _describe_context(stack: List[Tuple[int, Any]]) -> str:
+        """Best-effort breadcrumb for error messages."""
+        parents = [
+            type(payload).__name__
+            for opcode, payload in stack[-4:]
+            if opcode == _EMIT_VALUE
+        ]
+        return " > ".join(reversed(parents))
+
+
+def encode_graph(
+    roots: List[Any],
+    profile: SerializationProfile = MODERN_PROFILE,
+    registry: Optional[ClassRegistry] = None,
+) -> Tuple[bytes, LinearMap]:
+    """Serialize *roots* into one stream; return (payload, linear map)."""
+    writer = ObjectWriter(profile=profile, registry=registry)
+    for root in roots:
+        writer.write_root(root)
+    return writer.getvalue(), writer.linear_map

@@ -1,0 +1,38 @@
+"""Transport substrate: how request/response frames move between endpoints.
+
+Three interchangeable channels behind one interface:
+
+* :mod:`repro.transport.inproc` — direct in-process dispatch (Baseline 3's
+  "no network" configuration, and the carrier the simulated network wraps);
+* :mod:`repro.transport.tcp` — a real threaded TCP server with
+  length-prefixed framing (integration tests exercise the full stack over
+  sockets);
+* :mod:`repro.transport.simnet` — a deterministic network model
+  (bandwidth, per-message latency, per-host CPU scale) layered over the
+  in-process channel; it *accounts* simulated transfer time instead of
+  sleeping, so benchmark runs are fast and reproducible.
+
+Addressing and channel caching live in :mod:`repro.transport.resolver`.
+"""
+
+from repro.transport.base import Channel, ChannelStats, RequestHandler
+from repro.transport.framing import read_frame, write_frame
+from repro.transport.inproc import InProcChannel
+from repro.transport.resolver import ChannelResolver, global_resolver
+from repro.transport.simnet import NetworkModel, SimulatedChannel
+from repro.transport.tcp import TcpChannel, TcpServer
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "RequestHandler",
+    "read_frame",
+    "write_frame",
+    "InProcChannel",
+    "ChannelResolver",
+    "global_resolver",
+    "NetworkModel",
+    "SimulatedChannel",
+    "TcpChannel",
+    "TcpServer",
+]

@@ -1,0 +1,65 @@
+"""Channel interface and per-channel statistics.
+
+A :class:`Channel` is the client's view of an endpoint: a synchronous
+``request(bytes) -> bytes`` pipe. Servers are request handlers — callables
+from request bytes to response bytes. Everything above this layer (RMI
+protocol, NRMI semantics) is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+RequestHandler = Callable[[bytes], bytes]
+
+
+class ChannelStats:
+    """Round trips and bytes moved through one channel (thread-safe)."""
+
+    __slots__ = ("_lock", "requests", "bytes_sent", "bytes_received")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def record(self, sent: int, received: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.bytes_sent += sent
+            self.bytes_received += received
+
+    def reset(self) -> None:
+        with self._lock:
+            self.requests = 0
+            self.bytes_sent = 0
+            self.bytes_received = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelStats(requests={self.requests}, sent={self.bytes_sent}, "
+            f"received={self.bytes_received})"
+        )
+
+
+class Channel:
+    """A synchronous request/response pipe to one remote endpoint."""
+
+    def __init__(self) -> None:
+        self.stats = ChannelStats()
+
+    def request(self, payload: bytes) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources; idempotent."""

@@ -1,0 +1,84 @@
+"""Fault-injecting channel wrapper for failure testing.
+
+Middleware must fail *cleanly*: a dropped request or response surfaces as
+:class:`~repro.errors.TransportError` at the caller, and — crucial for
+copy-restore — a failed call must leave the caller's heap untouched (the
+restore phase only runs on a successful reply). The test suite wraps
+channels in :class:`FaultInjectingChannel` to assert exactly that.
+
+Failure modes:
+
+* ``drop_request`` — the request never reaches the peer;
+* ``drop_response`` — the peer processed the request but the reply is
+  lost (the classic at-most-once vs at-least-once hazard: the server-side
+  effect may have happened);
+* ``disconnect`` — the channel breaks permanently until ``heal()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransportError
+from repro.transport.base import Channel
+from repro.util.rng import DeterministicRandom
+
+FAILURE_MODES = ("drop_request", "drop_response", "disconnect")
+
+
+class FaultInjectingChannel(Channel):
+    """Wraps a channel, injecting seeded failures."""
+
+    def __init__(
+        self,
+        inner: Channel,
+        failure_rate: float = 0.0,
+        mode: str = "drop_request",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if mode not in FAILURE_MODES:
+            raise ValueError(f"mode must be one of {FAILURE_MODES}, got {mode!r}")
+        self._inner = inner
+        self._mode = mode
+        self._rate = failure_rate
+        self._rng = DeterministicRandom(seed)
+        self._disconnected = False
+        self.injected_failures = 0
+        self.delivered = 0
+
+    def fail_next(self) -> None:
+        """Force the next request to fail regardless of the rate."""
+        self._force_next = True
+
+    _force_next = False
+
+    def heal(self) -> None:
+        """Recover from a ``disconnect`` failure."""
+        self._disconnected = False
+
+    def _should_fail(self) -> bool:
+        if self._force_next:
+            self._force_next = False
+            return True
+        return self._rng.chance(self._rate)
+
+    def request(self, payload: bytes) -> bytes:
+        if self._disconnected:
+            raise TransportError("channel disconnected (injected)")
+        if self._should_fail():
+            self.injected_failures += 1
+            if self._mode == "drop_request":
+                raise TransportError("request dropped (injected)")
+            if self._mode == "drop_response":
+                self._inner.request(payload)  # the peer DID process it
+                raise TransportError("response dropped (injected)")
+            self._disconnected = True
+            raise TransportError("channel disconnected (injected)")
+        response = self._inner.request(payload)
+        self.delivered += 1
+        self.stats.record(sent=len(payload), received=len(response))
+        return response
+
+    def close(self) -> None:
+        self._inner.close()

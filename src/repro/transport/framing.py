@@ -1,0 +1,52 @@
+"""Length-prefixed message framing over stream sockets.
+
+Frames are ``u32 length (big-endian) + payload``. A maximum frame size
+guards both sides against corrupt peers allocating unbounded buffers.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import TransportError
+
+_LEN = struct.Struct(">I")
+
+#: Refuse frames above 256 MiB — far beyond any benchmark payload, small
+#: enough to stop a corrupt length word from exhausting memory.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    try:
+        sock.sendall(_LEN.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise TransportError(f"recv failed: {exc}") from exc
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"peer announced oversized frame: {length} bytes")
+    return _recv_exact(sock, length)

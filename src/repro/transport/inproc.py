@@ -1,0 +1,32 @@
+"""In-process channel: direct dispatch to a handler in the same process.
+
+Used for Baseline 3 ("RMI execution with restore on local machine — no
+network overhead"), for unit tests, and as the carrier under the simulated
+network. The full marshal/unmarshal path still runs — only the wire is
+skipped — which matches the paper's same-machine, two-JVM configuration in
+spirit while remaining deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransportError
+from repro.transport.base import Channel, RequestHandler
+
+
+class InProcChannel(Channel):
+    """Calls the server's handler directly; bytes still cross the boundary."""
+
+    def __init__(self, handler: RequestHandler) -> None:
+        super().__init__()
+        self._handler = handler
+        self._closed = False
+
+    def request(self, payload: bytes) -> bytes:
+        if self._closed:
+            raise TransportError("channel is closed")
+        response = self._handler(payload)
+        self.stats.record(sent=len(payload), received=len(response))
+        return response
+
+    def close(self) -> None:
+        self._closed = True

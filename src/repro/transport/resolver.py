@@ -1,0 +1,111 @@
+"""Endpoint addressing and channel resolution.
+
+Remote references carry an *address string* identifying their owning
+endpoint; when a reference is unmarshalled, the resolver turns that address
+into a channel (or recognizes it as the local endpoint, in which case the
+actual object is used — the same short-circuit Java RMI performs).
+
+Address forms:
+
+* ``inproc://<name>`` — an endpoint living in this process, registered
+  with the resolver (tests, benchmarks, and the simulated network);
+* ``tcp://<host>:<port>`` — a TCP endpoint; channels are cached per
+  address.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.errors import TransportError
+from repro.transport.base import Channel, RequestHandler
+from repro.transport.inproc import InProcChannel
+from repro.transport.tcp import TcpChannel
+
+
+class ChannelResolver:
+    """Maps address strings to channels; caches one channel per address."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._inproc_handlers: Dict[str, RequestHandler] = {}
+        self._channels: Dict[str, Channel] = {}
+        self._wrappers: Dict[str, Callable[[Channel], Channel]] = {}
+
+    # -------------------------------------------------- inproc registration
+
+    def register_inproc(self, name: str, handler: RequestHandler) -> str:
+        """Expose *handler* as ``inproc://name``; returns the address."""
+        address = f"inproc://{name}"
+        with self._lock:
+            self._inproc_handlers[name] = handler
+            self._channels.pop(address, None)
+        return address
+
+    def unregister_inproc(self, name: str) -> None:
+        with self._lock:
+            self._inproc_handlers.pop(name, None)
+            self._channels.pop(f"inproc://{name}", None)
+
+    def set_wrapper(
+        self, address: str, wrapper: Optional[Callable[[Channel], Channel]]
+    ) -> None:
+        """Install a channel decorator for *address* (e.g. SimulatedChannel).
+
+        Affects channels resolved after the call; cached channels are
+        dropped so the wrapper takes effect immediately.
+        """
+        with self._lock:
+            if wrapper is None:
+                self._wrappers.pop(address, None)
+            else:
+                self._wrappers[address] = wrapper
+            self._channels.pop(address, None)
+
+    # ------------------------------------------------------------ resolving
+
+    def resolve(self, address: str) -> Channel:
+        with self._lock:
+            channel = self._channels.get(address)
+            if channel is not None:
+                return channel
+            channel = self._open(address)
+            wrapper = self._wrappers.get(address)
+            if wrapper is not None:
+                channel = wrapper(channel)
+            self._channels[address] = channel
+            return channel
+
+    def _open(self, address: str) -> Channel:
+        if address.startswith("inproc://"):
+            name = address[len("inproc://") :]
+            handler = self._inproc_handlers.get(name)
+            if handler is None:
+                raise TransportError(f"no in-process endpoint named {name!r}")
+            return InProcChannel(handler)
+        if address.startswith("tcp://"):
+            hostport = address[len("tcp://") :]
+            host, _, port_text = hostport.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise TransportError(f"malformed tcp address {address!r}")
+            return TcpChannel(host, int(port_text))
+        raise TransportError(f"unsupported address scheme in {address!r}")
+
+    def drop(self, address: str) -> None:
+        """Close and forget the cached channel for *address*."""
+        with self._lock:
+            channel = self._channels.pop(address, None)
+        if channel is not None:
+            channel.close()
+
+    def close_all(self) -> None:
+        with self._lock:
+            channels = list(self._channels.values())
+            self._channels.clear()
+        for channel in channels:
+            channel.close()
+
+
+#: Process-wide resolver used by default; tests may build private ones.
+global_resolver = ChannelResolver()

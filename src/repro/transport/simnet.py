@@ -1,0 +1,79 @@
+"""Deterministic simulated network.
+
+The paper's testbed — a 750 MHz SunBlade and a 440 MHz Ultra 10 on a
+100 Mbps LAN — is unavailable, so the benchmark harness substitutes a
+*network model*: every request/response through a :class:`SimulatedChannel`
+accrues
+
+    latency  +  bytes / bandwidth
+
+of **simulated** time per direction, accumulated in an account rather than
+slept away. The harness adds the account to measured compute time, so the
+reported milliseconds have the same structure as the paper's tables
+(processing + transmission) while runs stay fast and reproducible.
+
+A per-host CPU scale factor models the fast/slow machine asymmetry: time
+measured while executing on the "slow host" side is multiplied up by the
+harness (see :mod:`repro.bench.harness`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.transport.base import Channel
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Parameters of the modelled link."""
+
+    bandwidth_bits_per_s: float = 100e6   # the paper's 100 Mbps LAN
+    latency_s: float = 0.0003             # per message, per direction
+    protocol_overhead_bytes: int = 64     # per message framing/TCP cost
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        """Simulated one-way time for one message of *payload_bytes*."""
+        total_bits = (payload_bytes + self.protocol_overhead_bytes) * 8
+        return self.latency_s + total_bits / self.bandwidth_bits_per_s
+
+
+#: A link so fast it contributes nothing: Baseline 3's "no network" setup.
+LOOPBACK_MODEL = NetworkModel(
+    bandwidth_bits_per_s=float("inf"), latency_s=0.0, protocol_overhead_bytes=0
+)
+
+
+class SimulatedChannel(Channel):
+    """Wraps a channel, accounting simulated wire time for every exchange."""
+
+    def __init__(self, inner: Channel, model: NetworkModel) -> None:
+        super().__init__()
+        self._inner = inner
+        self.model = model
+        self._lock = threading.Lock()
+        self._simulated_seconds = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated wire time accrued so far."""
+        with self._lock:
+            return self._simulated_seconds
+
+    def reset_account(self) -> None:
+        with self._lock:
+            self._simulated_seconds = 0.0
+
+    def request(self, payload: bytes) -> bytes:
+        response = self._inner.request(payload)
+        cost = self.model.transfer_seconds(len(payload)) + self.model.transfer_seconds(
+            len(response)
+        )
+        with self._lock:
+            self._simulated_seconds += cost
+        self.stats.record(sent=len(payload), received=len(response))
+        return response
+
+    def close(self) -> None:
+        self._inner.close()

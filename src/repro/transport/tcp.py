@@ -1,0 +1,149 @@
+"""TCP transport: a threaded socket server and a pooled client channel.
+
+The server accepts connections and serves framed request/response pairs,
+one thread per connection (the model of classic RMI's connection handling).
+The client channel keeps one connection and serializes requests over it
+with a lock; callers needing parallel requests open extra channels.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.errors import TransportError
+from repro.transport.base import Channel, RequestHandler
+from repro.transport.framing import read_frame, write_frame
+
+
+class TcpServer:
+    """Serves a request handler over TCP until stopped.
+
+    Usable as a context manager::
+
+        with TcpServer(handler) as server:
+            channel = TcpChannel(server.host, server.port)
+    """
+
+    def __init__(
+        self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._handler = handler
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(32)
+        self.host, self.port = self._sock.getsockname()
+        self._stopping = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{self.port}", daemon=True
+        )
+        self._conn_threads: list[threading.Thread] = []
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:
+                return  # listening socket closed during shutdown
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"tcp-conn-{self.port}",
+                daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while not self._stopping.is_set():
+                try:
+                    request = read_frame(conn)
+                except TransportError:
+                    return  # peer closed or connection broke
+                try:
+                    response = self._handler(request)
+                except Exception:  # noqa: BLE001 - handler must not kill server
+                    # The RMI dispatcher encodes application errors itself;
+                    # anything escaping to here is a protocol bug, and the
+                    # only safe move is dropping the connection.
+                    return
+                try:
+                    write_frame(conn, response)
+                except TransportError:
+                    return
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TcpServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class TcpChannel(Channel):
+    """Client channel over a single pooled TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
+        super().__init__()
+        self.host = host
+        self.port = port
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self._timeout
+                )
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def request(self, payload: bytes) -> bytes:
+        with self._lock:
+            sock = self._connect()
+            try:
+                write_frame(sock, payload)
+                response = read_frame(sock)
+            except TransportError:
+                # One reconnect attempt: the pooled connection may have
+                # idled out; a fresh socket retries the request exactly once.
+                self._drop_connection()
+                sock = self._connect()
+                write_frame(sock, payload)
+                response = read_frame(sock)
+            self.stats.record(sent=len(payload), received=len(response))
+            return response
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()

@@ -1,0 +1,16 @@
+"""Shared low-level utilities: identity collections, buffers, rng, metrics."""
+
+from repro.util.identity import IdentityMap, IdentitySet
+from repro.util.buffers import BufferReader, BufferWriter
+from repro.util.metrics import Counter, MetricsRegistry
+from repro.util.rng import DeterministicRandom
+
+__all__ = [
+    "IdentityMap",
+    "IdentitySet",
+    "BufferReader",
+    "BufferWriter",
+    "Counter",
+    "MetricsRegistry",
+    "DeterministicRandom",
+]

@@ -1,0 +1,160 @@
+"""Binary buffer primitives used by the wire format.
+
+``BufferWriter``/``BufferReader`` provide the primitive encodings every layer
+shares: fixed-width integers, zig-zag varints (compact for the small handle
+numbers that dominate linear-map traffic), length-prefixed bytes and UTF-8
+strings, and IEEE-754 doubles.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import WireFormatError
+
+_F64 = struct.Struct(">d")
+_U8 = struct.Struct(">B")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+
+
+class BufferWriter:
+    """An append-only binary buffer."""
+
+    __slots__ = ("_chunks", "_size")
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def write_bytes(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._size += len(data)
+
+    def write_u8(self, value: int) -> None:
+        self.write_bytes(_U8.pack(value))
+
+    def write_u32(self, value: int) -> None:
+        self.write_bytes(_U32.pack(value))
+
+    def write_i64(self, value: int) -> None:
+        self.write_bytes(_I64.pack(value))
+
+    def write_f64(self, value: float) -> None:
+        self.write_bytes(_F64.pack(value))
+
+    def write_varint(self, value: int) -> None:
+        """Write a signed integer as a zig-zag LEB128 varint."""
+        encoded = (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else None
+        if encoded is None:
+            raise WireFormatError(f"varint out of 64-bit range: {value}")
+        out = bytearray()
+        while True:
+            byte = encoded & 0x7F
+            encoded >>= 7
+            if encoded:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self.write_bytes(bytes(out))
+
+    def write_uvarint(self, value: int) -> None:
+        """Write an unsigned LEB128 varint (used for lengths and handles)."""
+        if value < 0:
+            raise WireFormatError(f"uvarint must be non-negative: {value}")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self.write_bytes(bytes(out))
+
+    def write_len_bytes(self, data: bytes) -> None:
+        self.write_uvarint(len(data))
+        self.write_bytes(data)
+
+    def write_str(self, text: str) -> None:
+        self.write_len_bytes(text.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        if len(self._chunks) > 1:
+            joined = b"".join(self._chunks)
+            self._chunks = [joined]
+        return self._chunks[0] if self._chunks else b""
+
+
+class BufferReader:
+    """A sequential reader over a bytes object with bounds checking."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0 or self._pos + count > len(self._data):
+            raise WireFormatError(
+                f"truncated stream: need {count} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return out
+
+    def read_u8(self) -> int:
+        return _U8.unpack(self.read_bytes(1))[0]
+
+    def read_u32(self) -> int:
+        return _U32.unpack(self.read_bytes(4))[0]
+
+    def read_i64(self) -> int:
+        return _I64.unpack(self.read_bytes(8))[0]
+
+    def read_f64(self) -> float:
+        return _F64.unpack(self.read_bytes(8))[0]
+
+    def read_uvarint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if shift > 70:
+                raise WireFormatError("uvarint too long (corrupt stream)")
+            byte = self.read_u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def read_varint(self) -> int:
+        raw = self.read_uvarint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def read_len_bytes(self) -> bytes:
+        return self.read_bytes(self.read_uvarint())
+
+    def read_str(self) -> str:
+        try:
+            return self.read_len_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8 in string: {exc}") from exc
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise WireFormatError(f"{self.remaining} trailing bytes after payload")

@@ -1,0 +1,30 @@
+"""Clock abstraction so lease logic is testable without sleeping."""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Wall-clock seconds; the production default."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """A clock tests advance by hand."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+
+
+SYSTEM_CLOCK = Clock()

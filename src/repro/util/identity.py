@@ -1,0 +1,132 @@
+"""Identity-keyed collections.
+
+Graph algorithms over arbitrary user objects must key on *object identity*,
+never on equality: user classes may define ``__eq__``/``__hash__`` in ways
+that conflate distinct nodes (or raise), and unhashable objects (lists,
+dicts) appear as graph nodes all the time. ``IdentityMap`` and
+``IdentitySet`` key on ``id(obj)`` while holding a strong reference to the
+object itself so the id cannot be recycled by the allocator mid-algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterable, Iterator, Tuple, TypeVar
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class IdentityMap(Generic[V]):
+    """A mapping keyed on object identity.
+
+    Unlike ``dict``, keys never need to be hashable and two equal-but-distinct
+    objects get distinct entries. Iteration order is insertion order.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        # id -> (key_object, value). Keeping key_object pins the id.
+        self._entries: dict[int, Tuple[Any, V]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return id(key) in self._entries
+
+    def __getitem__(self, key: object) -> V:
+        try:
+            return self._entries[id(key)][1]
+        except KeyError:
+            raise KeyError(f"object {type(key).__name__} id={id(key)} not in IdentityMap") from None
+
+    def __setitem__(self, key: object, value: V) -> None:
+        self._entries[id(key)] = (key, value)
+
+    def __delitem__(self, key: object) -> None:
+        try:
+            del self._entries[id(key)]
+        except KeyError:
+            raise KeyError(f"object {type(key).__name__} id={id(key)} not in IdentityMap") from None
+
+    def get(self, key: object, default: Any = None) -> Any:
+        entry = self._entries.get(id(key), _MISSING)
+        if entry is _MISSING:
+            return default
+        return entry[1]
+
+    def setdefault(self, key: object, default: V) -> V:
+        entry = self._entries.get(id(key), _MISSING)
+        if entry is _MISSING:
+            self._entries[id(key)] = (key, default)
+            return default
+        return entry[1]
+
+    def pop(self, key: object, default: Any = _MISSING) -> Any:
+        entry = self._entries.pop(id(key), _MISSING)
+        if entry is _MISSING:
+            if default is _MISSING:
+                raise KeyError(f"object id={id(key)} not in IdentityMap")
+            return default
+        return entry[1]
+
+    def keys(self) -> Iterator[Any]:
+        for key_obj, _value in self._entries.values():
+            yield key_obj
+
+    def values(self) -> Iterator[V]:
+        for _key_obj, value in self._entries.values():
+            yield value
+
+    def items(self) -> Iterator[Tuple[Any, V]]:
+        for key_obj, value in self._entries.values():
+            yield key_obj, value
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.keys()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"IdentityMap({len(self)} entries)"
+
+
+class IdentitySet:
+    """A set keyed on object identity; members need not be hashable."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._entries: dict[int, Any] = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: object) -> bool:
+        return id(item) in self._entries
+
+    def add(self, item: object) -> None:
+        self._entries[id(item)] = item
+
+    def discard(self, item: object) -> None:
+        self._entries.pop(id(item), None)
+
+    def remove(self, item: object) -> None:
+        try:
+            del self._entries[id(item)]
+        except KeyError:
+            raise KeyError(f"object id={id(item)} not in IdentitySet") from None
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(list(self._entries.values()))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"IdentitySet({len(self)} entries)"

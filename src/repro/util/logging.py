@@ -1,0 +1,37 @@
+"""Logging conventions for the middleware.
+
+Every subsystem logs under the ``repro`` namespace with a stable child
+name (``repro.rmi.dispatcher``, ``repro.nrmi.invocation``, ...), so a
+deployment can dial verbosity per layer:
+
+    import logging
+    logging.getLogger("repro.rmi").setLevel(logging.DEBUG)
+
+Nothing is configured by default (library rule: never touch the root
+logger); :func:`enable_debug_logging` is a convenience for development.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the library namespace: ``get_logger("rmi.dispatcher")``."""
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_debug_logging(level: int = logging.DEBUG) -> logging.Handler:
+    """Attach a stderr handler to the library namespace (development aid)."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

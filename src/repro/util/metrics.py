@@ -1,0 +1,65 @@
+"""Lightweight metrics: counters grouped into a registry.
+
+The benchmark harness uses these to report bytes-on-wire, round trips, and
+DGC behaviour alongside wall-clock time; tests use them to assert protocol
+properties (e.g. "no network traffic during remote method execution").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A thread-safe monotonic counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def add(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class MetricsRegistry:
+    """A named collection of counters, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = Counter(name)
+                self._counters[name] = counter
+            return counter
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    def reset_all(self) -> None:
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.snapshot().items())

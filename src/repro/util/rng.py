@@ -1,0 +1,52 @@
+"""Deterministic random-number helper for workload generation.
+
+Benchmarks and property tests need reproducible "random" trees and mutation
+programs: the paper's benchmarks are randomly generated, but a reproduction
+must be able to regenerate the exact workload for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRandom:
+    """A seeded RNG facade exposing just the operations workloads need."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def chance(self, probability: float) -> bool:
+        return self._rng.random() < probability
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], count: int) -> list[T]:
+        count = min(count, len(seq))
+        return self._rng.sample(list(seq), count)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def fork(self, label: str) -> "DeterministicRandom":
+        """Derive an independent child stream (stable for a given label).
+
+        Uses CRC32, not ``hash()``: Python string hashing is randomized
+        per process, and forked streams must agree across processes so a
+        remote mutator and its local oracle draw identical decisions.
+        """
+        label_digest = zlib.crc32(label.encode("utf-8"))
+        child_seed = (self.seed * 1000003 + label_digest) & 0x7FFFFFFF
+        return DeterministicRandom(child_seed)

@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint
+from repro.serde.registry import global_registry
+from repro.transport.resolver import ChannelResolver
+
+_unique_counter = itertools.count()
+
+
+def fresh_class(name_hint: str, bases: tuple = (), namespace: dict | None = None) -> type:
+    """Create and register a uniquely named class (tests re-run safely).
+
+    Classes defined inside test functions share qualified names across
+    runs; the global registry rejects re-registering a name for a
+    different class object, so test classes get unique registry names.
+    """
+    from repro.core.markers import Serializable
+
+    suffix = next(_unique_counter)
+    cls = type(f"{name_hint}_{suffix}", bases, dict(namespace or {}))
+    if not issubclass(cls, Serializable):
+        # Marker subclasses self-register via __init_subclass__.
+        global_registry.register(cls, name=f"tests.{name_hint}_{suffix}")
+    return cls
+
+
+class EndpointPair:
+    """A private two-endpoint world for one test."""
+
+    def __init__(
+        self,
+        server_config: NRMIConfig | None = None,
+        client_config: NRMIConfig | None = None,
+    ) -> None:
+        self.resolver = ChannelResolver()
+        self.server = Endpoint(
+            name="test-server", config=server_config, resolver=self.resolver
+        )
+        self.client = Endpoint(
+            name="test-client", config=client_config, resolver=self.resolver
+        )
+
+    def serve(self, service, name: str = "svc"):
+        self.server.bind(name, service)
+        return self.client.lookup(self.server.address, name)
+
+    def close(self) -> None:
+        self.client.close()
+        self.server.close()
+        self.resolver.close_all()
+
+
+@pytest.fixture
+def endpoint_pair():
+    """Default-config endpoint pair with automatic teardown."""
+    pair = EndpointPair()
+    yield pair
+    pair.close()
+
+
+@pytest.fixture
+def make_endpoint_pair():
+    """Factory fixture for pairs with custom configs."""
+    pairs: list[EndpointPair] = []
+
+    def factory(server_config=None, client_config=None) -> EndpointPair:
+        pair = EndpointPair(server_config, client_config)
+        pairs.append(pair)
+        return pair
+
+    yield factory
+    for pair in pairs:
+        pair.close()

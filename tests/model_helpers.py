@@ -1,0 +1,60 @@
+"""Model classes and graph utilities shared by many tests.
+
+Defined at module level so marker auto-registration happens exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.core.markers import Restorable, Serializable
+from repro.serde.accessors import OPTIMIZED_ACCESSOR
+from repro.serde.kinds import Kind, classify
+from repro.util.identity import IdentityMap
+
+
+class Node(Restorable):
+    """A general graph node used across the suite."""
+
+    def __init__(self, data: Any = None, next: "Node" = None) -> None:
+        self.data = data
+        self.next = next
+
+    def __repr__(self) -> str:
+        return f"Node({self.data!r})"
+
+
+class Pair(Serializable):
+    """A by-copy two-field record."""
+
+    def __init__(self, first: Any = None, second: Any = None) -> None:
+        self.first = first
+        self.second = second
+
+
+class SlottedPoint(Serializable):
+    """A __slots__ class (no instance dict)."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: int = 0, y: int = 0) -> None:
+        self.x = x
+        self.y = y
+
+
+class Box(Restorable):
+    """A restorable wrapper holding arbitrary payload."""
+
+    def __init__(self, payload: Any = None) -> None:
+        self.payload = payload
+
+
+def heap_fingerprint(roots: List[Any]) -> Tuple:
+    """An isomorphism-stable projection of the heap reachable from *roots*.
+
+    Thin wrapper over :func:`repro.core.verify.fingerprint` (the library
+    feature) kept under the test-suite's historical name.
+    """
+    from repro.core.verify import fingerprint
+
+    return fingerprint(roots)

@@ -1,0 +1,201 @@
+"""Call batching and remote interface contracts."""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import RemoteError, RemoteInvocationError
+from repro.nrmi.interfaces import (
+    CheckedStub,
+    interface_methods,
+    validate_implementation,
+)
+
+from tests.model_helpers import Box, Node
+
+
+class MathService(Remote):
+    def add(self, a, b):
+        return a + b
+
+    def bump(self, box):
+        box.payload += 1
+        return box.payload
+
+    def fail(self):
+        raise ValueError("batched failure")
+
+
+class TestBatching:
+    def test_results_after_flush(self, endpoint_pair):
+        service = endpoint_pair.serve(MathService())
+        with endpoint_pair.client.batch() as batch:
+            first = batch.call(service, "add", 1, 2)
+            second = batch.call(service, "add", 10, 20)
+            assert not first.done
+        assert first.result() == 3
+        assert second.result() == 30
+
+    def test_one_round_trip_for_many_calls(self, endpoint_pair):
+        service = endpoint_pair.serve(MathService())
+        channel = endpoint_pair.client.channel_to(endpoint_pair.server.address)
+        before = channel.stats.snapshot()["requests"]
+        with endpoint_pair.client.batch() as batch:
+            handles = [batch.call(service, "add", i, i) for i in range(10)]
+        after = channel.stats.snapshot()["requests"]
+        assert after - before == 1
+        assert [handle.result() for handle in handles] == [i * 2 for i in range(10)]
+
+    def test_copy_restore_applies_per_batched_call(self, endpoint_pair):
+        service = endpoint_pair.serve(MathService())
+        boxes = [Box(i) for i in range(4)]
+        with endpoint_pair.client.batch() as batch:
+            handles = [batch.call(service, "bump", box) for box in boxes]
+        assert [handle.result() for handle in handles] == [1, 2, 3, 4]
+        assert [box.payload for box in boxes] == [1, 2, 3, 4]
+
+    def test_per_call_failures_isolated(self, endpoint_pair):
+        service = endpoint_pair.serve(MathService())
+        with endpoint_pair.client.batch() as batch:
+            good = batch.call(service, "add", 1, 1)
+            bad = batch.call(service, "fail")
+            also_good = batch.call(service, "add", 2, 2)
+        assert good.result() == 2
+        assert also_good.result() == 4
+        with pytest.raises(RemoteInvocationError):
+            bad.result()
+
+    def test_result_before_flush_raises(self, endpoint_pair):
+        service = endpoint_pair.serve(MathService())
+        batch = endpoint_pair.client.batch()
+        handle = batch.call(service, "add", 1, 1)
+        with pytest.raises(RemoteError):
+            handle.result()
+        batch.flush()
+        assert handle.result() == 2
+
+    def test_call_after_flush_rejected(self, endpoint_pair):
+        service = endpoint_pair.serve(MathService())
+        batch = endpoint_pair.client.batch()
+        batch.flush()
+        with pytest.raises(RemoteError):
+            batch.call(service, "add", 1, 1)
+
+    def test_exception_in_with_block_skips_flush(self, endpoint_pair):
+        service = endpoint_pair.serve(MathService())
+        with pytest.raises(RuntimeError):
+            with endpoint_pair.client.batch() as batch:
+                handle = batch.call(service, "add", 1, 1)
+                raise RuntimeError("abort the batch")
+        assert not handle.done
+
+    def test_empty_batch_flushes_cleanly(self, endpoint_pair):
+        with endpoint_pair.client.batch() as batch:
+            pass
+        assert len(batch) == 0
+
+    def test_batch_marshals_at_queue_time(self, endpoint_pair):
+        """Later local mutation must not leak into a queued call."""
+        service = endpoint_pair.serve(MathService())
+        box = Box(0)
+        batch = endpoint_pair.client.batch()
+        handle = batch.call(service, "bump", box)
+        box.payload = 100  # after queueing: the queued call saw 0...
+        batch.flush()
+        assert handle.result() == 1
+        assert box.payload == 1  # ...and restore overwrote the local edit
+
+
+class PricingContract:
+    def price(self, cart): ...
+
+    def quote(self, sku, quantity): ...
+
+
+class GoodPricing(Remote):
+    def price(self, cart):
+        return 100
+
+    def quote(self, sku, quantity):
+        return sku * quantity
+
+    def internal_audit(self):  # NOT in the contract
+        return "secret"
+
+
+class MissingMethod(Remote):
+    def price(self, cart):
+        return 1
+
+
+class WrongArity(Remote):
+    def price(self, cart, extra_required):
+        return 1
+
+    def quote(self, sku, quantity):
+        return 1
+
+
+class TestInterfaceValidation:
+    def test_interface_methods_collected(self):
+        assert interface_methods(PricingContract) == {"price", "quote"}
+
+    def test_empty_interface_rejected(self):
+        class Empty:
+            pass
+
+        with pytest.raises(RemoteError):
+            interface_methods(Empty)
+
+    def test_valid_implementation_passes(self):
+        methods = validate_implementation(GoodPricing(), PricingContract)
+        assert methods == {"price", "quote"}
+
+    def test_missing_method_detected(self):
+        with pytest.raises(RemoteError, match="missing: quote"):
+            validate_implementation(MissingMethod(), PricingContract)
+
+    def test_wrong_arity_detected(self):
+        with pytest.raises(RemoteError, match="incompatible signature"):
+            validate_implementation(WrongArity(), PricingContract)
+
+    def test_var_positional_impl_accepted(self):
+        class Flexible(Remote):
+            def price(self, *args):
+                return 0
+
+            def quote(self, *args, **kwargs):
+                return 0
+
+        validate_implementation(Flexible(), PricingContract)
+
+
+class TestInterfaceEnforcement:
+    def test_contract_methods_callable(self, endpoint_pair):
+        endpoint_pair.server.bind("pricing", GoodPricing(), interface=PricingContract)
+        stub = endpoint_pair.client.lookup(endpoint_pair.server.address, "pricing")
+        assert stub.quote(3, 4) == 12
+
+    def test_off_contract_method_refused(self, endpoint_pair):
+        endpoint_pair.server.bind("pricing", GoodPricing(), interface=PricingContract)
+        stub = endpoint_pair.client.lookup(endpoint_pair.server.address, "pricing")
+        with pytest.raises((RemoteError, RemoteInvocationError), match="interface"):
+            stub.internal_audit()
+
+    def test_unrestricted_binding_allows_everything(self, endpoint_pair):
+        endpoint_pair.server.bind("pricing", GoodPricing())
+        stub = endpoint_pair.client.lookup(endpoint_pair.server.address, "pricing")
+        assert stub.internal_audit() == "secret"
+
+    def test_invalid_impl_rejected_at_bind(self, endpoint_pair):
+        with pytest.raises(RemoteError):
+            endpoint_pair.server.bind(
+                "pricing", MissingMethod(), interface=PricingContract
+            )
+
+    def test_checked_stub_client_side(self, endpoint_pair):
+        endpoint_pair.server.bind("pricing", GoodPricing(), interface=PricingContract)
+        stub = endpoint_pair.client.lookup(endpoint_pair.server.address, "pricing")
+        checked = CheckedStub(stub, PricingContract)
+        assert checked.quote(2, 5) == 10
+        with pytest.raises(AttributeError):
+            checked.internal_audit

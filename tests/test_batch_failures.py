@@ -1,0 +1,117 @@
+"""Batch failure modes: dead endpoints, transport faults, reply mismatch."""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import RemoteError, TransportError
+from repro.nrmi.runtime import Endpoint
+from repro.transport.fault import FaultInjectingChannel
+from repro.transport.resolver import ChannelResolver
+
+from tests.model_helpers import Box
+
+
+class Adder(Remote):
+    def add(self, a, b):
+        return a + b
+
+
+class TestBatchTransportFailures:
+    def _world(self):
+        resolver = ChannelResolver()
+        server = Endpoint(name="bf-server", resolver=resolver)
+        client = Endpoint(name="bf-client", resolver=resolver)
+        faulty = {}
+
+        def wrap(inner):
+            channel = FaultInjectingChannel(inner, failure_rate=0.0)
+            faulty["channel"] = channel
+            return channel
+
+        resolver.set_wrapper(server.address, wrap)
+        server.bind("adder", Adder())
+        service = client.lookup(server.address, "adder")
+        return resolver, server, client, service, faulty
+
+    def test_transport_failure_fans_out_to_all_handles(self):
+        resolver, server, client, service, faulty = self._world()
+        try:
+            batch = client.batch()
+            handles = [batch.call(service, "add", i, i) for i in range(5)]
+            faulty["channel"].fail_next()
+            batch.flush()
+            for handle in handles:
+                assert handle.done
+                with pytest.raises(TransportError):
+                    handle.result()
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+
+    def test_batch_to_two_endpoints_fails_independently(self):
+        resolver = ChannelResolver()
+        healthy_server = Endpoint(name="healthy", resolver=resolver)
+        dying_server = Endpoint(name="dying", resolver=resolver)
+        client = Endpoint(name="bclient", resolver=resolver)
+        try:
+            healthy_server.bind("adder", Adder())
+            dying_server.bind("adder", Adder())
+            healthy = client.lookup(healthy_server.address, "adder")
+            dying = client.lookup(dying_server.address, "adder")
+
+            batch = client.batch()
+            ok_handle = batch.call(healthy, "add", 1, 1)
+            dead_handle = batch.call(dying, "add", 2, 2)
+            dying_server.close()  # dies before flush
+            batch.flush()
+
+            assert ok_handle.result() == 2
+            with pytest.raises(TransportError):
+                dead_handle.result()
+        finally:
+            client.close()
+            healthy_server.close()
+            resolver.close_all()
+
+    def test_reply_count_mismatch_detected(self, endpoint_pair):
+        """A buggy/hostile server answering with the wrong number of
+        sub-responses must fail every handle, not crash or misattribute."""
+        from repro.nrmi.batch import CallBatch
+        from repro.rmi.protocol import encode_batch_responses, ok_response
+        from repro.transport.inproc import InProcChannel
+
+        service = endpoint_pair.serve(Adder())
+
+        class LyingChannel(InProcChannel):
+            def request(self, payload: bytes) -> bytes:
+                return ok_response(encode_batch_responses([ok_response(b"\x00")]))
+
+        batch = endpoint_pair.client.batch()
+        one = batch.call(service, "add", 1, 1)
+        two = batch.call(service, "add", 2, 2)
+        # Swap the channel under the batch for the lying one.
+        lying = LyingChannel(lambda data: b"")
+        endpoint_pair.client.resolver._channels[
+            endpoint_pair.server.address
+        ] = lying
+        try:
+            batch.flush()
+        finally:
+            endpoint_pair.client.resolver.drop(endpoint_pair.server.address)
+        for handle in (one, two):
+            with pytest.raises(RemoteError, match="carries 1 results"):
+                handle.result()
+
+    def test_double_flush_is_idempotent(self, endpoint_pair):
+        service = endpoint_pair.serve(Adder())
+        batch = endpoint_pair.client.batch()
+        handle = batch.call(service, "add", 3, 4)
+        batch.flush()
+        batch.flush()
+        assert handle.result() == 7
+
+    def test_non_stub_rejected(self, endpoint_pair):
+        batch = endpoint_pair.client.batch()
+        with pytest.raises(RemoteError):
+            batch.call("not-a-stub", "add", 1, 2)

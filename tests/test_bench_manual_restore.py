@@ -1,0 +1,137 @@
+"""The by-hand emulation must meet the paper's invariant, and its cost in
+lines of code must match Section 5.3.2's accounting."""
+
+import pytest
+
+from repro.bench.manual_restore import (
+    ManualTreeService,
+    build_shadow,
+    count_manual_loc,
+    loc_per_scenario,
+    manual_call,
+)
+from repro.bench.mutators import mutator_for
+from repro.bench.trees import TreeNode, generate_workload
+from repro.core.markers import Remote
+from repro.nrmi.config import NRMIConfig
+
+
+def local_oracle(scenario, size, seed):
+    """What a local call would leave the caller observing."""
+    workload = generate_workload(scenario, size, seed)
+    mutator_for(scenario)(workload.root, seed)
+    return workload.visible_data()
+
+
+@pytest.fixture
+def rmi_pair(make_endpoint_pair):
+    """Plain call-by-copy endpoints (policy none), as the emulation needs."""
+    config = NRMIConfig(policy="none")
+    pair = make_endpoint_pair(server_config=config, client_config=config)
+    pair.service = pair.serve(ManualTreeService(), name="manual")
+    return pair
+
+
+class TestInvariant:
+    """Paper 5.3.2: *all* changes must be visible to the caller."""
+
+    @pytest.mark.parametrize("scenario", ["I", "II", "III"])
+    @pytest.mark.parametrize("size", [4, 16, 64])
+    def test_manual_call_matches_local_execution(self, rmi_pair, scenario, size):
+        for seed in (1, 2, 3):
+            workload = generate_workload(scenario, size, seed)
+            manual_call(rmi_pair.service, workload, seed)
+            assert workload.visible_data() == local_oracle(scenario, size, seed)
+
+    def test_scenario_ii_aliases_track_data_changes(self, rmi_pair):
+        workload = generate_workload("II", 32, seed=5)
+        oracle = local_oracle("II", 32, 5)
+        manual_call(rmi_pair.service, workload, 5)
+        _shape, alias_view = workload.visible_data()
+        assert alias_view == oracle[1]
+
+    def test_scenario_iii_aliases_track_structure_changes(self, rmi_pair):
+        workload = generate_workload("III", 64, seed=6)
+        oracle = local_oracle("III", 64, 6)
+        manual_call(rmi_pair.service, workload, 6)
+        assert workload.visible_data() == oracle
+
+    def test_manual_call_returns_method_result(self, rmi_pair):
+        workload = generate_workload("I", 16, seed=7)
+        result = manual_call(rmi_pair.service, workload, 7)
+        assert isinstance(result, int)
+        assert result > 0
+
+
+class TestShadowTree:
+    def test_shadow_is_isomorphic(self):
+        workload = generate_workload("III", 32, seed=8)
+        shadow = build_shadow(workload.root)
+        stack = [(workload.root, shadow)]
+        count = 0
+        while stack:
+            node, shadow_node = stack.pop()
+            if node is None:
+                assert shadow_node is None
+                continue
+            assert shadow_node.ref is node
+            count += 1
+            stack.append((node.left, shadow_node.left))
+            stack.append((node.right, shadow_node.right))
+        assert count == 32
+
+    def test_shadow_of_empty(self):
+        assert build_shadow(None) is None
+
+    def test_shadow_refs_survive_mutation(self):
+        workload = generate_workload("III", 16, seed=9)
+        original_nodes = set(map(id, workload.nodes_in_order()))
+        shadow = build_shadow(workload.root)
+        mutator_for("III")(workload.root, 9)
+        refs = set()
+        stack = [shadow]
+        while stack:
+            shadow_node = stack.pop()
+            if shadow_node is None:
+                continue
+            refs.add(id(shadow_node.ref))
+            stack.append(shadow_node.left)
+            stack.append(shadow_node.right)
+        assert refs == original_nodes  # shadow still reaches every old node
+
+
+class TestLocAccounting:
+    """The reproduction of the paper's ≈45 / +16 / +35 line counts."""
+
+    def test_sections_present(self):
+        sections = count_manual_loc()
+        assert set(sections) >= {
+            "return-types",
+            "server-return",
+            "client-update",
+            "client-walk",
+            "client-shadow-walk",
+            "server-shadow",
+        }
+
+    def test_scenario_ordering(self):
+        loc = loc_per_scenario()
+        assert loc["I"] < loc["II"] < loc["III"]
+
+    def test_magnitudes_match_paper(self):
+        """Same order of magnitude as the paper's Java counts (Python is
+        terser than Java, so exact equality is not expected)."""
+        loc = loc_per_scenario()
+        assert 15 <= loc["I"] <= 70        # paper: ~45
+        assert loc["II"] - loc["I"] >= 5   # paper: +16
+        assert loc["III"] - loc["II"] >= 10  # paper: +35
+
+    def test_nrmi_needs_none_of_it(self, make_endpoint_pair):
+        """The NRMI version of the same call is zero extra lines."""
+        from repro.bench.mutators import TreeService
+
+        pair = make_endpoint_pair()
+        service = pair.serve(TreeService(), name="trees")
+        workload = generate_workload("III", 32, seed=10)
+        service.mutate("III", workload.root, 10)   # that's the whole call
+        assert workload.visible_data() == local_oracle("III", 32, 10)

@@ -1,0 +1,128 @@
+"""Benchmark workload generation and mutators."""
+
+import pytest
+
+from repro.bench.mutators import mutate_data, mutate_structure, mutator_for
+from repro.bench.trees import (
+    ALIAS_FRACTION,
+    SCENARIOS,
+    TreeNode,
+    generate_workload,
+)
+
+from tests.model_helpers import heap_fingerprint
+
+
+def tree_nodes(root):
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        out.append(node)
+        stack.append(node.right)
+        stack.append(node.left)
+    return out
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("size", [1, 2, 16, 64, 257])
+    def test_exact_node_count(self, size):
+        workload = generate_workload("I", size, seed=1)
+        assert len(tree_nodes(workload.root)) == size
+
+    def test_deterministic_for_seed(self):
+        a = generate_workload("III", 64, seed=7)
+        b = generate_workload("III", 64, seed=7)
+        assert heap_fingerprint([a.root]) == heap_fingerprint([b.root])
+        assert [n.data for n in a.aliases] == [n.data for n in b.aliases]
+
+    def test_different_seeds_differ(self):
+        a = generate_workload("III", 64, seed=1)
+        b = generate_workload("III", 64, seed=2)
+        assert heap_fingerprint([a.root]) != heap_fingerprint([b.root])
+
+    def test_scenario_i_has_no_aliases(self):
+        assert generate_workload("I", 32, seed=1).aliases == []
+
+    @pytest.mark.parametrize("scenario", ["II", "III"])
+    def test_aliased_scenarios_have_aliases(self, scenario):
+        workload = generate_workload(scenario, 64, seed=3)
+        expected = max(1, int(64 * ALIAS_FRACTION))
+        assert len(workload.aliases) == expected
+        node_ids = {id(n) for n in tree_nodes(workload.root)}
+        assert all(id(alias) in node_ids for alias in workload.aliases)
+
+    def test_root_never_aliased(self):
+        workload = generate_workload("III", 64, seed=3)
+        assert all(alias is not workload.root for alias in workload.aliases)
+
+    def test_invalid_scenario(self):
+        with pytest.raises(ValueError):
+            generate_workload("IV", 16, seed=1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_workload("I", 0, seed=1)
+
+    def test_nodes_in_order_deterministic(self):
+        workload = generate_workload("II", 32, seed=5)
+        assert [n.data for n in workload.nodes_in_order()] == [
+            n.data for n in workload.nodes_in_order()
+        ]
+
+    def test_visible_data_covers_aliases(self):
+        workload = generate_workload("II", 32, seed=5)
+        shape, alias_view = workload.visible_data()
+        assert len(alias_view) == len(workload.aliases)
+        assert len([x for x in shape if x is not None]) == 32
+
+
+class TestMutators:
+    def test_mutate_data_changes_values_not_structure(self):
+        workload = generate_workload("II", 64, seed=9)
+        before_shape = [
+            (node.left is not None, node.right is not None)
+            for node in workload.nodes_in_order()
+        ]
+        changed = mutate_data(workload.root, seed=9)
+        after_shape = [
+            (node.left is not None, node.right is not None)
+            for node in workload.nodes_in_order()
+        ]
+        assert changed > 0
+        assert before_shape == after_shape
+
+    def test_mutate_data_deterministic(self):
+        a = generate_workload("II", 64, seed=9)
+        b = generate_workload("II", 64, seed=9)
+        mutate_data(a.root, seed=4)
+        mutate_data(b.root, seed=4)
+        assert heap_fingerprint([a.root]) == heap_fingerprint([b.root])
+
+    def test_mutate_structure_deterministic(self):
+        a = generate_workload("III", 64, seed=9)
+        b = generate_workload("III", 64, seed=9)
+        mutate_structure(a.root, seed=4)
+        mutate_structure(b.root, seed=4)
+        assert heap_fingerprint([a.root]) == heap_fingerprint([b.root])
+
+    def test_mutate_structure_allocates_new_nodes(self):
+        workload = generate_workload("III", 128, seed=11)
+        before = {id(n) for n in tree_nodes(workload.root)}
+        mutate_structure(workload.root, seed=11)
+        after_nodes = tree_nodes(workload.root)
+        assert any(id(n) not in before for n in after_nodes)
+        assert any(n.data > 20_000 for n in after_nodes)  # spliced payloads
+
+    def test_root_object_remains_root(self):
+        workload = generate_workload("III", 32, seed=13)
+        root = workload.root
+        mutate_structure(root, seed=13)
+        assert workload.root is root
+
+    def test_mutator_for_mapping(self):
+        assert mutator_for("I") is mutate_structure
+        assert mutator_for("II") is mutate_data
+        assert mutator_for("III") is mutate_structure

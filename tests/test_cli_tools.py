@@ -1,0 +1,117 @@
+"""CLI entry points: the one-shot client, server arg handling."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.nrmi.client_main import main as client_main, render
+from repro.nrmi.runtime import Endpoint
+from repro.nrmi.server_main import build_parser, instantiate
+from repro.transport.resolver import ChannelResolver
+
+
+class CalcService(Remote):
+    def add(self, a, b):
+        return a + b
+
+    def record(self, items):
+        return {"count": len(items), "items": items}
+
+
+@pytest.fixture
+def tcp_service():
+    resolver = ChannelResolver()
+    server = Endpoint(name="cli-server", resolver=resolver)
+    server.bind("calc", CalcService())
+    address = server.serve_tcp()
+    yield address
+    server.close()
+    resolver.close_all()
+
+
+class TestClientCli:
+    def test_invoke_with_json_args(self, tcp_service, capsys):
+        code = client_main(
+            ["--address", tcp_service, "--name", "calc",
+             "--method", "add", "--args", "[19, 23]"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == 42
+
+    def test_structured_args_and_result(self, tcp_service, capsys):
+        code = client_main(
+            ["--address", tcp_service, "--name", "calc",
+             "--method", "record", "--args", '[["a", "b"]]']
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == {
+            "count": 2, "items": ["a", "b"]
+        }
+
+    def test_list_bindings(self, tcp_service, capsys):
+        assert client_main(["--address", tcp_service, "--list"]) == 0
+        assert json.loads(capsys.readouterr().out) == ["calc"]
+
+    def test_ping(self, tcp_service, capsys):
+        assert client_main(["--address", tcp_service, "--ping"]) == 0
+        assert "alive" in capsys.readouterr().out
+
+    def test_missing_method_arg(self, tcp_service, capsys):
+        assert client_main(["--address", tcp_service, "--name", "calc"]) == 2
+
+    def test_invalid_json_args(self, tcp_service):
+        assert (
+            client_main(
+                ["--address", tcp_service, "--name", "calc",
+                 "--method", "add", "--args", "not-json"]
+            )
+            == 2
+        )
+
+    def test_non_array_args(self, tcp_service):
+        assert (
+            client_main(
+                ["--address", tcp_service, "--name", "calc",
+                 "--method", "add", "--args", '{"a": 1}']
+            )
+            == 2
+        )
+
+    def test_render_falls_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert render(Odd()) == "<odd>"
+
+
+class TestServerCliParsing:
+    def test_parser_requires_bind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_instantiate(self):
+        service = instantiate("repro.bench.mutators", "TreeService")
+        assert type(service).__name__ == "TreeService"
+
+    def test_instantiate_missing_attr(self):
+        with pytest.raises(ValueError):
+            instantiate("repro.bench.mutators", "NoSuchClass")
+
+    def test_instantiate_missing_module(self):
+        with pytest.raises(ModuleNotFoundError):
+            instantiate("repro.no_such_module", "X")
+
+    def test_cli_end_to_end_subprocess(self, tcp_service):
+        """The client CLI as a real subprocess against a live server."""
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.nrmi.client_main",
+             "--address", tcp_service, "--name", "calc",
+             "--method", "add", "--args", "[1, 2]"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert json.loads(completed.stdout) == 3

@@ -1,0 +1,237 @@
+"""The restore engine (steps 5-6) at unit level.
+
+These tests drive RestoreEngine directly with hand-built original/modified
+pairs, checking in-place overwrite, pointer conversion, new-object
+adoption, immutable rebuilding, and the hashed-container ordering rules.
+"""
+
+import pytest
+
+from repro.core.copy_restore import RestoreEngine
+from repro.core.matching import match_maps
+from repro.serde.accessors import PORTABLE_ACCESSOR
+from repro.util.identity import IdentitySet
+
+from tests.model_helpers import Box, Node, Pair
+
+
+def restore(originals, modifieds, result=None, engine=None, skip=None):
+    engine = engine or RestoreEngine()
+    match = match_maps(originals, modifieds)
+    return engine.restore(match, result, skip=skip)
+
+
+class TestObjectOverwrite:
+    def test_field_value_overwritten_in_place(self):
+        original, modified = Node(1), Node(99)
+        restore([original], [modified])
+        assert original.data == 99
+
+    def test_identity_of_original_preserved(self):
+        original, modified = Node(1), Node(2)
+        alias = original
+        restore([original], [modified])
+        assert alias is original
+        assert alias.data == 2
+
+    def test_pointer_to_old_object_converted(self):
+        orig_a, orig_b = Node("a"), Node("b")
+        mod_a, mod_b = Node("a"), Node("b")
+        mod_a.next = mod_b  # server linked a to b
+        restore([orig_a, orig_b], [mod_a, mod_b])
+        assert orig_a.next is orig_b  # NOT mod_b
+
+    def test_new_field_added(self):
+        original = Box(1)
+        modified = Box(1)
+        modified.added = "new"
+        restore([original], [modified])
+        assert original.added == "new"
+
+    def test_stale_field_removed(self):
+        original = Box(1)
+        original.stale = "old"
+        modified = Box(2)
+        restore([original], [modified])
+        assert not hasattr(original, "stale")
+        assert original.payload == 2
+
+    def test_stats_count_old_and_new(self):
+        orig = Node(1)
+        mod = Node(2, next=Node("fresh"))
+        _result, stats = restore([orig], [mod])
+        assert stats.old_overwritten == 1
+        assert stats.new_adopted == 1
+
+
+class TestNewObjects:
+    def test_new_object_adopted_with_converted_pointers(self):
+        orig = Node("old")
+        mod = Node("old-changed")
+        fresh = Node("fresh", next=mod)  # new node points at modified old
+        result, _stats = restore([orig], [mod], result=fresh)
+        assert result is fresh
+        assert fresh.next is orig  # converted to the original
+
+    def test_chain_of_new_objects(self):
+        orig = Node(0)
+        mod = Node(0)
+        chain = Node(1, Node(2, Node(3, mod)))
+        result, _ = restore([orig], [mod], result=chain)
+        assert result.next.next.next is orig
+
+    def test_result_that_is_modified_old_becomes_original(self):
+        orig, mod = Node(1), Node(2)
+        result, _ = restore([orig], [mod], result=mod)
+        assert result is orig
+
+
+class TestContainers:
+    def test_list_overwritten_in_place(self):
+        original, modified = [1, 2, 3], [9, 8]
+        restore([original], [modified])
+        assert original == [9, 8]
+
+    def test_list_pointer_conversion(self):
+        orig_node, mod_node = Node(1), Node(2)
+        original, modified = [], [mod_node]
+        restore([original, orig_node], [modified, mod_node])
+        assert original[0] is orig_node
+
+    def test_dict_rebuilt(self):
+        original = {"a": 1}
+        modified = {"b": 2, "c": 3}
+        restore([original], [modified])
+        assert original == {"b": 2, "c": 3}
+
+    def test_dict_object_keys_converted(self):
+        orig_key, mod_key = Node("k"), Node("k")
+        original, modified = {orig_key: 1}, {mod_key: 2}
+        restore([original, orig_key], [modified, mod_key])
+        assert original[orig_key] == 2
+        assert len(original) == 1
+
+    def test_set_rebuilt_with_converted_members(self):
+        orig_member, mod_member = Node("m"), Node("m")
+        original, modified = set(), {mod_member}
+        restore([original, orig_member], [modified, mod_member])
+        assert orig_member in original
+
+    def test_bytearray_overwritten(self):
+        original = bytearray(b"old")
+        modified = bytearray(b"newer")
+        restore([original], [modified])
+        assert original == bytearray(b"newer")
+
+    def test_value_hashed_key_rehashed_after_overwrite(self):
+        """Keys are inserted after field overwrites, so hashes are final."""
+
+        class ValueHashed(Box):
+            def __hash__(self):
+                return hash(self.payload)
+
+            def __eq__(self, other):
+                return isinstance(other, ValueHashed) and self.payload == other.payload
+
+        orig_key = ValueHashed("k1")
+        mod_key = ValueHashed("k2")  # server changed the key's payload
+        original_dict = {}
+        modified_dict = {mod_key: "v"}
+        restore([original_dict, orig_key], [modified_dict, mod_key])
+        assert orig_key.payload == "k2"
+        assert original_dict[orig_key] == "v"  # findable under the NEW hash
+
+
+class TestImmutables:
+    def test_tuple_rebuilt_with_converted_refs(self):
+        orig, mod = Node(1), Node(2)
+        original_box, modified_box = Box(None), Box((mod, "tag"))
+        restore([original_box, orig], [modified_box, mod])
+        assert original_box.payload[0] is orig
+        assert original_box.payload[1] == "tag"
+
+    def test_nested_tuples_converted(self):
+        orig, mod = Node(1), Node(2)
+        original_box, modified_box = Box(None), Box(((mod,), (mod,)))
+        restore([original_box, orig], [modified_box, mod])
+        assert original_box.payload[0][0] is orig
+        assert original_box.payload[1][0] is orig
+
+    def test_shared_tuple_rebuilt_once(self):
+        orig, mod = Node(1), Node(2)
+        shared = (mod,)
+        original_box, modified_box = Box(None), Box([shared, shared])
+        restore([original_box, orig], [modified_box, mod])
+        assert original_box.payload[0] is original_box.payload[1]
+
+    def test_frozenset_rebuilt(self):
+        original_box, modified_box = Box(None), Box(frozenset({1, 2}))
+        restore([original_box], [modified_box])
+        assert original_box.payload == frozenset({1, 2})
+
+    def test_stats_count_rebuilds(self):
+        orig, mod = Node(1), Node(2)
+        _result, stats = restore(
+            [Box(None), orig], [Box((mod,)), mod]
+        )
+        assert stats.immutables_rebuilt == 1
+
+
+class TestCyclesAndAliasing:
+    def test_cycle_in_modified_graph(self):
+        orig_a, orig_b = Node("a"), Node("b")
+        mod_a, mod_b = Node("a'"), Node("b'")
+        mod_a.next = mod_b
+        mod_b.next = mod_a
+        restore([orig_a, orig_b], [mod_a, mod_b])
+        assert orig_a.next is orig_b
+        assert orig_b.next is orig_a
+
+    def test_self_loop_created_by_server(self):
+        orig, mod = Node(1), Node(1)
+        mod.next = mod
+        restore([orig], [mod])
+        assert orig.next is orig
+
+    def test_unreachable_old_object_still_restored(self):
+        """The alias1/alias2 property: detached data must be updated."""
+        orig_root, orig_detached = Node("root"), Node("d")
+        orig_root.next = orig_detached
+        mod_root, mod_detached = Node("root'"), Node("d-changed")
+        mod_root.next = None  # server detached it...
+        # ...but the linear map retains it, so it still arrives.
+        restore([orig_root, orig_detached], [mod_root, mod_detached])
+        assert orig_root.next is None
+        assert orig_detached.data == "d-changed"
+
+
+class TestSkipAndOpaque:
+    def test_skip_objects_not_descended(self):
+        orig, mod = Node(1), Node(2)
+        untouchable = Box("keep")
+        mod.next = untouchable
+        skip = IdentitySet([untouchable])
+        restore([orig], [mod], skip=skip)
+        assert orig.next is untouchable
+        assert untouchable.payload == "keep"
+
+    def test_opaque_predicate_blocks_rewrite(self):
+        class Opaque(Box):
+            pass
+
+        engine = RestoreEngine(opaque=lambda o: isinstance(o, Opaque))
+        orig, mod = Node(1), Node(2)
+        sentinel = Opaque("s")
+        mod.next = sentinel
+        restore([orig], [mod], engine=engine)
+        assert orig.next is sentinel
+        assert sentinel.payload == "s"
+
+
+class TestEngineAccessors:
+    def test_portable_engine_equivalent(self):
+        engine = RestoreEngine(accessor=PORTABLE_ACCESSOR)
+        orig, mod = Node(1), Node(2, next=Node("new"))
+        restore([orig], [mod], engine=engine)
+        assert orig.data == 2
+        assert orig.next.data == "new"

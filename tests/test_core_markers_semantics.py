@@ -1,0 +1,82 @@
+"""Marker types and per-parameter passing-mode resolution (Section 5.1)."""
+
+import pytest
+
+from repro.core.markers import Remote, Restorable, Serializable, is_restorable
+from repro.core.semantics import PassingMode, resolve_mode, resolve_modes
+from repro.serde.registry import global_registry
+
+from tests.model_helpers import Box, Node, Pair
+
+
+class TestMarkers:
+    def test_restorable_extends_serializable(self):
+        """The paper: Restorable extends Serializable."""
+        assert issubclass(Restorable, Serializable)
+
+    def test_subclass_auto_registration(self):
+        class AutoReg(Serializable):
+            pass
+
+        assert global_registry.is_registered(AutoReg)
+
+    def test_deep_subclass_also_registered(self):
+        class Level1(Restorable):
+            pass
+
+        class Level2(Level1):
+            pass
+
+        assert global_registry.is_registered(Level2)
+
+    def test_is_restorable(self):
+        assert is_restorable(Node(1))
+        assert not is_restorable(Pair(1, 2))
+        assert not is_restorable([1, 2])
+        assert not is_restorable(42)
+
+
+class TestModeResolution:
+    def test_primitives_by_value(self):
+        for value in (None, True, 3, 2.5, "s", b"b", complex(1, 2)):
+            assert resolve_mode(value) is PassingMode.BY_VALUE
+
+    def test_containers_by_copy(self):
+        for value in ([1], {1: 2}, {3}, (4,), bytearray(b"x")):
+            assert resolve_mode(value) is PassingMode.BY_COPY
+
+    def test_serializable_by_copy(self):
+        assert resolve_mode(Pair(1, 2)) is PassingMode.BY_COPY
+
+    def test_restorable_by_copy_restore(self):
+        assert resolve_mode(Box()) is PassingMode.BY_COPY_RESTORE
+        assert resolve_mode(Node(1)) is PassingMode.BY_COPY_RESTORE
+
+    def test_remote_by_reference(self):
+        class Svc(Remote):
+            pass
+
+        assert resolve_mode(Svc()) is PassingMode.BY_REFERENCE
+
+    def test_remote_wins_over_restorable(self):
+        """An exported object passes by reference even if also Restorable."""
+
+        class Both(Remote, Restorable):
+            pass
+
+        assert resolve_mode(Both()) is PassingMode.BY_REFERENCE
+
+    def test_resolve_modes_vector(self):
+        modes = resolve_modes((1, Box(), [2], Pair(3, 4)))
+        assert modes == (
+            PassingMode.BY_VALUE,
+            PassingMode.BY_COPY_RESTORE,
+            PassingMode.BY_COPY,
+            PassingMode.BY_COPY,
+        )
+
+    def test_restores_property(self):
+        assert PassingMode.BY_COPY_RESTORE.restores
+        assert not PassingMode.BY_COPY.restores
+        assert not PassingMode.BY_VALUE.restores
+        assert not PassingMode.BY_REFERENCE.restores

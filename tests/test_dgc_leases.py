@@ -1,0 +1,148 @@
+"""Lease-based distributed GC (the Java RMI lease model)."""
+
+import pytest
+
+from repro.nrmi.config import NRMIConfig
+from repro.rmi.dgc import DistributedGC
+from repro.rmi.export import ExportTable
+from repro.util.clock import Clock, ManualClock
+
+from tests.conftest import EndpointPair
+from tests.model_helpers import Node
+
+
+class TestClock:
+    def test_system_clock_monotonic(self):
+        clock = Clock()
+        first = clock.now()
+        assert clock.now() >= first
+
+    def test_manual_clock(self):
+        clock = ManualClock(start=100.0)
+        assert clock.now() == 100.0
+        clock.advance(5)
+        assert clock.now() == 105.0
+
+    def test_manual_clock_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1)
+
+
+class TestLeases:
+    def make(self, lease=10.0):
+        clock = ManualClock()
+        collected = []
+        dgc = DistributedGC(
+            on_unreferenced=collected.append,
+            lease_seconds=lease,
+            clock=clock,
+        )
+        return dgc, clock, collected
+
+    def test_fresh_lease_not_expired(self):
+        dgc, clock, collected = self.make()
+        dgc.on_marshal(1)
+        clock.advance(5)
+        assert dgc.expire_leases() == []
+        assert dgc.refcount(1) == 1
+
+    def test_lapsed_lease_expires(self):
+        dgc, clock, collected = self.make()
+        dgc.on_marshal(1)
+        clock.advance(11)
+        assert dgc.expire_leases() == [1]
+        assert dgc.refcount(1) == 0
+        assert collected == [1]
+
+    def test_renew_extends(self):
+        dgc, clock, collected = self.make()
+        dgc.on_marshal(1)
+        clock.advance(8)
+        assert dgc.renew(1)
+        clock.advance(8)  # 16 total, but renewed at 8
+        assert dgc.expire_leases() == []
+        clock.advance(3)  # now past 8+10
+        assert dgc.expire_leases() == [1]
+
+    def test_renew_unknown_returns_false(self):
+        dgc, _clock, _collected = self.make()
+        assert not dgc.renew(404)
+
+    def test_marshal_refreshes_lease(self):
+        dgc, clock, _collected = self.make()
+        dgc.on_marshal(1)
+        clock.advance(8)
+        dgc.on_marshal(1)  # second reference refreshes
+        clock.advance(8)
+        assert dgc.expire_leases() == []
+
+    def test_release_clears_lease(self):
+        dgc, clock, _collected = self.make()
+        dgc.on_marshal(1)
+        dgc.release(1)
+        clock.advance(100)
+        assert dgc.expire_leases() == []
+
+    def test_no_lease_mode_never_expires(self):
+        dgc = DistributedGC(lease_seconds=None)
+        dgc.on_marshal(1)
+        assert dgc.expire_leases() == []
+        assert dgc.refcount(1) == 1
+
+    def test_expiry_counted_in_snapshot(self):
+        dgc, clock, _collected = self.make()
+        dgc.on_marshal(1)
+        clock.advance(11)
+        dgc.expire_leases()
+        assert dgc.snapshot()["total_expired"] == 1
+
+
+class TestLeasesThroughExportTable:
+    def test_expired_object_unexported(self):
+        clock = ManualClock()
+        table = ExportTable(lease_seconds=5.0, clock=clock)
+        node = Node(1)
+        object_id = table.export_marshalled(node)
+        clock.advance(6)
+        table.dgc.expire_leases()
+        from repro.errors import NoSuchObjectError
+
+        with pytest.raises(NoSuchObjectError):
+            table.get(object_id)
+
+    def test_pinned_object_survives_expiry(self):
+        clock = ManualClock()
+        table = ExportTable(lease_seconds=5.0, clock=clock)
+        service = Node("registry")
+        object_id = table.export(service, pin=True)
+        table.dgc.on_marshal(object_id)
+        clock.advance(6)
+        table.dgc.expire_leases()
+        assert table.get(object_id) is service
+
+
+class TestLeasesEndToEnd:
+    def test_renew_over_the_wire(self):
+        pair = EndpointPair(
+            client_config=NRMIConfig(policy="none", lease_seconds=60.0)
+        )
+        try:
+            node = Node(1)
+            pointer = pair.client.pointer_to(node)
+            # The SERVER holds a pointer into the CLIENT; the server-side
+            # holder renews against the client (the owner).
+            assert pair.server.renew(pointer)
+            pair.client.release(pointer)
+            assert not pair.server.renew(pointer)
+        finally:
+            pair.close()
+
+    def test_sweep_leases_endpoint_api(self):
+        pair = EndpointPair(
+            client_config=NRMIConfig(policy="none", lease_seconds=60.0)
+        )
+        try:
+            pair.client.pointer_to(Node(1))
+            assert pair.client.sweep_leases() == []  # nothing lapsed yet
+        finally:
+            pair.close()

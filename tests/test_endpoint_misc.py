@@ -1,0 +1,135 @@
+"""Endpoint runtime odds and ends: lifecycle, ping, release, defaults."""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import RemoteError, TransportError
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint, default_endpoint
+from repro.rmi.remote_ref import RemoteDescriptor
+from repro.transport.resolver import ChannelResolver
+
+from tests.model_helpers import Box, Node
+
+
+class Echo(Remote):
+    def echo(self, value):
+        return value
+
+
+class TestLifecycle:
+    def test_unique_names_generated(self):
+        resolver = ChannelResolver()
+        a = Endpoint(resolver=resolver)
+        b = Endpoint(resolver=resolver)
+        try:
+            assert a.name != b.name
+            assert a.address != b.address
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_endpoint_unreachable(self):
+        resolver = ChannelResolver()
+        endpoint = Endpoint(resolver=resolver)
+        address = endpoint.address
+        endpoint.close()
+        client = Endpoint(resolver=resolver)
+        try:
+            with pytest.raises(TransportError):
+                client.channel_to(address).request(b"\x05")
+        finally:
+            client.close()
+
+    def test_serve_tcp_idempotent(self):
+        endpoint = Endpoint(resolver=ChannelResolver())
+        try:
+            first = endpoint.serve_tcp()
+            second = endpoint.serve_tcp()
+            assert first == second
+        finally:
+            endpoint.close()
+
+    def test_context_manager(self):
+        resolver = ChannelResolver()
+        with Endpoint(resolver=resolver) as endpoint:
+            assert endpoint.address.startswith("inproc://")
+
+    def test_default_endpoint_singleton(self):
+        first = default_endpoint()
+        second = default_endpoint()
+        assert first is second
+
+    def test_default_endpoint_recreated_after_close(self):
+        first = default_endpoint()
+        first.close()
+        second = default_endpoint()
+        assert second is not first
+        assert not second._closed
+
+
+class TestPingAndRelease:
+    def test_ping(self, endpoint_pair):
+        assert endpoint_pair.client.ping(endpoint_pair.server.address)
+
+    def test_release_invalid_type(self, endpoint_pair):
+        with pytest.raises(RemoteError):
+            endpoint_pair.client.release("not-a-ref")
+
+    def test_release_by_descriptor(self, endpoint_pair):
+        node = Node(1)
+        pointer = endpoint_pair.client.pointer_to(node)
+        descriptor = RemoteDescriptor(
+            pointer.descriptor.address, pointer.descriptor.object_id
+        )
+        endpoint_pair.client.release(descriptor)
+        assert endpoint_pair.client.exports.dgc.refcount(
+            descriptor.object_id
+        ) == 0
+
+    def test_release_unreachable_owner_is_silent(self):
+        resolver = ChannelResolver()
+        client = Endpoint(resolver=resolver)
+        try:
+            ghost = RemoteDescriptor("inproc://gone", 7)
+            client.release(ghost)  # no exception
+        finally:
+            client.close()
+
+    def test_renew_invalid_type(self, endpoint_pair):
+        with pytest.raises(RemoteError):
+            endpoint_pair.client.renew(42)
+
+
+class TestConfigSurface:
+    def test_profiles_reachable_via_config(self):
+        endpoint = Endpoint(
+            config=NRMIConfig(profile="legacy", implementation="portable"),
+            resolver=ChannelResolver(),
+        )
+        try:
+            assert endpoint.profile.name == "legacy"
+            assert endpoint.accessor.name == "portable"
+        finally:
+            endpoint.close()
+
+    def test_invalid_method_via_invoke(self, endpoint_pair):
+        service = endpoint_pair.serve(Echo())
+        with pytest.raises(Exception):
+            endpoint_pair.client.invoke(service.descriptor, "_sneaky", ())
+
+    def test_stub_repr(self, endpoint_pair):
+        service = endpoint_pair.serve(Echo())
+        assert "RemoteStub" in repr(service)
+
+    def test_metrics_isolated_per_endpoint(self, endpoint_pair):
+        service = endpoint_pair.serve(Echo())
+        service.echo(1)
+        client_calls = endpoint_pair.client.metrics.snapshot().get(
+            "calls.outgoing", 0
+        )
+        server_calls = endpoint_pair.server.metrics.snapshot().get(
+            "calls.outgoing", 0
+        )
+        assert client_calls >= 2  # lookup + echo
+        assert server_calls == 0

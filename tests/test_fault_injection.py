@@ -1,0 +1,149 @@
+"""Failure injection: middleware must fail cleanly, restore atomically."""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import TransportError
+from repro.nrmi.runtime import Endpoint
+from repro.transport.fault import FaultInjectingChannel
+from repro.transport.inproc import InProcChannel
+from repro.transport.resolver import ChannelResolver
+
+from tests.model_helpers import Box, Node
+
+
+def echo(request: bytes) -> bytes:
+    return request
+
+
+class TestFaultChannel:
+    def test_zero_rate_passes_through(self):
+        channel = FaultInjectingChannel(InProcChannel(echo), failure_rate=0.0)
+        assert channel.request(b"ok") == b"ok"
+        assert channel.delivered == 1
+        assert channel.injected_failures == 0
+
+    def test_full_rate_always_fails(self):
+        channel = FaultInjectingChannel(InProcChannel(echo), failure_rate=1.0)
+        with pytest.raises(TransportError, match="request dropped"):
+            channel.request(b"x")
+        assert channel.injected_failures == 1
+
+    def test_drop_response_still_delivers_request(self):
+        hits = []
+
+        def counting(request: bytes) -> bytes:
+            hits.append(request)
+            return request
+
+        channel = FaultInjectingChannel(
+            InProcChannel(counting), failure_rate=1.0, mode="drop_response"
+        )
+        with pytest.raises(TransportError, match="response dropped"):
+            channel.request(b"went-through")
+        assert hits == [b"went-through"]  # at-most-once hazard made visible
+
+    def test_disconnect_is_sticky_until_heal(self):
+        channel = FaultInjectingChannel(
+            InProcChannel(echo), failure_rate=0.0, mode="disconnect"
+        )
+        channel.fail_next()
+        with pytest.raises(TransportError):
+            channel.request(b"a")
+        with pytest.raises(TransportError):
+            channel.request(b"b")  # still down
+        channel.heal()
+        assert channel.request(b"c") == b"c"
+
+    def test_seeded_rate_deterministic(self):
+        def run():
+            channel = FaultInjectingChannel(
+                InProcChannel(echo), failure_rate=0.5, seed=7
+            )
+            outcomes = []
+            for i in range(30):
+                try:
+                    channel.request(b"x")
+                    outcomes.append(True)
+                except TransportError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run() == run()
+        assert True in run() and False in run()
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            FaultInjectingChannel(InProcChannel(echo), mode="explode")
+
+
+class FlipService(Remote):
+    def flip(self, box):
+        box.payload = -box.payload
+        return box.payload
+
+
+class TestMiddlewareUnderFaults:
+    def _pair_with_faults(self, mode):
+        resolver = ChannelResolver()
+        server = Endpoint(name="fault-server", resolver=resolver)
+        client = Endpoint(name="fault-client", resolver=resolver)
+        faulty = {}
+
+        def wrap(inner):
+            channel = FaultInjectingChannel(inner, failure_rate=0.0, mode=mode)
+            faulty["channel"] = channel
+            return channel
+
+        resolver.set_wrapper(server.address, wrap)
+        server.bind("flip", FlipService())
+        service = client.lookup(server.address, "flip")
+        return resolver, server, client, service, faulty
+
+    def test_dropped_request_leaves_heap_untouched(self):
+        resolver, server, client, service, faulty = self._pair_with_faults(
+            "drop_request"
+        )
+        try:
+            box = Box(5)
+            faulty["channel"].fail_next()
+            with pytest.raises(TransportError):
+                service.flip(box)
+            assert box.payload == 5  # no partial restore
+            assert service.flip(box) == -5  # channel still usable
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+
+    def test_dropped_response_leaves_heap_untouched(self):
+        """The server-side copy mutated, but without a reply the caller's
+        originals must be pristine — restore is reply-driven."""
+        resolver, server, client, service, faulty = self._pair_with_faults(
+            "drop_response"
+        )
+        try:
+            box = Box(5)
+            faulty["channel"].fail_next()
+            with pytest.raises(TransportError):
+                service.flip(box)
+            assert box.payload == 5
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+
+    def test_disconnect_then_heal_recovers(self):
+        resolver, server, client, service, faulty = self._pair_with_faults(
+            "disconnect"
+        )
+        try:
+            faulty["channel"].fail_next()
+            with pytest.raises(TransportError):
+                service.flip(Box(1))
+            faulty["channel"].heal()
+            assert service.flip(Box(2)) == -2
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()

@@ -1,0 +1,147 @@
+"""The paper's Figures 1-9 as assertions against every calling semantics."""
+
+import pytest
+
+from repro.bench.figures import (
+    build_figure1,
+    expected_figure2,
+    expected_figure9,
+    expected_unchanged,
+    foo,
+    snapshot,
+)
+from repro.bench.trees import TreeNode
+from repro.core.markers import Remote
+from repro.core.restore_protocol import (
+    ClientRestoreContext,
+    FullRestorePolicy,
+    ServerRestoreContext,
+)
+from repro.nrmi.config import NRMIConfig
+from repro.serde.reader import ObjectReader
+from repro.serde.writer import ObjectWriter
+
+
+class FooService(Remote):
+    def foo(self, tree):
+        return foo(tree)
+
+
+def remote_foo(make_endpoint_pair, policy):
+    fig = build_figure1()
+    config = NRMIConfig(policy=policy)
+    pair = make_endpoint_pair(server_config=config, client_config=config)
+    service = pair.serve(FooService())
+    result = service.foo(fig.t)
+    return fig, result
+
+
+class TestFigure1:
+    def test_initial_construction(self):
+        fig = build_figure1()
+        assert fig.t.data == 5
+        assert fig.t.left is fig.alias1
+        assert fig.t.right is fig.alias2
+        assert fig.alias2.right is fig.node12
+        assert fig.node12.left is fig.node3
+
+
+class TestFigure2Local:
+    def test_local_call_state(self):
+        fig = build_figure1()
+        returned = foo(fig.t)
+        assert snapshot(fig) == expected_figure2()
+        assert returned is fig.t.right
+
+
+class TestFigure2Remote:
+    def test_nrmi_full_matches_local(self, make_endpoint_pair):
+        fig, result = remote_foo(make_endpoint_pair, "full")
+        assert snapshot(fig) == expected_figure2()
+        assert result is fig.t.right  # returned subtree joined the heap
+
+    def test_nrmi_delta_matches_local(self, make_endpoint_pair):
+        fig, result = remote_foo(make_endpoint_pair, "delta")
+        assert snapshot(fig) == expected_figure2()
+        assert result is fig.t.right
+
+
+class TestFigure9Dce:
+    def test_dce_partial_restore(self, make_endpoint_pair):
+        fig, _result = remote_foo(make_endpoint_pair, "dce")
+        assert snapshot(fig) == expected_figure9()
+
+    def test_dce_differs_from_local_exactly_on_unreachable(self, make_endpoint_pair):
+        fig, _result = remote_foo(make_endpoint_pair, "dce")
+        state = snapshot(fig)
+        full = expected_figure2()
+        differing = {key for key in state if state[key] != full[key]}
+        assert differing == {"alias1", "alias2"}
+
+
+class TestCallByCopy:
+    def test_nothing_restored(self, make_endpoint_pair):
+        fig, _result = remote_foo(make_endpoint_pair, "none")
+        assert snapshot(fig) == expected_unchanged()
+
+
+class TestAlgorithmSteps:
+    """Figures 4-7: observable invariants of the algorithm's stages."""
+
+    def test_step1_linear_map_covers_all_reachable(self):
+        fig = build_figure1()
+        writer = ObjectWriter()
+        writer.write_root(fig.t)
+        in_map = [obj for obj in writer.linear_map if isinstance(obj, TreeNode)]
+        assert {id(n) for n in in_map} == {
+            id(fig.t), id(fig.alias1), id(fig.alias2), id(fig.node12), id(fig.node3)
+        }
+
+    def test_step2_server_map_aligned(self):
+        fig = build_figure1()
+        writer = ObjectWriter()
+        writer.write_root(fig.t)
+        reader = ObjectReader(writer.getvalue())
+        reader.read_root()
+        assert len(reader.linear_map) == len(writer.linear_map)
+        for client_obj, server_obj in zip(writer.linear_map, reader.linear_map):
+            assert client_obj.data == server_obj.data
+
+    def test_step3_unreachable_objects_still_returned(self):
+        """Figure 5: the map retains objects foo() disconnected."""
+        fig = build_figure1()
+        writer = ObjectWriter()
+        writer.write_root(fig.t)
+        reader = ObjectReader(writer.getvalue())
+        server_t = reader.read_root()
+        retained = list(reader.linear_map)
+        foo(server_t)
+        # old left and old right are no longer reachable from server_t...
+        reachable_data = set()
+        stack = [server_t]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            reachable_data.add(id(node))
+            stack.extend([node.left, node.right])
+        detached = [obj for obj in retained if id(obj) not in reachable_data]
+        assert {obj.data for obj in detached} == {0, 9}  # old left, old right
+        # ...but the retained list still references them (step 3's point).
+        policy = FullRestorePolicy()
+        payload = policy.build_response(
+            None, ServerRestoreContext(retained=retained, restore_roots=[server_t]), None
+        )
+        client_map = list(writer.linear_map)
+        policy.parse_response(payload, ClientRestoreContext(originals=client_map))
+        assert fig.alias1.data == 0
+        assert fig.alias2.data == 9
+
+    def test_steps5_6_identity_results(self, make_endpoint_pair):
+        """Figure 6/7: originals overwritten; new nodes repointed."""
+        fig, _ = remote_foo(make_endpoint_pair, "full")
+        # Old node 12 kept its identity (step 5)...
+        assert fig.t.right.left is fig.node12
+        # ...and the NEW temp node's pointer was converted to it (step 6).
+        assert fig.node12.data == 8
+        assert fig.node12.left is fig.node3

@@ -1,0 +1,175 @@
+"""Protocol-level invariants the paper claims for the algorithm.
+
+* One remote call = exactly one network round trip (no traffic during the
+  remote routine's execution, no callbacks to resolve pointers).
+* The linear-map-shipping ablation changes bytes, never semantics.
+* Third-party references: stubs forward between endpoints unchanged.
+* Metrics account what actually happened.
+"""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint
+from repro.transport.resolver import ChannelResolver
+
+from tests.conftest import EndpointPair
+from tests.model_helpers import Box, Node, heap_fingerprint
+
+
+class DeepService(Remote):
+    def churn(self, box):
+        """Touches every node several times; must cause no extra traffic."""
+        for _ in range(3):
+            for node in box.payload:
+                node.data += 1
+        box.payload.append(Node(0))
+        return len(box.payload)
+
+
+class TestSingleRoundTrip:
+    def test_copy_restore_call_is_one_round_trip(self, endpoint_pair):
+        service = endpoint_pair.serve(DeepService())
+        channel = endpoint_pair.client.channel_to(endpoint_pair.server.address)
+        box = Box([Node(i) for i in range(50)])
+        before = channel.stats.snapshot()["requests"]
+        service.churn(box)
+        after = channel.stats.snapshot()["requests"]
+        assert after - before == 1  # the paper's "no traffic during execution"
+
+    def test_no_reverse_traffic_during_execution(self, endpoint_pair):
+        """The server never calls back to the client under copy-restore."""
+        service = endpoint_pair.serve(DeepService())
+        box = Box([Node(i) for i in range(20)])
+        service.churn(box)
+        reverse = endpoint_pair.server.channel_to(endpoint_pair.client.address)
+        assert reverse.stats.snapshot()["requests"] == 0
+
+    def test_restore_engine_ran(self, endpoint_pair):
+        service = endpoint_pair.serve(DeepService())
+        box = Box([Node(0)])
+        service.churn(box)
+        stats = endpoint_pair.client.last_restore_stats
+        assert stats is not None
+        assert stats.old_overwritten >= 2  # box.payload list + the node
+        assert stats.new_adopted >= 1      # the appended node
+
+    def test_metrics_counters(self, endpoint_pair):
+        service = endpoint_pair.serve(DeepService())
+        service.churn(Box([Node(0)]))
+        snapshot = endpoint_pair.client.metrics.snapshot()
+        assert snapshot["calls.outgoing"] >= 2  # lookup + churn
+        assert snapshot["restore.old_overwritten"] >= 1
+
+
+class TestShipLinearMapAblation:
+    def _run(self, ship):
+        config = NRMIConfig(ship_linear_map=ship)
+        pair = EndpointPair(server_config=config, client_config=config)
+        try:
+            service = pair.serve(DeepService())
+            box = Box([Node(i) for i in range(10)])
+            result = service.churn(box)
+            channel = pair.client.channel_to(pair.server.address)
+            sent = channel.stats.snapshot()["bytes_sent"]
+            return result, heap_fingerprint([box]), sent
+        finally:
+            pair.close()
+
+    def test_semantics_identical(self):
+        result_a, fp_a, _ = self._run(ship=False)
+        result_b, fp_b, _ = self._run(ship=True)
+        assert result_a == result_b
+        assert fp_a == fp_b
+
+    def test_shipping_costs_bytes(self):
+        _, _, sent_reconstruct = self._run(ship=False)
+        _, _, sent_shipped = self._run(ship=True)
+        assert sent_shipped > sent_reconstruct
+
+    def test_ship_map_with_plain_copy_args_is_noop(self):
+        """No restorable args → nothing to ship even when enabled."""
+        config = NRMIConfig(ship_linear_map=True, policy="none")
+        pair = EndpointPair(server_config=config, client_config=config)
+        try:
+
+            class Plain(Remote):
+                def poke(self, items):
+                    return len(items)
+
+            service = pair.serve(Plain(), name="plain")
+            assert service.poke([1, 2, 3]) == 3
+        finally:
+            pair.close()
+
+
+class TestThirdPartyReferences:
+    def test_stub_forwarded_between_endpoints(self):
+        """A stub minted at B travels through C and still points at B."""
+        resolver = ChannelResolver()
+        owner = Endpoint(name="owner", resolver=resolver)
+        relay = Endpoint(name="relay", resolver=resolver)
+        consumer = Endpoint(name="consumer", resolver=resolver)
+        try:
+
+            class Target(Remote):
+                def whoami(self):
+                    return "the-target"
+
+            class Relay(Remote):
+                def __init__(self):
+                    self.kept = None
+
+                def keep(self, stub):
+                    self.kept = stub
+
+                def fetch(self):
+                    return self.kept
+
+            owner.bind("target", Target())
+            relay.bind("relay", Relay())
+
+            target_stub = consumer.lookup(owner.address, "target")
+            relay_stub = consumer.lookup(relay.address, "relay")
+            relay_stub.keep(target_stub)         # consumer -> relay
+            returned = relay_stub.fetch()        # relay -> consumer
+            assert returned.descriptor.address == owner.address
+            assert returned.whoami() == "the-target"
+        finally:
+            consumer.close()
+            relay.close()
+            owner.close()
+            resolver.close_all()
+
+    def test_registry_list_names_remotely(self, endpoint_pair):
+        class A(Remote):
+            pass
+
+        endpoint_pair.server.bind("alpha", A())
+        endpoint_pair.server.bind("beta", A())
+        from repro.rmi.registry import REGISTRY_OBJECT_ID
+        from repro.rmi.remote_ref import RemoteDescriptor, RemoteStub
+
+        registry = RemoteStub(
+            endpoint_pair.client,
+            RemoteDescriptor(endpoint_pair.server.address, REGISTRY_OBJECT_ID),
+        )
+        assert registry.list_names() == ["alpha", "beta"]
+
+    def test_rebind_visible_to_clients(self, endpoint_pair):
+        class V1(Remote):
+            def version(self):
+                return 1
+
+        class V2(Remote):
+            def version(self):
+                return 2
+
+        endpoint_pair.server.bind("svc", V1())
+        stub1 = endpoint_pair.client.lookup(endpoint_pair.server.address, "svc")
+        assert stub1.version() == 1
+        endpoint_pair.server.bind("svc", V2())  # bind() rebinds locally
+        stub2 = endpoint_pair.client.lookup(endpoint_pair.server.address, "svc")
+        assert stub2.version() == 2
+        assert stub1.version() == 1  # old stub still pins the old object

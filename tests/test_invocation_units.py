@@ -1,0 +1,100 @@
+"""Unit tests for invocation-pipeline pieces: retained-set computation."""
+
+import pytest
+
+from repro.nrmi.invocation import compute_retained
+from repro.serde.accessors import OPTIMIZED_ACCESSOR
+from repro.serde.writer import ObjectWriter
+
+from tests.model_helpers import Box, Node
+
+
+def marshal(*roots):
+    writer = ObjectWriter()
+    for root in roots:
+        writer.write_root(root)
+    return writer.linear_map
+
+
+class TestComputeRetained:
+    def test_no_roots_retains_nothing(self):
+        linear_map = marshal(Box([1]))
+        assert compute_retained(linear_map, [], OPTIMIZED_ACCESSOR) == []
+
+    def test_single_root_retains_its_closure(self):
+        box = Box([Node(1), Node(2)])
+        linear_map = marshal(box)
+        retained = compute_retained(linear_map, [box], OPTIMIZED_ACCESSOR)
+        assert len(retained) == len(linear_map)  # everything reachable
+
+    def test_subset_for_partial_roots(self):
+        restorable = Box(Node("keep"))
+        copy_only = Box(Node("skip"))
+        linear_map = marshal(restorable, copy_only)
+        retained = compute_retained(linear_map, [restorable], OPTIMIZED_ACCESSOR)
+        kept_ids = {id(obj) for obj in retained}
+        assert id(restorable) in kept_ids
+        assert id(restorable.payload) in kept_ids
+        assert id(copy_only) not in kept_ids
+        assert id(copy_only.payload) not in kept_ids
+
+    def test_shared_object_retained_once(self):
+        shared = Node("s")
+        box_a, box_b = Box(shared), Box(shared)
+        linear_map = marshal(box_a, box_b)
+        retained = compute_retained(
+            linear_map, [box_a, box_b], OPTIMIZED_ACCESSOR
+        )
+        assert sum(1 for obj in retained if obj is shared) == 1
+
+    def test_map_order_preserved(self):
+        box = Box([Node(i) for i in range(5)])
+        linear_map = marshal(box)
+        retained = compute_retained(linear_map, [box], OPTIMIZED_ACCESSOR)
+        positions = [linear_map.position_of(obj) for obj in retained]
+        assert positions == sorted(positions)
+
+    def test_both_sides_compute_identical_subsets(self):
+        """The client/server agreement the positional match rests on."""
+        from repro.serde.reader import ObjectReader
+
+        restorable = Box([Node(1), Node(2)])
+        other = Box(Node(3))
+        writer = ObjectWriter()
+        writer.write_root(restorable)
+        writer.write_root(other)
+        client_retained = compute_retained(
+            writer.linear_map, [restorable], OPTIMIZED_ACCESSOR
+        )
+        reader = ObjectReader(writer.getvalue())
+        server_restorable = reader.read_root()
+        reader.read_root()
+        server_retained = compute_retained(
+            reader.linear_map, [server_restorable], OPTIMIZED_ACCESSOR
+        )
+        assert len(client_retained) == len(server_retained)
+        for client_obj, server_obj in zip(client_retained, server_retained):
+            assert type(client_obj) is type(server_obj)
+
+    def test_stops_at_remote_references(self, endpoint_pair):
+        """Stubs are leaves: their internals never enter the retained set."""
+        from repro.core.markers import Remote
+
+        class Svc(Remote):
+            pass
+
+        endpoint_pair.server.bind("svc", Svc())
+        stub = endpoint_pair.client.lookup(endpoint_pair.server.address, "svc")
+        box = Box(stub)
+        writer = ObjectWriter(externalizers=endpoint_pair.client.externalizers())
+        writer.write_root(box)
+        retained = compute_retained(writer.linear_map, [box], OPTIMIZED_ACCESSOR)
+        assert [type(obj).__name__ for obj in retained] == ["Box"]
+
+    def test_cyclic_roots(self):
+        a = Node("a")
+        b = Node("b", next=a)
+        a.next = b
+        linear_map = marshal(a)
+        retained = compute_retained(linear_map, [a], OPTIMIZED_ACCESSOR)
+        assert len(retained) == 2

@@ -1,0 +1,144 @@
+"""Kind classification unit tests and a middleware soak test."""
+
+import pytest
+
+from repro.serde.kinds import (
+    Kind,
+    classify,
+    is_immutable_container,
+    is_mutable_kind,
+)
+
+from tests.model_helpers import Box, Node, SlottedPoint
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "value", [None, True, 1, 1.5, complex(1, 2), "s", b"b"]
+    )
+    def test_primitives(self, value):
+        assert classify(value) is Kind.PRIMITIVE
+
+    def test_containers(self):
+        assert classify([]) is Kind.LIST
+        assert classify(()) is Kind.TUPLE
+        assert classify(set()) is Kind.SET
+        assert classify(frozenset()) is Kind.FROZENSET
+        assert classify({}) is Kind.DICT
+        assert classify(bytearray()) is Kind.BYTEARRAY
+
+    def test_instances(self):
+        assert classify(Box(1)) is Kind.OBJECT
+        assert classify(SlottedPoint(1, 2)) is Kind.OBJECT
+
+    def test_code_like_unsupported(self):
+        assert classify(classify) is Kind.UNSUPPORTED      # function
+        assert classify(Kind) is Kind.UNSUPPORTED          # class
+        assert classify((x for x in [])) is Kind.UNSUPPORTED  # generator
+        import os
+
+        assert classify(os) is Kind.UNSUPPORTED            # module
+        assert classify("".join) is Kind.UNSUPPORTED       # bound builtin
+
+    def test_bare_object_unsupported(self):
+        assert classify(object()) is Kind.UNSUPPORTED
+
+    def test_bool_subclass_is_primitive(self):
+        class MyInt(int):
+            pass
+
+        assert classify(MyInt(1)) is Kind.PRIMITIVE
+
+    def test_mutable_kind_table(self):
+        assert is_mutable_kind(Kind.LIST)
+        assert is_mutable_kind(Kind.DICT)
+        assert is_mutable_kind(Kind.SET)
+        assert is_mutable_kind(Kind.BYTEARRAY)
+        assert is_mutable_kind(Kind.OBJECT)
+        assert not is_mutable_kind(Kind.TUPLE)
+        assert not is_mutable_kind(Kind.FROZENSET)
+        assert not is_mutable_kind(Kind.PRIMITIVE)
+
+    def test_immutable_container_table(self):
+        assert is_immutable_container(Kind.TUPLE)
+        assert is_immutable_container(Kind.FROZENSET)
+        assert not is_immutable_container(Kind.LIST)
+
+
+class TestSoak:
+    """Hundreds of mixed calls: nothing may accumulate or corrupt."""
+
+    def test_sustained_mixed_traffic(self, endpoint_pair):
+        from repro.core.markers import Remote
+
+        class Mixed(Remote):
+            def flip(self, box):
+                box.payload = -box.payload
+                return box.payload
+
+            def read(self, box):
+                return box.payload
+
+            def fail_sometimes(self, n):
+                if n % 7 == 0:
+                    raise ValueError(f"planned {n}")
+                return n
+
+        service = endpoint_pair.serve(Mixed())
+        from repro.errors import RemoteInvocationError
+
+        failures = 0
+        for n in range(300):
+            box = Box(n)
+            assert service.flip(box) == -n
+            assert box.payload == -n
+            try:
+                service.fail_sometimes(n)
+            except RemoteInvocationError:
+                failures += 1
+        assert failures == 300 // 7 + 1
+
+        # Nothing restorable-related leaked into the export tables: only
+        # the registry and the service itself are exported.
+        assert endpoint_pair.server.exports.live_count() == 2
+        assert endpoint_pair.client.exports.live_count() == 1  # registry
+
+    def test_sustained_batches(self, endpoint_pair):
+        from repro.core.markers import Remote
+
+        class Adder(Remote):
+            def add(self, a, b):
+                return a + b
+
+        service = endpoint_pair.serve(Adder())
+        for _round in range(20):
+            with endpoint_pair.client.batch() as batch:
+                handles = [batch.call(service, "add", i, 1) for i in range(20)]
+            assert [handle.result() for handle in handles] == list(range(1, 21))
+
+    def test_alternating_policies_one_endpoint_pair(self, make_endpoint_pair):
+        """A 'full' client and a 'delta' client share one server."""
+        from repro.core.markers import Remote
+        from repro.nrmi.config import NRMIConfig
+        from repro.nrmi.runtime import Endpoint
+
+        class Bump(Remote):
+            def bump(self, box):
+                box.payload += 1
+
+        pair = make_endpoint_pair()
+        pair.server.bind("bump", Bump())
+        delta_client = Endpoint(
+            config=NRMIConfig(policy="delta"), resolver=pair.resolver
+        )
+        try:
+            full_stub = pair.client.lookup(pair.server.address, "bump")
+            delta_stub = delta_client.lookup(pair.server.address, "bump")
+            box_full, box_delta = Box(0), Box(100)
+            for _ in range(25):
+                full_stub.bump(box_full)
+                delta_stub.bump(box_delta)
+            assert box_full.payload == 25
+            assert box_delta.payload == 125
+        finally:
+            delta_client.close()

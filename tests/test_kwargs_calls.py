@@ -1,0 +1,99 @@
+"""Keyword arguments across the wire, with full semantics resolution."""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.core.semantics import PassingMode
+from repro.rmi.protocol import CallRequest, decode_call, encode_call
+from repro.util.buffers import BufferReader
+
+from tests.model_helpers import Box, Node
+
+
+class KwService(Remote):
+    def greet(self, name, *, punctuation="!", repeat=1):
+        return f"hello {name}{punctuation}" * repeat
+
+    def fill(self, box, value=0, tag=None):
+        box.payload = value
+        if tag is not None:
+            box.tag = tag
+        return value
+
+    def collect(self, *args, **kwargs):
+        return [list(args), dict(sorted(kwargs.items()))]
+
+
+class TestKwargProtocol:
+    def test_codec_roundtrip(self):
+        request = CallRequest(
+            object_id=1,
+            method="m",
+            policy="full",
+            profile="modern",
+            modes=(PassingMode.BY_VALUE, PassingMode.BY_COPY),
+            args_payload=b"P",
+            kwarg_names=("tag",),
+        )
+        reader = BufferReader(encode_call(request))
+        reader.read_u8()
+        assert decode_call(reader) == request
+
+    def test_no_kwargs_is_default(self):
+        request = CallRequest(1, "m", "none", "modern", (), b"")
+        reader = BufferReader(encode_call(request))
+        reader.read_u8()
+        assert decode_call(reader).kwarg_names == ()
+
+
+class TestKwargCalls:
+    def test_keyword_only_parameters(self, endpoint_pair):
+        service = endpoint_pair.serve(KwService())
+        assert service.greet("ada", punctuation="?") == "hello ada?"
+        assert service.greet("bob", repeat=2) == "hello bob!hello bob!"
+
+    def test_positional_and_keyword_mix(self, endpoint_pair):
+        service = endpoint_pair.serve(KwService())
+        assert service.collect(1, 2, z=3, a=4) == [[1, 2], {"a": 4, "z": 3}]
+
+    def test_restorable_as_keyword_value(self, endpoint_pair):
+        """Copy-restore applies to keyword arguments too."""
+
+        class KwRestore(Remote):
+            def mutate(self, *, box):
+                box.payload = "set-via-kw"
+
+        service = endpoint_pair.serve(KwRestore(), name="kwr")
+        box = Box("before")
+        service.mutate(box=box)
+        assert box.payload == "set-via-kw"
+
+    def test_default_values_respected(self, endpoint_pair):
+        service = endpoint_pair.serve(KwService())
+        box = Box(None)
+        assert service.fill(box) == 0
+        assert box.payload == 0
+        assert not hasattr(box, "tag")
+
+    def test_kwarg_with_restorable_positional(self, endpoint_pair):
+        service = endpoint_pair.serve(KwService())
+        box = Box(None)
+        service.fill(box, value=7, tag="labelled")
+        assert box.payload == 7
+        assert box.tag == "labelled"
+
+    def test_unexpected_keyword_raises_remotely(self, endpoint_pair):
+        from repro.errors import RemoteInvocationError
+
+        service = endpoint_pair.serve(KwService())
+        with pytest.raises(RemoteInvocationError):
+            service.greet("x", nope=1)
+
+    def test_shared_structure_between_positional_and_keyword(self, endpoint_pair):
+        class Sharing(Remote):
+            def check(self, a, *, b):
+                return a.payload is b.payload
+
+        service = endpoint_pair.serve(Sharing(), name="sharing")
+        shared = Node("s")
+        assert service.check(Box(shared), b=Box(shared)) is True

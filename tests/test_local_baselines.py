@@ -1,0 +1,80 @@
+"""The local-execution baselines (repro.core.local)."""
+
+import pytest
+
+from repro.core.local import call_by_copy_local, call_local, copy_graph
+from repro.serde.profiles import LEGACY_PROFILE
+
+from tests.model_helpers import Box, Node, heap_fingerprint
+
+
+class TestCallLocal:
+    def test_plain_invocation(self):
+        def double(x):
+            return x * 2
+
+        assert call_local(double, 21) == 42
+
+    def test_mutations_visible(self):
+        def mutate(box):
+            box.payload = "changed"
+
+        box = Box("original")
+        call_local(mutate, box)
+        assert box.payload == "changed"
+
+
+class TestCopyGraph:
+    def test_deep_copy_structure(self):
+        shared = Node("s")
+        original = Box([shared, shared])
+        copy = copy_graph(original)
+        assert copy is not original
+        assert copy.payload[0] is copy.payload[1]
+        assert copy.payload[0] is not shared
+        assert heap_fingerprint([original]) == heap_fingerprint([copy])
+
+    def test_copy_with_legacy_profile(self):
+        copy = copy_graph(Box({"k": (1, 2)}), profile=LEGACY_PROFILE)
+        assert copy.payload == {"k": (1, 2)}
+
+    def test_copy_of_cycle(self):
+        node = Node("loop")
+        node.next = node
+        copy = copy_graph(node)
+        assert copy.next is copy
+
+    def test_copy_primitives_pass_through(self):
+        assert copy_graph(42) == 42
+        assert copy_graph("text") == "text"
+
+
+class TestCallByCopyLocal:
+    def test_mutations_dropped(self):
+        def mutate(box):
+            box.payload = "server-side"
+            return box.payload
+
+        box = Box("original")
+        result = call_by_copy_local(mutate, (box,))
+        assert result == "server-side"
+        assert box.payload == "original"
+
+    def test_shared_args_share_in_the_copy(self):
+        def check(a, b):
+            return a is b
+
+        node = Node("one")
+        assert call_by_copy_local(check, (node, node)) is True
+
+    def test_distinct_args_stay_distinct(self):
+        def check(a, b):
+            return a is b
+
+        assert call_by_copy_local(check, (Node("x"), Node("x"))) is False
+
+    def test_multiple_args_in_order(self):
+        def combine(a, b, c):
+            return f"{a}-{b}-{c}"
+
+        assert call_by_copy_local(combine, (1, 2, 3)) == "1-2-3"

@@ -1,0 +1,63 @@
+"""Logging conventions and diagnostic records."""
+
+import logging
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import RemoteInvocationError
+from repro.util.logging import enable_debug_logging, get_logger
+
+
+class TestLoggerNaming:
+    def test_namespaced(self):
+        assert get_logger("rmi.dispatcher").name == "repro.rmi.dispatcher"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.custom").name == "repro.custom"
+
+    def test_enable_debug_logging_attaches_handler(self):
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        handler = enable_debug_logging()
+        try:
+            assert handler in root.handlers
+        finally:
+            root.removeHandler(handler)
+            assert root.handlers == before
+
+
+class TestDiagnostics:
+    def test_remote_exception_logged_at_debug(self, endpoint_pair, caplog):
+        class Failing(Remote):
+            def boom(self):
+                raise ValueError("logged failure")
+
+        service = endpoint_pair.serve(Failing())
+        with caplog.at_level(logging.DEBUG, logger="repro.nrmi.invocation"):
+            with pytest.raises(RemoteInvocationError):
+                service.boom()
+        assert any("logged failure" in record.message for record in caplog.records)
+
+    def test_middleware_error_logged(self, endpoint_pair, caplog):
+        class Plain(Remote):
+            def ok(self):
+                return 1
+
+        service = endpoint_pair.serve(Plain())
+        with caplog.at_level(logging.DEBUG, logger="repro.rmi.dispatcher"):
+            with pytest.raises(Exception):
+                service.not_a_method()
+        assert any(
+            "not_a_method" in record.message for record in caplog.records
+        )
+
+    def test_silent_at_default_level(self, endpoint_pair, caplog):
+        class Quiet(Remote):
+            def ok(self):
+                return 1
+
+        service = endpoint_pair.serve(Quiet())
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            service.ok()
+        assert caplog.records == []

@@ -1,0 +1,108 @@
+"""Endpoints with differing configurations must interoperate.
+
+The CALL request carries the caller's profile; the server decodes and
+responds in that profile regardless of its own default — so a legacy
+(JDK 1.3-like) client talks to a modern (JDK 1.4-like) server and back.
+"""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.nrmi.config import NRMIConfig
+
+from tests.model_helpers import Box, Node
+
+
+class Mixer(Remote):
+    def mutate(self, box):
+        box.payload.append(Node("added"))
+        return len(box.payload)
+
+
+CONFIG_MATRIX = [
+    (NRMIConfig(profile="legacy", implementation="portable"), NRMIConfig()),
+    (NRMIConfig(), NRMIConfig(profile="legacy", implementation="portable")),
+    (
+        NRMIConfig(profile="legacy", implementation="portable", policy="delta"),
+        NRMIConfig(policy="full"),
+    ),
+]
+
+
+class TestMixedProfiles:
+    @pytest.mark.parametrize("client_config,server_config", CONFIG_MATRIX)
+    def test_cross_profile_call_restores(
+        self, make_endpoint_pair, client_config, server_config
+    ):
+        pair = make_endpoint_pair(
+            server_config=server_config, client_config=client_config
+        )
+        service = pair.serve(Mixer())
+        box = Box([Node("original")])
+        count = service.mutate(box)
+        assert count == 2
+        assert box.payload[1].data == "added"
+        assert box.payload[0].data == "original"
+
+    def test_client_policy_governs(self, make_endpoint_pair):
+        """The restore policy rides the request: a 'none' client gets RMI
+        semantics even from a 'full' server."""
+        pair = make_endpoint_pair(
+            server_config=NRMIConfig(policy="full"),
+            client_config=NRMIConfig(policy="none"),
+        )
+        service = pair.serve(Mixer())
+        box = Box([])
+        service.mutate(box)
+        assert box.payload == []  # caller asked for call-by-copy
+
+    def test_delta_client_full_server_default(self, make_endpoint_pair):
+        pair = make_endpoint_pair(
+            server_config=NRMIConfig(policy="full"),
+            client_config=NRMIConfig(policy="delta"),
+        )
+        service = pair.serve(Mixer())
+        box = Box([])
+        service.mutate(box)
+        assert len(box.payload) == 1  # delta restored the append
+
+
+class TestRegistryRemoteAdmin:
+    def test_unbind_via_stub(self, endpoint_pair):
+        class Svc(Remote):
+            def ok(self):
+                return True
+
+        endpoint_pair.server.bind("temp", Svc())
+        from repro.rmi.registry import REGISTRY_OBJECT_ID
+        from repro.rmi.remote_ref import RemoteDescriptor, RemoteStub
+
+        registry = RemoteStub(
+            endpoint_pair.client,
+            RemoteDescriptor(endpoint_pair.server.address, REGISTRY_OBJECT_ID),
+        )
+        assert "temp" in registry.list_names()
+        registry.unbind("temp")
+        assert "temp" not in registry.list_names()
+
+    def test_bind_remotely_stores_stub(self, endpoint_pair):
+        """A client binding its own service into the server's registry."""
+
+        class ClientService(Remote):
+            def whoami(self):
+                return "client-side"
+
+        from repro.rmi.registry import REGISTRY_OBJECT_ID
+        from repro.rmi.remote_ref import RemoteDescriptor, RemoteStub
+
+        registry = RemoteStub(
+            endpoint_pair.client,
+            RemoteDescriptor(endpoint_pair.server.address, REGISTRY_OBJECT_ID),
+        )
+        registry.bind("from-client", ClientService())
+        # A third party looks it up at the server and calls THROUGH to the
+        # client-owned object.
+        fetched = endpoint_pair.client.lookup(
+            endpoint_pair.server.address, "from-client"
+        )
+        assert fetched.whoami() == "client-side"

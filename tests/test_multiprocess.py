@@ -1,0 +1,120 @@
+"""True multi-process distribution: server in a subprocess, TCP between.
+
+This is the configuration the paper actually measures — two separate
+runtimes — and the strongest end-to-end evidence: copy-restore working
+across a real process boundary and a real socket.
+"""
+
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.bench.mutators import mutator_for
+from repro.bench.trees import generate_workload
+from repro.nrmi.runtime import Endpoint
+from repro.nrmi.server_main import parse_binding
+from repro.transport.resolver import ChannelResolver
+
+
+@pytest.fixture(scope="module")
+def server_process(tmp_path_factory):
+    announce = tmp_path_factory.mktemp("mp") / "address"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.nrmi.server_main",
+            "--bind",
+            "trees=repro.bench.mutators:TreeService",
+            "--announce",
+            str(announce),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 30
+    while not announce.exists() or not announce.read_text().strip():
+        if process.poll() is not None:
+            raise RuntimeError(f"server died:\n{process.stdout.read()}")
+        if time.time() > deadline:
+            process.kill()
+            raise RuntimeError("server never announced its address")
+        time.sleep(0.05)
+    yield announce.read_text().strip()
+    process.terminate()
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+
+
+class TestBindingSpec:
+    def test_parse(self):
+        assert parse_binding("svc=pkg.mod:Cls") == ("svc", "pkg.mod", "Cls")
+
+    @pytest.mark.parametrize("bad", ["svc", "=pkg:Cls", "svc=pkg", "svc=:Cls", "svc=pkg:"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_binding(bad)
+
+
+class TestAcrossProcesses:
+    def test_copy_restore_across_process_boundary(self, server_process):
+        resolver = ChannelResolver()
+        client = Endpoint(name="mp-client", resolver=resolver)
+        try:
+            service = client.lookup(server_process, "trees")
+            seed = 99
+            remote_workload = generate_workload("III", 64, seed)
+            service.mutate("III", remote_workload.root, seed)
+
+            local_workload = generate_workload("III", 64, seed)
+            mutator_for("III")(local_workload.root, seed)
+            assert remote_workload.visible_data() == local_workload.visible_data()
+        finally:
+            client.close()
+            resolver.close_all()
+
+    def test_many_sequential_calls(self, server_process):
+        resolver = ChannelResolver()
+        client = Endpoint(name="mp-client2", resolver=resolver)
+        try:
+            service = client.lookup(server_process, "trees")
+            for seed in range(5):
+                workload = generate_workload("II", 32, seed)
+                local = generate_workload("II", 32, seed)
+                service.mutate("II", workload.root, seed)
+                mutator_for("II")(local.root, seed)
+                assert workload.visible_data() == local.visible_data()
+        finally:
+            client.close()
+            resolver.close_all()
+
+    def test_remote_error_across_processes(self, server_process):
+        from repro.errors import RemoteError, RemoteInvocationError
+
+        resolver = ChannelResolver()
+        client = Endpoint(name="mp-client3", resolver=resolver)
+        try:
+            service = client.lookup(server_process, "trees")
+            with pytest.raises((RemoteError, RemoteInvocationError)):
+                service.no_such_method()
+        finally:
+            client.close()
+            resolver.close_all()
+
+    def test_unbound_name_across_processes(self, server_process):
+        from repro.errors import RemoteInvocationError
+
+        resolver = ChannelResolver()
+        client = Endpoint(name="mp-client4", resolver=resolver)
+        try:
+            with pytest.raises(RemoteInvocationError):
+                client.lookup(server_process, "no-such-service")
+        finally:
+            client.close()
+            resolver.close_all()

@@ -1,0 +1,163 @@
+"""Aliasing semantics through the full stack: the paper's hard cases."""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.nrmi.config import NRMIConfig
+
+from tests.model_helpers import Box, Node
+
+
+class GraphService(Remote):
+    def relink(self, box_a, box_b):
+        """Cross-link the payloads of two restorable parameters."""
+        box_a.payload, box_b.payload = box_b.payload, box_a.payload
+
+    def mark_both(self, box_a, box_b, value):
+        box_a.payload.data = value
+        box_b.payload.data = value + "-b"
+
+    def count_distinct(self, box_a, box_b):
+        return 1 if box_a.payload is box_b.payload else 2
+
+    def detach_and_mutate(self, box):
+        orphan = box.payload
+        box.payload = None
+        orphan.data = "still-updated"
+
+    def build_cycle(self, box):
+        first = Node("one")
+        second = Node("two", next=first)
+        first.next = second
+        box.payload = first
+
+
+class TestSharedStructureAcrossParameters:
+    def test_shared_object_not_duplicated(self, endpoint_pair):
+        """Section 4.1: sharing must be detected, not copied twice."""
+        service = endpoint_pair.serve(GraphService())
+        shared = Node("shared")
+        assert service.count_distinct(Box(shared), Box(shared)) == 1
+
+    def test_distinct_objects_stay_distinct(self, endpoint_pair):
+        service = endpoint_pair.serve(GraphService())
+        assert service.count_distinct(Box(Node("a")), Box(Node("b"))) == 2
+
+    def test_same_parameter_twice(self, endpoint_pair):
+        service = endpoint_pair.serve(GraphService())
+        box = Box(Node("self"))
+        assert service.count_distinct(box, box) == 1
+
+    def test_cross_param_relink_restored(self, endpoint_pair):
+        service = endpoint_pair.serve(GraphService())
+        node_a, node_b = Node("a"), Node("b")
+        box_a, box_b = Box(node_a), Box(node_b)
+        service.relink(box_a, box_b)
+        assert box_a.payload is node_b  # identities crossed over, in place
+        assert box_b.payload is node_a
+
+    def test_mutation_via_two_routes_consistent(self, endpoint_pair):
+        service = endpoint_pair.serve(GraphService())
+        shared = Node("x")
+        box_a, box_b = Box(shared), Box(shared)
+        service.mark_both(box_a, box_b, "val")
+        # Both writes hit ONE object on the server; last write wins and is
+        # restored onto the one original.
+        assert shared.data == "val-b"
+        assert box_a.payload is shared and box_b.payload is shared
+
+
+class TestDetachedAliases:
+    def test_detached_object_still_restored(self, endpoint_pair):
+        """The alias1/alias2 guarantee on a real remote call."""
+        service = endpoint_pair.serve(GraphService())
+        kept = Node("original")
+        box = Box(kept)
+        service.detach_and_mutate(box)
+        assert box.payload is None
+        assert kept.data == "still-updated"  # restored though unreachable
+
+    def test_server_built_cycle_restored(self, endpoint_pair):
+        service = endpoint_pair.serve(GraphService())
+        box = Box(None)
+        service.build_cycle(box)
+        first = box.payload
+        assert first.data == "one"
+        assert first.next.data == "two"
+        assert first.next.next is first
+
+
+class TestDeepStructures:
+    def test_deep_linked_list_restores(self, endpoint_pair):
+        """Depth beyond the recursion limit through the whole stack."""
+
+        class DeepService(Remote):
+            def bump_all(self, head):
+                node = head
+                while node is not None:
+                    node.data += 1
+                    node = node.next
+
+        service = endpoint_pair.serve(DeepService())
+        head = Node(0)
+        current = head
+        for i in range(5000):
+            current.next = Node(i + 1)
+            current = current.next
+        service.bump_all(head)
+        node, expected = head, 1
+        while node is not None:
+            assert node.data == expected
+            expected += 1
+            node = node.next
+
+    def test_wide_structure(self, endpoint_pair):
+        class WideService(Remote):
+            def sum_and_clear(self, box):
+                total = sum(n.data for n in box.payload)
+                box.payload = []
+                return total
+
+        service = endpoint_pair.serve(WideService())
+        nodes = [Node(i) for i in range(2000)]
+        box = Box(list(nodes))
+        assert service.sum_and_clear(box) == sum(range(2000))
+        assert box.payload == []
+        assert nodes[7].data == 7  # originals intact
+
+
+class TestContainerRoots:
+    def test_dict_inside_restorable(self, endpoint_pair):
+        class DictService(Remote):
+            def index(self, box):
+                box.payload["by_data"] = {n.data: n for n in box.payload["nodes"]}
+
+        service = endpoint_pair.serve(DictService())
+        nodes = [Node("a"), Node("b")]
+        box = Box({"nodes": nodes})
+        service.index(box)
+        assert box.payload["by_data"]["a"] is nodes[0]
+        assert box.payload["by_data"]["b"] is nodes[1]
+
+    def test_set_membership_updated(self, endpoint_pair):
+        class SetService(Remote):
+            def add_tag(self, box, tag):
+                box.payload["tags"].add(tag)
+
+        service = endpoint_pair.serve(SetService())
+        tags = {"alpha"}
+        box = Box({"tags": tags})
+        service.add_tag(box, "beta")
+        assert tags == {"alpha", "beta"}
+
+    def test_tuple_field_rebuilt(self, endpoint_pair):
+        class TupleService(Remote):
+            def wrap(self, box):
+                box.payload = (box.payload, "wrapped")
+
+        service = endpoint_pair.serve(TupleService())
+        inner = Node("inner")
+        box = Box(inner)
+        service.wrap(box)
+        assert box.payload[0] is inner  # rebuilt tuple points at original
+        assert box.payload[1] == "wrapped"

@@ -1,0 +1,149 @@
+"""Method-level policy annotations and asynchronous invocation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import RemoteInvocationError
+from repro.nrmi.annotations import (
+    effective_policy,
+    method_policy_override,
+    no_restore,
+    restore_policy,
+)
+from repro.nrmi.runtime import async_call
+
+from tests.model_helpers import Box, Node
+
+
+class AnnotatedService(Remote):
+    @no_restore
+    def read_only_sum(self, box):
+        box.payload.append("server-noise")  # mutation must NOT come back
+        return len(box.payload)
+
+    @restore_policy("delta")
+    def sparse_touch(self, box):
+        box.payload[0] = "touched"
+
+    @restore_policy("dce")
+    def dce_style(self, box):
+        detached = box.payload
+        box.payload = None
+        detached.data = "lost"
+
+    def plain(self, box):
+        box.payload = "restored"
+
+
+class SlowService(Remote):
+    def slow_double(self, box, delay):
+        time.sleep(delay)
+        box.payload *= 2
+        return box.payload
+
+    def fail(self):
+        raise RuntimeError("async boom")
+
+    def thread_name(self):
+        return threading.current_thread().name
+
+
+class TestAnnotationHelpers:
+    def test_override_recorded(self):
+        assert method_policy_override(AnnotatedService.read_only_sum) == "none"
+        assert method_policy_override(AnnotatedService.sparse_touch) == "delta"
+        assert method_policy_override(AnnotatedService.plain) is None
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            restore_policy("bogus")
+
+    def test_effective_policy_combinations(self):
+        assert effective_policy("full", AnnotatedService.plain) == "full"
+        assert effective_policy("full", AnnotatedService.read_only_sum) == "none"
+        assert effective_policy("full", AnnotatedService.sparse_touch) == "delta"
+        # Never upgrade a call-by-copy request:
+        assert effective_policy("none", AnnotatedService.sparse_touch) == "none"
+
+
+class TestAnnotatedCalls:
+    def test_no_restore_skips_restoration(self, endpoint_pair):
+        service = endpoint_pair.serve(AnnotatedService())
+        box = Box(["caller-data"])
+        count = service.read_only_sum(box)
+        assert count == 2                      # server saw its copy grow
+        assert box.payload == ["caller-data"]  # caller untouched
+
+    def test_no_restore_ships_less(self, endpoint_pair):
+        service = endpoint_pair.serve(AnnotatedService())
+        channel = endpoint_pair.client.channel_to(endpoint_pair.server.address)
+
+        big = Box([Node(i) for i in range(100)])
+        before = channel.stats.snapshot()["bytes_received"]
+        service.read_only_sum(big)
+        read_only_bytes = channel.stats.snapshot()["bytes_received"] - before
+
+        big2 = Box([Node(i) for i in range(100)])
+        before = channel.stats.snapshot()["bytes_received"]
+        service.plain(big2)
+        full_bytes = channel.stats.snapshot()["bytes_received"] - before
+        assert read_only_bytes < full_bytes / 5
+
+    def test_delta_override_still_restores(self, endpoint_pair):
+        service = endpoint_pair.serve(AnnotatedService())
+        box = Box(["original", "rest"])
+        service.sparse_touch(box)
+        assert box.payload[0] == "touched"
+
+    def test_dce_override_loses_detached(self, endpoint_pair):
+        service = endpoint_pair.serve(AnnotatedService())
+        node = Node("kept")
+        box = Box(node)
+        service.dce_style(box)
+        assert box.payload is None
+        assert node.data == "kept"  # DCE semantics: detached update lost
+
+    def test_unannotated_method_unaffected(self, endpoint_pair):
+        service = endpoint_pair.serve(AnnotatedService())
+        box = Box("x")
+        service.plain(box)
+        assert box.payload == "restored"
+
+
+class TestAsyncInvocation:
+    def test_future_resolves_with_result(self, endpoint_pair):
+        service = endpoint_pair.serve(SlowService())
+        box = Box(21)
+        future = async_call(service, "slow_double", box, 0.01)
+        assert future.result(timeout=10) == 42
+        assert box.payload == 42  # restore ran before resolution
+
+    def test_concurrent_futures(self, endpoint_pair):
+        service = endpoint_pair.serve(SlowService())
+        boxes = [Box(i) for i in range(6)]
+        futures = [
+            async_call(service, "slow_double", box, 0.02) for box in boxes
+        ]
+        results = [future.result(timeout=10) for future in futures]
+        assert results == [i * 2 for i in range(6)]
+        assert [box.payload for box in boxes] == results
+
+    def test_async_exception_propagates(self, endpoint_pair):
+        service = endpoint_pair.serve(SlowService())
+        future = async_call(service, "fail")
+        with pytest.raises(RemoteInvocationError):
+            future.result(timeout=10)
+
+    def test_runs_off_calling_thread(self, endpoint_pair):
+        service = endpoint_pair.serve(SlowService())
+        future = endpoint_pair.client.invoke_async(
+            service.descriptor, "thread_name", ()
+        )
+        future.result(timeout=10)  # completes; dispatch happened on a worker
+
+    def test_async_call_rejects_non_stub(self):
+        with pytest.raises(Exception):
+            async_call("not-a-stub", "method")

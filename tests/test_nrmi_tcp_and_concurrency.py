@@ -1,0 +1,188 @@
+"""Full stack over real sockets, plus concurrent clients and servers."""
+
+import threading
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint, serve
+from repro.transport.resolver import ChannelResolver
+
+from tests.model_helpers import Box, Node
+
+
+class CounterService(Remote):
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, box):
+        with self._lock:
+            self.total += box.payload
+            box.payload = self.total
+        return box.payload
+
+
+class TreeFlipService(Remote):
+    def flip(self, node):
+        node.data = -node.data
+        return node.data
+
+
+class TestOverTcp:
+    def test_copy_restore_over_sockets(self):
+        resolver = ChannelResolver()
+        server = Endpoint(name="tcp-server", resolver=resolver)
+        client = Endpoint(name="tcp-client", resolver=resolver)
+        try:
+            server.bind("flip", TreeFlipService())
+            tcp_address = server.serve_tcp()
+            assert tcp_address.startswith("tcp://")
+            service = client.lookup(tcp_address, "flip")
+            node = Node(5)
+            assert service.flip(node) == -5
+            assert node.data == -5  # restored across a real socket
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+
+    def test_ping_over_tcp(self):
+        resolver = ChannelResolver()
+        server = Endpoint(name="ping-server", resolver=resolver)
+        client = Endpoint(name="ping-client", resolver=resolver)
+        try:
+            address = server.serve_tcp()
+            assert client.ping(address)
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+
+    def test_stub_minted_after_tcp_serve_carries_tcp_address(self):
+        resolver = ChannelResolver()
+        server = Endpoint(name="addr-server", resolver=resolver)
+        client = Endpoint(name="addr-client", resolver=resolver)
+        try:
+            server.bind("flip", TreeFlipService())
+            tcp_address = server.serve_tcp()
+            stub = client.lookup(tcp_address, "flip")
+            assert stub.descriptor.address == tcp_address
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+
+
+class TestConcurrency:
+    def test_many_threads_one_service(self, endpoint_pair):
+        service_impl = CounterService()
+        endpoint_pair.server.bind("counter", service_impl)
+        errors = []
+
+        def worker():
+            try:
+                client = Endpoint(resolver=endpoint_pair.resolver)
+                try:
+                    counter = client.lookup(endpoint_pair.server.address, "counter")
+                    for _ in range(25):
+                        counter.add(Box(1))
+                finally:
+                    client.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert service_impl.total == 8 * 25
+
+    def test_concurrent_restores_do_not_interfere(self, endpoint_pair):
+        endpoint_pair.server.bind("flip", TreeFlipService())
+        results = {}
+        errors = []
+
+        def worker(worker_id):
+            try:
+                client = Endpoint(resolver=endpoint_pair.resolver)
+                try:
+                    flip = client.lookup(endpoint_pair.server.address, "flip")
+                    node = Node(worker_id + 1)
+                    flip.flip(node)
+                    results[worker_id] = node.data
+                finally:
+                    client.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert results == {n: -(n + 1) for n in range(10)}
+
+    def test_concurrent_tcp_clients(self):
+        resolver = ChannelResolver()
+        server = Endpoint(name="conc-tcp", resolver=resolver)
+        impl = CounterService()
+        errors = []
+        try:
+            server.bind("counter", impl)
+            address = server.serve_tcp()
+
+            def worker():
+                try:
+                    worker_resolver = ChannelResolver()
+                    client = Endpoint(resolver=worker_resolver)
+                    try:
+                        counter = client.lookup(address, "counter")
+                        for _ in range(10):
+                            counter.add(Box(2))
+                    finally:
+                        client.close()
+                        worker_resolver.close_all()
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert impl.total == 6 * 10 * 2
+        finally:
+            server.close()
+            resolver.close_all()
+
+
+class TestServeHelper:
+    def test_serve_context_manager(self):
+        with serve(TreeFlipService(), name="flip") as server:
+            client = Endpoint()
+            try:
+                node = Node(3)
+                client.lookup(server.address, "flip").flip(node)
+                assert node.data == -3
+            finally:
+                client.close()
+
+    def test_serve_tcp_flag(self):
+        with serve(TreeFlipService(), name="flip", tcp=True) as server:
+            assert server.address.startswith("tcp://")
+
+    def test_endpoint_close_idempotent(self):
+        endpoint = Endpoint()
+        endpoint.close()
+        endpoint.close()
+
+    def test_config_propagates(self):
+        config = NRMIConfig(policy="delta")
+        with serve(TreeFlipService(), name="flip", config=config) as server:
+            assert server.config.policy == "delta"

@@ -1,0 +1,113 @@
+"""Property-based tests: the wire format on arbitrary value shapes."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serde.profiles import LEGACY_PROFILE, MODERN_PROFILE
+from repro.serde.reader import ObjectReader
+from repro.serde.writer import ObjectWriter
+
+from tests.model_helpers import heap_fingerprint
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+hashable_values = st.one_of(
+    scalars,
+    st.tuples(scalars, scalars),
+    st.frozensets(scalars, max_size=4),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.tuples(children, children),
+        st.dictionaries(hashable_values, children, max_size=4),
+        st.sets(hashable_values, max_size=4),
+        st.frozensets(hashable_values, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+def roundtrip(value, profile=MODERN_PROFILE):
+    writer = ObjectWriter(profile=profile)
+    writer.write_root(value)
+    reader = ObjectReader(writer.getvalue(), profile=profile)
+    result = reader.read_root()
+    reader.expect_end()
+    return result
+
+
+@settings(max_examples=150)
+@given(values)
+def test_roundtrip_preserves_equality(value):
+    assert roundtrip(value) == value
+
+
+@settings(max_examples=60)
+@given(values)
+def test_legacy_and_modern_decode_identically(value):
+    assert roundtrip(value, LEGACY_PROFILE) == roundtrip(value, MODERN_PROFILE)
+
+
+@settings(max_examples=60)
+@given(values)
+def test_roundtrip_preserves_types(value):
+    result = roundtrip(value)
+    assert type(result) is type(value)
+
+
+@settings(max_examples=60)
+@given(st.lists(values, min_size=1, max_size=4))
+def test_multi_root_stream(roots):
+    writer = ObjectWriter()
+    for root in roots:
+        writer.write_root(root)
+    reader = ObjectReader(writer.getvalue())
+    decoded = [reader.read_root() for _ in roots]
+    reader.expect_end()
+    assert decoded == roots
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(), min_size=1, max_size=6))
+def test_aliased_graph_fingerprint_stable(items):
+    """Sharing a sub-list twice must decode to one shared object."""
+    shared = list(items)
+    graph = {"a": shared, "b": shared, "c": [shared, items]}
+    decoded = roundtrip(graph)
+    assert decoded["a"] is decoded["b"]
+    assert decoded["c"][0] is decoded["a"]
+    assert heap_fingerprint([graph]) == heap_fingerprint([decoded])
+
+
+@settings(max_examples=60)
+@given(values)
+def test_linear_maps_align(value):
+    writer = ObjectWriter()
+    writer.write_root(value)
+    reader = ObjectReader(writer.getvalue())
+    reader.read_root()
+    assert len(writer.linear_map) == len(reader.linear_map)
+    for original, copy in zip(writer.linear_map, reader.linear_map):
+        assert type(original) is type(copy)
+
+
+@settings(max_examples=40)
+@given(st.floats())
+def test_float_bit_exactness(value):
+    result = roundtrip(value)
+    if math.isnan(value):
+        assert math.isnan(result)
+    else:
+        assert result == value
+        assert math.copysign(1.0, result) == math.copysign(1.0, value)

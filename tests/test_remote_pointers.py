@@ -1,0 +1,157 @@
+"""Remote pointers: the naive call-by-reference baseline (Figure 3, Table 6)."""
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import DistributedLeakError, RemoteInvocationError
+from repro.nrmi.config import NRMIConfig
+from repro.rmi.remote_ref import RemotePointer
+
+from tests.model_helpers import Node
+
+
+class PointerService(Remote):
+    def read_data(self, pointer):
+        return pointer.data
+
+    def write_data(self, pointer, value):
+        pointer.data = value
+
+    def walk_and_sum(self, pointer):
+        total = 0
+        node = pointer
+        while node is not None:
+            total += node.data
+            node = node.next
+        return total
+
+    def splice(self, pointer, value):
+        """Create a server-local node and link it into the client's list."""
+        fresh = Node(value)
+        fresh.next = pointer.next
+        pointer.next = fresh
+
+    def read_through(self, pointer):
+        return pointer.next.data
+
+
+def build_chain(*values):
+    head = None
+    for value in reversed(values):
+        head = Node(value, next=head)
+    return head
+
+
+class TestFieldAccess:
+    def test_remote_read(self, endpoint_pair):
+        service = endpoint_pair.serve(PointerService())
+        node = Node(42)
+        assert service.read_data(endpoint_pair.client.pointer_to(node)) == 42
+
+    def test_remote_write_hits_client_object(self, endpoint_pair):
+        service = endpoint_pair.serve(PointerService())
+        node = Node("old")
+        service.write_data(endpoint_pair.client.pointer_to(node), "new")
+        assert node.data == "new"  # the CLIENT object changed, no restore
+
+    def test_chained_traversal(self, endpoint_pair):
+        service = endpoint_pair.serve(PointerService())
+        head = build_chain(1, 2, 3, 4)
+        assert service.walk_and_sum(endpoint_pair.client.pointer_to(head)) == 10
+
+    def test_nested_pointer_read(self, endpoint_pair):
+        service = endpoint_pair.serve(PointerService())
+        head = build_chain("first", "second")
+        assert service.read_through(endpoint_pair.client.pointer_to(head)) == "second"
+
+    def test_every_access_is_a_round_trip(self, endpoint_pair):
+        service = endpoint_pair.serve(PointerService())
+        head = build_chain(*range(10))
+        before = endpoint_pair.server.channel_to(
+            endpoint_pair.client.address
+        ).stats.requests
+        service.walk_and_sum(endpoint_pair.client.pointer_to(head))
+        after = endpoint_pair.server.channel_to(
+            endpoint_pair.client.address
+        ).stats.requests
+        # 10 data reads + 10 next reads minimum.
+        assert after - before >= 20
+
+    def test_missing_attribute_raises_remotely(self, endpoint_pair):
+        service = endpoint_pair.serve(PointerService())
+        node = Node(1)
+
+        class BadService(Remote):
+            def poke(self, pointer):
+                return pointer.no_such_field
+
+        bad = endpoint_pair.serve(BadService(), name="bad")
+        with pytest.raises(RemoteInvocationError):
+            bad.poke(endpoint_pair.client.pointer_to(node))
+
+
+class TestCrossEndpointStructures:
+    def test_server_node_spliced_into_client_list(self, endpoint_pair):
+        service = endpoint_pair.serve(PointerService())
+        head = build_chain(1, 3)
+        service.splice(endpoint_pair.client.pointer_to(head), 2)
+        # head.next is now a pointer to a SERVER-owned node.
+        assert isinstance(head.next, RemotePointer)
+        assert head.next.data == 2          # transparently readable
+        assert head.next.next is not None
+        assert head.next.next.data == 3     # original client node beyond it
+
+    def test_distributed_cycle_leaks(self, endpoint_pair):
+        """The spliced node creates cross-endpoint references that
+        reference counting can never collect."""
+        service = endpoint_pair.serve(PointerService())
+        head = build_chain(1, 3)
+        service.splice(endpoint_pair.client.pointer_to(head), 2)
+        assert endpoint_pair.client.exports.dgc.live_referenced_count() > 0
+        assert endpoint_pair.server.exports.dgc.live_referenced_count() > 0
+
+    def test_leak_budget_aborts_run(self, make_endpoint_pair):
+        pair = make_endpoint_pair(
+            client_config=NRMIConfig(policy="none", leak_budget=5)
+        )
+        service = pair.serve(PointerService())
+        head = build_chain(*range(50))
+        with pytest.raises((DistributedLeakError, RemoteInvocationError)):
+            service.walk_and_sum(pair.client.pointer_to(head))
+
+
+class TestDgcRelease:
+    def test_release_decrements_owner(self, endpoint_pair):
+        node = Node(1)
+        pointer = endpoint_pair.client.pointer_to(node)
+        object_id = pointer.descriptor.object_id
+        assert endpoint_pair.client.exports.dgc.refcount(object_id) == 1
+        endpoint_pair.client.release(pointer)
+        assert endpoint_pair.client.exports.dgc.refcount(object_id) == 0
+
+    def test_released_object_unexported(self, endpoint_pair):
+        node = Node(1)
+        pointer = endpoint_pair.client.pointer_to(node)
+        endpoint_pair.client.release(pointer)
+        service = endpoint_pair.serve(PointerService())
+        with pytest.raises(RemoteInvocationError):
+            service.read_data(pointer)  # NoSuchObjectError remotely
+
+
+class TestPointerIdentity:
+    def test_pointer_resolves_to_local_object_at_owner(self, endpoint_pair):
+        """A pointer arriving back at its owner unwraps to the object."""
+        node = Node("mine")
+        pointer = endpoint_pair.client.pointer_to(node)
+        resolved = endpoint_pair.client.decode_pointer_value(
+            endpoint_pair.client.encode_pointer_value(pointer)
+        )
+        assert resolved is node
+
+    def test_primitive_values_inline(self, endpoint_pair):
+        encoded = endpoint_pair.client.encode_pointer_value("just-a-string")
+        assert endpoint_pair.client.decode_pointer_value(encoded) == "just-a-string"
+
+    def test_repr(self, endpoint_pair):
+        pointer = endpoint_pair.client.pointer_to(Node(1))
+        assert "RemotePointer" in repr(pointer)

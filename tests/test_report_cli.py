@@ -1,0 +1,76 @@
+"""The table-report CLI: argument handling and output shape."""
+
+import pytest
+
+from repro.bench import report
+from repro.bench.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE5_JDK14,
+    PAPER_TABLE6,
+    SIZES,
+    paper_expectations,
+)
+
+
+class TestTablesData:
+    def test_sizes_match_paper(self):
+        assert SIZES == (16, 64, 256, 1024)
+
+    def test_paper_table2_modern_faster(self):
+        for scenario in ("I", "II", "III"):
+            for size in SIZES:
+                assert (
+                    PAPER_TABLE2["jdk14"][scenario][size]
+                    <= PAPER_TABLE2["jdk13"][scenario][size]
+                )
+
+    def test_paper_table5_optimized_not_slower(self):
+        for scenario, row in PAPER_TABLE5_JDK14.items():
+            for size, (portable, optimized) in row.items():
+                assert optimized <= portable
+
+    def test_paper_table6_1024_failed(self):
+        for jdk in ("jdk13", "jdk14"):
+            for scenario in ("I", "II", "III"):
+                assert PAPER_TABLE6[jdk][scenario][1024] is None
+
+    def test_expectations_documented(self):
+        expectations = paper_expectations()
+        assert "remote-ref" in expectations
+        assert len(expectations) >= 5
+
+
+class TestCli:
+    def test_no_args_prints_help(self, capsys):
+        assert report.main([]) == 2
+        assert "Regenerate" in capsys.readouterr().out
+
+    def test_loc_only(self, capsys):
+        assert report.main(["--loc"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario III" in out
+        assert "NRMI version : 0 extra lines" in out
+
+    def test_single_small_table(self, capsys):
+        assert report.main(["--table", "1", "--reps", "1", "--sizes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Local Execution" in out
+        assert "III" in out
+
+    def test_compare_mode_shows_paper_values(self, capsys):
+        assert (
+            report.main(
+                ["--table", "2", "--reps", "1", "--sizes", "16", "--compare"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(" in out  # paper value in parentheses
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            report.main(["--table", "9"])
+
+    def test_table6_runs_small(self, capsys):
+        assert report.main(["--table", "6", "--reps", "1", "--sizes", "16"]) == 0
+        assert "Remote References" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Restore-phase edge cases through the full middleware stack."""
+
+import pytest
+
+from repro.core.markers import Remote, Restorable
+from repro.nrmi.config import NRMIConfig
+
+from tests.model_helpers import Box, Node
+
+
+class EdgeService(Remote):
+    def clear_all(self, box):
+        box.payload = None
+        box.index = {}
+        box.tags = set()
+
+    def grow_bytearray(self, box):
+        box.payload.extend(b"-grown")
+        return bytes(box.payload)
+
+    def shrink_list(self, box):
+        del box.payload[2:]
+
+    def rotate_dict_keys(self, box):
+        box.payload = {value: key for key, value in box.payload.items()}
+
+    def deep_nest(self, box, depth):
+        current = box
+        for _ in range(depth):
+            fresh = Box(None)
+            current.payload = fresh
+            current = fresh
+        current.payload = "bottom"
+
+    def swap_containers(self, box):
+        box.a, box.b = box.b, box.a
+
+    def key_is_node(self, box, node):
+        box.payload[node] = "keyed-by-object"
+
+    def return_tuple_view(self, box):
+        return (box.payload, len(box.payload))
+
+
+class TestContainerEdges:
+    def test_everything_cleared(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        box = Box([Node(1)])
+        box.index = {"k": 1}
+        box.tags = {1, 2}
+        service.clear_all(box)
+        assert box.payload is None
+        assert box.index == {}
+        assert box.tags == set()
+
+    def test_bytearray_grown_in_place(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        buffer = bytearray(b"base")
+        box = Box(buffer)
+        result = service.grow_bytearray(box)
+        assert result == b"base-grown"
+        assert buffer == bytearray(b"base-grown")  # the SAME bytearray
+        assert box.payload is buffer
+
+    def test_list_shrunk_in_place(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        items = [1, 2, 3, 4, 5]
+        box = Box(items)
+        service.shrink_list(box)
+        assert items == [1, 2]
+
+    def test_dict_key_value_rotation(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        mapping = {"a": 1, "b": 2}
+        box = Box(mapping)
+        service.rotate_dict_keys(box)
+        assert box.payload == {1: "a", 2: "b"}
+
+    def test_object_as_dict_key_restored(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        node = Node("key")
+        box = Box({})
+        service.key_is_node(box, node)
+        # The key decodes to a node matched back to OUR node (it was
+        # reachable from the restorable box? No — it travelled as its own
+        # restorable argument, so identity maps to the caller's original).
+        assert box.payload[node] == "keyed-by-object"
+
+    def test_deep_nesting_created_remotely(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        box = Box(None)
+        service.deep_nest(box, 500)
+        depth = 0
+        current = box
+        while isinstance(current.payload, Box):
+            current = current.payload
+            depth += 1
+        assert depth == 500
+        assert current.payload == "bottom"
+
+    def test_field_swap_preserves_identity(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        box = Box(None)
+        left, right = [1], {2: 3}
+        box.a, box.b = left, right
+        service.swap_containers(box)
+        assert box.a is right
+        assert box.b is left
+
+    def test_tuple_return_references_originals(self, endpoint_pair):
+        service = endpoint_pair.serve(EdgeService())
+        items = [Node(1), Node(2)]
+        box = Box(items)
+        view, count = service.return_tuple_view(box)
+        assert count == 2
+        assert view is items  # through the rebuilt tuple
+
+
+class TestRestorableRootVariants:
+    def test_restorable_with_no_reachable_mutables(self, endpoint_pair):
+        class Lone(Restorable):
+            def __init__(self):
+                self.value = "only-primitives"
+
+        class Setter(Remote):
+            def set(self, lone):
+                lone.value = "changed"
+
+        service = endpoint_pair.serve(Setter())
+        lone = Lone()
+        service.set(lone)
+        assert lone.value == "changed"
+
+    def test_empty_restorable(self, endpoint_pair):
+        class Empty(Restorable):
+            pass
+
+        class Toucher(Remote):
+            def touch(self, obj):
+                obj.added = True
+
+        service = endpoint_pair.serve(Toucher())
+        empty = Empty()
+        service.touch(empty)
+        assert empty.added is True
+
+    def test_two_identical_restorables_same_object(self, endpoint_pair):
+        class Pairwise(Remote):
+            def mark(self, a, b):
+                a.payload = "via-a"
+                b.payload += "+via-b"
+
+        service = endpoint_pair.serve(Pairwise())
+        box = Box("")
+        service.mark(box, box)
+        assert box.payload == "via-a+via-b"
+
+    def test_mixed_restorable_and_copy_sharing(self, endpoint_pair):
+        """An object shared between a by-copy arg and a restorable arg is
+        restorable (reachable from the restorable root)."""
+
+        class Mixed(Remote):
+            def mutate_via_copy_arg(self, copy_list, restorable_box):
+                copy_list[0].data = "changed"
+
+        service = endpoint_pair.serve(Mixed())
+        shared = Node("original")
+        box = Box(shared)
+        service.mutate_via_copy_arg([shared], box)
+        # The server mutated through the copy argument's path, but the
+        # object IS reachable from the restorable root -> restored.
+        assert shared.data == "changed"
+
+    @pytest.mark.parametrize("policy", ["full", "delta"])
+    def test_large_graph_smoke(self, make_endpoint_pair, policy):
+        config = NRMIConfig(policy=policy)
+        pair = make_endpoint_pair(server_config=config, client_config=config)
+
+        class BigService(Remote):
+            def touch_all(self, box):
+                for node in box.payload:
+                    node.data *= 2
+
+        service = pair.serve(BigService())
+        nodes = [Node(i) for i in range(3000)]
+        box = Box(nodes)
+        service.touch_all(box)
+        assert [n.data for n in nodes[:5]] == [0, 2, 4, 6, 8]
+        assert nodes[2999].data == 5998

@@ -1,0 +1,289 @@
+"""RMI substrate: export table, DGC, protocol codec, registry service."""
+
+import pytest
+
+from repro.errors import (
+    AlreadyBoundError,
+    DistributedLeakError,
+    NoSuchObjectError,
+    NotBoundError,
+    WireFormatError,
+)
+from repro.core.semantics import PassingMode
+from repro.rmi.dgc import DistributedGC
+from repro.rmi.export import ExportTable
+from repro.rmi.protocol import (
+    CallRequest,
+    Op,
+    Status,
+    decode_call,
+    decode_dgc_release,
+    decode_field_get,
+    decode_field_set,
+    encode_call,
+    encode_dgc_release,
+    encode_field_get,
+    encode_field_set,
+    encode_ping,
+    exception_response,
+    ok_response,
+    protocol_error_response,
+    split_response,
+)
+from repro.rmi.registry import REGISTRY_OBJECT_ID, RegistryService
+from repro.rmi.remote_ref import RemoteDescriptor
+from repro.util.buffers import BufferReader
+
+from tests.model_helpers import Node
+
+
+class TestExportTable:
+    def test_export_assigns_ids(self):
+        table = ExportTable()
+        a, b = Node(1), Node(2)
+        id_a = table.export(a)
+        id_b = table.export(b)
+        assert id_a != id_b
+        assert table.get(id_a) is a
+        assert table.get(id_b) is b
+
+    def test_export_idempotent(self):
+        table = ExportTable()
+        node = Node(1)
+        assert table.export(node) == table.export(node)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(NoSuchObjectError):
+            ExportTable().get(404)
+
+    def test_unexport(self):
+        table = ExportTable()
+        node = Node(1)
+        object_id = table.export(node)
+        table.unexport(object_id)
+        with pytest.raises(NoSuchObjectError):
+            table.get(object_id)
+
+    def test_id_of(self):
+        table = ExportTable()
+        node = Node(1)
+        assert table.id_of(node) is None
+        object_id = table.export(node)
+        assert table.id_of(node) == object_id
+
+    def test_marshal_bumps_dgc(self):
+        table = ExportTable()
+        node = Node(1)
+        object_id = table.export_marshalled(node)
+        assert table.dgc.refcount(object_id) == 1
+        table.export_marshalled(node)
+        assert table.dgc.refcount(object_id) == 2
+
+    def test_unreferenced_object_unexported(self):
+        table = ExportTable()
+        node = Node(1)
+        object_id = table.export_marshalled(node)
+        table.dgc.release(object_id)
+        with pytest.raises(NoSuchObjectError):
+            table.get(object_id)
+
+    def test_pinned_object_survives_release(self):
+        table = ExportTable()
+        service = Node("registry-like")
+        object_id = table.export(service, pin=True)
+        table.dgc.on_marshal(object_id)
+        table.dgc.release(object_id)
+        assert table.get(object_id) is service
+
+    def test_live_count(self):
+        table = ExportTable()
+        table.export(Node(1))
+        table.export(Node(2))
+        assert table.live_count() == 2
+
+
+class TestDistributedGC:
+    def test_refcounting(self):
+        dgc = DistributedGC()
+        dgc.on_marshal(1)
+        dgc.on_marshal(1)
+        dgc.on_marshal(2)
+        assert dgc.refcount(1) == 2
+        assert dgc.live_referenced_count() == 2
+        assert not dgc.release(1)
+        assert dgc.release(1)  # now unreferenced
+        assert dgc.refcount(1) == 0
+
+    def test_release_more_than_held_clamps(self):
+        dgc = DistributedGC()
+        dgc.on_marshal(1)
+        dgc.release(1, count=10)
+        assert dgc.refcount(1) == 0
+
+    def test_release_unknown_id_harmless(self):
+        DistributedGC().release(12345)
+
+    def test_unreferenced_callback(self):
+        collected = []
+        dgc = DistributedGC(on_unreferenced=collected.append)
+        dgc.on_marshal(7)
+        dgc.release(7)
+        assert collected == [7]
+
+    def test_leak_budget_enforced(self):
+        dgc = DistributedGC(leak_budget=2)
+        dgc.on_marshal(1)
+        dgc.on_marshal(2)
+        with pytest.raises(DistributedLeakError) as excinfo:
+            dgc.on_marshal(3)
+        assert excinfo.value.leaked == 3
+        assert excinfo.value.budget == 2
+
+    def test_release_frees_budget(self):
+        dgc = DistributedGC(leak_budget=2)
+        dgc.on_marshal(1)
+        dgc.on_marshal(2)
+        dgc.release(1)
+        dgc.on_marshal(3)  # fits again
+
+    def test_snapshot(self):
+        dgc = DistributedGC()
+        dgc.on_marshal(1)
+        dgc.release(1)
+        snap = dgc.snapshot()
+        assert snap == {
+            "live_referenced": 0,
+            "total_marshalled": 1,
+            "total_released": 1,
+            "total_expired": 0,
+        }
+
+
+class TestProtocolCodec:
+    def test_call_roundtrip(self):
+        request = CallRequest(
+            object_id=7,
+            method="doit",
+            policy="full",
+            profile="modern",
+            modes=(PassingMode.BY_COPY_RESTORE, PassingMode.BY_VALUE),
+            args_payload=b"ARGS",
+        )
+        encoded = encode_call(request)
+        reader = BufferReader(encoded)
+        assert reader.read_u8() == Op.CALL
+        decoded = decode_call(reader)
+        assert decoded == request
+
+    def test_field_get_roundtrip(self):
+        reader = BufferReader(encode_field_get(3, "left"))
+        assert reader.read_u8() == Op.FIELD_GET
+        assert decode_field_get(reader) == (3, "left")
+
+    def test_field_set_roundtrip(self):
+        reader = BufferReader(encode_field_set(3, "data", b"VALUE"))
+        assert reader.read_u8() == Op.FIELD_SET
+        assert decode_field_set(reader) == (3, "data", b"VALUE")
+
+    def test_dgc_release_roundtrip(self):
+        reader = BufferReader(encode_dgc_release([(1, 2), (3, 1)]))
+        assert reader.read_u8() == Op.DGC_RELEASE
+        assert decode_dgc_release(reader) == [(1, 2), (3, 1)]
+
+    def test_ping(self):
+        assert BufferReader(encode_ping()).read_u8() == Op.PING
+
+    def test_ok_response(self):
+        status, reader = split_response(ok_response(b"PAYLOAD"))
+        assert status is Status.OK
+        assert reader.read_bytes(reader.remaining) == b"PAYLOAD"
+
+    def test_exception_response(self):
+        status, reader = split_response(
+            exception_response("ValueError", "boom", "tb-text")
+        )
+        assert status is Status.EXCEPTION
+        assert reader.read_str() == "ValueError"
+        assert reader.read_str() == "boom"
+        assert reader.read_str() == "tb-text"
+
+    def test_protocol_error_response(self):
+        status, reader = split_response(protocol_error_response("bad op"))
+        assert status is Status.PROTOCOL_ERROR
+        assert reader.read_str() == "bad op"
+
+    def test_unknown_policy_id_rejected(self):
+        encoded = bytearray(
+            encode_call(
+                CallRequest(1, "m", "none", "modern", (), b"")
+            )
+        )
+        # Patch the policy byte (op|objid|len(method)|method|policy...).
+        policy_offset = 1 + 1 + 1 + 1  # op, objid, method len, "m"
+        encoded[policy_offset] = 99
+        reader = BufferReader(bytes(encoded))
+        reader.read_u8()
+        with pytest.raises(WireFormatError):
+            decode_call(reader)
+
+    def test_empty_response_rejected(self):
+        from repro.errors import UnmarshalError
+
+        with pytest.raises(UnmarshalError):
+            split_response(b"")
+
+
+class TestRemoteDescriptor:
+    def test_encode_decode(self):
+        descriptor = RemoteDescriptor("tcp://h:1", 42)
+        assert RemoteDescriptor.decode(descriptor.encode()) == descriptor
+
+    def test_equality_and_hash(self):
+        a = RemoteDescriptor("x", 1)
+        b = RemoteDescriptor("x", 1)
+        c = RemoteDescriptor("x", 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not-a-descriptor"
+
+
+class TestRegistryService:
+    def test_bind_and_lookup(self):
+        registry = RegistryService()
+        service = Node("svc")
+        registry.bind("name", service)
+        assert registry.lookup("name") is service
+
+    def test_bind_taken_name_raises(self):
+        registry = RegistryService()
+        registry.bind("n", Node(1))
+        with pytest.raises(AlreadyBoundError):
+            registry.bind("n", Node(2))
+
+    def test_rebind_replaces(self):
+        registry = RegistryService()
+        registry.bind("n", Node(1))
+        replacement = Node(2)
+        registry.rebind("n", replacement)
+        assert registry.lookup("n") is replacement
+
+    def test_unbind(self):
+        registry = RegistryService()
+        registry.bind("n", Node(1))
+        registry.unbind("n")
+        with pytest.raises(NotBoundError):
+            registry.lookup("n")
+
+    def test_unbind_missing_raises(self):
+        with pytest.raises(NotBoundError):
+            RegistryService().unbind("ghost")
+
+    def test_list_names_sorted(self):
+        registry = RegistryService()
+        registry.bind("zeta", Node(1))
+        registry.bind("alpha", Node(2))
+        assert registry.list_names() == ["alpha", "zeta"]
+
+    def test_well_known_id_constant(self):
+        assert REGISTRY_OBJECT_ID == 1

@@ -1,0 +1,137 @@
+"""Serialization of containers: lists, tuples, sets, dicts, nesting."""
+
+import pytest
+
+from repro.serde.reader import ObjectReader
+from repro.serde.writer import ObjectWriter
+
+
+def roundtrip(value):
+    writer = ObjectWriter()
+    writer.write_root(value)
+    reader = ObjectReader(writer.getvalue())
+    result = reader.read_root()
+    reader.expect_end()
+    return result
+
+
+class TestLists:
+    def test_empty(self):
+        result = roundtrip([])
+        assert result == []
+        assert isinstance(result, list)
+
+    def test_flat(self):
+        assert roundtrip([1, "two", 3.0, None, True]) == [1, "two", 3.0, None, True]
+
+    def test_nested(self):
+        value = [[1, [2, [3, [4]]]], [5]]
+        assert roundtrip(value) == value
+
+    def test_fresh_identity(self):
+        value = [1, 2]
+        assert roundtrip(value) is not value
+
+    def test_large(self):
+        value = list(range(10_000))
+        assert roundtrip(value) == value
+
+    def test_deep_nesting_beyond_recursion_limit(self):
+        """Iterative codec: depth far beyond sys recursion limit."""
+        value = current = []
+        for _ in range(50_000):
+            nested = []
+            current.append(nested)
+            current = nested
+        result = roundtrip(value)
+        depth = 0
+        node = result
+        while node:
+            node = node[0]
+            depth += 1
+        assert depth == 50_000
+
+
+class TestTuples:
+    def test_empty(self):
+        result = roundtrip(())
+        assert result == ()
+        assert isinstance(result, tuple)
+
+    def test_flat_and_nested(self):
+        value = (1, ("a", (2.0,)), None)
+        assert roundtrip(value) == value
+
+    def test_tuple_containing_mutable(self):
+        value = ([1, 2], {"k": 3})
+        assert roundtrip(value) == value
+
+    def test_shared_tuple_identity_preserved(self):
+        inner = (1, 2)
+        result = roundtrip([inner, inner])
+        assert result[0] is result[1]
+
+
+class TestSets:
+    def test_empty_set(self):
+        result = roundtrip(set())
+        assert result == set()
+        assert isinstance(result, set)
+
+    def test_set_values(self):
+        value = {1, "a", 2.5, None, (3, 4)}
+        assert roundtrip(value) == value
+
+    def test_frozenset(self):
+        value = frozenset({1, 2, 3})
+        result = roundtrip(value)
+        assert result == value
+        assert isinstance(result, frozenset)
+
+    def test_nested_frozensets(self):
+        value = frozenset({frozenset({1}), frozenset({2})})
+        assert roundtrip(value) == value
+
+
+class TestDicts:
+    def test_empty(self):
+        assert roundtrip({}) == {}
+
+    def test_primitive_keys(self):
+        value = {1: "one", "two": 2, (3, 4): [5], None: True}
+        assert roundtrip(value) == value
+
+    def test_nested_dicts(self):
+        value = {"a": {"b": {"c": [1, 2, {"d": 3}]}}}
+        assert roundtrip(value) == value
+
+    def test_insertion_order_preserved(self):
+        value = {f"k{i}": i for i in range(100)}
+        assert list(roundtrip(value)) == list(value)
+
+    def test_dict_value_aliasing(self):
+        shared = [1]
+        result = roundtrip({"a": shared, "b": shared})
+        assert result["a"] is result["b"]
+
+
+class TestMixedNesting:
+    def test_kitchen_sink(self):
+        value = {
+            "list": [1, (2, frozenset({3})), {"x": bytearray(b"y")}],
+            "tuple": ({"deep": [None, True]},),
+            17: {18, 19},
+        }
+        result = roundtrip(value)
+        assert result["list"][0] == 1
+        assert result["list"][1] == (2, frozenset({3}))
+        assert result["list"][2]["x"] == bytearray(b"y")
+        assert result["tuple"][0]["deep"] == [None, True]
+        assert result[17] == {18, 19}
+
+    def test_list_in_tuple_in_dict_in_list(self):
+        value = [{"k": ([1, 2],)}]
+        result = roundtrip(value)
+        assert result == value
+        assert isinstance(result[0]["k"], tuple)
+        assert isinstance(result[0]["k"][0], list)

@@ -1,0 +1,81 @@
+"""The structural stream inspector."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.serde.dump import dump_stream
+from repro.serde.writer import ObjectWriter
+from repro.serde.profiles import LEGACY_PROFILE
+
+from tests.model_helpers import Node, Pair
+
+
+def encode(*roots, profile=None):
+    kwargs = {"profile": profile} if profile else {}
+    writer = ObjectWriter(**kwargs)
+    for root in roots:
+        writer.write_root(root)
+    return writer.getvalue()
+
+
+class TestDump:
+    def test_scalars(self):
+        out = dump_stream(encode(42, "hi", None, True, 2.5))
+        assert "int 42" in out
+        assert "str #0 'hi'" in out
+        assert "None" in out
+        assert "True" in out
+        assert "float 2.5" in out
+
+    def test_container_structure_indented(self):
+        out = dump_stream(encode([1, [2]]))
+        lines = out.splitlines()
+        assert any("list #0 (2 items)" in line for line in lines)
+        assert any("list #1 (1 items)" in line for line in lines)
+
+    def test_object_fields(self):
+        out = dump_stream(encode(Pair(1, "x")))
+        assert "Pair (2 fields)" in out
+        assert ".first =" in out
+        assert ".second =" in out
+
+    def test_backreferences_shown(self):
+        shared = [1]
+        out = dump_stream(encode([shared, shared]))
+        assert "ref -> #1" in out
+
+    def test_roots_numbered(self):
+        out = dump_stream(encode(1, 2))
+        assert "root[0]:" in out
+        assert "root[1]:" in out
+
+    def test_works_without_registered_classes(self):
+        """Structural decode: no class resolution needed."""
+        payload = encode(Node("n", next=Node("m")))
+        out = dump_stream(payload)
+        assert out.count("Node") >= 1
+
+    def test_legacy_profile_streams_dump_too(self):
+        out = dump_stream(encode(Pair(1, 2), profile=LEGACY_PROFILE))
+        assert "Pair" in out
+
+    def test_long_strings_truncated(self):
+        out = dump_stream(encode("x" * 100))
+        assert "..." in out
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WireFormatError):
+            dump_stream(b"JUNKJUNKJUNK")
+
+    def test_cli(self, tmp_path, capsys):
+        from repro.serde.dump import main
+
+        path = tmp_path / "stream.bin"
+        path.write_bytes(encode({"k": [1]}))
+        assert main([str(path)]) == 0
+        assert "dict #0" in capsys.readouterr().out
+
+    def test_cli_usage(self, capsys):
+        from repro.serde.dump import main
+
+        assert main([]) == 2

@@ -1,0 +1,168 @@
+"""Serialization of class instances: markers, slots, registry policy."""
+
+import pytest
+
+from repro.errors import ClassNotRegisteredError, NotSerializableError
+from repro.serde.reader import ObjectReader
+from repro.serde.registry import ClassRegistry, global_registry, qualified_name
+from repro.serde.writer import ObjectWriter
+from repro.serde.profiles import LEGACY_PROFILE
+
+from tests.conftest import fresh_class
+from tests.model_helpers import Box, Node, Pair, SlottedPoint
+
+
+def roundtrip(value, profile=None):
+    kwargs = {"profile": profile} if profile else {}
+    writer = ObjectWriter(**kwargs)
+    writer.write_root(value)
+    reader = ObjectReader(writer.getvalue(), **kwargs)
+    result = reader.read_root()
+    reader.expect_end()
+    return result
+
+
+class TestRegisteredClasses:
+    def test_simple_object(self):
+        result = roundtrip(Pair(1, "two"))
+        assert isinstance(result, Pair)
+        assert result.first == 1
+        assert result.second == "two"
+
+    def test_marker_subclass_auto_registered(self):
+        assert global_registry.is_registered(Node)
+        assert global_registry.is_registered(Box)
+
+    def test_nested_objects(self):
+        result = roundtrip(Box(Pair(Node(1), [Node(2)])))
+        assert result.payload.first.data == 1
+        assert result.payload.second[0].data == 2
+
+    def test_init_not_called_on_decode(self):
+        calls = []
+
+        cls = fresh_class(
+            "InitTracking",
+            bases=(),
+            namespace={"__init__": lambda self: calls.append(1)},
+        )
+        instance = cls()
+        instance.marker = "set-after-init"
+        assert calls == [1]
+        result = roundtrip(instance)
+        assert calls == [1]  # decode must not run __init__
+        assert result.marker == "set-after-init"
+
+    def test_dynamic_fields_roundtrip(self):
+        box = Box()
+        box.extra = "added later"
+        result = roundtrip(box)
+        assert result.extra == "added later"
+
+    def test_object_with_no_fields(self):
+        cls = fresh_class("Empty")
+        result = roundtrip(cls())
+        assert type(result).__name__ == cls.__name__
+
+
+class TestSlots:
+    def test_slotted_class(self):
+        result = roundtrip(SlottedPoint(3, 4))
+        assert (result.x, result.y) == (3, 4)
+
+    def test_unset_slot_omitted(self):
+        point = SlottedPoint.__new__(SlottedPoint)
+        point.x = 1  # y never set
+        result = roundtrip(point)
+        assert result.x == 1
+        assert not hasattr(result, "y")
+
+    def test_slotted_legacy_profile(self):
+        result = roundtrip(SlottedPoint(-1, -2), profile=LEGACY_PROFILE)
+        assert (result.x, result.y) == (-1, -2)
+
+    def test_mixed_slots_and_dict_hierarchy(self):
+        cls = fresh_class("MixedChild", bases=(SlottedPoint,))
+        instance = cls.__new__(cls)
+        instance.x, instance.y = 1, 2
+        instance.label = "dict-side"
+        result = roundtrip(instance)
+        assert (result.x, result.y, result.label) == (1, 2, "dict-side")
+
+
+class TestRegistryPolicy:
+    def test_unregistered_class_rejected_on_write(self):
+        class Unregistered:
+            pass
+
+        with pytest.raises(ClassNotRegisteredError):
+            roundtrip(Unregistered())
+
+    def test_unknown_class_rejected_on_read(self):
+        isolated = ClassRegistry()
+        cls = fresh_class("PrivateClass")
+        isolated.register(cls, name="only.on.sender")
+        writer = ObjectWriter(registry=isolated)
+        writer.write_root(cls())
+        with pytest.raises(ClassNotRegisteredError):
+            ObjectReader(writer.getvalue()).read_root()
+
+    def test_function_not_serializable(self):
+        with pytest.raises(NotSerializableError):
+            roundtrip([lambda: None])
+
+    def test_class_object_not_serializable(self):
+        with pytest.raises(NotSerializableError):
+            roundtrip(Node)  # the class, not an instance
+
+    def test_module_not_serializable(self):
+        import math
+
+        with pytest.raises(NotSerializableError):
+            roundtrip(math)
+
+    def test_register_twice_same_class_ok(self):
+        registry = ClassRegistry()
+        cls = fresh_class("Twice")
+        registry.register(cls, name="t")
+        registry.register(cls, name="t")  # idempotent
+
+    def test_register_conflicting_name_rejected(self):
+        registry = ClassRegistry()
+        a = fresh_class("ConflictA")
+        b = fresh_class("ConflictB")
+        registry.register(a, name="same")
+        with pytest.raises(Exception):
+            registry.register(b, name="same")
+
+    def test_qualified_name(self):
+        assert qualified_name(Node).endswith("model_helpers.Node")
+
+    def test_isolated_registry_roundtrip(self):
+        registry = ClassRegistry()
+        cls = fresh_class("Isolated")
+        registry.register(cls, name="iso.cls")
+        instance = cls()
+        instance.v = 11
+        writer = ObjectWriter(registry=registry)
+        writer.write_root(instance)
+        reader = ObjectReader(writer.getvalue(), registry=registry)
+        assert reader.read_root().v == 11
+
+
+class TestDescriptorInterning:
+    def test_many_instances_intern_class_descriptor(self):
+        nodes = [Node(i) for i in range(100)]
+        modern = ObjectWriter()
+        modern.write_root(nodes)
+        legacy = ObjectWriter(profile=LEGACY_PROFILE)
+        legacy.write_root(nodes)
+        # Legacy writes the full class + field names per object.
+        assert len(modern.getvalue()) < len(legacy.getvalue()) * 0.6
+
+    def test_field_name_interning_across_classes(self):
+        payload = [Pair(Node(1), Node(2)) for _ in range(50)]
+        writer = ObjectWriter()
+        writer.write_root(payload)
+        decoded = ObjectReader(writer.getvalue()).read_root()
+        assert decoded[49].second.data == 2

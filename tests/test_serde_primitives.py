@@ -1,0 +1,131 @@
+"""Serialization of primitive values."""
+
+import math
+
+import pytest
+
+from repro.serde.reader import ObjectReader
+from repro.serde.writer import ObjectWriter
+from repro.serde.profiles import LEGACY_PROFILE, MODERN_PROFILE
+
+
+def roundtrip(value, profile=MODERN_PROFILE):
+    writer = ObjectWriter(profile=profile)
+    writer.write_root(value)
+    reader = ObjectReader(writer.getvalue(), profile=profile)
+    result = reader.read_root()
+    reader.expect_end()
+    return result
+
+
+class TestScalars:
+    def test_none(self):
+        assert roundtrip(None) is None
+
+    def test_true_false(self):
+        assert roundtrip(True) is True
+        assert roundtrip(False) is False
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 255, -256, 2**31, -(2**31), 2**62])
+    def test_ints(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is int
+
+    def test_big_ints(self):
+        for value in (2**100, -(2**100), 10**50, 2**63, -(2**63) - 1):
+            assert roundtrip(value) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert roundtrip(1) is not True
+        assert type(roundtrip(True)) is bool
+        assert type(roundtrip(0)) is int
+
+    @pytest.mark.parametrize("value", [0.0, -1.5, 1e300, 1e-300, math.pi])
+    def test_floats(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is float
+
+    def test_nan(self):
+        result = roundtrip(float("nan"))
+        assert math.isnan(result)
+
+    def test_complex(self):
+        value = complex(1.5, -2.5)
+        assert roundtrip(value) == value
+
+    def test_str(self):
+        for value in ("", "hello", "ünïcode ☃", "a" * 10_000):
+            assert roundtrip(value) == value
+
+    def test_bytes(self):
+        for value in (b"", b"\x00\xff", bytes(range(256))):
+            assert roundtrip(value) == value
+
+    def test_bytearray_roundtrips_as_bytearray(self):
+        value = bytearray(b"mutable")
+        result = roundtrip(value)
+        assert result == value
+        assert isinstance(result, bytearray)
+        assert result is not value
+
+    def test_int_subclass_degrades_to_int(self):
+        class MyInt(int):
+            pass
+
+        result = roundtrip(MyInt(7))
+        assert result == 7
+
+    def test_multiple_roots_in_one_stream(self):
+        writer = ObjectWriter()
+        for value in (1, "two", 3.0, None, True):
+            writer.write_root(value)
+        assert writer.root_count == 5
+        reader = ObjectReader(writer.getvalue())
+        assert [reader.read_root() for _ in range(5)] == [1, "two", 3.0, None, True]
+        reader.expect_end()
+
+
+class TestStringMemoization:
+    def test_repeated_equal_strings_share_one_encoding(self):
+        writer_shared = ObjectWriter()
+        writer_shared.write_root(["longish-string-value"] * 50)
+        writer_distinct = ObjectWriter()
+        writer_distinct.write_root(
+            [f"longish-string-valu{c}" for c in "abcdefghij" * 5]
+        )
+        assert len(writer_shared.getvalue()) < len(writer_distinct.getvalue()) / 2
+
+    def test_memoized_strings_decode_equal(self):
+        value = ["repeat"] * 10
+        assert roundtrip(value) == value
+
+    def test_bytes_memoized_too(self):
+        blob = b"x" * 1000
+        writer = ObjectWriter()
+        writer.write_root([blob, blob, blob])
+        assert len(writer.getvalue()) < 1200
+
+
+class TestLegacyProfile:
+    @pytest.mark.parametrize(
+        "value", [None, 3, "s", 2.5, b"b", [1, 2], {"k": "v"}, {1, 2}]
+    )
+    def test_legacy_roundtrip(self, value):
+        assert roundtrip(value, profile=LEGACY_PROFILE) == value
+
+    def test_cross_profile_streams_interop(self):
+        """Tags self-describe: a legacy stream decodes under modern & back."""
+        writer = ObjectWriter(profile=LEGACY_PROFILE)
+        writer.write_root({"a": [1, (2, 3)]})
+        reader = ObjectReader(writer.getvalue(), profile=MODERN_PROFILE)
+        assert reader.read_root() == {"a": [1, (2, 3)]}
+
+    def test_modern_stream_is_not_larger(self):
+        payload = [{"field": i, "name": "x" * 5} for i in range(50)]
+        legacy = ObjectWriter(profile=LEGACY_PROFILE)
+        legacy.write_root(payload)
+        modern = ObjectWriter(profile=MODERN_PROFILE)
+        modern.write_root(payload)
+        assert len(modern.getvalue()) <= len(legacy.getvalue())

@@ -1,0 +1,120 @@
+"""Extension workload families: lists, hash indexes, general graphs.
+
+For every family, NRMI copy-restore must leave the caller's observable
+state identical to local execution — the paper's invariant extended to
+the structures its introduction motivates.
+"""
+
+import pytest
+
+from repro.bench.structures import (
+    FAMILIES,
+    StructureService,
+    generate_structure,
+    mutate_structure_family,
+)
+from repro.nrmi.config import NRMIConfig
+
+
+def local_oracle(family, size, seed):
+    workload = generate_structure(family, size, seed)
+    mutate_structure_family(family, workload.root, seed)
+    return workload.visible_data()
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic(self, family):
+        a = generate_structure(family, 32, 5)
+        b = generate_structure(family, 32, 5)
+        assert a.visible_data() == b.visible_data()
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_aliases_populated(self, family):
+        workload = generate_structure(family, 32, 5)
+        assert workload.aliases
+
+    def test_list_has_size_cells(self):
+        workload = generate_structure("list", 40, 1)
+        count = 0
+        cell = workload.root
+        while cell is not None:
+            count += 1
+            cell = cell.tail
+        assert count == 40
+
+    def test_graph_root_reaches_all(self):
+        workload = generate_structure("graph", 30, 2)
+        seen = set()
+        stack = [workload.root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.extend(node.edges)
+        assert len(seen) == 30
+
+    def test_invalid_family(self):
+        with pytest.raises(ValueError):
+            generate_structure("queue", 8, 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_structure("list", 0, 1)
+
+
+class TestMutators:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic_mutation(self, family):
+        a = generate_structure(family, 32, 7)
+        b = generate_structure(family, 32, 7)
+        assert mutate_structure_family(family, a.root, 3) == mutate_structure_family(
+            family, b.root, 3
+        )
+        assert a.visible_data() == b.visible_data()
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_mutation_changes_something(self, family):
+        workload = generate_structure(family, 32, 7)
+        before = workload.visible_data()
+        changes = mutate_structure_family(family, workload.root, 3)
+        assert changes > 0
+        assert workload.visible_data() != before
+
+
+class TestRemoteEquivalence:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("policy", ["full", "delta"])
+    def test_copy_restore_matches_local(self, make_endpoint_pair, family, policy):
+        config = NRMIConfig(policy=policy)
+        pair = make_endpoint_pair(server_config=config, client_config=config)
+        service = pair.serve(StructureService(), name="structures")
+        for seed in (11, 12):
+            workload = generate_structure(family, 48, seed)
+            service.mutate(family, workload.root, seed)
+            assert workload.visible_data() == local_oracle(family, 48, seed)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_call_by_copy_drops_mutations(self, make_endpoint_pair, family):
+        config = NRMIConfig(policy="none")
+        pair = make_endpoint_pair(server_config=config, client_config=config)
+        service = pair.serve(StructureService(), name="structures")
+        workload = generate_structure(family, 32, 21)
+        before = workload.visible_data()
+        service.mutate(family, workload.root, 21)
+        assert workload.visible_data() == before
+
+    def test_list_alias_sees_detached_update(self, make_endpoint_pair):
+        """The list mutator detaches a cell then mutates it: aliases to
+        that cell must observe the change (the alias1 case on lists)."""
+        config = NRMIConfig(policy="full")
+        pair = make_endpoint_pair(server_config=config, client_config=config)
+        service = pair.serve(StructureService(), name="structures")
+        matched = 0
+        for seed in range(6):
+            workload = generate_structure("list", 32, seed)
+            service.mutate("list", workload.root, seed)
+            assert workload.visible_data() == local_oracle("list", 32, seed)
+            matched += 1
+        assert matched == 6

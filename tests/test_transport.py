@@ -1,0 +1,276 @@
+"""Transport layer: framing, in-process channel, TCP, simnet, resolver."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.base import ChannelStats
+from repro.transport.framing import MAX_FRAME_BYTES, read_frame, write_frame
+from repro.transport.inproc import InProcChannel
+from repro.transport.resolver import ChannelResolver
+from repro.transport.simnet import LOOPBACK_MODEL, NetworkModel, SimulatedChannel
+from repro.transport.tcp import TcpChannel, TcpServer
+
+
+def echo_handler(request: bytes) -> bytes:
+    return b"echo:" + request
+
+
+class TestFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            write_frame(a, b"hello")
+            assert read_frame(b) == b"hello"
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_frame(self):
+        a, b = socket.socketpair()
+        try:
+            write_frame(a, b"")
+            assert read_frame(b) == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = socket.socketpair()
+        try:
+            for i in range(5):
+                write_frame(a, f"frame-{i}".encode())
+            for i in range(5):
+                assert read_frame(b) == f"frame-{i}".encode()
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_peer_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(TransportError):
+            read_frame(b)
+        b.close()
+
+    def test_partial_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00\x00\x10only-8-bytes")  # announce 16, send 12
+            a.close()
+            with pytest.raises(TransportError, match="mid-frame"):
+                read_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_announcement_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(TransportError, match="oversized"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestInProc:
+    def test_request_response(self):
+        channel = InProcChannel(echo_handler)
+        assert channel.request(b"ping") == b"echo:ping"
+
+    def test_stats_recorded(self):
+        channel = InProcChannel(echo_handler)
+        channel.request(b"abcd")
+        snap = channel.stats.snapshot()
+        assert snap == {"requests": 1, "bytes_sent": 4, "bytes_received": 9}
+
+    def test_closed_channel_raises(self):
+        channel = InProcChannel(echo_handler)
+        channel.close()
+        with pytest.raises(TransportError):
+            channel.request(b"x")
+
+
+class TestTcp:
+    def test_request_response_over_sockets(self):
+        with TcpServer(echo_handler) as server:
+            channel = TcpChannel(server.host, server.port)
+            try:
+                assert channel.request(b"over-tcp") == b"echo:over-tcp"
+            finally:
+                channel.close()
+
+    def test_many_requests_one_connection(self):
+        with TcpServer(echo_handler) as server:
+            channel = TcpChannel(server.host, server.port)
+            try:
+                for i in range(50):
+                    assert channel.request(f"{i}".encode()) == f"echo:{i}".encode()
+            finally:
+                channel.close()
+
+    def test_concurrent_clients(self):
+        with TcpServer(echo_handler) as server:
+            errors = []
+
+            def worker(worker_id: int):
+                channel = TcpChannel(server.host, server.port)
+                try:
+                    for i in range(20):
+                        expected = f"echo:{worker_id}-{i}".encode()
+                        if channel.request(f"{worker_id}-{i}".encode()) != expected:
+                            errors.append((worker_id, i))
+                finally:
+                    channel.close()
+
+            threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+
+    def test_large_payload(self):
+        with TcpServer(echo_handler) as server:
+            channel = TcpChannel(server.host, server.port)
+            try:
+                blob = bytes(range(256)) * 4096  # 1 MiB
+                assert channel.request(blob) == b"echo:" + blob
+            finally:
+                channel.close()
+
+    def test_connection_refused(self):
+        channel = TcpChannel("127.0.0.1", 1)  # nothing listens on port 1
+        with pytest.raises(TransportError):
+            channel.request(b"x")
+
+    def test_address_property(self):
+        with TcpServer(echo_handler) as server:
+            assert server.address == f"tcp://{server.host}:{server.port}"
+
+    def test_reconnect_after_server_side_drop(self):
+        """A fresh request after an idle drop retries on a new socket."""
+        with TcpServer(echo_handler) as server:
+            channel = TcpChannel(server.host, server.port)
+            try:
+                assert channel.request(b"one") == b"echo:one"
+                channel._drop_connection()  # simulate idle-out
+                assert channel.request(b"two") == b"echo:two"
+            finally:
+                channel.close()
+
+
+class TestSimulatedChannel:
+    def test_accounts_transfer_time(self):
+        model = NetworkModel(
+            bandwidth_bits_per_s=8_000, latency_s=0.5, protocol_overhead_bytes=0
+        )
+        channel = SimulatedChannel(InProcChannel(echo_handler), model)
+        channel.request(b"x" * 1000)  # 1000 bytes up, 1005 down
+        # Each direction: 0.5 latency + bytes*8/8000 = 0.5 + bytes/1000.
+        expected = (0.5 + 1.0) + (0.5 + 1.005)
+        assert channel.simulated_seconds == pytest.approx(expected)
+
+    def test_loopback_model_costs_nothing(self):
+        channel = SimulatedChannel(InProcChannel(echo_handler), LOOPBACK_MODEL)
+        channel.request(b"payload")
+        assert channel.simulated_seconds == 0.0
+
+    def test_reset_account(self):
+        channel = SimulatedChannel(InProcChannel(echo_handler), NetworkModel())
+        channel.request(b"x")
+        assert channel.simulated_seconds > 0
+        channel.reset_account()
+        assert channel.simulated_seconds == 0.0
+
+    def test_accumulates_across_requests(self):
+        model = NetworkModel(latency_s=0.1, bandwidth_bits_per_s=float("inf"),
+                             protocol_overhead_bytes=0)
+        channel = SimulatedChannel(InProcChannel(echo_handler), model)
+        channel.request(b"a")
+        channel.request(b"b")
+        assert channel.simulated_seconds == pytest.approx(0.4)
+
+    def test_payload_passes_through(self):
+        channel = SimulatedChannel(InProcChannel(echo_handler), NetworkModel())
+        assert channel.request(b"data") == b"echo:data"
+
+
+class TestResolver:
+    def test_inproc_registration_and_resolve(self):
+        resolver = ChannelResolver()
+        address = resolver.register_inproc("svc", echo_handler)
+        assert address == "inproc://svc"
+        assert resolver.resolve(address).request(b"q") == b"echo:q"
+
+    def test_channel_cached(self):
+        resolver = ChannelResolver()
+        address = resolver.register_inproc("svc", echo_handler)
+        assert resolver.resolve(address) is resolver.resolve(address)
+
+    def test_unknown_inproc_raises(self):
+        with pytest.raises(TransportError):
+            ChannelResolver().resolve("inproc://ghost")
+
+    def test_unregister(self):
+        resolver = ChannelResolver()
+        address = resolver.register_inproc("svc", echo_handler)
+        resolver.unregister_inproc("svc")
+        with pytest.raises(TransportError):
+            resolver.resolve(address)
+
+    def test_malformed_addresses(self):
+        resolver = ChannelResolver()
+        for bad in ("tcp://nohost", "tcp://host:notaport", "udp://x", "plain"):
+            with pytest.raises(TransportError):
+                resolver.resolve(bad)
+
+    def test_wrapper_applied(self):
+        resolver = ChannelResolver()
+        address = resolver.register_inproc("svc", echo_handler)
+        resolver.set_wrapper(
+            address, lambda inner: SimulatedChannel(inner, NetworkModel())
+        )
+        channel = resolver.resolve(address)
+        assert isinstance(channel, SimulatedChannel)
+
+    def test_wrapper_removal(self):
+        resolver = ChannelResolver()
+        address = resolver.register_inproc("svc", echo_handler)
+        resolver.set_wrapper(address, lambda inner: SimulatedChannel(inner, NetworkModel()))
+        resolver.set_wrapper(address, None)
+        assert isinstance(resolver.resolve(address), InProcChannel)
+
+    def test_tcp_resolution(self):
+        with TcpServer(echo_handler) as server:
+            resolver = ChannelResolver()
+            channel = resolver.resolve(server.address)
+            try:
+                assert channel.request(b"via-resolver") == b"echo:via-resolver"
+            finally:
+                resolver.close_all()
+
+    def test_drop_closes_channel(self):
+        resolver = ChannelResolver()
+        address = resolver.register_inproc("svc", echo_handler)
+        channel = resolver.resolve(address)
+        resolver.drop(address)
+        with pytest.raises(TransportError):
+            channel.request(b"x")
+
+
+class TestChannelStats:
+    def test_record_and_reset(self):
+        stats = ChannelStats()
+        stats.record(sent=10, received=20)
+        stats.record(sent=1, received=2)
+        assert stats.snapshot() == {
+            "requests": 2,
+            "bytes_sent": 11,
+            "bytes_received": 22,
+        }
+        stats.reset()
+        assert stats.snapshot()["requests"] == 0

@@ -1,0 +1,170 @@
+"""IdentityMap / IdentitySet: identity keying, unhashable keys, order."""
+
+import pytest
+
+from repro.util.identity import IdentityMap, IdentitySet
+
+
+class Weird:
+    """Equal to everything, hash collides — identity keying must not care."""
+
+    def __eq__(self, other):
+        return True
+
+    def __hash__(self):
+        return 7
+
+
+class TestIdentityMap:
+    def test_set_and_get(self):
+        m = IdentityMap()
+        key = object()
+        m[key] = 1
+        assert m[key] == 1
+
+    def test_distinct_equal_objects_get_distinct_entries(self):
+        m = IdentityMap()
+        a, b = Weird(), Weird()
+        m[a] = "a"
+        m[b] = "b"
+        assert m[a] == "a"
+        assert m[b] == "b"
+        assert len(m) == 2
+
+    def test_unhashable_keys_allowed(self):
+        m = IdentityMap()
+        key = [1, 2]
+        m[key] = "list"
+        assert m[key] == "list"
+
+    def test_contains(self):
+        m = IdentityMap()
+        key = object()
+        assert key not in m
+        m[key] = 1
+        assert key in m
+
+    def test_get_default(self):
+        m = IdentityMap()
+        assert m.get(object()) is None
+        assert m.get(object(), 42) == 42
+
+    def test_get_finds_existing(self):
+        m = IdentityMap()
+        key = object()
+        m[key] = "x"
+        assert m.get(key, "default") == "x"
+
+    def test_missing_key_raises(self):
+        m = IdentityMap()
+        with pytest.raises(KeyError):
+            m[object()]
+
+    def test_delete(self):
+        m = IdentityMap()
+        key = object()
+        m[key] = 1
+        del m[key]
+        assert key not in m
+        with pytest.raises(KeyError):
+            del m[key]
+
+    def test_setdefault(self):
+        m = IdentityMap()
+        key = object()
+        assert m.setdefault(key, 1) == 1
+        assert m.setdefault(key, 2) == 1
+
+    def test_pop(self):
+        m = IdentityMap()
+        key = object()
+        m[key] = 5
+        assert m.pop(key) == 5
+        assert m.pop(key, "gone") == "gone"
+        with pytest.raises(KeyError):
+            m.pop(key)
+
+    def test_iteration_order_is_insertion_order(self):
+        m = IdentityMap()
+        keys = [object() for _ in range(10)]
+        for i, key in enumerate(keys):
+            m[key] = i
+        assert list(m.values()) == list(range(10))
+        assert [k for k in m.keys()] == keys
+        assert [(k, v) for k, v in m.items()] == list(zip(keys, range(10)))
+
+    def test_overwrite_keeps_single_entry(self):
+        m = IdentityMap()
+        key = object()
+        m[key] = 1
+        m[key] = 2
+        assert len(m) == 1
+        assert m[key] == 2
+
+    def test_clear(self):
+        m = IdentityMap()
+        m[object()] = 1
+        m.clear()
+        assert len(m) == 0
+
+    def test_key_object_is_pinned(self):
+        """The map must hold a strong ref so ids cannot be recycled."""
+        m = IdentityMap()
+        m[[1]] = "v"  # no other reference to the key list
+        keys = list(m.keys())
+        assert keys[0] == [1]
+
+
+class TestIdentitySet:
+    def test_add_and_contains(self):
+        s = IdentitySet()
+        item = object()
+        assert item not in s
+        s.add(item)
+        assert item in s
+        assert len(s) == 1
+
+    def test_equal_but_distinct_items_both_stored(self):
+        s = IdentitySet()
+        a, b = Weird(), Weird()
+        s.add(a)
+        s.add(b)
+        assert len(s) == 2
+
+    def test_init_from_iterable(self):
+        items = [object(), object()]
+        s = IdentitySet(items)
+        assert all(item in s for item in items)
+
+    def test_unhashable_members(self):
+        s = IdentitySet()
+        member = {"a": 1}
+        s.add(member)
+        assert member in s
+
+    def test_discard_and_remove(self):
+        s = IdentitySet()
+        item = object()
+        s.add(item)
+        s.discard(item)
+        assert item not in s
+        s.discard(item)  # idempotent
+        with pytest.raises(KeyError):
+            s.remove(item)
+
+    def test_add_is_idempotent(self):
+        s = IdentitySet()
+        item = object()
+        s.add(item)
+        s.add(item)
+        assert len(s) == 1
+
+    def test_iteration_yields_members(self):
+        items = [object() for _ in range(5)]
+        s = IdentitySet(items)
+        assert sorted(map(id, s)) == sorted(map(id, items))
+
+    def test_clear(self):
+        s = IdentitySet([object()])
+        s.clear()
+        assert len(s) == 0

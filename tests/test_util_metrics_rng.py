@@ -1,0 +1,112 @@
+"""Counters, metrics registry, and deterministic RNG."""
+
+import threading
+
+from repro.util.metrics import Counter, MetricsRegistry
+from repro.util.rng import DeterministicRandom
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add_default_one(self):
+        c = Counter("c")
+        c.add()
+        assert c.value == 1
+
+    def test_add_amount(self):
+        c = Counter("c")
+        c.add(5)
+        c.add(7)
+        assert c.value == 12
+
+    def test_reset(self):
+        c = Counter("c")
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+    def test_thread_safety(self):
+        c = Counter("c")
+
+        def worker():
+            for _ in range(10_000):
+                c.add()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestMetricsRegistry:
+    def test_counter_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("x").add(2)
+        assert registry.snapshot() == {"x": 2}
+
+    def test_same_counter_returned(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_reset_all(self):
+        registry = MetricsRegistry()
+        registry.counter("a").add(1)
+        registry.counter("b").add(2)
+        registry.reset_all()
+        assert registry.snapshot() == {"a": 0, "b": 0}
+
+    def test_iteration(self):
+        registry = MetricsRegistry()
+        registry.counter("k").add(9)
+        assert dict(registry) == {"k": 9}
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(99)
+        b = DeterministicRandom(99)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = [DeterministicRandom(1).randint(0, 10**9) for _ in range(5)]
+        b = [DeterministicRandom(2).randint(0, 10**9) for _ in range(5)]
+        assert a != b
+
+    def test_fork_is_stable(self):
+        a = DeterministicRandom(7).fork("child")
+        b = DeterministicRandom(7).fork("child")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_fork_labels_independent(self):
+        base = DeterministicRandom(7)
+        assert base.fork("x").seed != base.fork("y").seed
+
+    def test_chance_bounds(self):
+        rng = DeterministicRandom(3)
+        assert not any(rng.chance(0.0) for _ in range(100))
+        rng = DeterministicRandom(3)
+        assert all(rng.chance(1.1) for _ in range(100))
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRandom(5)
+        seq = list(range(10))
+        assert rng.choice(seq) in seq
+        sample = rng.sample(seq, 4)
+        assert len(sample) == 4
+        assert len(set(sample)) == 4
+
+    def test_sample_clamps_to_population(self):
+        rng = DeterministicRandom(5)
+        assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRandom(5)
+        seq = list(range(8))
+        rng.shuffle(seq)
+        assert sorted(seq) == list(range(8))

@@ -1,0 +1,128 @@
+"""Stdlib value adapters: datetime, Decimal, UUID over the wire."""
+
+import datetime
+import decimal
+import uuid
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import NotSerializableError
+from repro.serde.adapters import register_value_adapter
+from repro.serde.reader import ObjectReader
+from repro.serde.writer import ObjectWriter
+
+from tests.model_helpers import Box
+
+
+def roundtrip(value):
+    writer = ObjectWriter()
+    writer.write_root(value)
+    reader = ObjectReader(writer.getvalue())
+    result = reader.read_root()
+    reader.expect_end()
+    return result
+
+
+class TestDefaultAdapters:
+    def test_datetime(self):
+        value = datetime.datetime(2003, 5, 19, 14, 30, 15, 123456)
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is datetime.datetime
+
+    def test_datetime_with_timezone(self):
+        value = datetime.datetime(
+            2003, 5, 19, 14, 30, tzinfo=datetime.timezone.utc
+        )
+        assert roundtrip(value) == value
+
+    def test_date(self):
+        value = datetime.date(2003, 5, 19)  # ICDCS 2003
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is datetime.date
+
+    def test_time(self):
+        value = datetime.time(23, 59, 59, 999999)
+        assert roundtrip(value) == value
+
+    def test_timedelta(self):
+        value = datetime.timedelta(days=-3, seconds=7211, microseconds=13)
+        assert roundtrip(value) == value
+
+    def test_decimal(self):
+        for text in ("0", "-12.3450", "1E+28", "NaN"):
+            value = decimal.Decimal(text)
+            result = roundtrip(value)
+            assert str(result) == str(value)
+
+    def test_uuid(self):
+        value = uuid.uuid5(uuid.NAMESPACE_DNS, "nrmi.example")
+        result = roundtrip(value)
+        assert result == value
+
+    def test_values_inside_structures(self):
+        value = {
+            "when": datetime.datetime(2020, 1, 1),
+            "amounts": [decimal.Decimal("9.99"), decimal.Decimal("0.01")],
+            "id": uuid.UUID(int=7),
+        }
+        assert roundtrip(value) == value
+
+    def test_repeated_value_shares_encoding(self):
+        stamp = datetime.datetime(2021, 6, 1)
+        result = roundtrip([stamp] * 5)
+        assert all(item == stamp for item in result)
+        assert all(item is result[0] for item in result)  # handle-memoized
+
+    def test_adapted_values_stay_out_of_linear_map(self):
+        writer = ObjectWriter()
+        writer.write_root([datetime.date(2000, 1, 1), [1]])
+        assert all(
+            not isinstance(obj, datetime.date) for obj in writer.linear_map
+        )
+
+
+class TestAdaptersThroughTheStack:
+    def test_restorable_with_value_fields(self, endpoint_pair):
+        class Invoice(Remote):
+            def stamp(self, box):
+                box.payload["paid_at"] = datetime.datetime(2003, 5, 21, 9, 0)
+                box.payload["total"] = decimal.Decimal("199.99")
+
+        service = endpoint_pair.serve(Invoice())
+        box = Box({})
+        service.stamp(box)
+        assert box.payload["paid_at"] == datetime.datetime(2003, 5, 21, 9, 0)
+        assert box.payload["total"] == decimal.Decimal("199.99")
+
+
+class TestCustomAdapters:
+    def test_register_custom_type(self):
+        class Fraction2:
+            def __init__(self, numerator, denominator):
+                self.numerator = numerator
+                self.denominator = denominator
+
+            def __eq__(self, other):
+                return (self.numerator, self.denominator) == (
+                    other.numerator,
+                    other.denominator,
+                )
+
+        register_value_adapter(
+            Fraction2,
+            "tests.fraction2",
+            encode=lambda f: f"{f.numerator}/{f.denominator}".encode(),
+            decode=lambda b: Fraction2(*map(int, b.split(b"/"))),
+        )
+        assert roundtrip(Box(Fraction2(22, 7))).payload == Fraction2(22, 7)
+
+    def test_truly_unsupported_still_raises(self):
+        with pytest.raises(NotSerializableError):
+            roundtrip([object()])
+
+    def test_generator_still_raises(self):
+        with pytest.raises(NotSerializableError):
+            roundtrip((x for x in range(3)))

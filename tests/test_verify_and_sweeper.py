@@ -1,0 +1,141 @@
+"""The heap-equivalence library feature, harness verify mode, sweeper."""
+
+import time
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkInvariantError,
+    run_manual_restore,
+    run_nrmi,
+)
+from repro.core.verify import explain_difference, fingerprint, heaps_equivalent
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint
+from repro.serde.writer import ObjectWriter
+from repro.transport.resolver import ChannelResolver
+from repro.util.clock import ManualClock
+
+from tests.model_helpers import Box, Node
+
+
+class TestFingerprint:
+    def test_identical_structures_equal(self):
+        def build():
+            shared = Node("s")
+            return Box([shared, shared, Node("t")])
+
+        assert heaps_equivalent([build()], [build()])
+
+    def test_aliasing_difference_detected(self):
+        shared = Node("s")
+        aliased = Box([shared, shared])
+        unaliased = Box([Node("s"), Node("s")])
+        assert not heaps_equivalent([aliased], [unaliased])
+
+    def test_value_difference_detected(self):
+        assert not heaps_equivalent([Box(1)], [Box(2)])
+
+    def test_root_correspondence_matters(self):
+        a, b = Node(1), Node(2)
+        assert heaps_equivalent([a, b], [Node(1), Node(2)])
+        assert not heaps_equivalent([a, b], [Node(2), Node(1)])
+
+    def test_cycles_fingerprint_terminates(self):
+        node = Node("self")
+        node.next = node
+        assert heaps_equivalent([node], [node])
+
+    def test_opaque_objects_shallow(self):
+        class Opaque:
+            pass
+
+        left, right = Opaque(), Opaque()
+        left.hidden = 1
+        right.hidden = 2
+        is_opaque = lambda obj: isinstance(obj, Opaque)  # noqa: E731
+        assert heaps_equivalent(
+            [Box(left)], [Box(right)], opaque=is_opaque
+        )
+
+    def test_explain_difference_equal(self):
+        assert explain_difference([Box(1)], [Box(1)]) == "heaps are equivalent"
+
+    def test_explain_difference_pinpoints(self):
+        message = explain_difference([Box(1)], [Box(2)])
+        assert "object #" in message
+
+    def test_bytearray_and_containers(self):
+        value = {"b": bytearray(b"x"), "t": (1, 2), "s": {3}}
+        twin = {"b": bytearray(b"x"), "t": (1, 2), "s": {3}}
+        assert heaps_equivalent([value], [twin])
+
+
+class TestHarnessVerifyMode:
+    def test_nrmi_verifies_clean(self):
+        record = run_nrmi("III", 32, reps=1, verify=True)
+        assert record.failed is None
+
+    def test_manual_restore_verifies_clean(self):
+        record = run_manual_restore("III", 32, reps=1, verify=True)
+        assert record.failed is None
+
+    def test_invariant_violation_detected(self):
+        """Policy 'none' drops mutations: verify mode must catch it."""
+        with pytest.raises(BenchmarkInvariantError):
+            run_nrmi("III", 32, reps=1, policy="none", verify=True)
+
+
+class TestLeaseSweeper:
+    def test_sweeper_collects_expired(self):
+        clock = ManualClock()
+        endpoint = Endpoint(
+            config=NRMIConfig(policy="none", lease_seconds=0.01),
+            resolver=ChannelResolver(),
+        )
+        try:
+            # Swap in the manual clock for determinism.
+            endpoint.exports.dgc.clock = clock
+            endpoint.exports.export_marshalled(Node(1))
+            assert endpoint.exports.dgc.live_referenced_count() == 1
+            clock.advance(1)
+            endpoint.start_lease_sweeper(interval_seconds=0.01)
+            deadline = time.time() + 5
+            while endpoint.exports.dgc.live_referenced_count() and time.time() < deadline:
+                time.sleep(0.01)
+            assert endpoint.exports.dgc.live_referenced_count() == 0
+        finally:
+            endpoint.close()
+
+    def test_start_idempotent(self):
+        endpoint = Endpoint(resolver=ChannelResolver())
+        try:
+            endpoint.start_lease_sweeper(interval_seconds=10)
+            thread = endpoint._sweeper_thread
+            endpoint.start_lease_sweeper(interval_seconds=10)
+            assert endpoint._sweeper_thread is thread
+        finally:
+            endpoint.close()
+
+    def test_close_stops_sweeper(self):
+        endpoint = Endpoint(resolver=ChannelResolver())
+        endpoint.start_lease_sweeper(interval_seconds=0.01)
+        thread = endpoint._sweeper_thread
+        endpoint.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+
+class TestWriterStats:
+    def test_stats_disabled_by_default(self):
+        writer = ObjectWriter()
+        writer.write_root([1, 2])
+        assert writer.stats is None
+
+    def test_stats_counts_types(self):
+        writer = ObjectWriter(collect_stats=True)
+        writer.write_root([1, "a", Node(2), [3]])
+        assert writer.stats["int"] == 3  # 1, 3, and Node(2).data
+        assert writer.stats["str"] == 1
+        assert writer.stats["Node"] == 1
+        assert writer.stats["list"] == 2
