@@ -1,0 +1,257 @@
+"""Benchmark-regression runner: ``python -m repro.bench.regress``.
+
+Replays the serde micro-benchmark (``bench_serde_micro``: encode/decode of
+scenario III trees under both profiles) plus Table-5-style NRMI
+copy-restore calls, and writes the measurements to ``BENCH_pr1.json`` at
+the repository root.
+
+The run doubles as a regression gate: when the output file already exists,
+the new serde-micro **encode** timings are compared against the recorded
+ones and the process exits non-zero if either profile regressed by more
+than ``MAX_ENCODE_REGRESSION_PCT``. CI runs ``--quick`` (small trees, few
+repetitions — a smoke test, not a stable measurement); local runs without
+flags produce the full-size numbers.
+
+Timings are min-of-rounds wall clock (``time.perf_counter``), the usual
+noise floor estimator for micro-benchmarks on a shared machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.trees import generate_workload
+from repro.nrmi.config import NRMIConfig
+from repro.nrmi.runtime import Endpoint
+from repro.serde.profiles import LEGACY_PROFILE, MODERN_PROFILE
+from repro.serde.reader import ObjectReader
+from repro.serde.writer import ObjectWriter
+from repro.transport.resolver import ChannelResolver
+
+SCENARIO = "III"
+SEED = 7
+FULL_SIZE = 256
+QUICK_SIZE = 64
+
+#: Fail the gate when serde-micro encode is this much slower than the
+#: previously recorded run.
+MAX_ENCODE_REGRESSION_PCT = 25.0
+
+#: Pre-PR timings (µs) for the serde micro-benchmark, recorded on the
+#: development machine immediately before the compiled-plan/zero-copy
+#: work landed. Indicative only — the regression gate compares against the
+#: locally recorded JSON, never against these cross-machine numbers.
+PRE_PR_BASELINE_US = {
+    256: {
+        "modern": {"encode_us": 3067.0, "decode_us": 2887.0},
+        "legacy": {"encode_us": 4933.0, "decode_us": 4412.0},
+    },
+    64: {
+        "modern": {"encode_us": 1293.0, "decode_us": 1032.0},
+        "legacy": {"encode_us": 2097.0, "decode_us": 1646.0},
+    },
+}
+
+_PROFILES = {"modern": MODERN_PROFILE, "legacy": LEGACY_PROFILE}
+
+# Table-5 configurations exercised by the call replay (the paper's JDK 1.3
+# cell and its fastest JDK 1.4 cell).
+_TABLE5_CONFIGS = {
+    "legacy-portable": NRMIConfig(profile="legacy", implementation="portable"),
+    "modern-optimized": NRMIConfig(profile="modern", implementation="optimized"),
+}
+
+
+def _min_of_rounds(fn, rounds: int, iterations: int) -> float:
+    """Best per-iteration time in µs across *rounds* timed loops."""
+    fn()  # warm caches and compiled plans outside the timed region
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best * 1e6
+
+
+def run_serde_micro(size: int, rounds: int, iterations: int) -> Dict[str, Dict]:
+    """Encode + decode timings per profile for one scenario III tree."""
+    root = generate_workload(SCENARIO, size, SEED).root
+    results: Dict[str, Dict] = {}
+    for name, profile in _PROFILES.items():
+        def encode() -> bytes:
+            writer = ObjectWriter(profile=profile)
+            writer.write_root(root)
+            return writer.getvalue()
+
+        payload = encode()
+
+        def decode():
+            return ObjectReader(payload, profile=profile).read_root()
+
+        results[name] = {
+            "encode_us": round(_min_of_rounds(encode, rounds, iterations), 1),
+            "decode_us": round(_min_of_rounds(decode, rounds, iterations), 1),
+            "bytes": len(payload),
+        }
+    return results
+
+
+def run_table5_calls(size: int, rounds: int, iterations: int) -> Dict[str, Dict]:
+    """NRMI copy-restore round trips (no simulated network) per config."""
+    results: Dict[str, Dict] = {}
+    for name, config in _TABLE5_CONFIGS.items():
+        resolver = ChannelResolver()
+        server = Endpoint(name=f"regress-server-{name}", config=config, resolver=resolver)
+        client = Endpoint(name=f"regress-client-{name}", config=config, resolver=resolver)
+        try:
+            from repro.bench.mutators import TreeService
+
+            server.bind("svc", TreeService())
+            service = client.lookup(server.address, "svc")
+            workload = generate_workload(SCENARIO, size, SEED)
+
+            def call():
+                service.mutate(SCENARIO, workload.root, SEED)
+
+            results[name] = {
+                "call_us": round(_min_of_rounds(call, rounds, iterations), 1)
+            }
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+    return results
+
+
+def _load_previous(path: Path) -> Optional[dict]:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _check_gate(
+    previous: Optional[dict], serde: Dict[str, Dict], size: int
+) -> List[str]:
+    """Regressions of serde-micro encode vs the recorded run, as messages."""
+    failures: List[str] = []
+    if previous is None:
+        return failures
+    if previous.get("meta", {}).get("size") != size:
+        # A quick run and a full run measure different trees; their
+        # timings are not comparable.
+        return failures
+    recorded = previous.get("serde_micro", {})
+    for profile_name, row in serde.items():
+        old = recorded.get(profile_name, {}).get("encode_us")
+        if not old:
+            continue
+        new = row["encode_us"]
+        regression_pct = (new - old) / old * 100.0
+        if regression_pct > MAX_ENCODE_REGRESSION_PCT:
+            failures.append(
+                f"serde-micro {profile_name} encode regressed "
+                f"{regression_pct:.1f}% ({old:.1f}us -> {new:.1f}us, "
+                f"limit {MAX_ENCODE_REGRESSION_PCT:.0f}%)"
+            )
+    return failures
+
+
+def _default_output() -> Path:
+    # src/repro/bench/regress.py -> repository root.
+    return Path(__file__).resolve().parents[3] / "BENCH_pr1.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress", description=__doc__
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trees, few repetitions (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="output JSON path (default: BENCH_pr1.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-calls",
+        action="store_true",
+        help="skip the Table-5 call replay (serde micro only)",
+    )
+    args = parser.parse_args(argv)
+
+    size = QUICK_SIZE if args.quick else FULL_SIZE
+    rounds = 3 if args.quick else 8
+    iterations = 10 if args.quick else 40
+    call_iterations = 3 if args.quick else 10
+    output = args.output if args.output is not None else _default_output()
+
+    previous = _load_previous(output)
+
+    serde = run_serde_micro(size, rounds, iterations)
+    table5 = (
+        {} if args.no_calls else run_table5_calls(size, rounds, call_iterations)
+    )
+
+    baseline = PRE_PR_BASELINE_US.get(size)
+    speedups = {}
+    if baseline:
+        for profile_name, row in serde.items():
+            for op in ("encode_us", "decode_us"):
+                old = baseline[profile_name][op]
+                speedups[f"{profile_name}_{op[:-3]}"] = round(old / row[op], 2)
+
+    failures = _check_gate(previous, serde, size)
+
+    report = {
+        "meta": {
+            "script": "repro.bench.regress",
+            "quick": args.quick,
+            "scenario": SCENARIO,
+            "size": size,
+            "seed": SEED,
+            "python": sys.version.split()[0],
+            "timer": "min-of-rounds perf_counter",
+        },
+        "serde_micro": serde,
+        "table5_calls_us": table5,
+        "pre_pr_baseline_us": baseline or {},
+        "speedup_vs_pre_pr": speedups,
+        "gate": {
+            "max_encode_regression_pct": MAX_ENCODE_REGRESSION_PCT,
+            "compared_to": "previous run" if previous is not None else "none",
+            "passed": not failures,
+            "failures": failures,
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for profile_name, row in serde.items():
+        print(
+            f"serde/{profile_name}: encode {row['encode_us']:.1f}us "
+            f"decode {row['decode_us']:.1f}us ({row['bytes']} bytes)"
+        )
+    for config_name, row in table5.items():
+        print(f"table5/{config_name}: {row['call_us']:.1f}us per call")
+    print(f"wrote {output}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,8 @@ class CallBatch:
 
     def _flush_one_endpoint(self, address: str, entries: List[tuple]) -> None:
         request = encode_batch([prepared.request for prepared, _handle in entries])
+        for prepared, _handle in entries:
+            prepared.release()  # sub-frames are copied into the batch frame
         try:
             channel = self._endpoint.channel_to(address)
             response = channel.request(request)

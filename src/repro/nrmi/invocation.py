@@ -92,9 +92,16 @@ def _restore_roots(args: Sequence[Any], modes: Sequence[PassingMode]) -> List[An
 
 
 class PreparedCall:
-    """A marshalled request plus the caller-side state its reply needs."""
+    """A marshalled request plus the caller-side state its reply needs.
 
-    __slots__ = ("request", "originals", "descriptor", "method")
+    When the endpoint owns a buffer pool, ``request`` is a ``memoryview``
+    over a pooled encode buffer; :meth:`release` returns that storage to
+    the pool once the frame has been sent. Unreleased buffers simply fall
+    to the garbage collector — release is an optimization, not a safety
+    requirement.
+    """
+
+    __slots__ = ("request", "originals", "descriptor", "method", "_pool", "_buffer")
 
     def __init__(
         self,
@@ -102,11 +109,26 @@ class PreparedCall:
         originals: List[Any],
         descriptor: RemoteDescriptor,
         method: str,
+        pool: Any = None,
+        buffer: Any = None,
     ) -> None:
         self.request = request
         self.originals = originals
         self.descriptor = descriptor
         self.method = method
+        self._pool = pool
+        self._buffer = buffer
+
+    def release(self) -> None:
+        """Return the pooled request buffer; idempotent, safe without a pool."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        if type(self.request) is memoryview:
+            self.request.release()
+        pool.release(self._buffer)
+        self._buffer = None
 
 
 def prepare_call(
@@ -131,7 +153,14 @@ def prepare_call(
     externalizers = endpoint.externalizers()
 
     ship_map = bool(getattr(endpoint.config, "ship_linear_map", False))
-    writer = ObjectWriter(profile=profile, externalizers=externalizers)
+    # Steady-state calls allocate no fresh write buffers: the argument
+    # stream and the request envelope are both built in recycled pool
+    # storage, and the args bytes flow into the envelope through a view.
+    pool = getattr(endpoint, "buffer_pool", None)
+    args_buffer = pool.acquire() if pool is not None else None
+    writer = ObjectWriter(
+        profile=profile, externalizers=externalizers, buffer=args_buffer
+    )
     for arg in args:
         writer.write_root(arg)
     if ship_map and policy_name != "none":
@@ -139,7 +168,7 @@ def prepare_call(
         # back references, so this costs ~2 bytes per reachable object plus
         # an extra encode/decode pass — the cost optimization 5.2.4 #1 avoids.
         writer.write_root(list(writer.linear_map.objects))
-    args_payload = writer.getvalue()
+    args_payload = writer.view() if pool is not None else writer.getvalue()
 
     originals: List[Any] = []
     if policy_name != "none":
@@ -147,6 +176,7 @@ def prepare_call(
             writer.linear_map, _restore_roots(args, modes), endpoint.accessor
         )
 
+    envelope_buffer = pool.acquire() if pool is not None else None
     request = encode_call(
         CallRequest(
             object_id=descriptor.object_id,
@@ -157,13 +187,21 @@ def prepare_call(
             args_payload=args_payload,
             ship_map=ship_map and policy_name != "none",
             kwarg_names=kwarg_names,
-        )
+        ),
+        buffer=envelope_buffer,
     )
+    if pool is not None:
+        # The args stream has been copied into the envelope; its buffer
+        # can go straight back to the pool.
+        args_payload.release()
+        pool.release(args_buffer)
     return PreparedCall(
         request=request,
         originals=originals,
         descriptor=descriptor,
         method=method,
+        pool=pool,
+        buffer=envelope_buffer,
     )
 
 
@@ -186,7 +224,9 @@ def complete_call(endpoint: Any, prepared: PreparedCall, response: bytes) -> Any
     # method-level @restore_policy/@no_restore annotation may have
     # overridden the caller's request (never upgrading from 'none').
     applied_policy_name = policy_from_wire(reader.read_u8())
-    payload = reader.read_bytes(reader.remaining)
+    # Zero-copy: the restore payload is parsed in place from the response
+    # frame (parse_response consumes it synchronously).
+    payload = reader.read_view(reader.remaining)
     policy = policy_by_name(applied_policy_name)
     context = ClientRestoreContext(
         originals=prepared.originals,
@@ -224,7 +264,10 @@ def client_call(
         endpoint, descriptor, method, args, policy_name=policy_name, kwargs=kwargs
     )
     channel = endpoint.channel_to(descriptor.address)
-    response = channel.request(prepared.request)
+    try:
+        response = channel.request(prepared.request)
+    finally:
+        prepared.release()
     return complete_call(endpoint, prepared, response)
 
 

@@ -52,7 +52,7 @@ from repro.serde.writer import ObjectWriter
 from repro.transport.base import Channel
 from repro.transport.resolver import ChannelResolver, global_resolver
 from repro.transport.tcp import TcpServer
-from repro.util.buffers import BufferReader, BufferWriter
+from repro.util.buffers import BufferPool, BufferReader, BufferWriter
 from repro.util.metrics import MetricsRegistry
 from repro.errors import RemoteInvocationError
 
@@ -80,6 +80,10 @@ class Endpoint:
         if registry_id != REGISTRY_OBJECT_ID:  # pragma: no cover - invariant
             raise RemoteError("registry must receive the well-known object id")
         self.metrics = MetricsRegistry()
+        # Recycled encode-buffer storage for the invocation pipeline:
+        # steady-state calls marshal into pooled bytearrays instead of
+        # allocating fresh write buffers per call.
+        self.buffer_pool = BufferPool()
         self.dispatcher = Dispatcher(self)
         self.name = name or f"ep-{uuid.uuid4().hex[:10]}"
         self.address = resolver.register_inproc(self.name, self.dispatcher.handle)
@@ -149,7 +153,7 @@ class Endpoint:
                 return self.exports.get(descriptor.object_id)
             return RemoteStub(self, descriptor)
 
-        return Externalizer(REMOTE_EXT, claims, replace, resolve)
+        return Externalizer(REMOTE_EXT, claims, replace, resolve, type_based=True)
 
     def _make_pointer_externalizer(self) -> Externalizer:
         def claims(obj: Any) -> bool:
@@ -164,7 +168,7 @@ class Endpoint:
                 return self.exports.get(descriptor.object_id)
             return RemotePointer(self, descriptor)
 
-        return Externalizer(POINTER_EXT, claims, replace, resolve)
+        return Externalizer(POINTER_EXT, claims, replace, resolve, type_based=True)
 
     # ------------------------------------------------------------- client
 

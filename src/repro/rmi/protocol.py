@@ -82,6 +82,8 @@ class CallRequest:
     policy: str
     profile: str
     modes: Tuple[PassingMode, ...]
+    # bytes-like: the decoder hands back a zero-copy memoryview over the
+    # request frame; the encoder accepts any bytes-like object.
     args_payload: bytes
     # Ablation knob (paper 5.2.4 #1): when True the caller transmitted its
     # linear map explicitly as an extra root instead of relying on the
@@ -93,8 +95,16 @@ class CallRequest:
     kwarg_names: Tuple[str, ...] = ()
 
 
-def encode_call(request: CallRequest) -> bytes:
-    writer = BufferWriter()
+def encode_call(request: CallRequest, buffer=None):
+    """Encode a CALL envelope.
+
+    With *buffer* (a recycled ``bytearray``, e.g. from a
+    :class:`repro.util.buffers.BufferPool`), the frame is built in place
+    and returned as a ``memoryview`` — no fresh allocation, no final copy.
+    The caller owns the buffer's lifecycle and must not release it until
+    the view has been sent.
+    """
+    writer = BufferWriter(buffer)
     writer.write_u8(Op.CALL)
     writer.write_uvarint(request.object_id)
     writer.write_str(request.method)
@@ -108,7 +118,7 @@ def encode_call(request: CallRequest) -> bytes:
     for name in request.kwarg_names:
         writer.write_str(name)
     writer.write_bytes(request.args_payload)
-    return writer.getvalue()
+    return writer.view() if buffer is not None else writer.getvalue()
 
 
 def decode_call(reader: BufferReader) -> CallRequest:
@@ -134,7 +144,9 @@ def decode_call(reader: BufferReader) -> CallRequest:
     kwarg_names = tuple(reader.read_str() for _ in range(kwarg_count))
     if kwarg_count > len(modes):
         raise WireFormatError("more keyword names than argument modes")
-    args_payload = reader.read_bytes(reader.remaining)
+    # Zero-copy: the args stream is decoded in place from the request
+    # frame (the frame outlives the synchronous handler that decodes it).
+    args_payload = reader.read_view(reader.remaining)
     return CallRequest(
         object_id=object_id,
         method=method,

@@ -51,6 +51,7 @@ def register_value_adapter(
             claims=lambda obj: type(obj) is cls,
             replace=encode,
             resolve=decode,
+            type_based=True,
         )
     )
 

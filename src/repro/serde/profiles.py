@@ -34,26 +34,38 @@ class SerializationProfile:
     accessor: FieldAccessor
     intern_descriptors: bool
     per_object_validation: bool
+    #: Use compiled per-class encode/decode plans (see repro.serde.plans)
+    #: and the zero-copy buffer fast path. The wire format is unchanged —
+    #: only the encoder/decoder implementation differs.
+    use_compiled_plans: bool = False
+    #: Route writes/reads through the chunk-list / slice-copy buffer classes
+    #: that model the legacy stack's per-primitive allocation behaviour.
+    chunked_buffers: bool = False
 
     def __repr__(self) -> str:
         return f"SerializationProfile({self.name!r})"
 
 
 #: Models JDK 1.3-era RMI: reflective access, full descriptors per object,
-#: per-object validation.
+#: per-object validation, allocation-heavy stream layer.
 LEGACY_PROFILE = SerializationProfile(
     name="legacy",
     accessor=PORTABLE_ACCESSOR,
     intern_descriptors=False,
     per_object_validation=True,
+    use_compiled_plans=False,
+    chunked_buffers=True,
 )
 
-#: Models JDK 1.4-era RMI: cached class plans, interned descriptors.
+#: Models JDK 1.4-era RMI: compiled class plans, interned descriptors,
+#: single-buffer zero-copy stream layer.
 MODERN_PROFILE = SerializationProfile(
     name="modern",
     accessor=OPTIMIZED_ACCESSOR,
     intern_descriptors=True,
     per_object_validation=False,
+    use_compiled_plans=True,
+    chunked_buffers=False,
 )
 
 _PROFILES = {p.name: p for p in (LEGACY_PROFILE, MODERN_PROFILE)}

@@ -11,6 +11,13 @@ objects before their contents are read; back references resolve to the
 shell, which is filled in as decoding proceeds. Immutable containers
 (tuples, frozensets) cannot be shelled, but a cycle through an immutable
 container is unconstructable in Python in the first place.
+
+Profile split (mirrors the writer): the legacy profile reads through the
+slice-copying buffer that models JDK 1.3's stream layer and re-derives
+per-class facts for every object; the modern profile reads through a
+``memoryview`` with no per-primitive copies, caches per-class decode plans
+(:mod:`repro.serde.plans`), and drains runs of scalar fields in a tight
+inline loop instead of one full frame-machine cycle per field.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from repro.serde.linear_map import LinearMap
 from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
 from repro.serde.registry import ClassRegistry, global_registry
 from repro.serde.tags import Tag, WIRE_MAGIC, WIRE_VERSION
-from repro.util.buffers import BufferReader
+from repro.util.buffers import BufferReader, SlicingBufferReader
 
 _NO_VALUE = object()
 _FRAME_PUSHED = object()
@@ -41,6 +48,17 @@ _F_SET = 2
 _F_FROZENSET = 3
 _F_DICT = 4
 _F_OBJECT = 5
+
+# Tag bytes as plain ints for the scalar drain loop (mirrors Tag; enum
+# attribute access and __eq__ are measurable in the per-field hot path).
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x05
+_T_STR = 0x07
+_T_BYTES = 0x08
+_T_REF = 0x09
 
 
 class _Frame:
@@ -73,11 +91,15 @@ class _Frame:
 
 
 class ObjectReader:
-    """Decodes a stream produced by :class:`repro.serde.writer.ObjectWriter`."""
+    """Decodes a stream produced by :class:`repro.serde.writer.ObjectWriter`.
+
+    *data* may be ``bytes``, ``bytearray``, or a ``memoryview`` — the modern
+    profile decodes through a view without copying the payload.
+    """
 
     def __init__(
         self,
-        data: bytes,
+        data,
         profile: SerializationProfile = MODERN_PROFILE,
         registry: Optional[ClassRegistry] = None,
         externalizers: tuple = (),
@@ -86,10 +108,21 @@ class ObjectReader:
         self.registry = registry if registry is not None else global_registry
         self._local_externalizers = {ext.name: ext for ext in externalizers}
         self.linear_map = LinearMap()
-        self._buf = BufferReader(data)
+        if profile.chunked_buffers:
+            self._buf = SlicingBufferReader(data)
+        else:
+            self._buf = BufferReader(data)
         self._handles: List[Any] = []
-        self._classes: List[tuple] = []  # (class, wire_version)
+        self._classes: List[tuple] = []  # (class, wire_version, plan-or-None)
         self._names: List[str] = []
+        # Decode plans mirror the writer's gating: they bake in interned
+        # descriptors and no per-object validation.
+        self._use_plans = (
+            profile.use_compiled_plans
+            and profile.intern_descriptors
+            and not profile.per_object_validation
+        )
+        self._set_field = profile.accessor.set_field
         magic = self._buf.read_bytes(len(WIRE_MAGIC))
         if magic != WIRE_MAGIC:
             raise WireFormatError(f"bad magic {magic!r}; not an NRMI stream")
@@ -127,11 +160,12 @@ class ObjectReader:
         return slot
 
     def _read_class(self) -> tuple:
-        """Return (class, wire_version) for a class key."""
+        """Return (class, wire_version, decode_plan_or_None) for a class key."""
         key = self._buf.read_uvarint()
         if key == 0:
             cls = self.registry.class_for(self._buf.read_str())
-            entry = (cls, self._buf.read_uvarint())
+            plan = self.registry.decode_plan_for(cls) if self._use_plans else None
+            entry = (cls, self._buf.read_uvarint(), plan)
             self._classes.append(entry)
             return entry
         try:
@@ -151,6 +185,7 @@ class ObjectReader:
             raise WireFormatError(f"dangling name id {key}") from None
 
     def _read_value(self) -> Any:
+        fast = self._use_plans
         stack: List[_Frame] = []
         result: Any = _NO_VALUE
         while True:
@@ -159,6 +194,8 @@ class ObjectReader:
                 if result is _FRAME_PUSHED:
                     result = _NO_VALUE
                     frame = stack[-1]
+                    if fast and frame.kind == _F_OBJECT and frame.remaining:
+                        self._drain_object_fields(frame)
                     if frame.remaining == 0:
                         stack.pop()
                         result = self._finish(frame)
@@ -168,9 +205,78 @@ class ObjectReader:
             frame = stack[-1]
             self._deliver(frame, result)
             result = _NO_VALUE
+            if (
+                fast
+                and frame.remaining
+                and frame.kind == _F_OBJECT
+                and frame.pending_name is None
+            ):
+                # Back from decoding a non-scalar field value: resume the
+                # inline scalar drain before paying full frame-machine
+                # cycles for the (typically scalar) fields that follow.
+                self._drain_object_fields(frame)
             if frame.remaining == 0:
                 stack.pop()
                 result = self._finish(frame)
+
+    def _drain_object_fields(self, frame: _Frame) -> None:
+        """Consume consecutive scalar-valued fields of an object frame.
+
+        Reads ``name, tag, payload`` triples directly — no `_Frame`
+        bookkeeping, no ``_deliver`` dispatch — until a field's value is a
+        container/object/rarity, at which point the already-read name is
+        parked on ``frame.pending_name`` and the generic machinery takes
+        over exactly where it would have been.
+        """
+        buf = self._buf
+        shell = frame.shell
+        set_field = self._set_field
+        read_name = self._read_name
+        handles = self._handles
+        peek = buf.peek_u8
+        read_u8 = buf.read_u8
+        remaining = frame.remaining
+        while remaining:
+            name = read_name()
+            tag = peek()
+            if tag == _T_INT:
+                read_u8()
+                value = buf.read_varint()
+            elif tag == _T_STR:
+                read_u8()
+                value = buf.read_str()
+                handles.append(value)
+            elif tag == _T_REF:
+                read_u8()
+                slot = buf.read_uvarint()
+                try:
+                    value = handles[slot]
+                except IndexError:
+                    raise WireFormatError(f"dangling handle {slot}") from None
+                if value is _NO_VALUE:
+                    raise WireFormatError(f"forward reference to handle {slot}")
+            elif tag == _T_FLOAT:
+                read_u8()
+                value = buf.read_f64()
+            elif tag == _T_NONE:
+                read_u8()
+                value = None
+            elif tag == _T_TRUE:
+                read_u8()
+                value = True
+            elif tag == _T_FALSE:
+                read_u8()
+                value = False
+            elif tag == _T_BYTES:
+                read_u8()
+                value = buf.read_len_bytes()
+                handles.append(value)
+            else:
+                frame.pending_name = name
+                break
+            set_field(shell, name, value)
+            remaining -= 1
+        frame.remaining = remaining
 
     def _step(self, stack: List[_Frame]) -> Any:
         """Read one value header; return a value or push a frame."""
@@ -253,13 +359,19 @@ class ObjectReader:
             stack.append(frame)
             return _FRAME_PUSHED
         if tag == Tag.OBJECT:
-            cls, wire_version = self._read_class()
+            cls, wire_version, plan = self._read_class()
             count = buf.read_uvarint()
             frame = _Frame(_F_OBJECT, count)
-            frame.shell = self.profile.accessor.new_instance(cls)
-            frame.needs_resolve = has_resolve(cls)
-            if wire_version != class_version(cls) and has_upgrade(cls):
-                frame.wire_version = wire_version
+            if plan is not None:
+                frame.shell = plan.factory()
+                frame.needs_resolve = plan.needs_resolve
+                if wire_version != plan.version and plan.has_upgrade:
+                    frame.wire_version = wire_version
+            else:
+                frame.shell = self.profile.accessor.new_instance(cls)
+                frame.needs_resolve = has_resolve(cls)
+                if wire_version != class_version(cls) and has_upgrade(cls):
+                    frame.wire_version = wire_version
             # Mirrors the writer: readResolve classes are value-like and
             # stay out of the linear map, keeping the maps index-aligned.
             frame.handle_slot = self._register(
@@ -296,7 +408,7 @@ class ObjectReader:
         elif kind == _F_OBJECT:
             if frame.pending_name is None:
                 raise WireFormatError("object field value without a field name")
-            self.profile.accessor.set_field(frame.shell, frame.pending_name, value)
+            self._set_field(frame.shell, frame.pending_name, value)
             frame.pending_name = None
         else:  # tuple / frozenset accumulate
             frame.items.append(value)
@@ -327,7 +439,7 @@ class ObjectReader:
 
 
 def decode_graph(
-    data: bytes,
+    data,
     count: int = 1,
     profile: SerializationProfile = MODERN_PROFILE,
     registry: Optional[ClassRegistry] = None,

@@ -29,6 +29,14 @@ class Externalizer:
     ``replace(obj)`` returns an encoded payload for objects the hook claims,
     or ``None`` to decline. ``resolve(payload)`` reverses it on the decoding
     side. Both sides must register the hook under the same name.
+
+    ``type_based`` declares that ``claims`` is a pure function of
+    ``type(obj)`` (true for every built-in hook: they are all ``isinstance``
+    or exact-type checks). The modern profile's encoder caches claim
+    decisions per class — and enables compiled per-class plans — only when
+    every externalizer in play is type-based. The default is ``False``
+    (instance-dependent claims stay correct); hooks whose claim only looks
+    at the type should pass ``type_based=True`` to keep the fast path on.
     """
 
     def __init__(
@@ -37,11 +45,13 @@ class Externalizer:
         claims: Callable[[Any], bool],
         replace: Callable[[Any], bytes],
         resolve: Callable[[bytes], Any],
+        type_based: bool = False,
     ) -> None:
         self.name = name
         self.claims = claims
         self.replace = replace
         self.resolve = resolve
+        self.type_based = type_based
 
 
 class ClassRegistry:
@@ -53,6 +63,10 @@ class ClassRegistry:
         self._names: Dict[type, str] = {}
         self._externalizers: Dict[str, Externalizer] = {}
         self._ext_order: Tuple[Externalizer, ...] = ()
+        # Compiled serde plans (repro.serde.plans), keyed by class. Each
+        # registry owns its caches so isolated registries never share plans.
+        self._encode_plans: Dict[type, Any] = {}
+        self._decode_plans: Dict[type, Any] = {}
 
     def register(self, cls: type, name: Optional[str] = None) -> type:
         """Register *cls* for serialization; returns *cls* (decorator use)."""
@@ -98,6 +112,10 @@ class ClassRegistry:
                 return ext
         return None
 
+    def externalizers(self) -> Tuple[Externalizer, ...]:
+        """Snapshot of registered externalizers, in registration order."""
+        return self._ext_order
+
     def externalizer_named(self, name: str) -> Externalizer:
         with self._lock:
             try:
@@ -110,6 +128,50 @@ class ClassRegistry:
     def snapshot_classes(self) -> Dict[str, type]:
         with self._lock:
             return dict(self._by_name)
+
+    # -------------------------------------------------- compiled serde plans
+
+    def encode_plan_for(self, cls: type):
+        """The compiled encode plan for *cls*, (re)compiled when the class's
+        declared ``__nrmi_version__`` no longer matches the cached plan."""
+        from repro.serde.hooks import class_version
+        from repro.serde.plans import compile_encode_plan
+
+        plan = self._encode_plans.get(cls)
+        if plan is not None and plan.version == class_version(cls):
+            return plan
+        with self._lock:
+            plan = self._encode_plans.get(cls)
+            if plan is None or plan.version != class_version(cls):
+                plan = compile_encode_plan(cls, self.name_of(cls))
+                self._encode_plans[cls] = plan
+            return plan
+
+    def decode_plan_for(self, cls: type):
+        """The cached decode plan for *cls*, version-invalidated like
+        :meth:`encode_plan_for`."""
+        from repro.serde.hooks import class_version
+        from repro.serde.plans import compile_decode_plan
+
+        plan = self._decode_plans.get(cls)
+        if plan is not None and plan.version == class_version(cls):
+            return plan
+        with self._lock:
+            plan = self._decode_plans.get(cls)
+            if plan is None or plan.version != class_version(cls):
+                plan = compile_decode_plan(cls)
+                self._decode_plans[cls] = plan
+            return plan
+
+    def invalidate_plans(self, cls: Optional[type] = None) -> None:
+        """Drop compiled plans for *cls* (or all classes when omitted)."""
+        with self._lock:
+            if cls is None:
+                self._encode_plans.clear()
+                self._decode_plans.clear()
+            else:
+                self._encode_plans.pop(cls, None)
+                self._decode_plans.pop(cls, None)
 
 
 #: Process-wide default registry. Tests that need isolation construct their

@@ -5,6 +5,15 @@ structures — a 100 000-node linked list, a degenerate tree — serialize
 without touching the interpreter recursion limit. The traversal is
 pre-order; the decoder replays the same order, which is what keeps the two
 endpoints' handle tables (and therefore linear maps) index-aligned.
+
+Profiles select the implementation, not the format:
+
+* the **legacy** profile routes every byte through the chunk-list buffer
+  that models JDK 1.3's allocation-heavy stream layer and re-derives all
+  per-object facts reflectively;
+* the **modern** profile writes into a single pooled ``bytearray`` and
+  dispatches registered classes through compiled per-class plans
+  (:mod:`repro.serde.plans`) — same bytes, a fraction of the work.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from repro.serde.linear_map import LinearMap
 from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
 from repro.serde.registry import ClassRegistry, global_registry
 from repro.serde.tags import Tag, WIRE_MAGIC, WIRE_VERSION
-from repro.util.buffers import BufferWriter
+from repro.util.buffers import BufferWriter, ChunkedBufferWriter
 from repro.util.identity import IdentityMap
 
 _INT64_MIN = -(1 << 63)
@@ -34,6 +43,14 @@ _INT64_MAX = (1 << 63) - 1
 _EMIT_VALUE = 0
 _EMIT_NAME = 1
 
+_MISSING = object()
+
+#: Default cap on the writer's string/bytes value memos. Memoization keeps
+#: equal strings shared on the wire; the cap bounds memory for long-lived
+#: writers streaming many distinct values. Past the cap, values are written
+#: in full again — byte streams stay decodable, only dedup stops.
+DEFAULT_MEMO_LIMIT = 4096
+
 
 class ObjectWriter:
     """Serializes one or more root values into a single stream.
@@ -42,6 +59,10 @@ class ObjectWriter:
     so aliasing *across* the parameters of a remote call is preserved — the
     property Section 4.1 of the paper calls out as wrongly believed
     impossible for copy-restore middleware.
+
+    *buffer* lets callers (the invocation pipeline) supply recycled
+    ``bytearray`` storage from a :class:`repro.util.buffers.BufferPool`;
+    it is ignored for profiles that use the chunked legacy buffer.
     """
 
     def __init__(
@@ -50,6 +71,8 @@ class ObjectWriter:
         registry: Optional[ClassRegistry] = None,
         externalizers: Tuple = (),
         collect_stats: bool = False,
+        buffer: Optional[bytearray] = None,
+        memo_limit: int = DEFAULT_MEMO_LIMIT,
     ) -> None:
         self.profile = profile
         self.registry = registry if registry is not None else global_registry
@@ -58,15 +81,41 @@ class ObjectWriter:
         #: per encoded value, so benchmarks leave it off).
         self.stats: Optional[Dict[str, int]] = {} if collect_stats else None
         self.linear_map = LinearMap()
-        self._buf = BufferWriter()
+        if profile.chunked_buffers:
+            self._buf = ChunkedBufferWriter()
+        else:
+            self._buf = BufferWriter(buffer)
         self._handles: IdentityMap[int] = IdentityMap()
         self._str_memo: Dict[str, int] = {}
         self._bytes_memo: Dict[bytes, int] = {}
+        self._memo_limit = memo_limit
         self._next_handle = 0
         self._class_ids: Dict[type, int] = {}
         self._name_ids: Dict[str, int] = {}
         self._replacements: IdentityMap[Any] = IdentityMap()
         self._root_count = 0
+        # Compiled-plan fast path. Requires the plan's baked-in assumptions
+        # to hold: interned descriptors, no per-object validation pass, and
+        # stats collection off (the fast path skips per-value counting).
+        if (
+            profile.use_compiled_plans
+            and profile.intern_descriptors
+            and not profile.per_object_validation
+            and self.stats is None
+        ):
+            self._plan_cache: Optional[Dict[type, Any]] = {}
+        else:
+            self._plan_cache = None
+        # Per-class externalizer-claim cache, valid only while every
+        # externalizer in play (writer-local and registry) declares its
+        # claim a pure function of type.
+        if self._plan_cache is not None and all(
+            ext.type_based
+            for ext in self._local_externalizers + self.registry.externalizers()
+        ):
+            self._ext_cache: Optional[Dict[type, Any]] = {}
+        else:
+            self._ext_cache = None
         self._buf.write_bytes(WIRE_MAGIC)
         self._buf.write_u8(WIRE_VERSION)
         self._buf.write_u8(0)  # reserved flags
@@ -88,6 +137,21 @@ class ObjectWriter:
 
     def getvalue(self) -> bytes:
         return self._buf.getvalue()
+
+    def view(self) -> memoryview:
+        """Zero-copy view of the stream (see ``BufferWriter.view``)."""
+        return self._buf.view()
+
+    def reset_memos(self) -> None:
+        """Drop the string/bytes value memos (not the object handle table).
+
+        Long-lived writers encoding many independent roots — e.g. a batch
+        pipeline reusing one writer across entries — call this between
+        roots to stop memo state accumulating across logically separate
+        payloads. Streams written after a reset stay fully decodable.
+        """
+        self._str_memo.clear()
+        self._bytes_memo.clear()
 
     # ------------------------------------------------------------ internals
 
@@ -140,6 +204,8 @@ class ObjectWriter:
 
     def _write_value(self, root: Any) -> None:
         buf = self._buf
+        plan_cache = self._plan_cache
+        handles = self._handles
         stack: List[Tuple[int, Any]] = [(_EMIT_VALUE, root)]
         while stack:
             opcode, payload = stack.pop()
@@ -159,6 +225,20 @@ class ObjectWriter:
             if obj is False:
                 buf.write_u8(Tag.FALSE)
                 continue
+            # --- compiled-plan fast path ---------------------------------
+            # Classes land in the cache only after the generic path has
+            # proven them plan-safe (registered object kind, no replace
+            # hook, no externalizer claim), so dispatching here is exact.
+            if plan_cache is not None:
+                plan = plan_cache.get(obj.__class__)
+                if plan is not None:
+                    handle = handles.get(obj)
+                    if handle is not None:
+                        buf.write_u8(Tag.REF)
+                        buf.write_uvarint(handle)
+                        continue
+                    plan.encode(self, obj, stack)
+                    continue
             kind = classify(obj)
             if kind is Kind.OBJECT and has_replace(obj):
                 # writeReplace analogue: serialize the designated stand-in.
@@ -173,7 +253,7 @@ class ObjectWriter:
                 self._emit_primitive(obj)
                 continue
             # --- memoized identities -------------------------------------
-            handle = self._handles.get(obj)
+            handle = handles.get(obj)
             if handle is not None:
                 buf.write_u8(Tag.REF)
                 buf.write_uvarint(handle)
@@ -247,7 +327,8 @@ class ObjectWriter:
                 buf.write_uvarint(memo)
                 return
             handle = self._alloc_handle(obj, mutable=False)
-            self._str_memo[obj] = handle
+            if len(self._str_memo) < self._memo_limit:
+                self._str_memo[obj] = handle
             buf.write_u8(Tag.STR)
             buf.write_str(obj)
         elif obj_type is bytes:
@@ -257,7 +338,8 @@ class ObjectWriter:
                 buf.write_uvarint(memo)
                 return
             handle = self._alloc_handle(obj, mutable=False)
-            self._bytes_memo[obj] = handle
+            if len(self._bytes_memo) < self._memo_limit:
+                self._bytes_memo[obj] = handle
             buf.write_u8(Tag.BYTES)
             buf.write_len_bytes(obj)
         elif isinstance(obj, float):
@@ -281,10 +363,21 @@ class ObjectWriter:
                 raise NotSerializableError(obj)
 
     def _find_externalizer(self, obj: Any):
+        cache = self._ext_cache
+        if cache is not None:
+            cached = cache.get(type(obj), _MISSING)
+            if cached is not _MISSING:
+                return cached
+        found = None
         for ext in self._local_externalizers:
             if ext.claims(obj):
-                return ext
-        return self.registry.externalizer_for(obj)
+                found = ext
+                break
+        if found is None:
+            found = self.registry.externalizer_for(obj)
+        if cache is not None and (found is None or found.type_based):
+            cache[type(obj)] = found
+        return found
 
     def _emit_external(self, obj: Any, ext) -> None:
         self._alloc_handle(obj, mutable=False)
@@ -298,6 +391,14 @@ class ObjectWriter:
             self._emit_external(obj, ext)
             return
         cls = type(obj)
+        if self._plan_cache is not None and self._ext_cache is not None:
+            # First instance of a plan-safe class: compile (or fetch) the
+            # plan from the registry and cache it writer-locally so later
+            # instances dispatch straight from the hot loop.
+            plan = self.registry.encode_plan_for(cls)
+            self._plan_cache[cls] = plan
+            plan.encode(self, obj, stack)
+            return
         accessor = self.profile.accessor
         state = accessor.get_state(obj)
         transients = transient_fields(cls)

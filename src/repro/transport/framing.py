@@ -2,6 +2,13 @@
 
 Frames are ``u32 length (big-endian) + payload``. A maximum frame size
 guards both sides against corrupt peers allocating unbounded buffers.
+
+The send path is zero-copy: the header and payload go out in one
+scatter-gather ``sendmsg`` (one segment under ``TCP_NODELAY``), so a
+payload is never joined with its header into a fresh ``bytes`` object —
+callers can pass a ``memoryview`` over a pooled encode buffer straight
+through. The receive path reads with ``recv_into`` into one preallocated
+``bytearray`` instead of accumulating ``recv`` chunks and joining them.
 """
 
 from __future__ import annotations
@@ -12,40 +19,58 @@ import struct
 from repro.errors import TransportError
 
 _LEN = struct.Struct(">I")
+_HEADER_SIZE = _LEN.size
 
 #: Refuse frames above 256 MiB — far beyond any benchmark payload, small
 #: enough to stop a corrupt length word from exhausting memory.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
-def write_frame(sock: socket.socket, payload: bytes) -> None:
-    if len(payload) > MAX_FRAME_BYTES:
+
+def write_frame(sock: socket.socket, payload) -> None:
+    """Send one frame. *payload* may be ``bytes``, ``bytearray``, or a
+    ``memoryview`` — it is transmitted without being copied or joined."""
+    length = len(payload)
+    if length > MAX_FRAME_BYTES:
         raise TransportError(
-            f"frame of {len(payload)} bytes exceeds limit {MAX_FRAME_BYTES}"
+            f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
         )
+    header = _LEN.pack(length)
     try:
-        sock.sendall(_LEN.pack(len(payload)) + payload)
+        if _HAS_SENDMSG:
+            sent = sock.sendmsg((header, payload))
+            total = _HEADER_SIZE + length
+            if sent < total:
+                # Short scatter-gather write (large payload / full socket
+                # buffer): finish with sendall over views, still no joins.
+                if sent < _HEADER_SIZE:
+                    sock.sendall(header[sent:])
+                    sent = _HEADER_SIZE
+                sock.sendall(memoryview(payload)[sent - _HEADER_SIZE :])
+        else:  # pragma: no cover - platforms without sendmsg
+            sock.sendall(header + bytes(payload))
     except OSError as exc:
         raise TransportError(f"send failed: {exc}") from exc
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    chunks = []
-    remaining = count
-    while remaining:
+def _recv_exact(sock: socket.socket, count: int) -> bytearray:
+    buffer = bytearray(count)
+    view = memoryview(buffer)
+    pos = 0
+    while pos < count:
         try:
-            chunk = sock.recv(min(remaining, 1 << 20))
+            received = sock.recv_into(view[pos:], count - pos)
         except OSError as exc:
             raise TransportError(f"recv failed: {exc}") from exc
-        if not chunk:
+        if not received:
             raise TransportError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        pos += received
+    return buffer
 
 
-def read_frame(sock: socket.socket) -> bytes:
-    header = _recv_exact(sock, _LEN.size)
+def read_frame(sock: socket.socket) -> bytearray:
+    header = _recv_exact(sock, _HEADER_SIZE)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise TransportError(f"peer announced oversized frame: {length} bytes")

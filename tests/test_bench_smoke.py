@@ -1,0 +1,49 @@
+"""CI bench-smoke step: the benchmark-regression runner stays healthy.
+
+Two layers:
+
+* run ``repro.bench.regress --quick`` end to end (into a temp file, so the
+  committed full-size ``BENCH_pr1.json`` at the repo root is not clobbered
+  by quick-mode numbers) and validate the report it writes;
+* re-measure the full-size serde micro encode in-process and hold it to
+  the recorded ``BENCH_pr1.json`` within the runner's regression budget.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import regress
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.bench_smoke
+def test_regress_quick_runs_clean(tmp_path):
+    output = tmp_path / "bench_smoke.json"
+    rc = regress.main(["--quick", "--output", str(output)])
+    assert rc == 0
+    report = json.loads(output.read_text())
+    assert report["meta"]["quick"] is True
+    assert report["meta"]["size"] == regress.QUICK_SIZE
+    for profile in ("modern", "legacy"):
+        row = report["serde_micro"][profile]
+        assert row["encode_us"] > 0
+        assert row["decode_us"] > 0
+        assert row["bytes"] > 0
+    # The profile gap must keep the paper's shape: legacy does strictly
+    # more work and writes strictly more bytes.
+    assert (
+        report["serde_micro"]["modern"]["bytes"]
+        < report["serde_micro"]["legacy"]["bytes"]
+    )
+    assert report["gate"]["passed"] is True
+
+
+@pytest.mark.bench_smoke
+def test_serde_micro_encode_within_recorded_budget():
+    recorded = regress._load_previous(REPO_ROOT / "BENCH_pr1.json")
+    serde = regress.run_serde_micro(regress.FULL_SIZE, rounds=4, iterations=15)
+    failures = regress._check_gate(recorded, serde, regress.FULL_SIZE)
+    assert not failures, "; ".join(failures)

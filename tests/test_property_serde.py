@@ -1,6 +1,7 @@
 """Property-based tests: the wire format on arbitrary value shapes."""
 
 import math
+from dataclasses import replace
 
 from hypothesis import given, settings, strategies as st
 
@@ -8,7 +9,7 @@ from repro.serde.profiles import LEGACY_PROFILE, MODERN_PROFILE
 from repro.serde.reader import ObjectReader
 from repro.serde.writer import ObjectWriter
 
-from tests.model_helpers import heap_fingerprint
+from tests.model_helpers import Box, Node, Pair, SlottedPoint, heap_fingerprint
 
 scalars = st.one_of(
     st.none(),
@@ -111,3 +112,84 @@ def test_float_bit_exactness(value):
     else:
         assert result == value
         assert math.copysign(1.0, result) == math.copysign(1.0, value)
+
+
+# ---------------------------------------------------------------------------
+# Compiled plans vs the generic encoder: byte-identity on object graphs.
+# ---------------------------------------------------------------------------
+
+#: The modern profile with compiled plans switched off — same accessor,
+#: interning, and buffer layer, so any byte difference is the plan's fault.
+MODERN_NO_PLANS = replace(
+    MODERN_PROFILE, name="modern-noplans", use_compiled_plans=False
+)
+
+object_graphs = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.builds(Node, data=children, next=st.none() | st.builds(Node, data=children)),
+        st.builds(Pair, first=children, second=children),
+        st.builds(
+            SlottedPoint,
+            x=st.integers(min_value=-(2**40), max_value=2**40),
+            y=st.integers(min_value=-(2**40), max_value=2**40),
+        ),
+        st.builds(Box, payload=children),
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=100)
+@given(object_graphs)
+def test_compiled_plans_encode_byte_identical(graph):
+    """Plan-compiled and generic modern encodes agree byte for byte."""
+    with_plans = ObjectWriter(profile=MODERN_PROFILE)
+    with_plans.write_root(graph)
+    without_plans = ObjectWriter(profile=MODERN_NO_PLANS)
+    without_plans.write_root(graph)
+    assert with_plans.getvalue() == without_plans.getvalue()
+
+
+@settings(max_examples=60)
+@given(object_graphs)
+def test_compiled_plans_roundtrip_isomorphic(graph):
+    """The compiled path still reconstructs an isomorphic heap."""
+    writer = ObjectWriter(profile=MODERN_PROFILE)
+    writer.write_root(graph)
+    reader = ObjectReader(writer.getvalue(), profile=MODERN_PROFILE)
+    decoded = reader.read_root()
+    reader.expect_end()
+    assert heap_fingerprint([graph]) == heap_fingerprint([decoded])
+    assert len(writer.linear_map) == len(reader.linear_map)
+
+
+@settings(max_examples=40)
+@given(object_graphs)
+def test_compiled_plans_legacy_still_decodes(graph):
+    """Streams written by the compiled path stay readable under legacy
+    decoding — one wire format, two implementations."""
+    writer = ObjectWriter(profile=MODERN_PROFILE)
+    writer.write_root(graph)
+    decoded = ObjectReader(writer.getvalue(), profile=MODERN_NO_PLANS).read_root()
+    assert heap_fingerprint([graph]) == heap_fingerprint([decoded])
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=0, max_value=50))
+def test_compiled_plans_aliasing_and_cycles(n):
+    """Handles/backrefs from the compiled path preserve sharing and cycles."""
+    head = Node(data=n)
+    head.next = Node(data=[head, head])  # cycle plus a shared alias
+    graph = Pair(first=head, second=head.next)
+    writer = ObjectWriter(profile=MODERN_PROFILE)
+    writer.write_root(graph)
+    baseline = ObjectWriter(profile=MODERN_NO_PLANS)
+    baseline.write_root(graph)
+    assert writer.getvalue() == baseline.getvalue()
+    decoded = ObjectReader(writer.getvalue(), profile=MODERN_PROFILE).read_root()
+    assert decoded.first.next is decoded.second
+    assert decoded.second.data[0] is decoded.first
+    assert heap_fingerprint([graph]) == heap_fingerprint([decoded])

@@ -156,3 +156,163 @@ class TestBounds:
         assert reader.read_varint() == -5
         assert reader.read_len_bytes() == b"\x00\x01"
         reader.expect_end()
+
+
+class TestVarintBoundaries:
+    """The 64-bit varint envelope, hit exactly at its edges."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, -1, 2**63 - 1, -(2**63 - 1), -(2**63), 2**62, -(2**62)],
+    )
+    def test_round_trip_at_boundaries(self, value):
+        assert (
+            roundtrip(lambda w: w.write_varint(value), lambda r: r.read_varint())
+            == value
+        )
+
+    @pytest.mark.parametrize("value", [2**63, -(2**63) - 1, 2**100])
+    def test_overflow_raises(self, value):
+        writer = BufferWriter()
+        with pytest.raises(WireFormatError):
+            writer.write_varint(value)
+
+    def test_uvarint_rejects_negative(self):
+        with pytest.raises(WireFormatError):
+            BufferWriter().write_uvarint(-1)
+
+    def test_corrupt_overlong_uvarint_raises(self):
+        # Eleven continuation bytes exceed any 64-bit value.
+        reader = BufferReader(b"\xff" * 11 + b"\x01")
+        with pytest.raises(WireFormatError):
+            reader.read_uvarint()
+
+
+class TestTruncatedStreams:
+    """Every memoryview-reader primitive fails cleanly at end-of-data."""
+
+    @pytest.mark.parametrize(
+        "data, read",
+        [
+            (b"", lambda r: r.read_u8()),
+            (b"\x01\x02", lambda r: r.read_u32()),
+            (b"\x01" * 7, lambda r: r.read_i64()),
+            (b"\x01" * 7, lambda r: r.read_f64()),
+            (b"\x80", lambda r: r.read_uvarint()),  # continuation, then EOF
+            (b"\x05ab", lambda r: r.read_len_bytes()),  # length > remaining
+            (b"\x05ab", lambda r: r.read_str()),
+            (b"ab", lambda r: r.read_bytes(3)),
+            (b"ab", lambda r: r.read_view(3)),
+            (b"", lambda r: r.peek_u8()),
+        ],
+    )
+    def test_truncated_read_raises(self, data, read):
+        reader = BufferReader(data)
+        with pytest.raises(WireFormatError):
+            read(reader)
+
+    def test_memoryview_input_round_trip(self):
+        writer = BufferWriter()
+        writer.write_str("through a view")
+        reader = BufferReader(memoryview(writer.getvalue()))
+        assert reader.read_str() == "through a view"
+
+    def test_read_view_is_zero_copy(self):
+        backing = bytearray(b"\x03abcrest")
+        reader = BufferReader(backing)
+        view = reader.read_view(4)
+        assert bytes(view) == b"\x03abc"
+        backing[1] = ord("z")
+        assert bytes(view) == b"\x03zbc"  # a view, not a copy
+        view.release()
+
+
+class TestChunkedLegacyCompatibility:
+    """The legacy chunk-list writer and the new writer emit identical bytes,
+    and old-writer streams decode identically under the memoryview reader."""
+
+    @staticmethod
+    def _write_everything(writer):
+        writer.write_bytes(b"hdr")
+        writer.write_u8(0x7F)
+        writer.write_u32(0xCAFEBABE)
+        writer.write_i64(-(1 << 40))
+        writer.write_f64(2.5)
+        writer.write_varint(-(2**63))
+        writer.write_varint(2**63 - 1)
+        writer.write_uvarint(0)
+        writer.write_uvarint(300)
+        writer.write_len_bytes(b"")
+        writer.write_len_bytes(b"payload")
+        writer.write_str("")
+        writer.write_str("unicode: é☃")
+
+    def test_byte_identical_output(self):
+        from repro.util.buffers import ChunkedBufferWriter
+
+        new_writer = BufferWriter()
+        old_writer = ChunkedBufferWriter()
+        self._write_everything(new_writer)
+        self._write_everything(old_writer)
+        assert new_writer.getvalue() == old_writer.getvalue()
+
+    def test_old_writer_stream_decodes_under_both_readers(self):
+        from repro.util.buffers import ChunkedBufferWriter, SlicingBufferReader
+
+        writer = ChunkedBufferWriter()
+        self._write_everything(writer)
+        payload = writer.getvalue()
+
+        def read_all(reader):
+            return (
+                reader.read_bytes(3),
+                reader.read_u8(),
+                reader.read_u32(),
+                reader.read_i64(),
+                reader.read_f64(),
+                reader.read_varint(),
+                reader.read_varint(),
+                reader.read_uvarint(),
+                reader.read_uvarint(),
+                reader.read_len_bytes(),
+                reader.read_len_bytes(),
+                reader.read_str(),
+                reader.read_str(),
+            )
+
+        assert read_all(BufferReader(payload)) == read_all(
+            SlicingBufferReader(payload)
+        )
+
+
+class TestBufferPool:
+    def test_acquire_release_reuses_storage(self):
+        from repro.util.buffers import BufferPool
+
+        pool = BufferPool()
+        buffer = pool.acquire()
+        buffer += b"scribble"
+        pool.release(buffer)
+        again = pool.acquire()
+        assert again is buffer
+        assert len(again) == 0  # cleared on release
+
+    def test_release_with_live_view_drops_buffer(self):
+        from repro.util.buffers import BufferPool
+
+        pool = BufferPool()
+        buffer = pool.acquire()
+        buffer += b"pinned"
+        view = memoryview(buffer)
+        pool.release(buffer)  # cannot clear while exported: dropped, no error
+        assert pool.acquire() is not buffer
+        view.release()
+
+    def test_oversized_buffer_not_pooled(self):
+        from repro.util.buffers import BufferPool
+
+        pool = BufferPool(max_buffer_bytes=8)
+        buffer = pool.acquire()
+        buffer += b"0123456789"
+        pool.release(buffer)
+        assert pool.acquire() is not buffer
