@@ -58,6 +58,48 @@ class TransportError(RemoteError):
     """The underlying channel failed (connection refused, closed, framing)."""
 
 
+class RetryableError(TransportError):
+    """A transient transport failure: the request may not have executed.
+
+    Retrying is *safe only* with a call ID attached (the server's reply
+    cache turns the retry into at-most-once); the retry layer in
+    :mod:`repro.transport.reliability` is the one place allowed to resend.
+    Connection resets, dropped frames, and injected faults are retryable;
+    deliberate closes and policy failures are not.
+    """
+
+
+class DeadlineExceededError(TransportError):
+    """The per-call deadline elapsed before a reply arrived.
+
+    Fatal, never retried: the budget is for the whole call, attempts
+    included. The caller's heap is untouched (restore is reply-driven).
+    """
+
+
+class CircuitOpenError(TransportError):
+    """The per-address circuit breaker is open; the call failed fast.
+
+    Fatal for this call: the breaker has seen enough consecutive
+    transport failures that probing the address again immediately would
+    only add load. It transitions to half-open after its reset timeout.
+    """
+
+    def __init__(self, address: str, retry_after: float) -> None:
+        self.address = address
+        self.retry_after = retry_after
+        super().__init__(
+            f"circuit breaker open for {address}; "
+            f"next probe allowed in {retry_after:.3f}s"
+        )
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when the failure is transient and a retry (with a call ID)
+    could succeed. Deadline and breaker failures are terminal."""
+    return isinstance(exc, RetryableError)
+
+
 class MarshalError(RemoteError):
     """Arguments or results could not be marshalled for a remote call."""
 

@@ -20,6 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.transport.reliability import (
+    DEFAULT_RETRY_POLICY,
+    CircuitBreakerPolicy,
+    RetryPolicy,
+)
+
 _VALID_PROFILES = ("legacy", "modern")
 _VALID_IMPLEMENTATIONS = ("portable", "optimized")
 _VALID_POLICIES = ("none", "full", "delta", "dce")
@@ -55,6 +61,18 @@ class NRMIConfig:
     # DGC lease duration for exported references (None = no leases; refs
     # live until released). Java RMI's default is 10 minutes.
     lease_seconds: float | None = None
+    # Failure policy for outgoing calls: attempts, backoff, per-call
+    # deadline. The default is one attempt and no deadline — identical
+    # behaviour to a stack without the reliability layer. Retries are
+    # at-most-once safe: every call carries an ID the server's reply
+    # cache deduplicates.
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    # Per-address circuit breaking for outgoing calls (None = disabled).
+    breaker: CircuitBreakerPolicy | None = None
+    # Bound on the server-side reply cache backing at-most-once dedup
+    # (entries, LRU-evicted). 0 disables caching — callers retrying
+    # against such an endpoint fall back to at-least-once semantics.
+    reply_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.profile not in _VALID_PROFILES:
@@ -69,6 +87,21 @@ class NRMIConfig:
         if self.policy not in _VALID_POLICIES:
             raise ValueError(
                 f"policy must be one of {_VALID_POLICIES}, got {self.policy!r}"
+            )
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if self.breaker is not None and not isinstance(
+            self.breaker, CircuitBreakerPolicy
+        ):
+            raise ValueError(
+                "breaker must be a CircuitBreakerPolicy or None, got "
+                f"{type(self.breaker).__name__}"
+            )
+        if self.reply_cache_size < 0:
+            raise ValueError(
+                f"reply_cache_size must be >= 0, got {self.reply_cache_size}"
             )
         if self.implementation == "optimized" and self.profile == "legacy":
             # The paper's optimized NRMI exists only on JDK 1.4; mirror that

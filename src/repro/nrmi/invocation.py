@@ -48,8 +48,10 @@ from repro.rmi.protocol import (
     ok_response,
     policy_from_wire,
     policy_wire_id,
+    set_attempt,
     split_response,
 )
+from repro.transport.reliability import call_with_retry
 from repro.rmi.remote_ref import RemoteDescriptor, is_opaque_remote
 from repro.serde.accessors import FieldAccessor
 from repro.serde.linear_map import LinearMap
@@ -187,6 +189,10 @@ def prepare_call(
             args_payload=args_payload,
             ship_map=ship_map and policy_name != "none",
             kwarg_names=kwarg_names,
+            # Every call gets an at-most-once identity: should any layer
+            # (retry, a duplicated frame) deliver this request twice, the
+            # server's reply cache collapses it to one execution.
+            call_id=endpoint.next_call_id(),
         ),
         buffer=envelope_buffer,
     )
@@ -257,6 +263,13 @@ def client_call(
     Keyword arguments travel as trailing named roots; their passing modes
     resolve from their types exactly like positional arguments.
 
+    Transport failures are handled per the endpoint's
+    :class:`~repro.transport.reliability.RetryPolicy`: transient errors
+    are retried with exponential backoff (the request's call ID lets the
+    server deduplicate an attempt that already executed), the per-call
+    deadline bounds all attempts together, and a per-address circuit
+    breaker fails fast when the target keeps breaking.
+
     Raises :class:`RemoteInvocationError` if the remote method raised, and
     transport/marshalling errors for middleware failures.
     """
@@ -264,16 +277,68 @@ def client_call(
         endpoint, descriptor, method, args, policy_name=policy_name, kwargs=kwargs
     )
     channel = endpoint.channel_to(descriptor.address)
+    retry = endpoint.config.retry
+    breaker = endpoint.breaker_for(descriptor.address)
     try:
-        response = channel.request(prepared.request)
+        if breaker is None and not retry.enabled:
+            # Hot path: reliability machinery fully disabled.
+            response = channel.request(prepared.request)
+        else:
+            metrics = endpoint.metrics
+            frame = prepared.request
+            if not (
+                isinstance(frame, bytearray)
+                or (isinstance(frame, memoryview) and not frame.readonly)
+            ):
+                # Immutable frame (legacy no-pool path): one mutable copy
+                # so the attempt counter can be re-stamped across resends.
+                frame = bytearray(frame)
+
+            def send(attempt: int, remaining: float | None) -> bytes:
+                if attempt:
+                    # Pooled frames are writable views: the attempt byte
+                    # sits at a fixed offset, so resends re-stamp it
+                    # without re-marshalling the arguments.
+                    set_attempt(frame, attempt)
+                    metrics.counter("calls.retries").add()
+                return channel.request(frame, timeout=remaining)
+
+            def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+                logger.debug(
+                    "retrying %s on %s (attempt %d) after %s: backoff %.3fs",
+                    method,
+                    descriptor.address,
+                    attempt,
+                    exc,
+                    delay,
+                )
+
+            try:
+                response = call_with_retry(
+                    send,
+                    retry,
+                    rng=endpoint.retry_rng,
+                    breaker=breaker,
+                    on_retry=on_retry,
+                )
+            except Exception as exc:
+                from repro.errors import CircuitOpenError, DeadlineExceededError
+
+                if isinstance(exc, DeadlineExceededError):
+                    metrics.counter("calls.deadline_exceeded").add()
+                elif isinstance(exc, CircuitOpenError):
+                    metrics.counter("calls.breaker_rejected").add()
+                raise
     finally:
         prepared.release()
     return complete_call(endpoint, prepared, response)
 
 
-def handle_call(endpoint: Any, reader: BufferReader) -> bytes:
+def handle_call(
+    endpoint: Any, reader: BufferReader, call_id: int = 0, attempt: int = 0
+) -> bytes:
     """Server half: decode, retain, execute, build the restore response."""
-    request = decode_call(reader)
+    request = decode_call(reader, call_id=call_id, attempt=attempt)
     profile = profile_by_name(request.profile)
     externalizers = endpoint.externalizers()
 

@@ -13,8 +13,10 @@ exposes the same dispatcher over real sockets.
 from __future__ import annotations
 
 import contextlib
+import itertools
 import threading
 import uuid
+import zlib
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Iterator, Optional, Tuple
 
@@ -50,8 +52,10 @@ from repro.serde.reader import ObjectReader
 from repro.serde.registry import Externalizer
 from repro.serde.writer import ObjectWriter
 from repro.transport.base import Channel
+from repro.transport.reliability import BreakerRegistry, CircuitBreaker
 from repro.transport.resolver import ChannelResolver, global_resolver
 from repro.transport.tcp import TcpServer
+from repro.util.rng import DeterministicRandom
 from repro.util.buffers import BufferPool, BufferReader, BufferWriter
 from repro.util.metrics import MetricsRegistry
 from repro.errors import RemoteInvocationError
@@ -86,6 +90,17 @@ class Endpoint:
         self.buffer_pool = BufferPool()
         self.dispatcher = Dispatcher(self)
         self.name = name or f"ep-{uuid.uuid4().hex[:10]}"
+        # At-most-once identity: call IDs are unique per endpoint lifetime
+        # (random 32-bit session prefix + sequence) so a reply cached for
+        # one call can never answer a different one.
+        self._call_id_prefix = (uuid.uuid4().int & 0x7FFFFFFF) or 1
+        self._call_id_seq = itertools.count(1)
+        # Backoff jitter draws from a stream seeded by the endpoint name:
+        # deterministic under test, decorrelated across endpoints.
+        self.retry_rng = DeterministicRandom(zlib.crc32(self.name.encode("utf-8")))
+        self._breakers = BreakerRegistry(
+            self.config.breaker, on_transition=self._record_breaker_transition
+        )
         self.address = resolver.register_inproc(self.name, self.dispatcher.handle)
         self._tcp_server: Optional[TcpServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -174,6 +189,30 @@ class Endpoint:
 
     def channel_to(self, address: str) -> Channel:
         return self.resolver.resolve(address)
+
+    # ---------------------------------------------------------- reliability
+
+    def next_call_id(self) -> int:
+        """A fresh at-most-once call ID (non-zero, unique per endpoint)."""
+        return (self._call_id_prefix << 32) | next(self._call_id_seq)
+
+    def breaker_for(self, address: str) -> Optional[CircuitBreaker]:
+        """The circuit breaker guarding *address* (None when disabled)."""
+        return self._breakers.breaker_for(address)
+
+    def breaker_states(self) -> dict:
+        """Current breaker state per address (observability surface)."""
+        return self._breakers.states()
+
+    def _record_breaker_transition(self, address: str, old: str, new: str) -> None:
+        self.metrics.counter(f"breaker.to_{new}").add()
+        self.metrics.gauge(f"breaker.state.{address}").set(
+            {
+                CircuitBreaker.CLOSED: 0,
+                CircuitBreaker.OPEN: 1,
+                CircuitBreaker.HALF_OPEN: 2,
+            }[new]
+        )
 
     def invoke(
         self,

@@ -4,6 +4,14 @@ One dispatcher per endpoint: parses the operation byte and routes to the
 call pipeline, the remote-pointer field protocol, or the DGC. Application
 exceptions travel back as EXCEPTION responses; anything else that escapes
 is reported as a PROTOCOL_ERROR so a buggy peer cannot kill the server.
+
+At-most-once: every CALL frame leads with an attempt counter and a
+client-generated call ID. The dispatcher keeps a bounded
+:class:`~repro.transport.reliability.ReplyCache`; a request whose call ID
+already completed (a retry after a lost reply, or a frame duplicated in
+flight) is answered from the cache and the method does **not** run again.
+Cached EXCEPTION replies are served too — the first execution's outcome,
+whatever it was, is the call's one outcome.
 """
 
 from __future__ import annotations
@@ -23,7 +31,9 @@ from repro.rmi.protocol import (
     exception_response,
     ok_response,
     protocol_error_response,
+    read_call_header,
 )
+from repro.transport.reliability import ReplyCache
 from repro.util.buffers import BufferWriter
 from repro.util.buffers import BufferReader
 from repro.util.logging import get_logger
@@ -36,17 +46,47 @@ class Dispatcher:
 
     def __init__(self, endpoint: Any) -> None:
         self._endpoint = endpoint
+        cache_size = getattr(
+            getattr(endpoint, "config", None), "reply_cache_size", 256
+        )
+        self.reply_cache = ReplyCache(max_entries=cache_size)
+
+    def _handle_tracked_call(self, reader: BufferReader) -> bytes:
+        """Serve one CALL with at-most-once dedup on its call ID."""
+        # Imported here: the invocation pipeline sits above the RMI
+        # substrate, so a module-level import would be cyclic.
+        from repro.nrmi.invocation import handle_call
+
+        call_id, attempt = read_call_header(reader)
+        metrics = self._endpoint.metrics
+        if call_id:
+            cached = self.reply_cache.get(call_id)
+            if cached is not None:
+                metrics.counter("reply_cache.hits").add()
+                logger.debug(
+                    "serving call %d (attempt %d) from the reply cache",
+                    call_id,
+                    attempt,
+                )
+                return cached
+        if attempt:
+            metrics.counter("calls.retried_executions").add()
+        response = handle_call(
+            self._endpoint, reader, call_id=call_id, attempt=attempt
+        )
+        if call_id:
+            # bytes() also flattens any buffer the pipeline handed back,
+            # so the cache never pins a pooled buffer.
+            self.reply_cache.put(call_id, bytes(response))
+            metrics.counter("reply_cache.stores").add()
+        return response
 
     def handle(self, request: bytes) -> bytes:
         try:
             reader = BufferReader(request)
             op = reader.read_u8()
             if op == Op.CALL:
-                # Imported here: the invocation pipeline sits above the RMI
-                # substrate, so a module-level import would be cyclic.
-                from repro.nrmi.invocation import handle_call
-
-                return handle_call(self._endpoint, reader)
+                return self._handle_tracked_call(reader)
             if op == Op.FIELD_GET:
                 return self._handle_field_get(reader)
             if op == Op.FIELD_SET:

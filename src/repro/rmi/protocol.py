@@ -16,6 +16,12 @@ and the single serde stream containing every argument (one handle table —
 cross-argument aliasing preserved). Responses are ``OK`` with an
 operation-specific payload, ``EXCEPTION`` with the remote error, or
 ``PROTOCOL_ERROR`` with a message.
+
+At-most-once header: every ``CALL`` leads with a one-byte attempt counter
+(at a **fixed offset** right after the op byte, so the retry layer can
+re-stamp it in place without re-marshalling the arguments) followed by a
+varint client-generated call ID. Call ID 0 means "not tracked" — the
+dispatcher's reply cache only deduplicates non-zero IDs.
 """
 
 from __future__ import annotations
@@ -93,6 +99,41 @@ class CallRequest:
     # entries of modes / args_payload roots are the keyword values, in
     # this order.
     kwarg_names: Tuple[str, ...] = ()
+    # At-most-once identity: a non-zero client-generated id keys the
+    # server's reply cache; attempt counts resends of the same id.
+    call_id: int = 0
+    attempt: int = 0
+
+
+#: Byte offset of the attempt counter inside an encoded CALL frame.
+ATTEMPT_OFFSET = 1
+
+
+def read_call_header(reader: BufferReader) -> Tuple[int, int]:
+    """Read ``(call_id, attempt)``; *reader* sits just past the op byte."""
+    attempt = reader.read_u8()
+    call_id = reader.read_uvarint()
+    return call_id, attempt
+
+
+def set_attempt(frame, attempt: int):
+    """Re-stamp the attempt counter of an encoded CALL frame in place.
+
+    Mutable frames (``bytearray`` or a writable ``memoryview`` over a
+    pooled encode buffer) are patched without copying; immutable
+    ``bytes`` get one copy. Returns the (possibly new) frame.
+    """
+    if not 0 <= attempt <= 255:
+        raise WireFormatError(f"attempt counter out of range: {attempt}")
+    if isinstance(frame, memoryview) and not frame.readonly:
+        frame[ATTEMPT_OFFSET] = attempt
+        return frame
+    if isinstance(frame, bytearray):
+        frame[ATTEMPT_OFFSET] = attempt
+        return frame
+    patched = bytearray(frame)
+    patched[ATTEMPT_OFFSET] = attempt
+    return patched
 
 
 def encode_call(request: CallRequest, buffer=None):
@@ -106,6 +147,10 @@ def encode_call(request: CallRequest, buffer=None):
     """
     writer = BufferWriter(buffer)
     writer.write_u8(Op.CALL)
+    if not 0 <= request.attempt <= 255:
+        raise WireFormatError(f"attempt counter out of range: {request.attempt}")
+    writer.write_u8(request.attempt)
+    writer.write_uvarint(request.call_id)
     writer.write_uvarint(request.object_id)
     writer.write_str(request.method)
     writer.write_u8(_POLICY_TO_ID[request.policy])
@@ -121,7 +166,16 @@ def encode_call(request: CallRequest, buffer=None):
     return writer.view() if buffer is not None else writer.getvalue()
 
 
-def decode_call(reader: BufferReader) -> CallRequest:
+def decode_call(
+    reader: BufferReader, call_id: int = 0, attempt: int = 0
+) -> CallRequest:
+    """Decode a CALL body; *reader* sits just past the at-most-once header.
+
+    The dispatcher consumes the header itself (via
+    :func:`read_call_header`) before deciding whether to serve the call
+    from its reply cache; pass the values through so the decoded request
+    round-trips.
+    """
     object_id = reader.read_uvarint()
     method = reader.read_str()
     policy_id = reader.read_u8()
@@ -156,6 +210,8 @@ def decode_call(reader: BufferReader) -> CallRequest:
         args_payload=args_payload,
         ship_map=ship_map,
         kwarg_names=kwarg_names,
+        call_id=call_id,
+        attempt=attempt,
     )
 
 

@@ -12,12 +12,20 @@ Three interchangeable channels behind one interface:
   in-process channel; it *accounts* simulated transfer time instead of
   sleeping, so benchmark runs are fast and reproducible.
 
-Addressing and channel caching live in :mod:`repro.transport.resolver`.
+Addressing and channel caching live in :mod:`repro.transport.resolver`;
+failure policy (retry/backoff, deadlines, circuit breaking, the reply
+cache behind at-most-once) in :mod:`repro.transport.reliability`.
 """
 
 from repro.transport.base import Channel, ChannelStats, RequestHandler
 from repro.transport.framing import read_frame, write_frame
 from repro.transport.inproc import InProcChannel
+from repro.transport.reliability import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    ReplyCache,
+    RetryPolicy,
+)
 from repro.transport.resolver import ChannelResolver, global_resolver
 from repro.transport.simnet import NetworkModel, SimulatedChannel
 from repro.transport.tcp import TcpChannel, TcpServer
@@ -35,4 +43,8 @@ __all__ = [
     "SimulatedChannel",
     "TcpChannel",
     "TcpServer",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "ReplyCache",
+    "RetryPolicy",
 ]

@@ -9,7 +9,7 @@ protocol, NRMI semantics) is transport-agnostic.
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from typing import Callable, Optional
 
 RequestHandler = Callable[[bytes], bytes]
 
@@ -53,12 +53,19 @@ class ChannelStats:
 
 
 class Channel:
-    """A synchronous request/response pipe to one remote endpoint."""
+    """A synchronous request/response pipe to one remote endpoint.
+
+    ``timeout`` is the caller's *remaining per-call deadline* in seconds;
+    a transport that can bound the exchange must raise
+    :class:`~repro.errors.DeadlineExceededError` when it fires. ``None``
+    means the transport's own default applies. Transports that cannot
+    block (in-process dispatch) may ignore it.
+    """
 
     def __init__(self) -> None:
         self.stats = ChannelStats()
 
-    def request(self, payload: bytes) -> bytes:
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
         raise NotImplementedError
 
     def close(self) -> None:

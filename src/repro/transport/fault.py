@@ -1,33 +1,71 @@
 """Fault-injecting channel wrapper for failure testing.
 
 Middleware must fail *cleanly*: a dropped request or response surfaces as
-:class:`~repro.errors.TransportError` at the caller, and — crucial for
+:class:`~repro.errors.RetryableError` at the caller, and — crucial for
 copy-restore — a failed call must leave the caller's heap untouched (the
 restore phase only runs on a successful reply). The test suite wraps
-channels in :class:`FaultInjectingChannel` to assert exactly that.
+channels in :class:`FaultInjectingChannel` to assert exactly that, and
+the chaos matrix drives every mode against the full invocation pipeline.
 
 Failure modes:
 
 * ``drop_request`` — the request never reaches the peer;
 * ``drop_response`` — the peer processed the request but the reply is
   lost (the classic at-most-once vs at-least-once hazard: the server-side
-  effect may have happened);
-* ``disconnect`` — the channel breaks permanently until ``heal()``.
+  effect has happened; only a call-ID reply cache makes a retry safe);
+* ``disconnect`` — the channel breaks permanently until ``heal()``;
+* ``delay`` — ``delay_seconds`` of injected latency; when the caller's
+  remaining deadline is smaller the exchange fails with
+  :class:`~repro.errors.DeadlineExceededError` *without sleeping*, so
+  deadline tests stay fast;
+* ``corrupt_response`` — the exchange completes but payload bytes are
+  flipped; the caller must surface a wire/unmarshal error with its heap
+  untouched;
+* ``duplicate_response`` — the request is delivered **twice** (a
+  duplicated frame in flight), so the peer sees the same call ID again;
+  with a reply cache the method still executes once.
+
+Failures trigger by seeded rate (``failure_rate``), by deterministic
+schedule (``fail_on_calls={3, 7}`` — 1-based indices of ``request``
+invocations), or on demand (``fail_next()``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from typing import Callable, Iterable, Optional
 
-from repro.errors import TransportError
+from repro.errors import DeadlineExceededError, RetryableError
 from repro.transport.base import Channel
 from repro.util.rng import DeterministicRandom
 
-FAILURE_MODES = ("drop_request", "drop_response", "disconnect")
+FAILURE_MODES = (
+    "drop_request",
+    "drop_response",
+    "disconnect",
+    "delay",
+    "corrupt_response",
+    "duplicate_response",
+)
+
+
+def corrupt_payload(payload: bytes) -> bytes:
+    """Flip bytes deterministically: the status byte and a middle byte.
+
+    Flipping the status byte guarantees the receiver rejects the frame
+    before *any* of it is interpreted (no partial restore); the middle
+    flip exercises deeper payload validation when tests corrupt response
+    bodies directly.
+    """
+    corrupted = bytearray(payload)
+    if corrupted:
+        corrupted[0] ^= 0xFF
+        corrupted[len(corrupted) // 2] ^= 0xFF
+    return bytes(corrupted)
 
 
 class FaultInjectingChannel(Channel):
-    """Wraps a channel, injecting seeded failures."""
+    """Wraps a channel, injecting seeded or scheduled failures."""
 
     def __init__(
         self,
@@ -35,6 +73,9 @@ class FaultInjectingChannel(Channel):
         failure_rate: float = 0.0,
         mode: str = "drop_request",
         seed: int = 0,
+        fail_on_calls: Optional[Iterable[int]] = None,
+        delay_seconds: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         super().__init__()
         if mode not in FAILURE_MODES:
@@ -43,15 +84,18 @@ class FaultInjectingChannel(Channel):
         self._mode = mode
         self._rate = failure_rate
         self._rng = DeterministicRandom(seed)
+        self._fail_on_calls = frozenset(fail_on_calls or ())
+        self._delay_seconds = delay_seconds
+        self._sleep = sleep
         self._disconnected = False
+        self._force_next = False
+        self.calls_seen = 0
         self.injected_failures = 0
         self.delivered = 0
 
     def fail_next(self) -> None:
-        """Force the next request to fail regardless of the rate."""
+        """Force the next request to fail regardless of rate or schedule."""
         self._force_next = True
-
-    _force_next = False
 
     def heal(self) -> None:
         """Recover from a ``disconnect`` failure."""
@@ -61,21 +105,54 @@ class FaultInjectingChannel(Channel):
         if self._force_next:
             self._force_next = False
             return True
+        if self.calls_seen in self._fail_on_calls:
+            return True
         return self._rng.chance(self._rate)
 
-    def request(self, payload: bytes) -> bytes:
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
         if self._disconnected:
-            raise TransportError("channel disconnected (injected)")
+            raise RetryableError("channel disconnected (injected)")
+        self.calls_seen += 1
         if self._should_fail():
             self.injected_failures += 1
-            if self._mode == "drop_request":
-                raise TransportError("request dropped (injected)")
-            if self._mode == "drop_response":
-                self._inner.request(payload)  # the peer DID process it
-                raise TransportError("response dropped (injected)")
+            return self._inject(payload, timeout)
+        response = self._inner.request(payload, timeout=timeout)
+        self.delivered += 1
+        self.stats.record(sent=len(payload), received=len(response))
+        return response
+
+    def _inject(self, payload: bytes, timeout: Optional[float]) -> bytes:
+        mode = self._mode
+        if mode == "drop_request":
+            raise RetryableError("request dropped (injected)")
+        if mode == "drop_response":
+            self._inner.request(payload, timeout=timeout)  # the peer DID process it
+            raise RetryableError("response dropped (injected)")
+        if mode == "disconnect":
             self._disconnected = True
-            raise TransportError("channel disconnected (injected)")
-        response = self._inner.request(payload)
+            raise RetryableError("channel disconnected (injected)")
+        if mode == "delay":
+            if timeout is not None and self._delay_seconds >= timeout:
+                # The injected latency outlives the caller's deadline:
+                # fail exactly as the framing layer's socket timer would,
+                # without actually burning wall-clock time.
+                raise DeadlineExceededError(
+                    f"injected {self._delay_seconds}s delay exceeds "
+                    f"remaining deadline {timeout:.3f}s"
+                )
+            self._sleep(self._delay_seconds)
+            response = self._inner.request(payload, timeout=timeout)
+            self.delivered += 1
+            self.stats.record(sent=len(payload), received=len(response))
+            return response
+        if mode == "corrupt_response":
+            response = self._inner.request(payload, timeout=timeout)
+            return corrupt_payload(response)
+        # duplicate_response: the frame was duplicated in flight — the
+        # peer processes the request twice; the caller reads the second
+        # reply. Without server-side dedup this executes the method twice.
+        self._inner.request(payload, timeout=timeout)
+        response = self._inner.request(payload, timeout=timeout)
         self.delivered += 1
         self.stats.record(sent=len(payload), received=len(response))
         return response

@@ -9,14 +9,22 @@ payload is never joined with its header into a fresh ``bytes`` object —
 callers can pass a ``memoryview`` over a pooled encode buffer straight
 through. The receive path reads with ``recv_into`` into one preallocated
 ``bytearray`` instead of accumulating ``recv`` chunks and joining them.
+
+Failure classification: a connection that breaks mid-exchange raises
+:class:`~repro.errors.RetryableError` (the retry layer may resend with a
+call ID attached), while a socket *timeout* raises
+:class:`~repro.errors.DeadlineExceededError` — when a caller passes
+``timeout=`` here it is the remaining per-call deadline, and a timer
+firing means the deadline budget is gone, not that a retry would help.
 """
 
 from __future__ import annotations
 
 import socket
 import struct
+from typing import Optional
 
-from repro.errors import TransportError
+from repro.errors import DeadlineExceededError, RetryableError, TransportError
 
 _LEN = struct.Struct(">I")
 _HEADER_SIZE = _LEN.size
@@ -28,15 +36,28 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 _HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
 
-def write_frame(sock: socket.socket, payload) -> None:
+def _apply_timeout(sock: socket.socket, timeout: Optional[float]) -> None:
+    if timeout is not None:
+        # A non-positive remaining budget must still fail as a deadline,
+        # not block forever; the smallest positive timeout approximates
+        # "already expired" without a special code path.
+        sock.settimeout(max(timeout, 1e-6))
+
+
+def write_frame(
+    sock: socket.socket, payload, timeout: Optional[float] = None
+) -> None:
     """Send one frame. *payload* may be ``bytes``, ``bytearray``, or a
-    ``memoryview`` — it is transmitted without being copied or joined."""
+    ``memoryview`` — it is transmitted without being copied or joined.
+    *timeout* (seconds) bounds the send; it is the caller's remaining
+    per-call deadline."""
     length = len(payload)
     if length > MAX_FRAME_BYTES:
         raise TransportError(
             f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
         )
     header = _LEN.pack(length)
+    _apply_timeout(sock, timeout)
     try:
         if _HAS_SENDMSG:
             sent = sock.sendmsg((header, payload))
@@ -50,8 +71,10 @@ def write_frame(sock: socket.socket, payload) -> None:
                 sock.sendall(memoryview(payload)[sent - _HEADER_SIZE :])
         else:  # pragma: no cover - platforms without sendmsg
             sock.sendall(header + bytes(payload))
+    except socket.timeout as exc:
+        raise DeadlineExceededError(f"send timed out: {exc}") from exc
     except OSError as exc:
-        raise TransportError(f"send failed: {exc}") from exc
+        raise RetryableError(f"send failed: {exc}") from exc
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytearray:
@@ -61,15 +84,18 @@ def _recv_exact(sock: socket.socket, count: int) -> bytearray:
     while pos < count:
         try:
             received = sock.recv_into(view[pos:], count - pos)
+        except socket.timeout as exc:
+            raise DeadlineExceededError(f"recv timed out: {exc}") from exc
         except OSError as exc:
-            raise TransportError(f"recv failed: {exc}") from exc
+            raise RetryableError(f"recv failed: {exc}") from exc
         if not received:
-            raise TransportError("connection closed mid-frame")
+            raise RetryableError("connection closed mid-frame")
         pos += received
     return buffer
 
 
-def read_frame(sock: socket.socket) -> bytearray:
+def read_frame(sock: socket.socket, timeout: Optional[float] = None) -> bytearray:
+    _apply_timeout(sock, timeout)
     header = _recv_exact(sock, _HEADER_SIZE)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:

@@ -9,6 +9,8 @@ spirit while remaining deterministic.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import TransportError
 from repro.transport.base import Channel, RequestHandler
 
@@ -21,7 +23,9 @@ class InProcChannel(Channel):
         self._handler = handler
         self._closed = False
 
-    def request(self, payload: bytes) -> bytes:
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
+        # In-process dispatch cannot block on a wire, so the deadline
+        # budget (timeout) has nothing to bound here and is ignored.
         if self._closed:
             raise TransportError("channel is closed")
         response = self._handler(payload)

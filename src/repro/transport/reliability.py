@@ -1,0 +1,382 @@
+"""Failure policy for remote calls: retry, deadlines, breakers, dedup.
+
+RAFDA and the transmission-policy line of work argue that *failure policy
+belongs in the middleware*, separated from both application logic and the
+raw transport. This module is that layer for the reproduction:
+
+:class:`RetryPolicy`
+    How many attempts a call gets, how long the exponential backoff
+    between them is (with deterministic jitter), and the per-call
+    deadline shared by all attempts.
+
+:class:`CircuitBreaker` / :class:`BreakerRegistry`
+    A per-address closed → open → half-open state machine that fails
+    fast when an address keeps breaking, instead of adding retry load
+    to a struggling peer.
+
+:class:`ReplyCache`
+    The server half of at-most-once: a bounded LRU of encoded replies
+    keyed by client-generated call ID, so a retried request whose first
+    attempt already executed returns the original reply instead of
+    re-running the method.
+
+:func:`call_with_retry`
+    The driver: runs a send callable under a policy, a breaker, and a
+    clock. It is transport- and protocol-agnostic — the caller supplies
+    a closure that stamps the attempt counter and enforces the
+    remaining deadline as a socket timeout.
+
+Everything here is deterministic under test: jitter draws from
+:class:`~repro.util.rng.DeterministicRandom`, time comes from an
+injectable :class:`~repro.util.clock.Clock`, and sleeping is a
+parameter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryableError,
+    is_retryable,
+)
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.rng import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget, backoff shape, and deadline for one remote call.
+
+    ``max_attempts``
+        Total tries including the first; 1 means "never resend" (the
+        default, and the only safe setting without call-ID dedup on the
+        server). Capped at 255 — the attempt counter is one wire byte.
+    ``base_delay`` / ``multiplier`` / ``max_delay``
+        Exponential backoff: attempt *n* (1-based retry index) waits
+        ``min(base_delay * multiplier**(n-1), max_delay)`` seconds,
+        scaled by jitter.
+    ``jitter``
+        Fraction of the delay randomized symmetrically: 0.5 means each
+        wait is uniform in [0.5·d, 1.5·d]. Jitter decorrelates retry
+        storms from many clients.
+    ``deadline``
+        Wall-clock budget in seconds for the *whole call* — every
+        attempt, every backoff sleep. ``None`` disables deadline
+        enforcement.
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_attempts <= 255:
+            raise ValueError(
+                f"max_attempts must be in [1, 255], got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+    def backoff_delay(self, retry_index: int, rng: DeterministicRandom) -> float:
+        """Seconds to wait before retry number *retry_index* (1-based)."""
+        if retry_index < 1:
+            raise ValueError("retry_index is 1-based")
+        delay = min(
+            self.base_delay * self.multiplier ** (retry_index - 1), self.max_delay
+        )
+        if self.jitter:
+            delay *= 1.0 - self.jitter + 2.0 * self.jitter * rng.random()
+        return delay
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this policy changes anything over a bare send."""
+        return self.max_attempts > 1 or self.deadline is not None
+
+
+#: The no-op policy: one attempt, no deadline — exactly the pre-retry
+#: behaviour, so it is the configuration default.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """When a breaker opens and how long it stays open.
+
+    ``failure_threshold``
+        Consecutive transport failures that trip the breaker.
+    ``reset_timeout``
+        Seconds the breaker stays open before allowing one half-open
+        probe.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine for one address.
+
+    * **closed**: calls flow; consecutive failures are counted.
+    * **open**: calls fail fast with :class:`CircuitOpenError` until
+      ``reset_timeout`` elapses.
+    * **half-open**: one probe call is allowed through; success closes
+      the breaker, failure re-opens it (and restarts the timeout).
+
+    Thread-safe; ``on_transition(old, new)`` (if given) fires under the
+    lock so observers see transitions in order.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        address: str,
+        policy: CircuitBreakerPolicy,
+        clock: Clock = SYSTEM_CLOCK,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.address = address
+        self.policy = policy
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _transition(self, new_state: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if self._on_transition is not None:
+            self._on_transition(old_state, new_state)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock.now() - self._opened_at >= self.policy.reset_timeout
+        ):
+            self._transition(self.HALF_OPEN)
+
+    def before_call(self) -> None:
+        """Gate one call attempt; raises :class:`CircuitOpenError` when open."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.OPEN:
+                retry_after = max(
+                    0.0,
+                    self.policy.reset_timeout
+                    - (self._clock.now() - self._opened_at),
+                )
+                raise CircuitOpenError(self.address, retry_after)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.HALF_OPEN:
+                # The probe failed: straight back to open, fresh timeout.
+                self._opened_at = self._clock.now()
+                self._transition(self.OPEN)
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.policy.failure_threshold:
+                self._opened_at = self._clock.now()
+                self._transition(self.OPEN)
+
+
+class BreakerRegistry:
+    """Lazily creates one :class:`CircuitBreaker` per address."""
+
+    def __init__(
+        self,
+        policy: Optional[CircuitBreakerPolicy],
+        clock: Clock = SYSTEM_CLOCK,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ) -> None:
+        self._policy = policy
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, address: str) -> Optional[CircuitBreaker]:
+        """The breaker guarding *address*; None when breakers are disabled."""
+        if self._policy is None:
+            return None
+        breaker = self._breakers.get(address)
+        if breaker is not None:
+            return breaker
+        with self._lock:
+            breaker = self._breakers.get(address)
+            if breaker is None:
+                callback = None
+                if self._on_transition is not None:
+                    outer = self._on_transition
+
+                    def callback(old: str, new: str, _address: str = address) -> None:
+                        outer(_address, old, new)
+
+                breaker = CircuitBreaker(
+                    address, self._policy, clock=self._clock, on_transition=callback
+                )
+                self._breakers[address] = breaker
+            return breaker
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {address: b.state for address, b in breakers.items()}
+
+
+class ReplyCache:
+    """Bounded LRU of encoded replies keyed by call ID (server side).
+
+    This is what upgrades a blind resend into at-most-once: when a
+    retried request's call ID is present, the dispatcher returns the
+    cached reply and the method does **not** run again — the caller's
+    restore phase then applies exactly one execution's mutations.
+
+    The cache is an LRU over *completed* calls only; a retry racing the
+    first attempt's execution is not deduplicated (the synchronous
+    client never does this — it retries only after the previous attempt
+    failed). ``max_entries=0`` disables caching entirely.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self.hits = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, call_id: int) -> Optional[bytes]:
+        with self._lock:
+            reply = self._entries.get(call_id)
+            if reply is None:
+                return None
+            self._entries.move_to_end(call_id)
+            self.hits += 1
+            return reply
+
+    def put(self, call_id: int, reply: bytes) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[call_id] = reply
+            self._entries.move_to_end(call_id)
+            self.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def call_with_retry(
+    send: Callable[[int, Optional[float]], bytes],
+    policy: RetryPolicy,
+    rng: DeterministicRandom,
+    breaker: Optional[CircuitBreaker] = None,
+    clock: Clock = SYSTEM_CLOCK,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> bytes:
+    """Run ``send(attempt, remaining_deadline)`` under *policy*.
+
+    *send* receives the 0-based attempt number and the seconds left in
+    the call's deadline (None when no deadline) — it must thread that
+    budget down as a socket timeout. Retries happen only on
+    :class:`RetryableError`; :class:`DeadlineExceededError` and
+    :class:`CircuitOpenError` are terminal, as is any non-transport
+    exception. *on_retry* (if given) observes ``(attempt, error,
+    delay)`` before each backoff sleep.
+    """
+    deadline_at = (
+        None if policy.deadline is None else clock.now() + policy.deadline
+    )
+    attempt = 0
+    while True:
+        if breaker is not None:
+            breaker.before_call()
+        remaining = None
+        if deadline_at is not None:
+            remaining = deadline_at - clock.now()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"call deadline of {policy.deadline}s exhausted "
+                    f"after {attempt} attempt(s)"
+                )
+        try:
+            response = send(attempt, remaining)
+        except DeadlineExceededError:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if isinstance(exc, RetryableError) and breaker is not None:
+                breaker.record_failure()
+            if not is_retryable(exc):
+                raise
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise
+            if deadline_at is not None and clock.now() >= deadline_at:
+                raise DeadlineExceededError(
+                    f"call deadline of {policy.deadline}s exhausted "
+                    f"after {attempt} attempt(s)"
+                ) from exc
+            delay = policy.backoff_delay(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return response

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.transport.base import Channel
 
@@ -65,8 +66,8 @@ class SimulatedChannel(Channel):
         with self._lock:
             self._simulated_seconds = 0.0
 
-    def request(self, payload: bytes) -> bytes:
-        response = self._inner.request(payload)
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
+        response = self._inner.request(payload, timeout=timeout)
         cost = self.model.transfer_seconds(len(payload)) + self.model.transfer_seconds(
             len(response)
         )

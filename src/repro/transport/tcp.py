@@ -2,17 +2,26 @@
 
 The server accepts connections and serves framed request/response pairs,
 one thread per connection (the model of classic RMI's connection handling).
+Connection handles are reaped as peers disconnect, and ``stop()`` drains
+in-flight requests within a bounded grace period before force-closing
+stragglers.
+
 The client channel keeps one connection and serializes requests over it
-with a lock; callers needing parallel requests open extra channels.
+with a lock; callers needing parallel requests open extra channels. The
+channel never resends on its own: a broken exchange surfaces as
+:class:`~repro.errors.RetryableError` and only the retry layer
+(:mod:`repro.transport.reliability`), which stamps a call ID the server
+can deduplicate, may send the same request twice.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Optional
 
-from repro.errors import TransportError
+from repro.errors import RetryableError, TransportError
 from repro.transport.base import Channel, RequestHandler
 from repro.transport.framing import read_frame, write_frame
 
@@ -25,6 +34,9 @@ class TcpServer:
         with TcpServer(handler) as server:
             channel = TcpChannel(server.host, server.port)
     """
+
+    #: Default seconds ``stop()`` waits for in-flight requests to drain.
+    STOP_GRACE_SECONDS = 2.0
 
     def __init__(
         self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0
@@ -39,12 +51,20 @@ class TcpServer:
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"tcp-accept-{self.port}", daemon=True
         )
-        self._conn_threads: list[threading.Thread] = []
+        self._conn_lock = threading.Lock()
+        self._conn_threads: set[threading.Thread] = set()
+        self._conn_socks: set[socket.socket] = set()
         self._accept_thread.start()
 
     @property
     def address(self) -> str:
         return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def live_connections(self) -> int:
+        """Connections currently being served (reaped handles excluded)."""
+        with self._conn_lock:
+            return len(self._conn_threads)
 
     def _accept_loop(self) -> None:
         while not self._stopping.is_set():
@@ -58,35 +78,75 @@ class TcpServer:
                 name=f"tcp-conn-{self.port}",
                 daemon=True,
             )
-            self._conn_threads.append(thread)
+            with self._conn_lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    return
+                self._conn_threads.add(thread)
+                self._conn_socks.add(conn)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            while not self._stopping.is_set():
-                try:
-                    request = read_frame(conn)
-                except TransportError:
-                    return  # peer closed or connection broke
-                try:
-                    response = self._handler(request)
-                except Exception:  # noqa: BLE001 - handler must not kill server
-                    # The RMI dispatcher encodes application errors itself;
-                    # anything escaping to here is a protocol bug, and the
-                    # only safe move is dropping the connection.
-                    return
-                try:
-                    write_frame(conn, response)
-                except TransportError:
-                    return
+        try:
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                while not self._stopping.is_set():
+                    try:
+                        request = read_frame(conn)
+                    except TransportError:
+                        return  # peer closed or connection broke
+                    try:
+                        response = self._handler(request)
+                    except Exception:  # noqa: BLE001 - handler must not kill server
+                        # The RMI dispatcher encodes application errors itself;
+                        # anything escaping to here is a protocol bug, and the
+                        # only safe move is dropping the connection.
+                        return
+                    try:
+                        write_frame(conn, response)
+                    except TransportError:
+                        return
+        finally:
+            # Reap this handle so the sets track only live connections.
+            with self._conn_lock:
+                self._conn_threads.discard(threading.current_thread())
+                self._conn_socks.discard(conn)
 
-    def stop(self) -> None:
+    def stop(self, grace: Optional[float] = None) -> None:
+        """Stop accepting, drain in-flight requests, then force-close.
+
+        Connection threads get *grace* seconds (default
+        :attr:`STOP_GRACE_SECONDS`) to finish the request they are
+        serving; any connection still open afterwards is closed out from
+        under its thread, which unblocks its pending ``read_frame``.
+        """
+        if grace is None:
+            grace = self.STOP_GRACE_SECONDS
         self._stopping.set()
         try:
             self._sock.close()
         except OSError:
             pass
+        self._accept_thread.join(timeout=grace)
+        deadline = time.monotonic() + grace
+        with self._conn_lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
+        with self._conn_lock:
+            stragglers = list(self._conn_socks)
+        for conn in stragglers:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            thread.join(timeout=0.1)
 
     def __enter__(self) -> "TcpServer":
         return self
@@ -106,33 +166,56 @@ class TcpChannel(Channel):
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
 
-    def _connect(self) -> socket.socket:
+    def _connect(self, timeout: Optional[float] = None) -> socket.socket:
         if self._sock is None:
+            connect_timeout = timeout if timeout is not None else self._timeout
             try:
                 sock = socket.create_connection(
-                    (self.host, self.port), timeout=self._timeout
+                    (self.host, self.port), timeout=connect_timeout
                 )
+            except socket.timeout as exc:
+                from repro.errors import DeadlineExceededError
+
+                raise DeadlineExceededError(
+                    f"connect to {self.host}:{self.port} timed out: {exc}"
+                ) from exc
             except OSError as exc:
-                raise TransportError(
+                raise RetryableError(
                     f"cannot connect to {self.host}:{self.port}: {exc}"
                 ) from exc
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # create_connection leaves the connect timeout on the socket;
+            # per-request deadlines are applied by the framing layer.
+            sock.settimeout(self._timeout)
             self._sock = sock
         return self._sock
 
-    def request(self, payload: bytes) -> bytes:
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
+        """One request/response exchange; *never* resends on failure.
+
+        A broken pooled connection surfaces as
+        :class:`~repro.errors.RetryableError` — the connection is dropped
+        so the next attempt reconnects, but resending is the retry
+        layer's decision (it attaches a call ID so the server can
+        deduplicate). A blind resend here would silently run
+        non-idempotent methods twice.
+        """
         with self._lock:
-            sock = self._connect()
+            sock = self._connect(timeout)
             try:
-                write_frame(sock, payload)
-                response = read_frame(sock)
+                write_frame(sock, payload, timeout=timeout)
+                response = read_frame(sock, timeout=timeout)
             except TransportError:
-                # One reconnect attempt: the pooled connection may have
-                # idled out; a fresh socket retries the request exactly once.
                 self._drop_connection()
-                sock = self._connect()
-                write_frame(sock, payload)
-                response = read_frame(sock)
+                raise
+            finally:
+                if timeout is not None and self._sock is not None:
+                    # Restore the pooled connection's default timeout so a
+                    # later deadline-free request does not inherit ours.
+                    try:
+                        self._sock.settimeout(self._timeout)
+                    except OSError:
+                        pass
             self.stats.record(sent=len(payload), received=len(response))
             return response
 

@@ -66,11 +66,39 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class Gauge:
+    """A thread-safe last-value metric (e.g. a breaker's current state).
+
+    Unlike :class:`Counter`, a gauge is set, not accumulated; reads and
+    writes are rare (state transitions), so a plain lock is fine.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
 class MetricsRegistry:
-    """A named collection of counters, created on first use."""
+    """A named collection of counters and gauges, created on first use."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -84,14 +112,30 @@ class MetricsRegistry:
                 self._counters[name] = counter
             return counter
 
-    def snapshot(self) -> Dict[str, int]:
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge
         with self._lock:
-            return {name: c.value for name, c in self._counters.items()}
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = Gauge(name)
+                self._gauges[name] = gauge
+            return gauge
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters and gauges flattened into one name → value view."""
+        with self._lock:
+            values = {name: c.value for name, c in self._counters.items()}
+            values.update({name: g.value for name, g in self._gauges.items()})
+            return values
 
     def reset_all(self) -> None:
         with self._lock:
             for counter in self._counters.values():
                 counter.reset()
+            for gauge in self._gauges.values():
+                gauge.set(0)
 
     def __iter__(self) -> Iterator[Tuple[str, int]]:
         return iter(self.snapshot().items())

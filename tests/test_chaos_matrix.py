@@ -1,0 +1,307 @@
+"""Chaos matrix: faults injected at every pipeline stage, plus the
+at-most-once and deadline acceptance scenarios.
+
+Each scenario checks the two robustness invariants:
+
+* **failure atomicity** — a call that fails at any stage (marshal, send,
+  execute, reply, restore) leaves the caller's heap bit-identical to the
+  pre-call snapshot (restore is reply-driven, so there is nothing to
+  roll back);
+* **at-most-once** — with retry enabled, a call whose first attempt
+  executed but lost its reply is answered from the server's reply cache
+  on retransmission instead of re-running the method.
+"""
+
+import time
+
+import pytest
+
+from repro.core.markers import Remote
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RemoteInvocationError,
+    SerializationError,
+    TransportError,
+    UnmarshalError,
+)
+from repro.nrmi.config import NRMIConfig
+from repro.transport.fault import FaultInjectingChannel
+from repro.transport.reliability import CircuitBreakerPolicy, RetryPolicy
+
+from tests.model_helpers import Box, Node, heap_fingerprint
+
+pytestmark = pytest.mark.chaos
+
+
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.001, jitter=0.0)
+
+
+class LedgerService(Remote):
+    """Non-idempotent mutations: re-execution is observable."""
+
+    def __init__(self):
+        self.executions = 0
+
+    def push(self, box, value):
+        self.executions += 1
+        box.payload.append(value)
+        return list(box.payload)
+
+    def boom(self, box):
+        self.executions += 1
+        box.payload.append("never-visible")
+        raise ValueError("application failure")
+
+
+class Unregistered:
+    """Not a marker subclass and never registered: unmarshalable."""
+
+
+def make_heap():
+    """A small graph with aliasing (the Node is reachable twice)."""
+    shared = Node("shared")
+    box = Box([1, shared])
+    box.extra = shared
+    return box
+
+
+def local_baseline(method, *args):
+    """Run the same mutation locally and return the resulting fingerprint."""
+    box = make_heap()
+    service = LedgerService()
+    getattr(service, method)(box, *args)
+    return heap_fingerprint([box])
+
+
+class ChaosPair:
+    """An endpoint pair with a fault-injecting channel between them."""
+
+    def __init__(self, make_endpoint_pair, client_config=None, **fault_kwargs):
+        self.pair = make_endpoint_pair(client_config=client_config)
+        holder = {}
+
+        def wrap(inner):
+            holder["channel"] = FaultInjectingChannel(inner, **fault_kwargs)
+            return holder["channel"]
+
+        self.pair.resolver.set_wrapper(self.pair.server.address, wrap)
+        self.ledger = LedgerService()
+        # Call 1 through the fault channel is this registry lookup;
+        # fail_on_calls schedules count from there.
+        self.service = self.pair.serve(self.ledger, name="ledger")
+        self.fault = holder["channel"]
+
+    @property
+    def server(self):
+        return self.pair.server
+
+    @property
+    def client(self):
+        return self.pair.client
+
+
+class TestFaultAtEveryStage:
+    """The property test: one fault per pipeline stage, same invariant."""
+
+    STAGES = [
+        # (stage, fault mode or None, fault schedule, expected exceptions).
+        # Lookup is call 1 through the fault channel, the first push is
+        # call 2. Transient modes must outlast all four retry attempts
+        # (calls 2-5) to surface; corrupt replies are not retried.
+        ("marshal", None, set(), SerializationError),
+        ("send", "drop_request", {2, 3, 4, 5}, TransportError),
+        ("execute", None, set(), RemoteInvocationError),
+        ("reply", "drop_response", {2, 3, 4, 5}, TransportError),
+        (
+            "restore",
+            "corrupt_response",
+            {2},
+            (UnmarshalError, SerializationError),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "stage,mode,schedule,expected", STAGES, ids=[s[0] for s in STAGES]
+    )
+    def test_heap_atomic_on_failure_then_converges(
+        self, make_endpoint_pair, stage, mode, schedule, expected
+    ):
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            client_config=NRMIConfig(retry=FAST_RETRY),
+            mode=mode or "drop_request",
+            fail_on_calls=schedule,
+        )
+        box = make_heap()
+        snapshot = heap_fingerprint([box])
+
+        with pytest.raises(expected):
+            if stage == "marshal":
+                chaos.service.push(box, Unregistered())
+            elif stage == "execute":
+                chaos.service.boom(box)
+            else:
+                chaos.service.push(box, 99)
+
+        # Invariant 1: the failed call left the heap bit-identical.
+        assert heap_fingerprint([box]) == snapshot
+
+        # Invariant 2: once the fault clears, the same call converges to
+        # exactly the state a local call produces.
+        chaos.service.push(box, 99)
+        assert heap_fingerprint([box]) == local_baseline("push", 99)
+
+    def test_transient_faults_retry_to_local_equivalence(
+        self, make_endpoint_pair
+    ):
+        """Randomized schedule: a retry-enabled client driven through a
+        lossy channel ends every call in the local-oracle state."""
+        for seed in range(3):
+            for mode in ("drop_request", "drop_response"):
+                chaos = ChaosPair(
+                    make_endpoint_pair,
+                    client_config=NRMIConfig(retry=FAST_RETRY),
+                    mode=mode,
+                    failure_rate=0.3,
+                    seed=seed,
+                )
+                remote_box, oracle_box = Box([]), Box([])
+                oracle_service = LedgerService()
+                for value in range(12):
+                    for _ in range(20):  # bounded manual re-issue
+                        before = heap_fingerprint([remote_box])
+                        try:
+                            chaos.service.push(remote_box, value)
+                            break
+                        except TransportError:
+                            # Exhausted retries: heap must be untouched.
+                            assert heap_fingerprint([remote_box]) == before
+                    else:  # pragma: no cover - deterministic schedules pass
+                        pytest.fail(f"{mode} seed={seed} never succeeded")
+                    oracle_service.push(oracle_box, value)
+                assert heap_fingerprint([remote_box]) == heap_fingerprint(
+                    [oracle_box]
+                )
+                # Dropped replies execute server-side; the ledger may run
+                # more often than the oracle, but never fewer times.
+                assert chaos.ledger.executions >= oracle_service.executions
+
+
+class TestAtMostOnceAcceptance:
+    def test_lost_reply_retried_without_reexecution(self, make_endpoint_pair):
+        """ISSUE acceptance: drop_response + retry executes the mutation
+        exactly once; the retry is answered from the reply cache."""
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            client_config=NRMIConfig(retry=FAST_RETRY),
+            mode="drop_response",
+            fail_on_calls={2},  # first push attempt loses its reply
+        )
+        box = make_heap()
+        result = chaos.service.push(box, 42)
+
+        assert chaos.ledger.executions == 1  # executed exactly once
+        assert result[-1] == 42
+        assert heap_fingerprint([box]) == local_baseline("push", 42)
+        assert chaos.server.metrics.counter("reply_cache.hits").value >= 1
+        assert chaos.client.metrics.counter("calls.retries").value >= 1
+
+    def test_duplicate_response_deduplicated_by_server(
+        self, make_endpoint_pair
+    ):
+        """A duplicated request frame is absorbed by the reply cache: the
+        method still runs once and both deliveries get the same reply."""
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            mode="duplicate_response",
+            fail_on_calls={2},
+        )
+        box = make_heap()
+        result = chaos.service.push(box, 7)
+
+        assert chaos.ledger.executions == 1
+        assert result[-1] == 7
+        assert heap_fingerprint([box]) == local_baseline("push", 7)
+        assert chaos.server.metrics.counter("reply_cache.hits").value >= 1
+
+    def test_reply_cache_disabled_reexecutes(self, make_endpoint_pair):
+        """Control: with reply_cache_size=0 the duplicate frame re-runs
+        the method — demonstrating the hazard the cache closes."""
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            mode="duplicate_response",
+            fail_on_calls={2},
+        )
+        chaos.server.dispatcher.reply_cache.clear()
+        chaos.server.dispatcher.reply_cache.max_entries = 0
+        chaos.service.push(make_heap(), 7)
+        assert chaos.ledger.executions == 2
+
+
+class TestDeadlineAcceptance:
+    def test_deadline_bounds_the_call_and_preserves_heap(
+        self, make_endpoint_pair
+    ):
+        """ISSUE acceptance: a call exceeding its deadline raises
+        DeadlineExceededError within deadline + one backoff step, heap
+        untouched."""
+        deadline, base_delay = 0.2, 0.05
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            client_config=NRMIConfig(
+                retry=RetryPolicy(
+                    max_attempts=3,
+                    base_delay=base_delay,
+                    jitter=0.0,
+                    deadline=deadline,
+                )
+            ),
+            mode="delay",
+            delay_seconds=60.0,
+            fail_on_calls={2},
+        )
+        box = make_heap()
+        snapshot = heap_fingerprint([box])
+
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            chaos.service.push(box, 1)
+        elapsed = time.monotonic() - started
+
+        assert elapsed < deadline + base_delay
+        assert heap_fingerprint([box]) == snapshot
+        assert chaos.ledger.executions == 0  # request never delivered
+        assert (
+            chaos.client.metrics.counter("calls.deadline_exceeded").value == 1
+        )
+
+
+class TestBreakerIntegration:
+    def test_breaker_opens_after_persistent_failures(self, make_endpoint_pair):
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            client_config=NRMIConfig(
+                breaker=CircuitBreakerPolicy(
+                    failure_threshold=2, reset_timeout=300.0
+                )
+            ),
+            mode="disconnect",
+        )
+        address = chaos.server.address
+        chaos.fault.fail_next()
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                chaos.service.push(Box([]), 1)
+        assert chaos.client.breaker_states() == {address: "open"}
+
+        delivered_before = chaos.fault.calls_seen
+        with pytest.raises(CircuitOpenError):
+            chaos.service.push(Box([]), 1)
+        # Rejected before reaching the channel.
+        assert chaos.fault.calls_seen == delivered_before
+        assert chaos.client.metrics.counter("calls.breaker_rejected").value == 1
+        assert chaos.client.metrics.counter("breaker.to_open").value == 1
+        assert (
+            chaos.client.metrics.gauge(f"breaker.state.{address}").value == 1
+        )

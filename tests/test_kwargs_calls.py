@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.markers import Remote
 from repro.core.semantics import PassingMode
-from repro.rmi.protocol import CallRequest, decode_call, encode_call
+from repro.rmi.protocol import (
+    CallRequest,
+    decode_call,
+    encode_call,
+    read_call_header,
+)
 from repro.util.buffers import BufferReader
 
 from tests.model_helpers import Box, Node
@@ -34,15 +39,18 @@ class TestKwargProtocol:
             modes=(PassingMode.BY_VALUE, PassingMode.BY_COPY),
             args_payload=b"P",
             kwarg_names=("tag",),
+            call_id=42,
         )
         reader = BufferReader(encode_call(request))
         reader.read_u8()
-        assert decode_call(reader) == request
+        call_id, attempt = read_call_header(reader)
+        assert decode_call(reader, call_id=call_id, attempt=attempt) == request
 
     def test_no_kwargs_is_default(self):
         request = CallRequest(1, "m", "none", "modern", (), b"")
         reader = BufferReader(encode_call(request))
         reader.read_u8()
+        read_call_header(reader)
         assert decode_call(reader).kwarg_names == ()
 
 

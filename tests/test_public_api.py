@@ -52,6 +52,7 @@ PUBLIC_MODULES = [
     "repro.transport.fault",
     "repro.transport.framing",
     "repro.transport.inproc",
+    "repro.transport.reliability",
     "repro.transport.resolver",
     "repro.transport.simnet",
     "repro.transport.tcp",

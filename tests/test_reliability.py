@@ -1,0 +1,504 @@
+"""Unit tests for the failure-policy layer: retry, breakers, reply cache,
+TCP server lifecycle, and the extended fault-injection modes."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryableError,
+    TransportError,
+    is_retryable,
+)
+from repro.transport.fault import FaultInjectingChannel, corrupt_payload
+from repro.transport.inproc import InProcChannel
+from repro.transport.reliability import (
+    BreakerRegistry,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    ReplyCache,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.transport.tcp import TcpChannel, TcpServer
+from repro.util.clock import ManualClock
+from repro.util.rng import DeterministicRandom
+
+
+def echo(request: bytes) -> bytes:
+    return bytes(request)
+
+
+class TestErrorClassification:
+    def test_retryable_is_transport_error(self):
+        assert issubclass(RetryableError, TransportError)
+        assert issubclass(DeadlineExceededError, TransportError)
+        assert issubclass(CircuitOpenError, TransportError)
+
+    def test_is_retryable_split(self):
+        assert is_retryable(RetryableError("flaky"))
+        assert not is_retryable(TransportError("closed"))
+        assert not is_retryable(DeadlineExceededError("too slow"))
+        assert not is_retryable(CircuitOpenError("tcp://x", 1.0))
+        assert not is_retryable(ValueError("app bug"))
+
+
+class TestRetryPolicy:
+    def test_defaults_are_inert(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.deadline is None
+        assert not policy.enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=256)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=0.1,
+            multiplier=2.0,
+            max_delay=0.5,
+            jitter=0.0,
+        )
+        rng = DeterministicRandom(0)
+        delays = [policy.backoff_delay(i, rng) for i in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.5)
+        delays_a = [
+            policy.backoff_delay(1, DeterministicRandom(seed))
+            for seed in range(50)
+        ]
+        delays_b = [
+            policy.backoff_delay(1, DeterministicRandom(seed))
+            for seed in range(50)
+        ]
+        assert delays_a == delays_b  # same seeds, same jitter
+        for delay in delays_a:
+            assert 0.05 <= delay <= 0.15
+        assert len(set(delays_a)) > 1  # jitter actually varies
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, reset=10.0):
+        clock = ManualClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            "tcp://x",
+            CircuitBreakerPolicy(failure_threshold=threshold, reset_timeout=reset),
+            clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        return breaker, clock, transitions
+
+    def test_trips_after_threshold(self):
+        breaker, _clock, transitions = self._breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert transitions == [("closed", "open")]
+
+    def test_open_fails_fast_with_retry_after(self):
+        breaker, clock, _ = self._breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as exc_info:
+            breaker.before_call()
+        assert exc_info.value.address == "tcp://x"
+        assert exc_info.value.retry_after == pytest.approx(6.0)
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock, transitions = self._breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.before_call()  # allowed: half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock, _ = self._breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.before_call()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        # The reset timer restarted at the probe failure.
+        clock.advance(5.0)
+        breaker.before_call()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_success_resets_failure_streak(self):
+        breaker, _clock, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_registry_lazily_creates_per_address(self):
+        seen = []
+        registry = BreakerRegistry(
+            CircuitBreakerPolicy(failure_threshold=1),
+            clock=ManualClock(),
+            on_transition=lambda addr, old, new: seen.append((addr, old, new)),
+        )
+        a = registry.breaker_for("tcp://a")
+        assert registry.breaker_for("tcp://a") is a
+        b = registry.breaker_for("tcp://b")
+        assert b is not a
+        a.record_failure()
+        assert seen == [("tcp://a", "closed", "open")]
+        assert registry.states() == {"tcp://a": "open", "tcp://b": "closed"}
+
+    def test_registry_disabled_returns_none(self):
+        registry = BreakerRegistry(None)
+        assert registry.breaker_for("tcp://a") is None
+        assert registry.states() == {}
+
+
+class TestReplyCache:
+    def test_miss_then_hit(self):
+        cache = ReplyCache(max_entries=4)
+        assert cache.get(1) is None
+        cache.put(1, b"reply")
+        assert cache.get(1) == b"reply"
+        assert cache.hits == 1
+        assert cache.stores == 1
+
+    def test_lru_eviction_is_bounded_and_ordered(self):
+        cache = ReplyCache(max_entries=3)
+        for call_id in (1, 2, 3):
+            cache.put(call_id, b"r%d" % call_id)
+        cache.get(1)  # refresh 1: now 2 is the least recently used
+        cache.put(4, b"r4")
+        assert len(cache) == 3
+        assert cache.get(2) is None  # evicted
+        assert cache.get(1) == b"r1"
+        assert cache.get(4) == b"r4"
+        assert cache.evictions == 1
+
+    def test_eviction_keeps_size_under_heavy_churn(self):
+        cache = ReplyCache(max_entries=8)
+        for call_id in range(1000):
+            cache.put(call_id, b"x")
+        assert len(cache) == 8
+        assert cache.evictions == 992
+        # Only the newest 8 survive.
+        assert all(cache.get(call_id) is None for call_id in range(992))
+        assert all(cache.get(call_id) == b"x" for call_id in range(992, 1000))
+
+    def test_zero_size_disables(self):
+        cache = ReplyCache(max_entries=0)
+        cache.put(1, b"r")
+        assert len(cache) == 0
+        assert cache.get(1) is None
+
+    def test_clear(self):
+        cache = ReplyCache(max_entries=4)
+        cache.put(1, b"r")
+        cache.clear()
+        assert cache.get(1) is None
+
+
+class TestCallWithRetry:
+    def _run(self, outcomes, policy, clock=None, breaker=None, advance=0.0):
+        """Drive call_with_retry over scripted send outcomes.
+
+        *outcomes* entries are bytes (success) or exceptions (raised);
+        *advance* moves the manual clock inside every send call.
+        """
+        clock = clock or ManualClock()
+        sleeps = []
+        attempts = []
+
+        def send(attempt, remaining):
+            attempts.append((attempt, remaining))
+            if advance:
+                clock.advance(advance)
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        result = call_with_retry(
+            send,
+            policy,
+            rng=DeterministicRandom(0),
+            breaker=breaker,
+            clock=clock,
+            sleep=sleep,
+        )
+        return result, attempts, sleeps
+
+    def test_first_attempt_success_no_sleep(self):
+        result, attempts, sleeps = self._run(
+            [b"ok"], RetryPolicy(max_attempts=3)
+        )
+        assert result == b"ok"
+        assert attempts == [(0, None)]
+        assert sleeps == []
+
+    def test_retries_transient_failures_then_succeeds(self):
+        result, attempts, sleeps = self._run(
+            [RetryableError("a"), RetryableError("b"), b"ok"],
+            RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0),
+        )
+        assert result == b"ok"
+        assert [a for a, _ in attempts] == [0, 1, 2]
+        assert sleeps == [0.1, 0.2]  # exponential backoff between attempts
+
+    def test_exhausted_attempts_raises_last_error(self):
+        with pytest.raises(RetryableError, match="final"):
+            self._run(
+                [RetryableError("first"), RetryableError("final")],
+                RetryPolicy(max_attempts=2, base_delay=0.0),
+            )
+
+    def test_fatal_error_never_retried(self):
+        outcomes = [TransportError("deliberately closed"), b"never sent"]
+        with pytest.raises(TransportError, match="deliberately closed"):
+            self._run(outcomes, RetryPolicy(max_attempts=5))
+        assert outcomes == [b"never sent"]  # one send only
+
+    def test_deadline_threads_remaining_budget_into_send(self):
+        _result, attempts, _sleeps = self._run(
+            [RetryableError("x"), b"ok"],
+            RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0, deadline=10.0),
+            advance=1.0,
+        )
+        assert attempts[0][1] == pytest.approx(10.0)
+        # 1s spent in the first send + 0.5s backoff = 8.5s remaining.
+        assert attempts[1][1] == pytest.approx(8.5)
+
+    def test_deadline_exhaustion_is_terminal(self):
+        with pytest.raises(DeadlineExceededError):
+            self._run(
+                [RetryableError("x"), RetryableError("y"), b"never"],
+                RetryPolicy(max_attempts=10, base_delay=1.0, jitter=0.0, deadline=1.5),
+                advance=1.0,
+            )
+
+    def test_deadline_error_from_send_is_terminal(self):
+        outcomes = [DeadlineExceededError("socket timer fired"), b"never"]
+        with pytest.raises(DeadlineExceededError):
+            self._run(outcomes, RetryPolicy(max_attempts=5, deadline=5.0))
+        assert outcomes == [b"never"]
+
+    def test_breaker_opens_and_fails_fast(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            "tcp://x",
+            CircuitBreakerPolicy(failure_threshold=2, reset_timeout=30.0),
+            clock=clock,
+        )
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(RetryableError):
+            self._run(
+                [RetryableError("a"), RetryableError("b")],
+                policy,
+                clock=clock,
+                breaker=breaker,
+            )
+        assert breaker.state == CircuitBreaker.OPEN
+        # Next call is rejected before send runs.
+        outcomes = [b"never sent"]
+        with pytest.raises(CircuitOpenError):
+            self._run(outcomes, policy, clock=clock, breaker=breaker)
+        assert outcomes == [b"never sent"]
+
+    def test_breaker_success_closes_again(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            "tcp://x",
+            CircuitBreakerPolicy(failure_threshold=1, reset_timeout=5.0),
+            clock=clock,
+        )
+        with pytest.raises(RetryableError):
+            self._run(
+                [RetryableError("a")],
+                RetryPolicy(max_attempts=1),
+                clock=clock,
+                breaker=breaker,
+            )
+        clock.advance(5.0)
+        result, _attempts, _sleeps = self._run(
+            [b"ok"], RetryPolicy(max_attempts=1), clock=clock, breaker=breaker
+        )
+        assert result == b"ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestTcpServerLifecycle:
+    def _wait_until(self, predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_connection_handles_are_reaped(self):
+        with TcpServer(echo) as server:
+            for _ in range(5):
+                channel = TcpChannel(server.host, server.port)
+                assert channel.request(b"ping") == b"ping"
+                channel.close()
+            assert self._wait_until(lambda: server.live_connections == 0), (
+                f"{server.live_connections} connection handles never reaped"
+            )
+
+    def test_stop_drains_in_flight_request(self):
+        release = threading.Event()
+
+        def slow_echo(request: bytes) -> bytes:
+            release.wait(timeout=5.0)
+            return bytes(request)
+
+        server = TcpServer(slow_echo)
+        channel = TcpChannel(server.host, server.port)
+        result = {}
+
+        def call():
+            try:
+                result["response"] = channel.request(b"drain-me")
+            except TransportError as exc:  # pragma: no cover - failure detail
+                result["error"] = exc
+
+        caller = threading.Thread(target=call)
+        caller.start()
+        # Let the request reach the handler, then stop while it is in flight.
+        assert self._wait_until(lambda: server.live_connections == 1)
+        time.sleep(0.05)
+        release.set()
+        server.stop(grace=5.0)
+        caller.join(timeout=5.0)
+        channel.close()
+        assert result.get("response") == b"drain-me", result.get("error")
+        assert server.live_connections == 0
+
+    def test_stop_force_closes_stuck_connection(self):
+        with TcpServer(echo) as server:
+            channel = TcpChannel(server.host, server.port)
+            assert channel.request(b"x") == b"x"
+            # The connection idles in read_frame; a tiny grace must not hang.
+            started = time.monotonic()
+            server.stop(grace=0.2)
+            assert time.monotonic() - started < 3.0
+            channel.close()
+        assert self._wait_until(lambda: server.live_connections == 0)
+
+    def test_channel_does_not_blindly_resend(self):
+        """A broken pooled connection surfaces as RetryableError; the
+        channel must NOT transparently resend (that is the retry layer's
+        job, with a call ID attached)."""
+        executions = []
+
+        def counting(request: bytes) -> bytes:
+            executions.append(bytes(request))
+            return bytes(request)
+
+        server = TcpServer(counting)
+        channel = TcpChannel(server.host, server.port)
+        try:
+            assert channel.request(b"one") == b"one"
+            # Break the pooled connection out from under the channel.
+            channel._sock.close()
+            with pytest.raises(RetryableError):
+                channel.request(b"two")
+            # The request was never silently re-executed.
+            assert executions == [b"one"]
+            # The channel recovers on the next explicit request.
+            assert channel.request(b"three") == b"three"
+            assert executions == [b"one", b"three"]
+        finally:
+            channel.close()
+            server.stop()
+
+
+class TestFaultModes:
+    def test_deterministic_schedule(self):
+        channel = FaultInjectingChannel(
+            InProcChannel(echo), mode="drop_request", fail_on_calls={2, 4}
+        )
+        outcomes = []
+        for _ in range(5):
+            try:
+                channel.request(b"x")
+                outcomes.append("ok")
+            except TransportError:
+                outcomes.append("fail")
+        assert outcomes == ["ok", "fail", "ok", "fail", "ok"]
+
+    def test_delay_sleeps_when_no_deadline(self):
+        sleeps = []
+        channel = FaultInjectingChannel(
+            InProcChannel(echo),
+            failure_rate=1.0,
+            mode="delay",
+            delay_seconds=0.25,
+            sleep=sleeps.append,
+        )
+        assert channel.request(b"x") == b"x"
+        assert sleeps == [0.25]
+
+    def test_delay_exceeding_deadline_fails_without_sleeping(self):
+        sleeps = []
+        channel = FaultInjectingChannel(
+            InProcChannel(echo),
+            failure_rate=1.0,
+            mode="delay",
+            delay_seconds=10.0,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(DeadlineExceededError):
+            channel.request(b"x", timeout=0.05)
+        assert sleeps == []  # deadline tests must not burn wall-clock time
+
+    def test_corrupt_response_flips_bytes(self):
+        channel = FaultInjectingChannel(
+            InProcChannel(echo), failure_rate=1.0, mode="corrupt_response"
+        )
+        response = channel.request(b"payload-bytes")
+        assert response != b"payload-bytes"
+        assert len(response) == len(b"payload-bytes")
+        assert corrupt_payload(b"payload-bytes") == response
+
+    def test_duplicate_response_delivers_request_twice(self):
+        deliveries = []
+
+        def counting(request: bytes) -> bytes:
+            deliveries.append(bytes(request))
+            return bytes(request)
+
+        channel = FaultInjectingChannel(
+            InProcChannel(counting), failure_rate=1.0, mode="duplicate_response"
+        )
+        assert channel.request(b"dup") == b"dup"
+        assert deliveries == [b"dup", b"dup"]

@@ -28,6 +28,8 @@ from repro.rmi.protocol import (
     exception_response,
     ok_response,
     protocol_error_response,
+    read_call_header,
+    set_attempt,
     split_response,
 )
 from repro.rmi.registry import REGISTRY_OBJECT_ID, RegistryService
@@ -168,12 +170,34 @@ class TestProtocolCodec:
             profile="modern",
             modes=(PassingMode.BY_COPY_RESTORE, PassingMode.BY_VALUE),
             args_payload=b"ARGS",
+            call_id=12345,
+            attempt=2,
         )
         encoded = encode_call(request)
         reader = BufferReader(encoded)
         assert reader.read_u8() == Op.CALL
-        decoded = decode_call(reader)
+        call_id, attempt = read_call_header(reader)
+        assert (call_id, attempt) == (12345, 2)
+        decoded = decode_call(reader, call_id=call_id, attempt=attempt)
         assert decoded == request
+
+    def test_set_attempt_patches_in_place(self):
+        request = CallRequest(
+            object_id=7,
+            method="doit",
+            policy="none",
+            profile="modern",
+            modes=(),
+            args_payload=b"",
+            call_id=99,
+        )
+        frame = bytearray(encode_call(request))
+        set_attempt(frame, 5)
+        reader = BufferReader(bytes(frame))
+        assert reader.read_u8() == Op.CALL
+        assert read_call_header(reader) == (99, 5)
+        # The rest of the frame is untouched.
+        assert decode_call(reader).object_id == 7
 
     def test_field_get_roundtrip(self):
         reader = BufferReader(encode_field_get(3, "left"))
@@ -218,11 +242,13 @@ class TestProtocolCodec:
                 CallRequest(1, "m", "none", "modern", (), b"")
             )
         )
-        # Patch the policy byte (op|objid|len(method)|method|policy...).
-        policy_offset = 1 + 1 + 1 + 1  # op, objid, method len, "m"
+        # Patch the policy byte
+        # (op|attempt|call_id|objid|len(method)|method|policy...).
+        policy_offset = 1 + 1 + 1 + 1 + 1 + 1  # op, attempt, call id, objid, method len, "m"
         encoded[policy_offset] = 99
         reader = BufferReader(bytes(encoded))
         reader.read_u8()
+        read_call_header(reader)
         with pytest.raises(WireFormatError):
             decode_call(reader)
 
