@@ -1,9 +1,10 @@
 """Benchmark-regression runner: ``python -m repro.bench.regress``.
 
 Replays the serde micro-benchmark (``bench_serde_micro``: encode/decode of
-scenario III trees under both profiles) plus Table-5-style NRMI
-copy-restore calls, and writes the measurements to ``BENCH_pr1.json`` at
-the repository root.
+scenario III trees under both profiles), Table-5-style NRMI copy-restore
+calls, and the delta-restore ablation (full-map vs dirty-slot replies
+under sparse and dense mutators), and writes the measurements to
+``BENCH_pr3.json`` at the repository root.
 
 The run doubles as a regression gate: when the output file already exists,
 the new serde-micro **encode** timings are compared against the recorded
@@ -12,6 +13,10 @@ than ``MAX_ENCODE_REGRESSION_PCT``. CI runs ``--quick`` (small trees, few
 repetitions — a smoke test, not a stable measurement); local runs without
 flags produce the full-size numbers.
 
+``--compare OLD.json NEW.json`` instead diffs two recorded reports: it
+prints a per-metric delta table and exits non-zero if any time-like
+metric (``*_us``) regressed by more than ``MAX_ENCODE_REGRESSION_PCT``.
+
 Timings are min-of-rounds wall clock (``time.perf_counter``), the usual
 noise floor estimator for micro-benchmarks on a shared machine.
 """
@@ -19,6 +24,7 @@ noise floor estimator for micro-benchmarks on a shared machine.
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
 import time
@@ -65,6 +71,12 @@ _TABLE5_CONFIGS = {
     "legacy-portable": NRMIConfig(profile="legacy", implementation="portable"),
     "modern-optimized": NRMIConfig(profile="modern", implementation="optimized"),
 }
+
+# Mutation densities for the delta-restore ablation: "sparse" touches ~5%
+# of the nodes per call (the regime dirty-slot replies are built for),
+# "dense" touches every node (the worst case, where a delta reply carries
+# the whole map plus index overhead and must stay near full-map cost).
+_DELTA_MUTATIONS = {"sparse": 0.05, "dense": 1.0}
 
 
 def _min_of_rounds(fn, rounds: int, iterations: int) -> float:
@@ -129,6 +141,152 @@ def run_table5_calls(size: int, rounds: int, iterations: int) -> Dict[str, Dict]
     return results
 
 
+def run_delta_restore(
+    size: int,
+    rounds: int,
+    iterations: int,
+    mutations: Optional[Dict[str, float]] = None,
+) -> Dict[str, Dict]:
+    """Full-map vs dirty-slot replies under sparse and dense mutators.
+
+    Every call mutates under a *fresh* seed: with a repeated seed the
+    deterministic mutator would rewrite the same values into an
+    already-mutated tree, every slot would digest clean, and the delta
+    numbers would measure an unrealistically empty reply.
+    """
+    from repro.bench.mutators import TreeService
+
+    results: Dict[str, Dict] = {}
+    for label, fraction in (mutations or _DELTA_MUTATIONS).items():
+        row: Dict[str, object] = {"mutate_fraction": fraction}
+        for policy in ("full", "delta"):
+            config = NRMIConfig(policy=policy)
+            resolver = ChannelResolver()
+            server = Endpoint(
+                name=f"delta-server-{label}-{policy}",
+                config=config,
+                resolver=resolver,
+            )
+            client = Endpoint(
+                name=f"delta-client-{label}-{policy}",
+                config=config,
+                resolver=resolver,
+            )
+            try:
+                server.bind("svc", TreeService())
+                service = client.lookup(server.address, "svc")
+                workload = generate_workload(SCENARIO, size, SEED)
+                seeds = itertools.count(SEED)
+
+                def call():
+                    service.mutate_sparse(workload.root, next(seeds), fraction)
+
+                call_us = _min_of_rounds(call, rounds, iterations)
+                channel = resolver.resolve(server.address)
+                channel.stats.reset()
+                probes = max(iterations, 5)
+                for _ in range(probes):
+                    call()
+                snap = channel.stats.snapshot()
+                row[policy] = {
+                    "call_us": round(call_us, 1),
+                    "request_bytes": round(snap["bytes_sent"] / probes, 1),
+                    "reply_bytes": round(snap["bytes_received"] / probes, 1),
+                }
+            finally:
+                client.close()
+                server.close()
+                resolver.close_all()
+        full_reply = row["full"]["reply_bytes"]
+        delta_reply = row["delta"]["reply_bytes"]
+        row["reply_bytes_ratio"] = round(full_reply / max(delta_reply, 1.0), 2)
+        results[label] = row
+    return results
+
+
+# ------------------------------------------------------------- comparison
+
+#: Report sections whose numeric leaves are comparable measurements.
+_COMPARE_SECTIONS = ("serde_micro", "table5_calls_us", "delta_restore")
+
+
+def _flatten_metrics(report: dict) -> Dict[str, float]:
+    """Numeric leaves of the measurement sections as dotted paths."""
+    flat: Dict[str, float] = {}
+
+    def walk(prefix: str, node) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else key, value)
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            flat[prefix] = float(node)
+
+    for section in _COMPARE_SECTIONS:
+        if section in report:
+            walk(section, report[section])
+    return flat
+
+
+def run_compare(old_path: Path, new_path: Path) -> int:
+    """Per-metric delta table between two reports; non-zero on regression.
+
+    Only time-like metrics (``*_us``, lower is better) gate the exit
+    status; byte counts and ratios are printed for context.
+    """
+    try:
+        old_report = json.loads(old_path.read_text())
+        new_report = json.loads(new_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot load reports: {exc}", file=sys.stderr)
+        return 2
+
+    old_size = old_report.get("meta", {}).get("size")
+    new_size = new_report.get("meta", {}).get("size")
+    if old_size != new_size:
+        print(
+            f"warning: reports measure different tree sizes "
+            f"({old_size} vs {new_size}); timings are not comparable",
+            file=sys.stderr,
+        )
+
+    old_metrics = _flatten_metrics(old_report)
+    new_metrics = _flatten_metrics(new_report)
+    shared = sorted(set(old_metrics) & set(new_metrics))
+    if not shared:
+        print("no shared metrics between the two reports", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name in shared)
+    print(f"{'metric':<{width}}  {'old':>12}  {'new':>12}  {'delta':>8}")
+    failures: List[str] = []
+    for name in shared:
+        old_value, new_value = old_metrics[name], new_metrics[name]
+        delta_pct = (
+            (new_value - old_value) / old_value * 100.0 if old_value else 0.0
+        )
+        gated = name.endswith("_us")
+        marker = ""
+        if gated and delta_pct > MAX_ENCODE_REGRESSION_PCT:
+            marker = "  REGRESSION"
+            failures.append(
+                f"{name} regressed {delta_pct:.1f}% "
+                f"({old_value:.1f} -> {new_value:.1f}, "
+                f"limit {MAX_ENCODE_REGRESSION_PCT:.0f}%)"
+            )
+        print(
+            f"{name:<{width}}  {old_value:>12.1f}  {new_value:>12.1f}  "
+            f"{delta_pct:>+7.1f}%{marker}"
+        )
+    for name in sorted(set(old_metrics) ^ set(new_metrics)):
+        side = "old" if name in old_metrics else "new"
+        print(f"{name:<{width}}  (only in {side} report, skipped)")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _load_previous(path: Path) -> Optional[dict]:
     if not path.exists():
         return None
@@ -139,9 +297,17 @@ def _load_previous(path: Path) -> Optional[dict]:
 
 
 def _check_gate(
-    previous: Optional[dict], serde: Dict[str, Dict], size: int
+    previous: Optional[dict],
+    serde: Dict[str, Dict],
+    size: int,
+    limit_pct: float = MAX_ENCODE_REGRESSION_PCT,
 ) -> List[str]:
-    """Regressions of serde-micro encode vs the recorded run, as messages."""
+    """Regressions of serde-micro encode vs the recorded run, as messages.
+
+    ``limit_pct`` lets callers re-measuring under load (the bench-smoke
+    test inside a full pytest run) use a looser budget than the dedicated
+    runner's default.
+    """
     failures: List[str] = []
     if previous is None:
         return failures
@@ -156,18 +322,18 @@ def _check_gate(
             continue
         new = row["encode_us"]
         regression_pct = (new - old) / old * 100.0
-        if regression_pct > MAX_ENCODE_REGRESSION_PCT:
+        if regression_pct > limit_pct:
             failures.append(
                 f"serde-micro {profile_name} encode regressed "
                 f"{regression_pct:.1f}% ({old:.1f}us -> {new:.1f}us, "
-                f"limit {MAX_ENCODE_REGRESSION_PCT:.0f}%)"
+                f"limit {limit_pct:.0f}%)"
             )
     return failures
 
 
 def _default_output() -> Path:
     # src/repro/bench/regress.py -> repository root.
-    return Path(__file__).resolve().parents[3] / "BENCH_pr1.json"
+    return Path(__file__).resolve().parents[3] / "BENCH_pr3.json"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -190,7 +356,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the Table-5 call replay (serde micro only)",
     )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        type=Path,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="diff two recorded reports instead of measuring; exits "
+        "non-zero if a *_us metric regressed beyond the gate",
+    )
     args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        return run_compare(args.compare[0], args.compare[1])
 
     size = QUICK_SIZE if args.quick else FULL_SIZE
     rounds = 3 if args.quick else 8
@@ -203,6 +381,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     serde = run_serde_micro(size, rounds, iterations)
     table5 = (
         {} if args.no_calls else run_table5_calls(size, rounds, call_iterations)
+    )
+    delta = (
+        {}
+        if args.no_calls
+        else run_delta_restore(size, rounds, call_iterations)
     )
 
     baseline = PRE_PR_BASELINE_US.get(size)
@@ -227,6 +410,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "serde_micro": serde,
         "table5_calls_us": table5,
+        "delta_restore": delta,
         "pre_pr_baseline_us": baseline or {},
         "speedup_vs_pre_pr": speedups,
         "gate": {
@@ -245,6 +429,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     for config_name, row in table5.items():
         print(f"table5/{config_name}: {row['call_us']:.1f}us per call")
+    for label, row in delta.items():
+        print(
+            f"delta/{label}: full {row['full']['call_us']:.1f}us "
+            f"{row['full']['reply_bytes']:.0f}B reply, "
+            f"delta {row['delta']['call_us']:.1f}us "
+            f"{row['delta']['reply_bytes']:.0f}B reply "
+            f"({row['reply_bytes_ratio']:.1f}x fewer reply bytes)"
+        )
     print(f"wrote {output}")
     if failures:
         for failure in failures:

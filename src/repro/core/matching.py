@@ -56,3 +56,33 @@ def match_maps(originals: List[Any], modifieds: List[Any]) -> MatchResult:
                 f"{type(modified).__name__}"
             )
     return MatchResult(originals, modifieds)
+
+
+def match_sparse(
+    originals: List[Any], dirty_indices: List[int], modifieds: List[Any]
+) -> MatchResult:
+    """Match only the transmitted dirty positions of a delta-slots reply.
+
+    ``dirty_indices`` are positions into the caller's full retained list;
+    ``modifieds`` carries the server's versions of exactly those slots, in
+    the same order. Clean positions never enter the match, so the restore
+    engine does not touch (or even look at) their originals — the
+    overwrite work of steps 4-5 is skipped for them entirely.
+    """
+    if len(dirty_indices) != len(modifieds):
+        raise LinearMapMismatchError(
+            expected=len(dirty_indices), received=len(modifieds)
+        )
+    previous = -1
+    for index in dirty_indices:
+        if index <= previous:
+            raise RestoreError(
+                f"dirty indices not strictly increasing at {index}"
+            )
+        if index >= len(originals):
+            raise RestoreError(
+                f"dirty index {index} outside retained list of "
+                f"{len(originals)} slots"
+            )
+        previous = index
+    return match_maps([originals[i] for i in dirty_indices], modifieds)

@@ -34,8 +34,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.core.copy_restore import RestoreEngine, RestoreStats
-from repro.core.matching import match_maps
+from repro.core.matching import match_maps, match_sparse
 from repro.errors import RestoreError
+from repro.serde.digest import SlotDigestTable, digest_slots
 from repro.serde.accessors import FieldAccessor, OPTIMIZED_ACCESSOR
 from repro.serde.kinds import Kind, classify
 from repro.serde.reader import ObjectReader
@@ -63,6 +64,9 @@ class ServerRestoreContext:
     externalizers: Tuple = ()
     # Reachability stop predicate (remote stubs/pointers are leaves).
     stop: Optional[Any] = None
+    # Optional MetricsRegistry: delta-slots records dirty/clean counts and
+    # an estimate of the reply bytes the elided slots saved.
+    metrics: Optional[Any] = None
 
 
 @dataclass
@@ -74,6 +78,9 @@ class ClientRestoreContext:
     registry: Optional[ClassRegistry] = None
     engine: RestoreEngine = field(default_factory=RestoreEngine)
     externalizers: Tuple = ()
+    # Filled by parse_response with reply-shape facts (kind, dirty/total
+    # slot counts) so the caller can feed its adaptive policy chooser.
+    reply_info: Dict[str, Any] = field(default_factory=dict)
 
 
 class RestorePolicy:
@@ -299,6 +306,132 @@ class DeltaRestorePolicy(RestorePolicy):
         return result, stats
 
 
+class DeltaSlotsRestorePolicy(RestorePolicy):
+    """Dirty-slot replies: digest every retained slot at deserialization
+    time, re-digest at reply-encode time, and ship only the slots whose
+    digests changed (plus all new objects reachable from them and the
+    return value).
+
+    This is the negotiated evolution of :class:`DeltaRestorePolicy`: the
+    caller advertises :data:`repro.rmi.protocol.CAP_DELTA_SLOTS` in the
+    CALL flags byte, and the server answers with reply kind 4 — a compact
+    header of delta-coded dirty indices followed by one serde stream.
+    Non-advertising callers transparently get the legacy object-delta or
+    full-map reply instead.
+    """
+
+    name = "delta-slots"
+
+    def snapshot(self, context: ServerRestoreContext) -> SlotDigestTable:
+        # Captured right after unmarshalling, before the method runs: the
+        # "before" picture every slot is compared against at reply time.
+        return digest_slots(context.retained, context.accessor)
+
+    def build_response(
+        self, result: Any, context: ServerRestoreContext, snapshot: Any
+    ) -> bytes:
+        current = digest_slots(context.retained, context.accessor)
+        dirty = snapshot.dirty_indices(current)
+        dirty_set = set(dirty)
+        clean: IdentityMap[int] = IdentityMap()
+        bytes_saved = 0
+        for index, obj in enumerate(context.retained):
+            if index not in dirty_set:
+                clean[obj] = index
+                bytes_saved += snapshot.sizes[index]
+        oldref = Externalizer(
+            name=_OLDREF_EXT,
+            claims=lambda obj: obj in clean,
+            replace=lambda obj: _encode_index(clean[obj]),
+            resolve=lambda payload: None,  # never used on the server
+        )
+        header = BufferWriter()
+        header.write_uvarint(len(context.retained))
+        header.write_uvarint(len(dirty))
+        previous = -1
+        for index in dirty:
+            header.write_uvarint(index - previous - 1)
+            previous = index
+        writer = ObjectWriter(
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=(oldref,) + tuple(context.externalizers),
+        )
+        writer.write_root(result)
+        writer.write_root([context.retained[i] for i in dirty])
+        metrics = context.metrics
+        if metrics is not None:
+            metrics.counter("delta.slots_dirty").add(len(dirty))
+            metrics.counter("delta.slots_clean").add(
+                len(context.retained) - len(dirty)
+            )
+            # Estimate: each elided slot would have cost at least its
+            # shallow-token length in a full-map reply.
+            metrics.counter("delta.reply_bytes_saved").add(bytes_saved)
+            if context.retained:
+                metrics.distribution("delta.dirty_ratio").record(
+                    len(dirty) / len(context.retained)
+                )
+        return header.getvalue() + writer.getvalue()
+
+    def parse_response(
+        self, payload: bytes, context: ClientRestoreContext
+    ) -> Tuple[Any, Optional[RestoreStats]]:
+        originals = context.originals
+        header = BufferReader(payload)
+        total = header.read_uvarint()
+        if total != len(originals):
+            raise RestoreError(
+                f"delta-slots reply covers {total} slots, caller retained "
+                f"{len(originals)}"
+            )
+        dirty_count = header.read_uvarint()
+        dirty_indices: List[int] = []
+        previous = -1
+        for _ in range(dirty_count):
+            index = previous + 1 + header.read_uvarint()
+            dirty_indices.append(index)
+            previous = index
+        stream = header.read_view(header.remaining)
+
+        resolved = IdentitySet()
+
+        def resolve(raw: bytes) -> Any:
+            index = _decode_index(raw)
+            try:
+                obj = originals[index]
+            except IndexError:
+                raise RestoreError(
+                    f"delta-slots payload references old object {index}"
+                ) from None
+            resolved.add(obj)
+            return obj
+
+        oldref = Externalizer(
+            name=_OLDREF_EXT,
+            claims=lambda obj: False,  # never used on the caller
+            replace=lambda obj: b"",
+            resolve=resolve,
+        )
+        reader = ObjectReader(
+            stream,
+            profile=context.profile,
+            registry=context.registry,
+            externalizers=(oldref,) + tuple(context.externalizers),
+        )
+        result = reader.read_root()
+        dirty_objects = reader.read_root()
+        reader.expect_end()
+        if not isinstance(dirty_objects, list):
+            raise RestoreError("delta-slots payload root is not a list")
+        match = match_sparse(originals, dirty_indices, dirty_objects)
+        result, stats = context.engine.restore(match, result, skip=resolved)
+        context.reply_info.update(
+            kind=self.name, dirty=dirty_count, total=total
+        )
+        return result, stats
+
+
 class DceRestorePolicy(RestorePolicy):
     """DCE RPC semantics: restore only what the parameters still reach.
 
@@ -356,7 +489,13 @@ class DceRestorePolicy(RestorePolicy):
 
 _POLICIES: Dict[str, Type[RestorePolicy]] = {
     policy.name: policy
-    for policy in (NoRestorePolicy, FullRestorePolicy, DeltaRestorePolicy, DceRestorePolicy)
+    for policy in (
+        NoRestorePolicy,
+        FullRestorePolicy,
+        DeltaRestorePolicy,
+        DeltaSlotsRestorePolicy,
+        DceRestorePolicy,
+    )
 }
 
 

@@ -28,7 +28,9 @@ from repro.transport.reliability import (
 
 _VALID_PROFILES = ("legacy", "modern")
 _VALID_IMPLEMENTATIONS = ("portable", "optimized")
-_VALID_POLICIES = ("none", "full", "delta", "dce")
+# "auto" is a client-side choice, never a wire policy: each call resolves
+# it to "full" or "delta" from the observed dirty-slot ratio per address.
+_VALID_POLICIES = ("none", "full", "delta", "dce", "auto")
 
 
 @dataclass(frozen=True)
@@ -73,6 +75,18 @@ class NRMIConfig:
     # (entries, LRU-evicted). 0 disables caching — callers retrying
     # against such an endpoint fall back to at-least-once semantics.
     reply_cache_size: int = 256
+    # Server side of the dirty-slot reply negotiation: when False this
+    # endpoint never answers with the delta-slots frame (requested
+    # "delta" downgrades to a full-map reply) — a "full-only server".
+    delta_replies: bool = True
+    # Client side: advertise CAP_DELTA_SLOTS on outgoing calls. When
+    # False this endpoint decodes only the classic reply kinds, so
+    # servers fall back to legacy object-delta or full-map replies.
+    delta_reply_frames: bool = True
+    # Use the pipelined TCP channel (multiple in-flight calls on one
+    # connection, replies demuxed by correlation id) for tcp:// peers.
+    # Servers accept both framings regardless of this knob.
+    tcp_pipelined: bool = True
 
     def __post_init__(self) -> None:
         if self.profile not in _VALID_PROFILES:

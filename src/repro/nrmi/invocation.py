@@ -24,6 +24,7 @@ Server side (:func:`handle_call`):
 
 from __future__ import annotations
 
+import threading
 import traceback
 from typing import Any, List, Sequence, Tuple
 
@@ -40,6 +41,7 @@ from repro.errors import (
 )
 from repro.nrmi.annotations import effective_policy
 from repro.rmi.protocol import (
+    CAP_DELTA_SLOTS,
     CallRequest,
     Status,
     decode_call,
@@ -64,6 +66,55 @@ from repro.util.identity import IdentitySet
 from repro.util.logging import get_logger
 
 logger = get_logger("nrmi.invocation")
+
+
+class ReplyPolicyChooser:
+    """Resolves the per-call ``auto`` restore policy from observed traffic.
+
+    Tracks an exponentially-weighted dirty-slot ratio per remote address
+    (fed by delta-slots replies). Sparse mutators keep the ratio low and
+    ``auto`` keeps choosing ``delta``; once a peer's methods dirty most of
+    the map, full replies are cheaper (no per-slot header, no digest
+    passes) and the chooser switches to ``full`` — probing ``delta``
+    periodically so it can switch back when the workload changes.
+    """
+
+    #: Above this EWMA dirty ratio, full-map replies win.
+    DENSE_THRESHOLD = 0.6
+    #: While in full mode, retry delta every this many calls.
+    PROBE_EVERY = 16
+    #: EWMA weight of the newest observation.
+    ALPHA = 0.3
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ratio: dict = {}       # address -> EWMA dirty ratio
+        self._full_streak: dict = {} # address -> calls since last delta probe
+
+    def choose(self, address: str) -> str:
+        with self._lock:
+            ratio = self._ratio.get(address)
+            if ratio is None or ratio <= self.DENSE_THRESHOLD:
+                return "delta"
+            streak = self._full_streak.get(address, 0) + 1
+            if streak >= self.PROBE_EVERY:
+                self._full_streak[address] = 0
+                return "delta"
+            self._full_streak[address] = streak
+            return "full"
+
+    def observe(self, address: str, dirty: int, total: int) -> None:
+        if total <= 0:
+            return
+        sample = dirty / total
+        with self._lock:
+            previous = self._ratio.get(address)
+            if previous is None:
+                self._ratio[address] = sample
+            else:
+                self._ratio[address] = (
+                    previous + self.ALPHA * (sample - previous)
+                )
 
 
 def compute_retained(
@@ -151,8 +202,22 @@ def prepare_call(
         policy_name = "none"
     elif policy_name is None:
         policy_name = endpoint.config.policy
+    if policy_name == "auto":
+        # "auto" never crosses the wire: resolve it here from the per-
+        # address dirty-ratio history (delta while replies stay sparse,
+        # full once this peer's methods dirty most of the map).
+        chooser = getattr(endpoint, "reply_chooser", None)
+        policy_name = (
+            chooser.choose(descriptor.address) if chooser is not None else "delta"
+        )
     profile = endpoint.profile
     externalizers = endpoint.externalizers()
+    caps = 0
+    if getattr(endpoint.config, "delta_reply_frames", False):
+        # Advertise that our complete_call can decode the dirty-slot
+        # reply frame; the server only uses it for "delta" calls, so the
+        # bit is harmless on every other policy.
+        caps |= CAP_DELTA_SLOTS
 
     ship_map = bool(getattr(endpoint.config, "ship_linear_map", False))
     # Steady-state calls allocate no fresh write buffers: the argument
@@ -160,42 +225,56 @@ def prepare_call(
     # storage, and the args bytes flow into the envelope through a view.
     pool = getattr(endpoint, "buffer_pool", None)
     args_buffer = pool.acquire() if pool is not None else None
+    envelope_buffer = None
+    args_payload = None
     writer = ObjectWriter(
         profile=profile, externalizers=externalizers, buffer=args_buffer
     )
-    for arg in args:
-        writer.write_root(arg)
-    if ship_map and policy_name != "none":
-        # Ablation: transmit the map as an extra root. Its entries are all
-        # back references, so this costs ~2 bytes per reachable object plus
-        # an extra encode/decode pass — the cost optimization 5.2.4 #1 avoids.
-        writer.write_root(list(writer.linear_map.objects))
-    args_payload = writer.view() if pool is not None else writer.getvalue()
+    try:
+        for arg in args:
+            writer.write_root(arg)
+        if ship_map and policy_name != "none":
+            # Ablation: transmit the map as an extra root. Its entries are all
+            # back references, so this costs ~2 bytes per reachable object plus
+            # an extra encode/decode pass — the cost optimization 5.2.4 #1 avoids.
+            writer.write_root(list(writer.linear_map.objects))
+        args_payload = writer.view() if pool is not None else writer.getvalue()
 
-    originals: List[Any] = []
-    if policy_name != "none":
-        originals = compute_retained(
-            writer.linear_map, _restore_roots(args, modes), endpoint.accessor
+        originals: List[Any] = []
+        if policy_name != "none":
+            originals = compute_retained(
+                writer.linear_map, _restore_roots(args, modes), endpoint.accessor
+            )
+
+        envelope_buffer = pool.acquire() if pool is not None else None
+        request = encode_call(
+            CallRequest(
+                object_id=descriptor.object_id,
+                method=method,
+                policy=policy_name,
+                profile=profile.name,
+                modes=modes,
+                args_payload=args_payload,
+                ship_map=ship_map and policy_name != "none",
+                kwarg_names=kwarg_names,
+                # Every call gets an at-most-once identity: should any layer
+                # (retry, a duplicated frame) deliver this request twice, the
+                # server's reply cache collapses it to one execution.
+                call_id=endpoint.next_call_id(),
+                caps=caps,
+            ),
+            buffer=envelope_buffer,
         )
-
-    envelope_buffer = pool.acquire() if pool is not None else None
-    request = encode_call(
-        CallRequest(
-            object_id=descriptor.object_id,
-            method=method,
-            policy=policy_name,
-            profile=profile.name,
-            modes=modes,
-            args_payload=args_payload,
-            ship_map=ship_map and policy_name != "none",
-            kwarg_names=kwarg_names,
-            # Every call gets an at-most-once identity: should any layer
-            # (retry, a duplicated frame) deliver this request twice, the
-            # server's reply cache collapses it to one execution.
-            call_id=endpoint.next_call_id(),
-        ),
-        buffer=envelope_buffer,
-    )
+    except BaseException:
+        # Failed marshal/encode: hand every pooled buffer back (and drop
+        # the writer's memo pins) instead of leaking them until GC — a
+        # chaos run injecting encode faults would otherwise drain the pool.
+        if args_payload is not None and type(args_payload) is memoryview:
+            args_payload.release()
+        writer.discard(pool, args_buffer)
+        if pool is not None:
+            pool.release(envelope_buffer)
+        raise
     if pool is not None:
         # The args stream has been copied into the envelope; its buffer
         # can go straight back to the pool.
@@ -247,6 +326,16 @@ def complete_call(endpoint: Any, prepared: PreparedCall, response: bytes) -> Any
     except Exception as exc:
         raise UnmarshalError(f"failed to unmarshal reply for {method!r}: {exc}") from exc
     endpoint.record_restore_stats(stats)
+    info = context.reply_info
+    if info.get("kind") == "delta-slots":
+        dirty, total = info.get("dirty", 0), info.get("total", 0)
+        metrics = endpoint.metrics
+        metrics.counter("delta.slot_replies").add()
+        if total:
+            metrics.distribution("delta.reply_dirty_ratio").record(dirty / total)
+        chooser = getattr(endpoint, "reply_chooser", None)
+        if chooser is not None:
+            chooser.observe(descriptor.address, dirty, total)
     return result
 
 
@@ -367,6 +456,17 @@ def handle_call(
         )
 
     policy_name = effective_policy(request.policy, target)
+    if policy_name == "delta":
+        if not getattr(endpoint.config, "delta_replies", True):
+            # Full-only server: it will not build any delta reply, so the
+            # requested "delta" downgrades to a full-map reply. Legal
+            # because the reply leads with the policy actually applied.
+            policy_name = "full"
+        elif request.caps & CAP_DELTA_SLOTS:
+            # Negotiated upgrade: the caller can decode dirty-slot frames,
+            # so answer with reply kind 4 instead of the legacy object
+            # delta. Non-advertising (older) callers keep getting kind 2.
+            policy_name = "delta-slots"
     policy = policy_by_name(policy_name)
     roots = _restore_roots(args, request.modes)
     retained: List[Any] = []
@@ -386,6 +486,7 @@ def handle_call(
         accessor=endpoint.accessor,
         externalizers=externalizers,
         stop=is_opaque_remote,
+        metrics=endpoint.metrics,
     )
     snapshot = policy.snapshot(context)
 

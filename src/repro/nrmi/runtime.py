@@ -24,7 +24,7 @@ from repro.core.copy_restore import RestoreEngine, RestoreStats
 from repro.core.markers import Remote
 from repro.errors import RemoteError, TransportError
 from repro.nrmi.config import NRMIConfig
-from repro.nrmi.invocation import client_call
+from repro.nrmi.invocation import ReplyPolicyChooser, client_call
 from repro.rmi.dispatcher import Dispatcher
 from repro.rmi.export import ExportTable
 from repro.rmi.protocol import (
@@ -98,6 +98,9 @@ class Endpoint:
         # Backoff jitter draws from a stream seeded by the endpoint name:
         # deterministic under test, decorrelated across endpoints.
         self.retry_rng = DeterministicRandom(zlib.crc32(self.name.encode("utf-8")))
+        # Resolves the "auto" restore policy per call from the dirty-slot
+        # ratios observed in this endpoint's delta replies.
+        self.reply_chooser = ReplyPolicyChooser()
         self._breakers = BreakerRegistry(
             self.config.breaker, on_transition=self._record_breaker_transition
         )
@@ -188,7 +191,9 @@ class Endpoint:
     # ------------------------------------------------------------- client
 
     def channel_to(self, address: str) -> Channel:
-        return self.resolver.resolve(address)
+        return self.resolver.resolve(
+            address, pipelined=getattr(self.config, "tcp_pipelined", False)
+        )
 
     # ---------------------------------------------------------- reliability
 

@@ -59,8 +59,24 @@ _MODE_TO_ID = {
 }
 _ID_TO_MODE = {v: k for k, v in _MODE_TO_ID.items()}
 
-_POLICY_TO_ID = {"none": 0, "full": 1, "delta": 2, "dce": 3}
+# "delta-slots" (id 4) is a *reply* kind only: servers pick it when the
+# caller advertised CAP_DELTA_SLOTS and the effective policy is "delta";
+# callers never request it directly.
+_POLICY_TO_ID = {"none": 0, "full": 1, "delta": 2, "dce": 3, "delta-slots": 4}
 _ID_TO_POLICY = {v: k for k, v in _POLICY_TO_ID.items()}
+
+# ------------------------------------------------------- capability flags
+#
+# The CALL frame's former ship_map byte is a flags byte: bit 0 keeps the
+# ship_map meaning (old encoders only ever wrote 0 or 1), the remaining
+# bits advertise caller capabilities. Decoders MUST ignore flag bits they
+# do not know — a peer that never advertises (flags & ~1 == 0) simply gets
+# the classic full-map / legacy-delta replies.
+
+#: The caller can decode the dirty-slot delta reply frame (kind 4).
+CAP_DELTA_SLOTS = 0x02
+
+_FLAG_SHIP_MAP = 0x01
 
 
 def policy_wire_id(name: str) -> int:
@@ -103,6 +119,9 @@ class CallRequest:
     # server's reply cache; attempt counts resends of the same id.
     call_id: int = 0
     attempt: int = 0
+    # Capability bits the caller advertised (CAP_* constants above);
+    # travels in the flags byte alongside ship_map.
+    caps: int = 0
 
 
 #: Byte offset of the attempt counter inside an encoded CALL frame.
@@ -155,7 +174,9 @@ def encode_call(request: CallRequest, buffer=None):
     writer.write_str(request.method)
     writer.write_u8(_POLICY_TO_ID[request.policy])
     writer.write_u8(_PROFILE_TO_ID[request.profile])
-    writer.write_u8(1 if request.ship_map else 0)
+    flags = _FLAG_SHIP_MAP if request.ship_map else 0
+    flags |= request.caps & ~_FLAG_SHIP_MAP & 0xFF
+    writer.write_u8(flags)
     writer.write_uvarint(len(request.modes))
     for mode in request.modes:
         writer.write_u8(_MODE_TO_ID[mode])
@@ -185,7 +206,9 @@ def decode_call(
         profile = _ID_TO_PROFILE[profile_id]
     except KeyError as exc:
         raise WireFormatError(f"unknown policy/profile id: {exc}") from None
-    ship_map = bool(reader.read_u8())
+    flags = reader.read_u8()
+    ship_map = bool(flags & _FLAG_SHIP_MAP)
+    caps = flags & ~_FLAG_SHIP_MAP
     argc = reader.read_uvarint()
     modes = []
     for _ in range(argc):
@@ -212,6 +235,7 @@ def decode_call(
         kwarg_names=kwarg_names,
         call_id=call_id,
         attempt=attempt,
+        caps=caps,
     )
 
 

@@ -153,6 +153,26 @@ class ObjectWriter:
         self._str_memo.clear()
         self._bytes_memo.clear()
 
+    def discard(self, pool: Optional[Any] = None, buffer: Optional[bytearray] = None) -> None:
+        """Abandon a failed encode, returning pooled storage to *pool*.
+
+        The error-path counterpart of the normal send-then-release flow:
+        when marshalling raises mid-stream (an unregistered argument, an
+        externalizer failure), the half-written pooled *buffer* and the
+        writer's memo tables would otherwise leak until the garbage
+        collector got around to them — under a chaos run injecting encode
+        faults every call, that starves the pool. Clears the memo/handle
+        state so the pinned objects are dropped immediately, then hands
+        the buffer back.
+        """
+        self._str_memo.clear()
+        self._bytes_memo.clear()
+        self._handles = IdentityMap()
+        self._replacements = IdentityMap()
+        self.linear_map = LinearMap()
+        if pool is not None:
+            pool.release(buffer)
+
     # ------------------------------------------------------------ internals
 
     def _alloc_handle(self, obj: Any, mutable: bool) -> int:

@@ -97,7 +97,75 @@ def _recv_exact(sock: socket.socket, count: int) -> bytearray:
 def read_frame(sock: socket.socket, timeout: Optional[float] = None) -> bytearray:
     _apply_timeout(sock, timeout)
     header = _recv_exact(sock, _HEADER_SIZE)
+    return read_frame_body(sock, header)
+
+
+def read_frame_body(sock: socket.socket, header: bytes) -> bytearray:
+    """Finish reading a frame whose 4-byte length *header* is in hand.
+
+    Split out of :func:`read_frame` for the server's framing auto-detect:
+    it must read the first four connection bytes before knowing whether
+    they are a plain length header or the pipelined magic.
+    """
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise TransportError(f"peer announced oversized frame: {length} bytes")
     return _recv_exact(sock, length)
+
+
+# ----------------------------------------------------- pipelined framing
+#
+# A pipelined connection opens with an 8-byte preamble, then every frame
+# carries a u32 correlation id between the length header and the payload:
+#
+#     client: "NRMI" "PIP1"  [u32 len | u32 corr | payload]*
+#     server:                [u32 len | u32 corr | payload]*   (any order)
+#
+# The magic doubles as the detection mechanism: interpreted as a length
+# header, b"NRMI" would announce a ~1.3 GB frame — far beyond
+# MAX_FRAME_BYTES — so no legal plain-framing client can ever start a
+# connection with those bytes, and servers accept both framings on one
+# port without configuration.
+
+PIPELINE_MAGIC = b"NRMI"
+PIPELINE_VERSION = b"PIP1"
+PIPELINE_PREAMBLE = PIPELINE_MAGIC + PIPELINE_VERSION
+
+recv_exact = _recv_exact
+
+
+def write_frame_corr(
+    sock: socket.socket, corr_id: int, payload, timeout: Optional[float] = None
+) -> None:
+    """Send one correlation-tagged frame (scatter-gather, no joins)."""
+    length = len(payload)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    header = _LEN.pack(length)
+    corr = _LEN.pack(corr_id & 0xFFFFFFFF)
+    _apply_timeout(sock, timeout)
+    try:
+        if _HAS_SENDMSG:
+            total = 2 * _HEADER_SIZE + length
+            sent = sock.sendmsg((header, corr, payload))
+            if sent < total:
+                rest = header + corr + bytes(payload)
+                sock.sendall(rest[sent:])
+        else:  # pragma: no cover - platforms without sendmsg
+            sock.sendall(header + corr + bytes(payload))
+    except socket.timeout as exc:
+        raise DeadlineExceededError(f"send timed out: {exc}") from exc
+    except OSError as exc:
+        raise RetryableError(f"send failed: {exc}") from exc
+
+
+def read_frame_corr(sock: socket.socket) -> tuple:
+    """Read one correlation-tagged frame; returns ``(corr_id, payload)``."""
+    header = _recv_exact(sock, _HEADER_SIZE)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"peer announced oversized frame: {length} bytes")
+    (corr_id,) = _LEN.unpack(_recv_exact(sock, _HEADER_SIZE))
+    return corr_id, _recv_exact(sock, length)

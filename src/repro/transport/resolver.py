@@ -21,7 +21,7 @@ from typing import Callable, Dict, Optional
 from repro.errors import TransportError
 from repro.transport.base import Channel, RequestHandler
 from repro.transport.inproc import InProcChannel
-from repro.transport.tcp import TcpChannel
+from repro.transport.tcp import PipelinedTcpChannel, TcpChannel
 
 
 class ChannelResolver:
@@ -62,22 +62,32 @@ class ChannelResolver:
             else:
                 self._wrappers[address] = wrapper
             self._channels.pop(address, None)
+            self._channels.pop(f"pipelined+{address}", None)
 
     # ------------------------------------------------------------ resolving
 
-    def resolve(self, address: str) -> Channel:
+    def resolve(self, address: str, pipelined: bool = False) -> Channel:
+        """The channel for *address*; one cached per (address, framing).
+
+        *pipelined* only affects ``tcp://`` addresses: it selects the
+        multi-call-in-flight channel (other schemes multiplex natively).
+        Both framings may coexist against one server — it auto-detects
+        per connection — so the two variants cache under separate keys.
+        """
+        pipelined = pipelined and address.startswith("tcp://")
+        key = f"pipelined+{address}" if pipelined else address
         with self._lock:
-            channel = self._channels.get(address)
+            channel = self._channels.get(key)
             if channel is not None:
                 return channel
-            channel = self._open(address)
+            channel = self._open(address, pipelined)
             wrapper = self._wrappers.get(address)
             if wrapper is not None:
                 channel = wrapper(channel)
-            self._channels[address] = channel
+            self._channels[key] = channel
             return channel
 
-    def _open(self, address: str) -> Channel:
+    def _open(self, address: str, pipelined: bool = False) -> Channel:
         if address.startswith("inproc://"):
             name = address[len("inproc://") :]
             handler = self._inproc_handlers.get(name)
@@ -89,15 +99,20 @@ class ChannelResolver:
             host, _, port_text = hostport.rpartition(":")
             if not host or not port_text.isdigit():
                 raise TransportError(f"malformed tcp address {address!r}")
-            return TcpChannel(host, int(port_text))
+            channel_type = PipelinedTcpChannel if pipelined else TcpChannel
+            return channel_type(host, int(port_text))
         raise TransportError(f"unsupported address scheme in {address!r}")
 
     def drop(self, address: str) -> None:
-        """Close and forget the cached channel for *address*."""
+        """Close and forget the cached channel(s) for *address*."""
         with self._lock:
-            channel = self._channels.pop(address, None)
-        if channel is not None:
-            channel.close()
+            channels = [
+                self._channels.pop(key, None)
+                for key in (address, f"pipelined+{address}")
+            ]
+        for channel in channels:
+            if channel is not None:
+                channel.close()
 
     def close_all(self) -> None:
         with self._lock:

@@ -16,14 +16,27 @@ can deduplicate, may send the same request twice.
 
 from __future__ import annotations
 
+import itertools
 import socket
 import threading
 import time
-from typing import Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
 
-from repro.errors import RetryableError, TransportError
+from repro.errors import DeadlineExceededError, RetryableError, TransportError
 from repro.transport.base import Channel, RequestHandler
-from repro.transport.framing import read_frame, write_frame
+from repro.transport.framing import (
+    PIPELINE_MAGIC,
+    PIPELINE_PREAMBLE,
+    PIPELINE_VERSION,
+    read_frame,
+    read_frame_body,
+    read_frame_corr,
+    recv_exact,
+    write_frame,
+    write_frame_corr,
+)
+from repro.util.metrics import Gauge
 
 
 class TcpServer:
@@ -86,31 +99,106 @@ class TcpServer:
                 self._conn_socks.add(conn)
             thread.start()
 
+    #: Workers concurrently executing requests of one pipelined connection.
+    PIPELINE_WORKERS = 8
+    #: Cap on frames admitted but not yet answered per pipelined connection.
+    PIPELINE_MAX_IN_FLIGHT = 64
+
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
             with conn:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                while not self._stopping.is_set():
+                # Framing auto-detect: a pipelined client opens with the
+                # 8-byte preamble; interpreted as a length header its first
+                # four bytes would announce an illegally oversized frame,
+                # so plain clients can never collide with it.
+                try:
+                    first = bytes(recv_exact(conn, 4))
+                except TransportError:
+                    return
+                if first == PIPELINE_MAGIC:
                     try:
-                        request = read_frame(conn)
-                    except TransportError:
-                        return  # peer closed or connection broke
-                    try:
-                        response = self._handler(request)
-                    except Exception:  # noqa: BLE001 - handler must not kill server
-                        # The RMI dispatcher encodes application errors itself;
-                        # anything escaping to here is a protocol bug, and the
-                        # only safe move is dropping the connection.
-                        return
-                    try:
-                        write_frame(conn, response)
+                        version = bytes(recv_exact(conn, 4))
                     except TransportError:
                         return
+                    if version != PIPELINE_VERSION:
+                        return  # unknown pipeline revision: drop
+                    self._serve_pipelined(conn)
+                    return
+                self._serve_sequential(conn, first)
         finally:
             # Reap this handle so the sets track only live connections.
             with self._conn_lock:
                 self._conn_threads.discard(threading.current_thread())
                 self._conn_socks.discard(conn)
+
+    def _serve_sequential(self, conn: socket.socket, first_header: bytes) -> None:
+        """Classic one-request-at-a-time framing (*first_header* pre-read)."""
+        header: Optional[bytes] = first_header
+        while not self._stopping.is_set():
+            try:
+                if header is not None:
+                    request = read_frame_body(conn, header)
+                    header = None
+                else:
+                    request = read_frame(conn)
+            except TransportError:
+                return  # peer closed or connection broke
+            try:
+                response = self._handler(request)
+            except Exception:  # noqa: BLE001 - handler must not kill server
+                # The RMI dispatcher encodes application errors itself;
+                # anything escaping to here is a protocol bug, and the
+                # only safe move is dropping the connection.
+                return
+            try:
+                write_frame(conn, response)
+            except TransportError:
+                return
+
+    def _serve_pipelined(self, conn: socket.socket) -> None:
+        """Serve correlation-tagged frames, many requests in flight.
+
+        Each request runs on a worker; responses go out in completion
+        order under a write lock, tagged with the request's correlation
+        id so the client's reader thread can demultiplex them.
+        """
+        write_lock = threading.Lock()
+        admission = threading.Semaphore(self.PIPELINE_MAX_IN_FLIGHT)
+        broken = threading.Event()
+        executor = ThreadPoolExecutor(
+            max_workers=self.PIPELINE_WORKERS,
+            thread_name_prefix=f"tcp-pipe-{self.port}",
+        )
+
+        def work(corr_id: int, request: bytearray) -> None:
+            try:
+                try:
+                    response = self._handler(request)
+                except Exception:  # noqa: BLE001 - same contract as sequential
+                    broken.set()
+                    return
+                try:
+                    with write_lock:
+                        write_frame_corr(conn, corr_id, response)
+                except TransportError:
+                    broken.set()
+            finally:
+                admission.release()
+
+        try:
+            while not self._stopping.is_set() and not broken.is_set():
+                try:
+                    corr_id, request = read_frame_corr(conn)
+                except TransportError:
+                    return
+                admission.acquire()
+                executor.submit(work, corr_id, request)
+        finally:
+            # Dropping the connection (the context manager in the caller
+            # closes it) fails the client's pending calls; workers still
+            # running just hit a dead socket.
+            executor.shutdown(wait=False)
 
     def stop(self, grace: Optional[float] = None) -> None:
         """Stop accepting, drain in-flight requests, then force-close.
@@ -230,3 +318,174 @@ class TcpChannel(Channel):
     def close(self) -> None:
         with self._lock:
             self._drop_connection()
+
+
+class _PendingReply:
+    """One in-flight call's rendezvous with the reader thread."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[bytearray] = None
+        self.error: Optional[Exception] = None
+
+
+class PipelinedTcpChannel(Channel):
+    """A TCP channel keeping many calls in flight on one connection.
+
+    Where :class:`TcpChannel` serializes callers behind a lock for the
+    whole request/response exchange, this channel only serializes the
+    *send*; a background reader thread demultiplexes replies to their
+    callers by the correlation id every frame carries. Concurrent callers
+    therefore share one connection without head-of-line blocking — a
+    sparse delta reply overtakes a bulky full-map reply still streaming
+    out of the server.
+
+    Correlation ids are a transport concern and deliberately distinct
+    from the RMI layer's at-most-once call IDs: they tag *frames* on one
+    connection (every operation, PING and FIELD_GET included), while call
+    IDs identify *calls* across connections and retries.
+
+    Failure semantics match :class:`TcpChannel`: a broken connection
+    fails every pending call with :class:`~repro.errors.RetryableError`
+    and the next request reconnects; this channel never resends.
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
+        super().__init__()
+        self.host = host
+        self.port = port
+        self._timeout = timeout
+        self._state_lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._pending: Dict[int, _PendingReply] = {}
+        self._corr = itertools.count(1)
+        #: Peak number of simultaneously in-flight calls (observability).
+        self.max_in_flight = 0
+        #: Live gauge of calls currently awaiting replies.
+        self.in_flight_gauge = Gauge("tcp.pipelined.in_flight")
+
+    def _ensure_connected(self, timeout: Optional[float]) -> socket.socket:
+        with self._state_lock:
+            if self._sock is not None:
+                return self._sock
+            connect_timeout = timeout if timeout is not None else self._timeout
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=connect_timeout
+                )
+            except socket.timeout as exc:
+                raise DeadlineExceededError(
+                    f"connect to {self.host}:{self.port} timed out: {exc}"
+                ) from exc
+            except OSError as exc:
+                raise RetryableError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # The reader thread blocks in recv with no socket timeout;
+            # per-call deadlines are enforced on the caller's event wait
+            # instead, so a slow call never breaks the shared connection.
+            sock.settimeout(None)
+            try:
+                sock.sendall(PIPELINE_PREAMBLE)
+            except OSError as exc:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise RetryableError(f"pipeline handshake failed: {exc}") from exc
+            self._sock = sock
+            reader = threading.Thread(
+                target=self._read_loop,
+                args=(sock,),
+                name=f"tcp-pipe-reader-{self.port}",
+                daemon=True,
+            )
+            reader.start()
+            return sock
+
+    def _read_loop(self, sock: socket.socket) -> None:
+        try:
+            while True:
+                corr_id, frame = read_frame_corr(sock)
+                with self._state_lock:
+                    waiter = self._pending.pop(corr_id, None)
+                    self.in_flight_gauge.set(len(self._pending))
+                if waiter is not None:
+                    waiter.response = frame
+                    waiter.event.set()
+                # An unknown id is a reply whose caller already timed out
+                # and abandoned the wait: drop it.
+        except Exception as exc:  # noqa: BLE001 - all reader exits fail pending
+            self._fail_connection(sock, exc)
+
+    def _fail_connection(self, sock: socket.socket, exc: Exception) -> None:
+        with self._state_lock:
+            if self._sock is sock:
+                self._sock = None
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self.in_flight_gauge.set(0)
+        try:
+            sock.close()
+        except OSError:
+            pass
+        for waiter in pending:
+            waiter.error = RetryableError(f"pipelined connection lost: {exc}")
+            waiter.event.set()
+
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
+        """One call over the shared connection; safe to invoke from many
+        threads concurrently. Never resends (see :class:`TcpChannel`)."""
+        sock = self._ensure_connected(timeout)
+        corr_id = next(self._corr) & 0xFFFFFFFF
+        waiter = _PendingReply()
+        with self._state_lock:
+            if self._sock is not sock:
+                raise RetryableError("pipelined connection lost before send")
+            self._pending[corr_id] = waiter
+            in_flight = len(self._pending)
+            self.in_flight_gauge.set(in_flight)
+            if in_flight > self.max_in_flight:
+                self.max_in_flight = in_flight
+        try:
+            with self._send_lock:
+                write_frame_corr(sock, corr_id, payload)
+        except TransportError as exc:
+            with self._state_lock:
+                self._pending.pop(corr_id, None)
+            self._fail_connection(sock, exc)
+            raise
+        wait_budget = timeout if timeout is not None else self._timeout
+        if not waiter.event.wait(wait_budget):
+            with self._state_lock:
+                self._pending.pop(corr_id, None)
+                self.in_flight_gauge.set(len(self._pending))
+            raise DeadlineExceededError(
+                f"no reply from {self.host}:{self.port} within {wait_budget}s"
+            )
+        if waiter.error is not None:
+            raise waiter.error
+        response = waiter.response
+        self.stats.record(sent=len(payload), received=len(response))
+        return response
+
+    @property
+    def in_flight(self) -> int:
+        with self._state_lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        with self._state_lock:
+            sock = self._sock
+            self._sock = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            # The reader thread notices the closed socket and fails any
+            # still-pending calls through _fail_connection.

@@ -93,12 +93,58 @@ class Gauge:
         return f"Gauge({self.name}={self.value})"
 
 
+class Distribution:
+    """A thread-safe summary of observed values (count/total/min/max).
+
+    Used for ratios and sizes where the *shape* matters more than a total —
+    e.g. the fraction of linear-map slots a delta reply shipped. Cheap by
+    design: four scalars under a lock, no reservoir.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
+
+    def __repr__(self) -> str:
+        return (
+            f"Distribution({self.name}: n={self.count}, mean={self.mean:.4f})"
+        )
+
+
 class MetricsRegistry:
     """A named collection of counters and gauges, created on first use."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._distributions: Dict[str, Distribution] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -123,6 +169,17 @@ class MetricsRegistry:
                 self._gauges[name] = gauge
             return gauge
 
+    def distribution(self, name: str) -> Distribution:
+        dist = self._distributions.get(name)
+        if dist is not None:
+            return dist
+        with self._lock:
+            dist = self._distributions.get(name)
+            if dist is None:
+                dist = Distribution(name)
+                self._distributions[name] = dist
+            return dist
+
     def snapshot(self) -> Dict[str, int]:
         """Counters and gauges flattened into one name → value view."""
         with self._lock:
@@ -136,6 +193,8 @@ class MetricsRegistry:
                 counter.reset()
             for gauge in self._gauges.values():
                 gauge.set(0)
+            for dist in self._distributions.values():
+                dist.reset()
 
     def __iter__(self) -> Iterator[Tuple[str, int]]:
         return iter(self.snapshot().items())

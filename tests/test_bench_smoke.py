@@ -1,12 +1,14 @@
 """CI bench-smoke step: the benchmark-regression runner stays healthy.
 
-Two layers:
+Three layers:
 
 * run ``repro.bench.regress --quick`` end to end (into a temp file, so the
-  committed full-size ``BENCH_pr1.json`` at the repo root is not clobbered
+  committed full-size ``BENCH_pr3.json`` at the repo root is not clobbered
   by quick-mode numbers) and validate the report it writes;
 * re-measure the full-size serde micro encode in-process and hold it to
-  the recorded ``BENCH_pr1.json`` within the runner's regression budget.
+  the recorded ``BENCH_pr3.json`` within the runner's regression budget;
+* replay scenario III with a 1%-mutation mutator so the sparse
+  dirty-slot reply path is regression-gated alongside the dense one.
 """
 
 import json
@@ -39,11 +41,81 @@ def test_regress_quick_runs_clean(tmp_path):
         < report["serde_micro"]["legacy"]["bytes"]
     )
     assert report["gate"]["passed"] is True
+    # The delta ablation must be present and keep its defining shape: a
+    # sparse mutator's dirty-slot reply is smaller than the full map.
+    sparse = report["delta_restore"]["sparse"]
+    assert sparse["delta"]["reply_bytes"] < sparse["full"]["reply_bytes"]
+
+
+# The recorded numbers come from a quiet dedicated run; re-measuring in
+# the middle of a loaded pytest run needs headroom beyond the runner's
+# 25% gate. 75% still catches every structural regression this test
+# exists for (losing the compiled-plan fast path alone is ~8x).
+IN_SUITE_LIMIT_PCT = 75.0
 
 
 @pytest.mark.bench_smoke
 def test_serde_micro_encode_within_recorded_budget():
-    recorded = regress._load_previous(REPO_ROOT / "BENCH_pr1.json")
-    serde = regress.run_serde_micro(regress.FULL_SIZE, rounds=4, iterations=15)
-    failures = regress._check_gate(recorded, serde, regress.FULL_SIZE)
+    recorded = regress._load_previous(REPO_ROOT / "BENCH_pr3.json")
+    failures = []
+    for _ in range(2):  # one re-measure before failing, for noise spikes
+        serde = regress.run_serde_micro(
+            regress.FULL_SIZE, rounds=4, iterations=15
+        )
+        failures = regress._check_gate(
+            recorded, serde, regress.FULL_SIZE, limit_pct=IN_SUITE_LIMIT_PCT
+        )
+        if not failures:
+            break
     assert not failures, "; ".join(failures)
+
+
+@pytest.mark.bench_smoke
+def test_sparse_one_percent_mutator_delta_gate():
+    """Scenario III, 1% mutation: dirty-slot replies must stay sparse.
+
+    Gates the sparse reply path the way the encode gate protects serde:
+    if digesting or the oldref encoding regresses into shipping clean
+    slots, the ratio collapses well below the floor asserted here.
+    """
+    result = regress.run_delta_restore(
+        regress.QUICK_SIZE, rounds=2, iterations=3, mutations={"one_pct": 0.01}
+    )
+    row = result["one_pct"]
+    assert row["mutate_fraction"] == 0.01
+    # At 1% mutation of a 64-node tree a reply carries ~0-2 dirty slots;
+    # anything under 4x means clean slots are leaking into the reply.
+    assert row["reply_bytes_ratio"] >= 4.0, row
+    assert row["delta"]["reply_bytes"] < row["full"]["reply_bytes"] / 4.0
+
+
+@pytest.mark.bench_smoke
+def test_compare_mode_reports_deltas(tmp_path, capsys):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    meta = {"size": regress.QUICK_SIZE}
+    old.write_text(json.dumps({
+        "meta": meta,
+        "serde_micro": {"modern": {"encode_us": 100.0, "bytes": 500}},
+    }))
+    new.write_text(json.dumps({
+        "meta": meta,
+        "serde_micro": {"modern": {"encode_us": 110.0, "bytes": 500}},
+    }))
+    assert regress.run_compare(old, new) == 0
+    out = capsys.readouterr().out
+    assert "serde_micro.modern.encode_us" in out
+    assert "+10.0%" in out
+
+    # Beyond the gate: time-like metrics regress the exit status ...
+    new.write_text(json.dumps({
+        "meta": meta,
+        "serde_micro": {"modern": {"encode_us": 200.0, "bytes": 500}},
+    }))
+    assert regress.run_compare(old, new) == 1
+    # ... but byte counts are informational only.
+    new.write_text(json.dumps({
+        "meta": meta,
+        "serde_micro": {"modern": {"encode_us": 100.0, "bytes": 5000}},
+    }))
+    assert regress.run_compare(old, new) == 0

@@ -121,15 +121,16 @@ class TestFaultAtEveryStage:
         ),
     ]
 
+    @pytest.mark.parametrize("policy", ["full", "delta"])
     @pytest.mark.parametrize(
         "stage,mode,schedule,expected", STAGES, ids=[s[0] for s in STAGES]
     )
     def test_heap_atomic_on_failure_then_converges(
-        self, make_endpoint_pair, stage, mode, schedule, expected
+        self, make_endpoint_pair, stage, mode, schedule, expected, policy
     ):
         chaos = ChaosPair(
             make_endpoint_pair,
-            client_config=NRMIConfig(retry=FAST_RETRY),
+            client_config=NRMIConfig(retry=FAST_RETRY, policy=policy),
             mode=mode or "drop_request",
             fail_on_calls=schedule,
         )
@@ -206,6 +207,28 @@ class TestAtMostOnceAcceptance:
         assert heap_fingerprint([box]) == local_baseline("push", 42)
         assert chaos.server.metrics.counter("reply_cache.hits").value >= 1
         assert chaos.client.metrics.counter("calls.retries").value >= 1
+
+    def test_lost_reply_retry_hits_cache_for_delta_frames(
+        self, make_endpoint_pair
+    ):
+        """ISSUE acceptance: the reply cache replays *dirty-slot* frames
+        byte-for-byte — a retried delta call restores correctly from the
+        cached frame without re-executing the method."""
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            client_config=NRMIConfig(retry=FAST_RETRY, policy="delta"),
+            mode="drop_response",
+            fail_on_calls={2},  # first push attempt loses its reply
+        )
+        box = make_heap()
+        result = chaos.service.push(box, 42)
+
+        assert chaos.ledger.executions == 1  # executed exactly once
+        assert result[-1] == 42
+        assert heap_fingerprint([box]) == local_baseline("push", 42)
+        assert chaos.server.metrics.counter("reply_cache.hits").value >= 1
+        # The frame the retry restored from was the dirty-slot reply.
+        assert chaos.client.metrics.counter("delta.slot_replies").value == 1
 
     def test_duplicate_response_deduplicated_by_server(
         self, make_endpoint_pair

@@ -1,8 +1,10 @@
-"""Unit tests for invocation-pipeline pieces: retained-set computation."""
+"""Unit tests for invocation-pipeline pieces: retained-set computation,
+the auto reply-policy chooser, and pooled-buffer hygiene on failed calls."""
 
 import pytest
 
-from repro.nrmi.invocation import compute_retained
+from repro.errors import SerializationError
+from repro.nrmi.invocation import ReplyPolicyChooser, compute_retained
 from repro.serde.accessors import OPTIMIZED_ACCESSOR
 from repro.serde.writer import ObjectWriter
 
@@ -98,3 +100,83 @@ class TestComputeRetained:
         linear_map = marshal(a)
         retained = compute_retained(linear_map, [a], OPTIMIZED_ACCESSOR)
         assert len(retained) == 2
+
+
+class TestReplyPolicyChooser:
+    ADDR = "inproc://peer"
+
+    def test_defaults_to_delta_without_data(self):
+        assert ReplyPolicyChooser().choose(self.ADDR) == "delta"
+
+    def test_sparse_traffic_keeps_delta(self):
+        chooser = ReplyPolicyChooser()
+        for _ in range(10):
+            chooser.observe(self.ADDR, dirty=2, total=100)
+        assert chooser.choose(self.ADDR) == "delta"
+
+    def test_dense_traffic_switches_to_full(self):
+        chooser = ReplyPolicyChooser()
+        for _ in range(10):
+            chooser.observe(self.ADDR, dirty=95, total=100)
+        assert chooser.choose(self.ADDR) == "full"
+
+    def test_full_mode_probes_delta_periodically(self):
+        chooser = ReplyPolicyChooser()
+        for _ in range(10):
+            chooser.observe(self.ADDR, dirty=100, total=100)
+        window = [
+            chooser.choose(self.ADDR)
+            for _ in range(ReplyPolicyChooser.PROBE_EVERY * 2)
+        ]
+        assert window.count("delta") == 2  # one probe per window
+        assert window[ReplyPolicyChooser.PROBE_EVERY - 1] == "delta"
+
+    def test_probe_observing_sparse_flips_back(self):
+        chooser = ReplyPolicyChooser()
+        chooser.observe(self.ADDR, dirty=100, total=100)
+        assert chooser.choose(self.ADDR) == "full"
+        # The workload turned sparse; a few probes pull the EWMA down.
+        for _ in range(10):
+            chooser.observe(self.ADDR, dirty=0, total=100)
+        assert chooser.choose(self.ADDR) == "delta"
+
+    def test_addresses_tracked_independently(self):
+        chooser = ReplyPolicyChooser()
+        chooser.observe("inproc://dense", dirty=100, total=100)
+        chooser.observe("inproc://sparse", dirty=1, total=100)
+        assert chooser.choose("inproc://dense") == "full"
+        assert chooser.choose("inproc://sparse") == "delta"
+
+    def test_empty_map_ignored(self):
+        chooser = ReplyPolicyChooser()
+        chooser.observe(self.ADDR, dirty=0, total=0)
+        assert chooser.choose(self.ADDR) == "delta"
+
+
+class Unmarshalable:
+    """Not a marker subclass, not registered: marshalling it fails."""
+
+
+class TestEncodeFailureBufferHygiene:
+    def test_failed_marshal_returns_buffers_to_pool(self, endpoint_pair):
+        """A call whose arguments fail to marshal must hand its pooled
+        encode buffers back — under chaos runs injecting encode faults
+        the pool would otherwise drain to nothing."""
+        from repro.core.markers import Remote
+
+        class Svc(Remote):
+            def poke(self, value):
+                return value
+
+        endpoint_pair.server.bind("svc", Svc())
+        service = endpoint_pair.client.lookup(
+            endpoint_pair.server.address, "svc"
+        )
+        pool = endpoint_pair.client.buffer_pool
+        service.poke(Box(1))  # warm: pooled buffers exist and recycle
+        level = len(pool)
+        for _ in range(pool.max_buffers * 2):
+            with pytest.raises(SerializationError):
+                service.poke(Unmarshalable())
+            assert len(pool) >= level  # nothing leaked out of the pool
+        service.poke(Box(2))  # the pipeline still works afterwards

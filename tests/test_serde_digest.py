@@ -1,0 +1,105 @@
+"""Per-slot digests: the dirty/clean decision behind delta-slot replies.
+
+The contract under test is conservative change detection: equal digests
+imply the slot is unchanged (never a false "clean"), while value-identical
+replacements of referenced objects may digest dirty (a false "dirty" only
+costs reply bytes).
+"""
+
+import pytest
+
+from repro.errors import RestoreError
+from repro.serde.accessors import OPTIMIZED_ACCESSOR
+from repro.serde.digest import SlotDigestTable, digest_slots
+
+from tests.model_helpers import Box, Node
+
+
+def dirty(slots, mutate=None):
+    """Digest, optionally mutate, digest again; return dirty indices."""
+    before = digest_slots(slots, OPTIMIZED_ACCESSOR)
+    if mutate is not None:
+        mutate()
+    after = digest_slots(slots, OPTIMIZED_ACCESSOR)
+    return before.dirty_indices(after)
+
+
+class TestCleanDetection:
+    def test_untouched_slots_are_clean(self):
+        node = Node(1, next=Node(2))
+        slots = [node, node.next, [1, "x"], {"k": 1}, {3, 4}, bytearray(b"b")]
+        assert dirty(slots) == []
+
+    def test_value_equal_tuple_rebuild_is_clean(self):
+        """Immutable containers compare by value: replacing a tuple with
+        an equal one must not mark the slot dirty."""
+        box = Box((1, ("two", 3.0)))
+
+        def rebuild():
+            box.payload = (1, ("two", 3.0))
+
+        assert dirty([box], rebuild) == []
+
+    def test_set_iteration_order_is_insensitive(self):
+        """Two equal sets digest identically whatever their insertion
+        (and therefore iteration) order."""
+        forward, backward = set(), set()
+        for ch in "abcdefgh":
+            forward.add(ch)
+        for ch in reversed("abcdefgh"):
+            backward.add(ch)
+        table = digest_slots([forward, backward], OPTIMIZED_ACCESSOR)
+        assert table.tokens[0] == table.tokens[1]
+
+
+class TestDirtyDetection:
+    def test_attribute_change(self):
+        node = Node(1)
+        assert dirty([node], lambda: setattr(node, "data", 2)) == [0]
+
+    def test_only_mutated_slot_flagged(self):
+        nodes = [Node(i) for i in range(5)]
+        assert dirty(nodes, lambda: setattr(nodes[3], "data", 99)) == [3]
+
+    def test_list_dict_set_bytearray_changes(self):
+        items, mapping, tags, raw = [1], {"k": 1}, {1}, bytearray(b"ab")
+
+        def mutate():
+            items.append(2)
+            mapping["k"] = 2
+            tags.add(2)
+            raw[0] = 0
+
+        assert dirty([items, mapping, tags, raw], mutate) == [0, 1, 2, 3]
+
+    def test_reference_replacement_is_dirty(self):
+        """A referenced mutable object compares by identity, so swapping
+        in a value-equal replacement flags the slot."""
+        node = Node(1, next=Node("child"))
+        assert dirty([node], lambda: setattr(node, "next", Node("child"))) == [0]
+
+    def test_primitive_type_confusions_differ(self):
+        """5 vs 5.0 vs True vs a big int: distinct tags, distinct tokens."""
+        slots = [[5], [5.0], [True], [1], [1 << 70]]
+        table = digest_slots(slots, OPTIMIZED_ACCESSOR)
+        assert len(set(table.tokens)) == len(slots)
+
+
+class TestTableMechanics:
+    def test_mismatched_lengths_raise(self):
+        one = digest_slots([Node(1)], OPTIMIZED_ACCESSOR)
+        two = digest_slots([Node(1), Node(2)], OPTIMIZED_ACCESSOR)
+        with pytest.raises(RestoreError, match="different retained lists"):
+            one.dirty_indices(two)
+
+    def test_referenced_objects_are_pinned(self):
+        """Id-tokens are only sound while the object is alive; the table
+        must hold a strong reference to everything it id-tokenized."""
+        node = Node(1, next=Node("child"))
+        table = digest_slots([node], OPTIMIZED_ACCESSOR)
+        assert any(pin is node.next for pin in table._pins)
+
+    def test_sizes_track_token_lengths(self):
+        table = digest_slots([[1, 2, 3], []], OPTIMIZED_ACCESSOR)
+        assert table.sizes == [len(table.tokens[0]), len(table.tokens[1])]
+        assert len(table) == 2

@@ -2,16 +2,24 @@
 
 import socket
 import threading
+import time
 
 import pytest
 
-from repro.errors import TransportError
+from repro.errors import DeadlineExceededError, RetryableError, TransportError
 from repro.transport.base import ChannelStats
-from repro.transport.framing import MAX_FRAME_BYTES, read_frame, write_frame
+from repro.transport.framing import (
+    MAX_FRAME_BYTES,
+    PIPELINE_PREAMBLE,
+    read_frame,
+    read_frame_corr,
+    write_frame,
+    write_frame_corr,
+)
 from repro.transport.inproc import InProcChannel
 from repro.transport.resolver import ChannelResolver
 from repro.transport.simnet import LOOPBACK_MODEL, NetworkModel, SimulatedChannel
-from repro.transport.tcp import TcpChannel, TcpServer
+from repro.transport.tcp import PipelinedTcpChannel, TcpChannel, TcpServer
 
 
 def echo_handler(request: bytes) -> bytes:
@@ -161,6 +169,178 @@ class TestTcp:
                 assert channel.request(b"two") == b"echo:two"
             finally:
                 channel.close()
+
+
+class TestCorrelatedFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            write_frame_corr(a, 7, b"hello")
+            assert read_frame_corr(b) == (7, b"hello")
+        finally:
+            a.close()
+            b.close()
+
+    def test_interleaved_ids_preserved(self):
+        a, b = socket.socketpair()
+        try:
+            for corr_id in (3, 1, 2):
+                write_frame_corr(a, corr_id, f"p{corr_id}".encode())
+            seen = [read_frame_corr(b) for _ in range(3)]
+            assert seen == [(3, b"p3"), (1, b"p1"), (2, b"p2")]
+        finally:
+            a.close()
+            b.close()
+
+    def test_preamble_cannot_be_a_legal_plain_frame(self):
+        """The detection trick: the magic, read as a length header, must
+        announce an illegally oversized frame."""
+        announced = int.from_bytes(PIPELINE_PREAMBLE[:4], "big")
+        assert announced > MAX_FRAME_BYTES
+
+
+class TestPipelinedTcp:
+    def test_request_response(self):
+        with TcpServer(echo_handler) as server:
+            channel = PipelinedTcpChannel(server.host, server.port)
+            try:
+                assert channel.request(b"piped") == b"echo:piped"
+                assert channel.in_flight == 0
+            finally:
+                channel.close()
+
+    def test_many_requests_one_connection(self):
+        with TcpServer(echo_handler) as server:
+            channel = PipelinedTcpChannel(server.host, server.port)
+            try:
+                for i in range(50):
+                    assert channel.request(f"{i}".encode()) == f"echo:{i}".encode()
+            finally:
+                channel.close()
+
+    def test_concurrent_callers_demuxed_correctly(self):
+        with TcpServer(echo_handler) as server:
+            channel = PipelinedTcpChannel(server.host, server.port)
+            errors = []
+
+            def worker(worker_id: int):
+                for i in range(20):
+                    payload = f"{worker_id}-{i}".encode()
+                    if channel.request(payload) != b"echo:" + payload:
+                        errors.append((worker_id, i))
+
+            try:
+                threads = [
+                    threading.Thread(target=worker, args=(n,)) for n in range(8)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert errors == []
+                assert channel.max_in_flight >= 2  # calls really overlapped
+                assert server.live_connections == 1  # on ONE connection
+            finally:
+                channel.close()
+
+    def test_fast_reply_overtakes_slow_call(self):
+        """The head-of-line-blocking fix: a fast call completes while a
+        slow one is still in flight on the same connection."""
+
+        def handler(request: bytes) -> bytes:
+            if request == b"slow":
+                time.sleep(0.3)
+            return b"echo:" + request
+
+        with TcpServer(handler) as server:
+            channel = PipelinedTcpChannel(server.host, server.port)
+            try:
+                slow = threading.Thread(target=channel.request, args=(b"slow",))
+                slow.start()
+                deadline = time.monotonic() + 2.0
+                while channel.in_flight == 0 and time.monotonic() < deadline:
+                    time.sleep(0.001)  # wait for the slow send to land
+                started = time.monotonic()
+                assert channel.request(b"fast") == b"echo:fast"
+                elapsed = time.monotonic() - started
+                slow.join()
+                assert elapsed < 0.25  # did not wait behind the slow reply
+                assert channel.max_in_flight == 2
+            finally:
+                channel.close()
+
+    def test_deadline_abandons_call_but_keeps_connection(self):
+        def handler(request: bytes) -> bytes:
+            if request == b"stall":
+                time.sleep(0.5)
+            return b"echo:" + request
+
+        with TcpServer(handler) as server:
+            channel = PipelinedTcpChannel(server.host, server.port)
+            try:
+                with pytest.raises(DeadlineExceededError):
+                    channel.request(b"stall", timeout=0.05)
+                assert channel.in_flight == 0
+                # The late reply is dropped by the reader; the connection
+                # keeps serving subsequent calls.
+                assert channel.request(b"after") == b"echo:after"
+            finally:
+                channel.close()
+
+    def test_broken_connection_fails_pending_and_reconnects(self):
+        with TcpServer(echo_handler) as server:
+            channel = PipelinedTcpChannel(server.host, server.port)
+            try:
+                assert channel.request(b"one") == b"echo:one"
+                with channel._state_lock:
+                    sock = channel._sock
+                sock.shutdown(socket.SHUT_RDWR)  # simulate a mid-life break
+                deadline = time.monotonic() + 2.0
+                while channel._sock is not None and time.monotonic() < deadline:
+                    time.sleep(0.001)
+                # A fresh request transparently reconnects (the retry
+                # layer, not the channel, decides about resending).
+                assert channel.request(b"two") == b"echo:two"
+            finally:
+                channel.close()
+
+    def test_send_failure_raises_retryable(self):
+        channel = PipelinedTcpChannel("127.0.0.1", 1)  # nothing listens
+        with pytest.raises(RetryableError):
+            channel.request(b"x")
+
+    def test_plain_and_pipelined_share_one_server(self):
+        """Framing auto-detect: both client framings against one port."""
+        with TcpServer(echo_handler) as server:
+            plain = TcpChannel(server.host, server.port)
+            piped = PipelinedTcpChannel(server.host, server.port)
+            try:
+                assert plain.request(b"a") == b"echo:a"
+                assert piped.request(b"b") == b"echo:b"
+                assert plain.request(b"c") == b"echo:c"
+            finally:
+                plain.close()
+                piped.close()
+
+    def test_resolver_caches_framings_separately(self):
+        with TcpServer(echo_handler) as server:
+            resolver = ChannelResolver()
+            try:
+                plain = resolver.resolve(server.address)
+                piped = resolver.resolve(server.address, pipelined=True)
+                assert isinstance(plain, TcpChannel)
+                assert isinstance(piped, PipelinedTcpChannel)
+                assert resolver.resolve(server.address, pipelined=True) is piped
+                assert resolver.resolve(server.address) is plain
+            finally:
+                resolver.close_all()
+
+    def test_pipelined_flag_ignored_off_tcp(self):
+        resolver = ChannelResolver()
+        address = resolver.register_inproc("svc", echo_handler)
+        channel = resolver.resolve(address, pipelined=True)
+        assert isinstance(channel, InProcChannel)
+        assert resolver.resolve(address) is channel
 
 
 class TestSimulatedChannel:

@@ -2,7 +2,7 @@
 
 import threading
 
-from repro.util.metrics import Counter, MetricsRegistry
+from repro.util.metrics import Counter, Distribution, MetricsRegistry
 from repro.util.rng import DeterministicRandom
 
 
@@ -42,6 +42,45 @@ class TestCounter:
         assert c.value == 40_000
 
 
+class TestDistribution:
+    def test_empty_summary(self):
+        dist = Distribution("d")
+        assert dist.count == 0
+        assert dist.mean == 0.0
+
+    def test_records_summarize(self):
+        dist = Distribution("d")
+        for value in (0.25, 0.75, 0.5):
+            dist.record(value)
+        assert dist.count == 3
+        assert dist.total == 1.5
+        assert dist.min == 0.25
+        assert dist.max == 0.75
+        assert dist.mean == 0.5
+
+    def test_reset(self):
+        dist = Distribution("d")
+        dist.record(3.0)
+        dist.reset()
+        assert dist.count == 0
+        assert dist.mean == 0.0
+
+    def test_thread_safety(self):
+        dist = Distribution("d")
+
+        def worker():
+            for _ in range(5_000):
+                dist.record(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert dist.count == 20_000
+        assert dist.total == 20_000.0
+
+
 class TestMetricsRegistry:
     def test_counter_created_on_first_use(self):
         registry = MetricsRegistry()
@@ -63,6 +102,20 @@ class TestMetricsRegistry:
         registry = MetricsRegistry()
         registry.counter("k").add(9)
         assert dict(registry) == {"k": 9}
+
+    def test_distribution_created_on_first_use(self):
+        registry = MetricsRegistry()
+        assert registry.distribution("d") is registry.distribution("d")
+        registry.distribution("d").record(0.5)
+        assert registry.distribution("d").count == 1
+        # Distributions are not flattened into the scalar snapshot.
+        assert "d" not in registry.snapshot()
+
+    def test_reset_all_covers_distributions(self):
+        registry = MetricsRegistry()
+        registry.distribution("d").record(2.0)
+        registry.reset_all()
+        assert registry.distribution("d").count == 0
 
 
 class TestDeterministicRandom:
