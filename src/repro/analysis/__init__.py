@@ -1,0 +1,45 @@
+"""Static analysis for NRMI programs and for the middleware itself.
+
+The ``rmic``/``serialver`` analogue this reproduction was missing: an
+AST/introspection linter that rejects broken remote contracts,
+unserializable state, copy-restore hazards, and protocol-constant drift
+*before* anything hits the wire. Four rule families:
+
+========  =================  ==============================================
+NRMI00x   contract           interfaces, impl drift, fake remote members
+NRMI01x   serializability    unencodable fields, walker blind spots, digests
+NRMI02x   copy-restore       @no_restore mutation, escapes, mutable defaults
+NRMI03x   runtime            lock discipline, wire-constant cross-checks
+========  =================  ==============================================
+
+Run it as ``nrmi-lint src examples`` or ``python -m repro.analysis …``;
+see ``docs/static_analysis.md`` for the full catalogue and the
+suppression syntax (``# nrmi: disable=NRMI0xx -- reason``).
+"""
+
+from repro.analysis.engine import (
+    AnalysisResult,
+    analyze_paths,
+    analyze_project,
+    build_project,
+    collect_files,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporting import render_json, render_text, to_json_payload
+from repro.analysis.rulebase import ALL_RULES, RULES_BY_CODE, Rule
+
+__all__ = [
+    "AnalysisResult",
+    "analyze_paths",
+    "analyze_project",
+    "build_project",
+    "collect_files",
+    "Finding",
+    "Severity",
+    "render_json",
+    "render_text",
+    "to_json_payload",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "Rule",
+]

@@ -1,0 +1,81 @@
+"""Finding and severity model for the NRMI static analyzer.
+
+Every rule violation is a :class:`Finding`: a stable ``NRMI0xx`` code, the
+``file:line:col`` it anchors to, a severity, a one-line message, and a fix
+hint. Findings are value objects — the engine sorts, deduplicates, filters
+(suppressions, ``--select``/``--ignore``) and serializes them without any
+rule-specific knowledge.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Matches a well-formed rule code: NRMI + 3 digits.
+CODE_PATTERN = re.compile(r"^NRMI\d{3}$")
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; the CLI exit code keys off ``ERROR``."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+    rule: str = ""
+    family: str = ""
+    extra: Optional[Dict[str, Any]] = field(default=None, compare=False)
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def render(self) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.severity.label}: {self.message}"
+        )
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The stable JSON shape (``nrmi-lint --json``, schema version 1)."""
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "rule": self.rule,
+            "family": self.family,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload

@@ -1,0 +1,56 @@
+"""Rendering lint results: human text and the stable ``--json`` schema.
+
+The JSON shape is versioned and intentionally boring — CI and the bench
+runner diff findings between revisions, so field names, ordering, and
+the summary block must stay stable. Additive changes bump
+``JSON_SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.engine import AnalysisResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult, verbose_suppressed: bool = False) -> str:
+    lines = [finding.render() for finding in result.findings]
+    if verbose_suppressed:
+        lines.extend(
+            f"{finding.render()} (suppressed)" for finding in result.suppressed
+        )
+    total = len(result.findings)
+    summary = (
+        f"{total} finding{'s' if total != 1 else ''} "
+        f"({result.errors} error{'s' if result.errors != 1 else ''}, "
+        f"{result.warnings} warning{'s' if result.warnings != 1 else ''}) "
+        f"in {result.files} file{'s' if result.files != 1 else ''}"
+    )
+    if result.suppressed:
+        summary += f"; {len(result.suppressed)} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json_payload(result: AnalysisResult) -> Dict[str, Any]:
+    return {
+        "schema": JSON_SCHEMA_VERSION,
+        "tool": "nrmi-lint",
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "summary": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "suppressed": len(result.suppressed),
+            "exit_code": result.exit_code,
+        },
+    }
+
+
+def render_json(result: AnalysisResult) -> str:
+    return json.dumps(to_json_payload(result), indent=2, sort_keys=True)

@@ -1,0 +1,210 @@
+"""Contract rules (NRMI001–NRMI004): remote interfaces and their impls.
+
+The static mirror of :mod:`repro.nrmi.interfaces`: what
+``validate_implementation`` rejects when a service is bound at runtime,
+these rules reject at lint time — plus drift the runtime check cannot
+see, like two bound contracts whose method names collide on one
+dispatcher.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model import (
+    BindSite,
+    ClassModel,
+    FunctionModel,
+    ModuleModel,
+    dotted_name,
+    last_component,
+)
+from repro.analysis.rulebase import FAMILY_CONTRACT, rule
+
+
+@rule("NRMI001", "interface-no-methods", FAMILY_CONTRACT, Severity.ERROR)
+def interface_no_methods(module: ModuleModel) -> Iterable[Finding]:
+    """A remote interface that declares no public methods binds nothing."""
+    for cls in module.interface_classes():
+        if not cls.public_method_names():
+            yield interface_no_methods.at(
+                module.path,
+                cls.node,
+                f"remote interface {cls.name!r} declares no public methods",
+                hint="declare at least one public method stub, or drop the "
+                "interface= binding",
+            )
+
+
+def _resolve_impl_class(
+    module: ModuleModel, site: BindSite
+) -> Optional[ClassModel]:
+    """Statically chase ``bind(name, <impl>, ...)`` back to a class."""
+    expr = site.impl_expr
+    # bind(n, Impl(), ...) or bind(n, Activatable(Impl), ...)
+    for _ in range(4):
+        if isinstance(expr, ast.Name):
+            cls = module.class_named(expr.id)
+            if cls is not None:
+                return cls
+            assigned = _local_assignment(module, site.node, expr.id)
+            if assigned is None:
+                return None
+            expr = assigned
+        elif isinstance(expr, ast.Call):
+            callee = last_component(dotted_name(expr.func))
+            if callee == "Activatable" and expr.args:
+                expr = expr.args[0]
+                continue
+            target = module.class_named(callee or "")
+            if target is not None:
+                return target
+            return None
+        else:
+            return None
+    return None
+
+
+def _local_assignment(
+    module: ModuleModel, call: ast.Call, name: str
+) -> Optional[ast.expr]:
+    """The last ``name = <expr>`` before *call*, module- or function-local."""
+    best: Optional[ast.expr] = None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if node.lineno >= call.lineno:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                best = node.value
+    return best
+
+
+def _capacity_ok(
+    declared: FunctionModel, target: FunctionModel
+) -> Tuple[bool, str]:
+    declared_min, declared_max = declared.positional_capacity()
+    target_min, target_max = target.positional_capacity()
+    if target_min > declared_min:
+        return False, (
+            f"impl requires {target_min} positional argument(s) but the "
+            f"contract promises callers only {declared_min}"
+        )
+    if target_max is not None and (declared_max is None or declared_max > target_max):
+        promised = "*args" if declared_max is None else str(declared_max)
+        return False, (
+            f"impl accepts at most {target_max} positional argument(s) but "
+            f"the contract allows {promised}"
+        )
+    return True, ""
+
+
+@rule("NRMI002", "impl-interface-drift", FAMILY_CONTRACT, Severity.ERROR)
+def impl_interface_drift(module: ModuleModel) -> Iterable[Finding]:
+    """A bound implementation missing contract methods (or with an
+    incompatible arity) fails every call at runtime; catch it here."""
+    for site in module.bind_sites:
+        interface = module.class_named(site.interface_name)
+        impl = _resolve_impl_class(module, site)
+        if interface is None or impl is None:
+            continue
+        for name in sorted(interface.public_method_names()):
+            declared = interface.methods[name]
+            target = module.resolve_method(impl, name)
+            if target is None:
+                yield impl_interface_drift.at(
+                    module.path,
+                    site.node,
+                    f"{impl.name!r} bound as {interface.name!r} does not "
+                    f"implement {name!r}",
+                    hint=f"add a {name} method to {impl.name} or narrow "
+                    "the contract",
+                )
+                continue
+            ok, detail = _capacity_ok(declared, target)
+            if not ok:
+                yield impl_interface_drift.at(
+                    module.path,
+                    target.node,
+                    f"{impl.name}.{name} drifts from "
+                    f"{interface.name}.{name}: {detail}",
+                    hint="match the contract's positional arity",
+                )
+
+
+@rule("NRMI003", "overlapping-interfaces", FAMILY_CONTRACT, Severity.WARNING)
+def overlapping_interfaces(module: ModuleModel) -> Iterable[Finding]:
+    """Two interfaces bound in one module sharing method names invite
+    calls dispatched against the wrong contract."""
+    bound: List[ClassModel] = []
+    seen = set()
+    for site in module.bind_sites:
+        cls = module.class_named(site.interface_name)
+        if cls is not None and cls.name not in seen:
+            seen.add(cls.name)
+            bound.append(cls)
+    for index, cls in enumerate(bound):
+        for other in bound[:index]:
+            overlap = sorted(
+                set(cls.public_method_names()) & set(other.public_method_names())
+            )
+            if overlap:
+                yield overlapping_interfaces.at(
+                    module.path,
+                    cls.node,
+                    f"interfaces {other.name!r} and {cls.name!r} are both "
+                    f"bound here and share method name(s): {', '.join(overlap)}",
+                    hint="rename the colliding methods or merge the contracts",
+                )
+
+
+@rule("NRMI004", "non-function-remote-member", FAMILY_CONTRACT, Severity.ERROR)
+def non_function_remote_member(module: ModuleModel) -> Iterable[Finding]:
+    """A nested class or callable attribute on an interface/Remote class is
+    not a remote method — ``interface_methods`` refuses it, so declaring
+    one is always a mistake."""
+    suspects = list(module.interface_classes())
+    suspects.extend(
+        cls for cls in module.classes if cls.is_remote and cls not in suspects
+    )
+    for cls in suspects:
+        for nested in cls.nested_classes:
+            if not nested.name.startswith("_"):
+                yield non_function_remote_member.at(
+                    module.path,
+                    nested,
+                    f"nested class {cls.name}.{nested.name} would masquerade "
+                    "as a remote method",
+                    hint="move it to module scope or prefix it with '_'",
+                )
+        for name, value in cls.class_assigns.items():
+            if name.startswith("_"):
+                continue
+            if _is_callable_attr(value):
+                yield non_function_remote_member.at(
+                    module.path,
+                    value,
+                    f"class attribute {cls.name}.{name} is a callable object, "
+                    "not a method; it is not remotely invocable",
+                    hint="wrap it in a def, or prefix the attribute with '_'",
+                )
+
+
+def _is_callable_attr(value: ast.expr) -> bool:
+    if isinstance(value, ast.Lambda):
+        return False  # lambdas are real functions; the contract accepts them
+    if isinstance(value, ast.Call):
+        callee = last_component(dotted_name(value.func))
+        return callee in {"partial", "partialmethod", "staticmethod", "classmethod"} and not _wraps_function(value)
+    return False
+
+
+def _wraps_function(call: ast.Call) -> bool:
+    """staticmethod(f)/classmethod(f) over a plain name is a real method."""
+    callee = last_component(dotted_name(call.func))
+    if callee in {"staticmethod", "classmethod"}:
+        return bool(call.args) and isinstance(call.args[0], (ast.Name, ast.Lambda))
+    return False

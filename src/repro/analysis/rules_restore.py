@@ -1,0 +1,238 @@
+"""Copy-restore hazard rules (NRMI021–NRMI023).
+
+The paper's promise is that server-side mutations of parameters are
+reproduced on the caller — *if* the chosen restore policy actually ships
+them back, and *if* the mutated state stays inside the linear map. These
+rules catch the ways a method silently breaks that promise: mutating
+under ``@no_restore``, letting a parameter escape into server-global
+state, and the classic mutable-default-argument trap.
+
+Mutation detection runs a small forward taint walk: parameters are
+tainted, and simple assignments / for-targets propagate taint, so
+``for row in dataset.rows: row["flag"] = 1`` is recognised as a mutation
+of ``dataset``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model import (
+    ClassModel,
+    FunctionModel,
+    ModuleModel,
+    MUTATING_METHODS,
+    dotted_name,
+    last_component,
+    root_name,
+)
+from repro.analysis.rulebase import FAMILY_RESTORE, rule
+
+
+def _tainted_roots(fn: FunctionModel) -> Set[str]:
+    return set(fn.params)
+
+
+def _propagate_taint(fn: FunctionModel, tainted: Set[str]) -> None:
+    """Fixed-point over simple aliases: ``x = param.attr``, for-targets."""
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn.node):
+            sources: List[Tuple[ast.expr, ast.expr]] = []
+            if isinstance(node, ast.Assign):
+                sources = [(t, node.value) for t in node.targets]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                sources = [(node.target, node.iter)]
+            elif isinstance(node, ast.comprehension):
+                sources = [(node.target, node.iter)]
+            for target, value in sources:
+                value_root = root_name(value)
+                if value_root is None and isinstance(value, ast.Call):
+                    # enumerate(x) / zip(x, y) / iter(x): taint flows through
+                    for arg in value.args:
+                        value_root = value_root or root_name(arg)
+                if value_root not in tainted:
+                    continue
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name) and name_node.id not in tainted:
+                        tainted.add(name_node.id)
+                        changed = True
+
+
+def _parameter_mutations(fn: FunctionModel) -> Iterable[Tuple[ast.AST, str]]:
+    """(node, description) for every statement mutating tainted state."""
+    tainted = _tainted_roots(fn)
+    if not tainted:
+        return
+    _propagate_taint(fn, tainted)
+
+    def tainted_chain(node: ast.expr) -> Optional[str]:
+        # Only attribute/subscript chains count: rebinding a bare local
+        # name never mutates the caller's object.
+        if not isinstance(node, (ast.Attribute, ast.Subscript)):
+            return None
+        root = root_name(node)
+        return root if root in tainted else None
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                root = tainted_chain(target)
+                if root:
+                    yield node, f"assigns into parameter-reachable state ({root}…)"
+        elif isinstance(node, (ast.AugAssign,)):
+            root = tainted_chain(node.target)
+            if root:
+                yield node, f"augments parameter-reachable state ({root}…)"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                root = tainted_chain(target)
+                if root:
+                    yield node, f"deletes from parameter-reachable state ({root}…)"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                receiver = node.func.value
+                root = root_name(receiver)
+                if root in tainted:
+                    yield (
+                        node,
+                        f"calls .{node.func.attr}() on parameter-reachable "
+                        f"state ({root}…)",
+                    )
+
+
+def _remote_classes(module: ModuleModel) -> List[ClassModel]:
+    """Classes whose public methods are remotely invocable: Remote
+    subclasses (bound impls are Remote subclasses in every supported
+    topology; the contract rules handle interface-only drift)."""
+    return [cls for cls in module.classes if cls.is_remote]
+
+
+def _remote_methods(module: ModuleModel) -> Iterable[Tuple[ClassModel, FunctionModel]]:
+    for cls in _remote_classes(module):
+        for method in cls.methods.values():
+            if not method.name.startswith("_"):
+                yield cls, method
+
+
+@rule("NRMI021", "no-restore-mutates-param", FAMILY_RESTORE, Severity.ERROR)
+def no_restore_mutates_param(module: ModuleModel) -> Iterable[Finding]:
+    """A method pinned ``@no_restore`` (or ``@restore_policy("none")``)
+    whose body mutates a parameter: the server-side changes are real but
+    never travel back, so the caller's structure silently diverges."""
+    for cls in module.classes:
+        for method in cls.methods.values():
+            if method.restore_policy() != "none":
+                continue
+            for node, description in _parameter_mutations(method):
+                yield no_restore_mutates_param.at(
+                    module.path,
+                    node,
+                    f"{cls.name}.{method.name} is @no_restore but "
+                    f"{description}; the caller never sees this write",
+                    hint="drop @no_restore, or pin @restore_policy('delta') "
+                    "so the touched slots travel back",
+                )
+
+
+@rule("NRMI022", "param-escapes-server", FAMILY_RESTORE, Severity.WARNING)
+def param_escapes_server(module: ModuleModel) -> Iterable[Finding]:
+    """A remote method capturing a parameter into module-global state: the
+    object outlives the call, outside any linear map, so later mutations
+    are never restored and the server accumulates caller state."""
+    module_names = set(module.module_assigns)
+    for cls, method in _remote_methods(module):
+        tainted = _tainted_roots(method)
+        if not tainted:
+            continue
+        _propagate_taint(method, tainted)
+        declared_global: Set[str] = set()
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                        and root_name(node.value) in tainted
+                    ):
+                        yield param_escapes_server.at(
+                            module.path,
+                            node,
+                            f"{cls.name}.{method.name} stores parameter "
+                            f"state into global {target.id!r}: it escapes "
+                            "the call's linear map",
+                            hint="keep per-call data on self or return it; "
+                            "globals outlive the restore window",
+                        )
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and root_name(target) in module_names
+                        and root_name(node.value) in tainted
+                    ):
+                        yield param_escapes_server.at(
+                            module.path,
+                            node,
+                            f"{cls.name}.{method.name} stores parameter "
+                            f"state into module-level {root_name(target)!r}",
+                            hint="keep per-call data on self or return it; "
+                            "module caches outlive the restore window",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver_root = root_name(node.func.value)
+                if (
+                    node.func.attr in MUTATING_METHODS
+                    and receiver_root in module_names
+                    and any(root_name(arg) in tainted for arg in node.args)
+                ):
+                    yield param_escapes_server.at(
+                        module.path,
+                        node,
+                        f"{cls.name}.{method.name} inserts parameter state "
+                        f"into module-level {receiver_root!r} via "
+                        f".{node.func.attr}()",
+                        hint="keep per-call data on self or return it; "
+                        "module caches outlive the restore window",
+                    )
+
+
+@rule("NRMI023", "mutable-default-remote-method", FAMILY_RESTORE, Severity.ERROR)
+def mutable_default_remote_method(module: ModuleModel) -> Iterable[Finding]:
+    """A mutable default on a remote method is shared across *all* calls
+    from *all* clients — worse than the local anti-pattern, it leaks one
+    caller's data into another's view."""
+    suspects = list(module.interface_classes())
+    suspects.extend(c for c in _remote_classes(module) if c not in suspects)
+    for cls in suspects:
+        for method in cls.methods.values():
+            if method.name.startswith("_"):
+                continue
+            args = method.node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _is_mutable_literal(default):
+                    yield mutable_default_remote_method.at(
+                        module.path,
+                        default,
+                        f"remote method {cls.name}.{method.name} has a "
+                        "mutable default argument shared across every call",
+                        hint="default to None and construct the container "
+                        "inside the method body",
+                    )
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return last_component(dotted_name(node.func)) in {
+            "list", "dict", "set", "bytearray", "defaultdict", "deque",
+            "Counter", "OrderedDict",
+        }
+    return False

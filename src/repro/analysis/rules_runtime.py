@@ -1,0 +1,372 @@
+"""Runtime self-check rules (NRMI031–NRMI032).
+
+These lint the middleware's *own* threaded and protocol code:
+
+* **NRMI031** — inconsistent lock discipline: an attribute that is
+  written under ``with self._lock`` in one method but bare in another is
+  either a race or a missing justification.
+* **NRMI032** — protocol invariants: the constants that three modules
+  must agree on (restore-policy/mode wire ids, capability bits, the
+  pipelined-framing magic vs the frame-size limit, and the tag bytes
+  ``serde/plans.py`` mirrors from ``serde/tags.py``) are cross-checked
+  from source, so a drifting edit fails the lint gate before it ships a
+  wire incompatibility.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model import (
+    ClassModel,
+    ModuleModel,
+    ProjectModel,
+    build_module,
+    const_env,
+    dotted_name,
+    enum_values,
+    fold_const,
+    last_component,
+)
+from repro.analysis.rulebase import FAMILY_RUNTIME, rule
+
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def _lock_attrs(cls: ClassModel) -> Set[str]:
+    """self attributes initialised to a threading lock in __init__."""
+    init = cls.methods.get("__init__")
+    if init is None:
+        return set()
+    locks: Set[str] = set()
+    for node in ast.walk(init.node):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        callee = last_component(dotted_name(node.value.func))
+        if callee not in _LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def _self_attr_of(node: ast.expr) -> Optional[str]:
+    """``x`` for a store whose chain is rooted at ``self.x``."""
+    while isinstance(node, (ast.Subscript,)):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _attr_stores(
+    method_node: ast.AST, lock_attrs: Set[str]
+) -> Iterable[Tuple[str, ast.AST, bool]]:
+    """(attr, node, guarded) for every store to a ``self.`` attribute.
+
+    *guarded* is True when the store sits inside ``with self.<lock>:`` for
+    any of *lock_attrs*. Implemented as a recursive descent carrying the
+    guard state — ``ast.walk`` cannot express scoping.
+    """
+
+    def visit(node: ast.AST, guarded: bool):
+        if isinstance(node, ast.With):
+            holds = guarded
+            for item in node.items:
+                expr = item.context_expr
+                attr = _self_attr_of(expr)
+                if attr in lock_attrs:
+                    holds = True
+            for child in node.body:
+                yield from visit(child, holds)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested defs get their own discipline
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr_of(target)
+                if attr is not None:
+                    yield attr, node, guarded
+        elif isinstance(node, ast.AugAssign):
+            attr = _self_attr_of(node.target)
+            if attr is not None:
+                yield attr, node, guarded
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr_of(target)
+                if attr is not None:
+                    yield attr, node, guarded
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, guarded)
+
+    # Descend into the method's body directly: the visitor prunes nested
+    # defs, and the method node itself is one.
+    for child in ast.iter_child_nodes(method_node):
+        yield from visit(child, False)
+
+
+@rule("NRMI031", "inconsistent-lock-guard", FAMILY_RUNTIME, Severity.WARNING)
+def inconsistent_lock_guard(module: ModuleModel) -> Iterable[Finding]:
+    """An attribute written both under ``with self._lock`` and bare is the
+    classic lost-update shape: either the bare store races, or it is
+    single-threaded by construction and deserves a suppression that says
+    why."""
+    for cls in module.classes:
+        locks = _lock_attrs(cls)
+        if not locks:
+            continue
+        guarded_attrs: Set[str] = set()
+        bare: List[Tuple[str, ast.AST, str]] = []
+        for method in cls.methods.values():
+            if method.name in ("__init__", "__new__"):
+                continue  # construction happens-before sharing
+            for attr, node, is_guarded in _attr_stores(method.node, locks):
+                if attr in locks:
+                    continue
+                if is_guarded:
+                    guarded_attrs.add(attr)
+                else:
+                    bare.append((attr, node, method.name))
+        for attr, node, method_name in bare:
+            if attr in guarded_attrs:
+                yield inconsistent_lock_guard.at(
+                    module.path,
+                    node,
+                    f"{cls.name}.{method_name} writes self.{attr} without "
+                    f"holding the lock that guards it elsewhere in the class",
+                    hint="take the lock, or suppress with a justification "
+                    "if this path is single-threaded by construction",
+                )
+
+
+# ------------------------------------------------- protocol invariants
+
+
+_PROTOCOL_SUFFIX = "rmi/protocol.py"
+_FRAMING_SUFFIX = "transport/framing.py"
+_TAGS_SUFFIX = "serde/tags.py"
+_PLANS_SUFFIX = "serde/plans.py"
+
+
+def _load_counterpart(
+    project: ProjectModel, anchor: ModuleModel, suffix: str
+) -> Optional[ModuleModel]:
+    """Find the sibling protocol source belonging to *anchor*'s tree.
+
+    Resolution order: a scanned module under the same package root
+    (…/rmi/protocol.py → …/<suffix>), then any scanned module with the
+    suffix, then the file on disk beside the anchor. Keeping same-root
+    matches first lets a fixture copy of the protocol trio be checked
+    against *itself*, not against the real sources."""
+    anchor_path = anchor.path.replace("\\", "/")
+    root = anchor_path[: -len(_PROTOCOL_SUFFIX)]
+    sibling = project.module_with_suffix(root + suffix)
+    if sibling is not None:
+        return sibling
+    module = project.module_with_suffix(suffix)
+    if module is not None:
+        return module
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(anchor.path)))
+    candidate = os.path.join(package_root, *suffix.split("/"))
+    if os.path.isfile(candidate):
+        try:
+            with open(candidate, "r", encoding="utf-8") as handle:
+                return build_module(candidate, handle.read())
+        except (OSError, SyntaxError):
+            return None
+    return None
+
+
+def _dict_literal_values(
+    module: ModuleModel, name: str
+) -> Optional[Tuple[ast.Dict, List[int]]]:
+    node = module.module_assigns.get(name)
+    if not isinstance(node, ast.Dict):
+        return None
+    values = [
+        v.value
+        for v in node.values
+        if isinstance(v, ast.Constant) and isinstance(v.value, int)
+    ]
+    return node, values
+
+
+@rule(
+    "NRMI032",
+    "protocol-invariant-drift",
+    FAMILY_RUNTIME,
+    Severity.ERROR,
+    scope="project",
+)
+def protocol_invariant_drift(project: ProjectModel) -> Iterable[Finding]:
+    """Cross-file consistency of the wire constants. Runs once per
+    ``rmi/protocol.py`` in the scanned set (so a fixture tree is checked
+    independently of the real one); counterpart modules are pulled from
+    the same tree, the scan, or disk — in that order."""
+    for protocol in list(project.modules):
+        if protocol.path.replace("\\", "/").endswith(_PROTOCOL_SUFFIX):
+            yield from _check_protocol_tree(project, protocol)
+
+
+def _check_protocol_tree(
+    project: ProjectModel, protocol: ModuleModel
+) -> Iterable[Finding]:
+    env = const_env(protocol)
+
+    # 1. Wire-id tables must be injective (ids are decoded back to names).
+    for table in ("_POLICY_TO_ID", "_MODE_TO_ID"):
+        found = _dict_literal_values(protocol, table)
+        if found is None:
+            continue
+        node, values = found
+        duplicates = sorted({v for v in values if values.count(v) > 1})
+        if duplicates:
+            yield protocol_invariant_drift.at(
+                protocol.path,
+                node,
+                f"{table} maps two entries to the same wire id(s) "
+                f"{duplicates}: decoding cannot invert it",
+                hint="assign each policy/mode a distinct id",
+            )
+
+    # 2. Op/Status enum values must be unique.
+    for enum_name in ("Op", "Status"):
+        cls = protocol.class_named(enum_name)
+        if cls is None:
+            continue
+        values = enum_values(cls)
+        dupes = sorted(
+            {v for v in values.values() if list(values.values()).count(v) > 1}
+        )
+        if dupes:
+            yield protocol_invariant_drift.at(
+                protocol.path,
+                cls.node,
+                f"enum {enum_name} reuses wire value(s) {dupes}",
+                hint="every operation/status needs a distinct byte",
+            )
+
+    # 3. Capability bits: distinct powers of two, one byte, clear of the
+    #    ship_map flag bit.
+    ship_map = env.get("_FLAG_SHIP_MAP")
+    cap_bits: Dict[str, int] = {
+        name: value
+        for name, value in env.items()
+        if name.startswith("CAP_") and isinstance(value, int)
+    }
+    used = ship_map if isinstance(ship_map, int) else 0
+    for name in sorted(cap_bits):
+        bit = cap_bits[name]
+        node = protocol.module_assigns.get(name)
+        where = node if node is not None else 1
+        if bit <= 0 or bit > 0xFF or (bit & (bit - 1)) != 0:
+            yield protocol_invariant_drift.at(
+                protocol.path,
+                where,
+                f"capability {name} = {bit:#x} is not a single flag bit "
+                "inside the one-byte flags field",
+                hint="use a distinct power of two below 0x100",
+            )
+        elif used & bit:
+            yield protocol_invariant_drift.at(
+                protocol.path,
+                where,
+                f"capability {name} = {bit:#x} collides with an "
+                "already-assigned flag bit",
+                hint="pick an unused bit of the flags byte",
+            )
+        else:
+            used |= bit
+
+    # 4. Pipelined framing auto-detect: the magic, read as a length
+    #    header, must exceed MAX_FRAME_BYTES or a legal plain frame could
+    #    be mistaken for a pipelined preamble.
+    framing = _load_counterpart(project, protocol, _FRAMING_SUFFIX)
+    if framing is not None:
+        fenv = const_env(framing)
+        magic = fenv.get("PIPELINE_MAGIC")
+        limit = fenv.get("MAX_FRAME_BYTES")
+        magic_node = framing.module_assigns.get("PIPELINE_MAGIC")
+        if isinstance(magic, bytes) and len(magic) != 4:
+            yield protocol_invariant_drift.at(
+                framing.path,
+                magic_node or 1,
+                f"PIPELINE_MAGIC must be exactly 4 bytes (got {len(magic)}): "
+                "it doubles as a u32 length header during auto-detect",
+                hint="keep the magic 4 bytes long",
+            )
+        if (
+            isinstance(magic, bytes)
+            and len(magic) == 4
+            and isinstance(limit, int)
+            and int.from_bytes(magic, "big") <= limit
+        ):
+            yield protocol_invariant_drift.at(
+                framing.path,
+                magic_node or 1,
+                "PIPELINE_MAGIC decodes to a frame length within "
+                "MAX_FRAME_BYTES: framing auto-detect can misread a legal "
+                "plain frame as a pipelined preamble",
+                hint="raise the magic's leading byte or lower MAX_FRAME_BYTES",
+            )
+        preamble = fenv.get("PIPELINE_PREAMBLE")
+        version = fenv.get("PIPELINE_VERSION")
+        if (
+            isinstance(magic, bytes)
+            and isinstance(version, bytes)
+            and isinstance(preamble, bytes)
+            and preamble != magic + version
+        ):
+            yield protocol_invariant_drift.at(
+                framing.path,
+                framing.module_assigns.get("PIPELINE_PREAMBLE") or 1,
+                "PIPELINE_PREAMBLE is not PIPELINE_MAGIC + PIPELINE_VERSION",
+                hint="derive the preamble from the two constants",
+            )
+
+    # 5. The tag bytes plans.py inlines must mirror serde/tags.py.
+    tags = _load_counterpart(project, protocol, _TAGS_SUFFIX)
+    plans = _load_counterpart(project, protocol, _PLANS_SUFFIX)
+    if tags is not None and plans is not None:
+        tag_cls = tags.class_named("Tag")
+        if tag_cls is not None:
+            canonical = enum_values(tag_cls)
+            penv = const_env(plans)
+            for name in sorted(penv):
+                if not name.startswith("_TAG_"):
+                    continue
+                tag_name = name[len("_TAG_"):]
+                mirrored = penv[name]
+                expected = canonical.get(tag_name)
+                node = plans.module_assigns.get(name)
+                if expected is None:
+                    yield protocol_invariant_drift.at(
+                        plans.path,
+                        node or 1,
+                        f"plans constant {name} mirrors no Tag.{tag_name} "
+                        "member in serde/tags.py",
+                        hint="rename the constant to match a Tag member",
+                    )
+                elif mirrored != expected:
+                    yield protocol_invariant_drift.at(
+                        plans.path,
+                        node or 1,
+                        f"plans constant {name} = {mirrored:#x} drifted from "
+                        f"Tag.{tag_name} = {expected:#x} in serde/tags.py",
+                        hint="keep the inlined tag bytes byte-identical to "
+                        "the Tag enum",
+                    )

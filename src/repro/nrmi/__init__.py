@@ -38,7 +38,12 @@ from repro.core.markers import Remote, Restorable, Serializable
 from repro.nrmi.annotations import no_restore, restore_policy
 from repro.nrmi.batch import BatchHandle, CallBatch
 from repro.nrmi.config import NRMIConfig
-from repro.nrmi.interfaces import CheckedStub, validate_implementation
+from repro.nrmi.interfaces import (
+    CheckedStub,
+    interface_methods,
+    is_remote_callable,
+    validate_implementation,
+)
 from repro.nrmi.runtime import (
     Endpoint,
     async_call,
@@ -63,6 +68,8 @@ __all__ = [
     "CallBatch",
     "BatchHandle",
     "CheckedStub",
+    "interface_methods",
+    "is_remote_callable",
     "validate_implementation",
     "Activatable",
 ]

@@ -28,10 +28,26 @@ from typing import Any, FrozenSet, Iterable, List
 from repro.errors import RemoteError
 
 
+def is_remote_callable(member: Any) -> bool:
+    """True when a class member counts as a remotely callable method.
+
+    Only plain functions and (class/static) methods qualify. Arbitrary
+    callables — nested classes, ``functools.partial`` attributes, callable
+    instances stored on the class — are *not* remote methods: a dispatcher
+    invoking them would bypass the method-call contract, and the static
+    analyzer (rule NRMI004) flags them at the declaration site.
+    """
+    return inspect.isfunction(member) or inspect.ismethod(member)
+
+
 def interface_methods(interface: type) -> FrozenSet[str]:
-    """The public callable names an interface declares (MRO included)."""
+    """The public method names an interface declares (MRO included).
+
+    Restricted to real functions/methods via :func:`is_remote_callable`;
+    nested classes and callable attributes never enter the contract.
+    """
     names = set()
-    for name, member in inspect.getmembers(interface, callable):
+    for name, member in inspect.getmembers(interface, is_remote_callable):
         if not name.startswith("_"):
             names.add(name)
     if not names:

@@ -84,6 +84,22 @@ def classify(obj: Any) -> Kind:
     return Kind.UNSUPPORTED
 
 
+def code_like_type_names() -> frozenset:
+    """Names of the code-like types the serializer refuses to encode.
+
+    Introspection hook for tooling (the ``repro.analysis`` linter keys its
+    unserializable-field rule off this table) — kept next to the kind
+    classifier so the lint and the runtime can never disagree about what
+    counts as code.
+    """
+    return frozenset(t.__name__ for t in _CODE_LIKE_TYPES)
+
+
+def primitive_type_names() -> frozenset:
+    """Names of the primitive (by-value) types, for tooling."""
+    return frozenset(t.__name__ for t in _PRIMITIVE_TYPES)
+
+
 def is_mutable_kind(kind: Kind) -> bool:
     """True for kinds whose instances join the linear map."""
     return kind in _MUTABLE_KINDS

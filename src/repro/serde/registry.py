@@ -14,7 +14,7 @@ instances do in Java RMI.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import ClassNotRegisteredError, SerializationError
 
@@ -128,6 +128,15 @@ class ClassRegistry:
     def snapshot_classes(self) -> Dict[str, type]:
         with self._lock:
             return dict(self._by_name)
+
+    def registered_names(self) -> FrozenSet[str]:
+        """The wire names currently registered (introspection for tooling).
+
+        The static analyzer and its tests use this to cross-check that
+        marker subclasses seen in source really do auto-register.
+        """
+        with self._lock:
+            return frozenset(self._by_name)
 
     # -------------------------------------------------- compiled serde plans
 

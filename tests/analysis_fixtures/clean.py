@@ -1,0 +1,109 @@
+"""A violation-free module packed with near-misses.
+
+Every pattern here skirts the edge of a rule without crossing it; the
+analyzer must report zero findings. Parsed, never imported.
+"""
+
+import hashlib
+import threading
+
+
+class Serializable:
+    """Stands in for repro.core.markers.Serializable (matched by name)."""
+
+
+class Restorable(Serializable):
+    """Stands in for repro.core.markers.Restorable (matched by name)."""
+
+
+class Remote:
+    """Stands in for repro.core.markers.Remote (matched by base name)."""
+
+
+def no_restore(fn):
+    return fn
+
+
+def restore_policy(name):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+class Session(Serializable):
+    """Transient code-like fields are fine: they never hit the wire."""
+
+    __nrmi_transient__ = ("lock", "log")
+
+    def __init__(self, path):
+        self.lock = threading.Lock()
+        self.log = open(path, "a")
+        self.path = path
+
+    def __nrmi_resolve__(self):
+        self.lock = threading.Lock()
+        self.log = open(self.path, "a")
+
+
+class TidySlots(Serializable):
+    __slots__ = ("left", "right")
+
+    def __init__(self):
+        self.left = None
+        self.right = None
+
+
+class Versioned(Serializable):
+    __nrmi_version__ = 2
+
+    def __nrmi_upgrade__(self, wire_version):
+        if wire_version < 2:
+            self.extra = None
+
+
+class StoreContract:
+    def put(self, record): ...
+
+    def get(self, key): ...
+
+
+class StoreService(Remote):
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}
+
+    def put(self, record):
+        with self._lock:
+            self._rows[record.key] = record.value
+        return record.key
+
+    def get(self, key, default=None):
+        with self._lock:
+            return self._rows.get(key, default)
+
+    @no_restore
+    def count(self, table):
+        return len(table.rows)
+
+    @restore_policy("delta")
+    def touch(self, table):
+        table.rows[0]["seen"] = True
+        return 1
+
+
+def stable_digest(mapping):
+    digest = hashlib.sha256()
+    for key in sorted(mapping.keys()):
+        digest.update(str(key).encode())
+        digest.update(str(mapping[key]).encode())
+    return digest.hexdigest()
+
+
+def unordered_listing(mapping):
+    # Unordered iteration is fine outside digest-feeding functions.
+    return [key for key in mapping.keys()]
+
+
+def wire(endpoint):
+    endpoint.bind("store", StoreService(), interface=StoreContract)

@@ -1,0 +1,63 @@
+"""Seeded contract-rule violations (NRMI001–NRMI004, NRMI023).
+
+Each ``# expect: CODE`` marker names the finding and the exact line the
+analyzer must anchor it to; tests parse these markers and compare them
+to the real findings. This module is lint bait — it is parsed, never
+imported.
+"""
+
+from functools import partial
+
+
+class Remote:
+    """Stands in for repro.core.markers.Remote (matched by base name)."""
+
+
+class EmptyContract:  # expect: NRMI001
+    """A remote interface with nothing to call."""
+
+
+class OrdersContract:
+    def place(self, order): ...
+
+    def cancel(self, order_id, reason): ...
+
+
+class ShippingContract:  # expect: NRMI003
+    def track(self, parcel): ...
+
+    def cancel(self, shipment): ...
+
+
+class OrdersService(Remote):
+    def place(self, order, priority):  # expect: NRMI002
+        return order, priority
+
+
+class ShippingService(Remote):
+    def track(self, parcel):
+        return parcel
+
+    def cancel(self, shipment):
+        return shipment
+
+
+class AdminContract:
+    def reset(self): ...
+
+    class Helper:  # expect: NRMI004
+        pass
+
+    refresh = partial(print, "refresh")  # expect: NRMI004
+
+
+class BatchContract:
+    def submit(self, jobs=[]): ...  # expect: NRMI023
+
+
+def wire(endpoint):
+    endpoint.bind("orders", OrdersService(), interface=OrdersContract)  # expect: NRMI002
+    endpoint.bind("shipping", ShippingService(), interface=ShippingContract)
+    endpoint.bind("admin", ShippingService(), interface=AdminContract)  # expect: NRMI002
+    endpoint.bind("batch", ShippingService(), interface=BatchContract)  # expect: NRMI002
+    endpoint.bind("empty", OrdersService(), interface=EmptyContract)

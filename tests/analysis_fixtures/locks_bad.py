@@ -1,0 +1,43 @@
+"""Seeded lock-discipline violation (NRMI031).
+
+Parsed by the analyzer, never imported; ``# expect: CODE`` markers pin
+the expected findings to exact lines.
+"""
+
+import threading
+
+
+class StatCell:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.peak = 0
+
+    def bump(self, amount):
+        with self._lock:
+            self.count += amount
+            if self.count > self.peak:
+                self.peak = self.count
+
+    def reset(self):
+        self.count = 0  # expect: NRMI031
+
+    def snapshot(self):
+        with self._lock:
+            return {"count": self.count, "peak": self.peak}
+
+
+class SingleThreaded:
+    """Guarded and bare writes, but the bare one carries a justified
+    suppression — it must land in the suppressed list, not the findings."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.cursor = 0
+
+    def advance(self):
+        with self._lock:
+            self.cursor += 1
+
+    def rewind(self):
+        self.cursor = 0  # nrmi: disable=NRMI031 -- only called from __init__-time setup, pre-sharing

@@ -1,0 +1,59 @@
+"""Seeded copy-restore hazards (NRMI021–NRMI023).
+
+Parsed by the analyzer, never imported; ``# expect: CODE`` markers pin
+the expected findings to exact lines.
+"""
+
+
+class Remote:
+    """Stands in for repro.core.markers.Remote (matched by base name)."""
+
+
+def no_restore(fn):
+    return fn
+
+
+def restore_policy(name):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+_AUDIT_LOG = []
+
+
+class Ledger(Remote):
+    @no_restore
+    def credit(self, account, amount):
+        account.balance += amount  # expect: NRMI021
+        account.history.append(amount)  # expect: NRMI021
+        return account.balance
+
+    @restore_policy("none")
+    def flag_rows(self, table, threshold):
+        flagged = 0
+        for row in table.rows:
+            if row["value"] > threshold:
+                row["flag"] = True  # expect: NRMI021
+                flagged += 1
+        return flagged
+
+    @restore_policy("delta")
+    def reprice(self, table, factor):
+        # Mutating under a restoring policy is the intended pattern.
+        for row in table.rows:
+            row["value"] *= factor
+        return len(table.rows)
+
+    def audit(self, record):
+        _AUDIT_LOG.append(record)  # expect: NRMI022
+        return len(_AUDIT_LOG)
+
+    def stash(self, secret):
+        global _LAST_SECRET
+        _LAST_SECRET = secret  # expect: NRMI022
+        return True
+
+    def window(self, rows, limits={}):  # expect: NRMI023
+        return [r for r in rows if r in limits]

@@ -1,0 +1,13 @@
+"""Canonical tag bytes for the NRMI032 fixture tree."""
+
+from enum import IntEnum
+
+
+class Tag(IntEnum):
+    NONE = 0x00
+    TRUE = 0x01
+    FALSE = 0x02
+    INT = 0x03
+    FLOAT = 0x05
+    STR = 0x07
+    OBJECT = 0x10

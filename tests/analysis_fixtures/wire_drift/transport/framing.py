@@ -1,0 +1,9 @@
+"""Drifted framing constants for the NRMI032 fixture tree."""
+
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+PIPELINE_MAGIC = b"\x00\x00\x10\x00"  # expect: NRMI032
+
+PIPELINE_VERSION = b"PIP1"
+
+PIPELINE_PREAMBLE = b"NRMIPIP1"  # expect: NRMI032
