@@ -5,12 +5,13 @@ These lint the middleware's *own* threaded and protocol code:
 * **NRMI031** — inconsistent lock discipline: an attribute that is
   written under ``with self._lock`` in one method but bare in another is
   either a race or a missing justification.
-* **NRMI032** — protocol invariants: the constants that three modules
+* **NRMI032** — protocol invariants: the constants that several modules
   must agree on (restore-policy/mode wire ids, capability bits, the
-  pipelined-framing magic vs the frame-size limit, and the tag bytes
-  ``serde/plans.py`` mirrors from ``serde/tags.py``) are cross-checked
-  from source, so a drifting edit fails the lint gate before it ships a
-  wire incompatibility.
+  pipelined-framing magic vs the frame-size limit, the tag bytes
+  ``serde/plans.py`` and ``serde/reader.py`` mirror from
+  ``serde/tags.py``, and the schema-cache class-key discriminators in
+  ``serde/schema.py``) are cross-checked from source, so a drifting edit
+  fails the lint gate before it ships a wire incompatibility.
 """
 
 from __future__ import annotations
@@ -160,6 +161,8 @@ _PROTOCOL_SUFFIX = "rmi/protocol.py"
 _FRAMING_SUFFIX = "transport/framing.py"
 _TAGS_SUFFIX = "serde/tags.py"
 _PLANS_SUFFIX = "serde/plans.py"
+_READER_SUFFIX = "serde/reader.py"
+_SCHEMA_SUFFIX = "serde/schema.py"
 
 
 def _load_counterpart(
@@ -338,35 +341,109 @@ def _check_protocol_tree(
                 hint="derive the preamble from the two constants",
             )
 
-    # 5. The tag bytes plans.py inlines must mirror serde/tags.py.
+    # 5. The tag bytes plans.py (``_TAG_*``) and reader.py (``_T_*``)
+    #    inline must mirror serde/tags.py.
     tags = _load_counterpart(project, protocol, _TAGS_SUFFIX)
-    plans = _load_counterpart(project, protocol, _PLANS_SUFFIX)
-    if tags is not None and plans is not None:
+    if tags is not None:
         tag_cls = tags.class_named("Tag")
         if tag_cls is not None:
             canonical = enum_values(tag_cls)
-            penv = const_env(plans)
-            for name in sorted(penv):
-                if not name.startswith("_TAG_"):
+            for suffix, prefix in (
+                (_PLANS_SUFFIX, "_TAG_"),
+                (_READER_SUFFIX, "_T_"),
+            ):
+                mirror = _load_counterpart(project, protocol, suffix)
+                if mirror is None:
                     continue
-                tag_name = name[len("_TAG_"):]
-                mirrored = penv[name]
-                expected = canonical.get(tag_name)
-                node = plans.module_assigns.get(name)
-                if expected is None:
-                    yield protocol_invariant_drift.at(
-                        plans.path,
-                        node or 1,
-                        f"plans constant {name} mirrors no Tag.{tag_name} "
-                        "member in serde/tags.py",
-                        hint="rename the constant to match a Tag member",
-                    )
-                elif mirrored != expected:
-                    yield protocol_invariant_drift.at(
-                        plans.path,
-                        node or 1,
-                        f"plans constant {name} = {mirrored:#x} drifted from "
-                        f"Tag.{tag_name} = {expected:#x} in serde/tags.py",
-                        hint="keep the inlined tag bytes byte-identical to "
-                        "the Tag enum",
-                    )
+                menv = const_env(mirror)
+                for name in sorted(menv):
+                    if not name.startswith(prefix):
+                        continue
+                    tag_name = name[len(prefix):]
+                    mirrored = menv[name]
+                    expected = canonical.get(tag_name)
+                    node = mirror.module_assigns.get(name)
+                    if expected is None:
+                        yield protocol_invariant_drift.at(
+                            mirror.path,
+                            node or 1,
+                            f"constant {name} mirrors no Tag.{tag_name} "
+                            "member in serde/tags.py",
+                            hint="rename the constant to match a Tag member",
+                        )
+                    elif mirrored != expected:
+                        yield protocol_invariant_drift.at(
+                            mirror.path,
+                            node or 1,
+                            f"constant {name} = {mirrored:#x} drifted from "
+                            f"Tag.{tag_name} = {expected:#x} in serde/tags.py",
+                            hint="keep the inlined tag bytes byte-identical "
+                            "to the Tag enum",
+                        )
+
+    # 6. Session-cached wire schemas: the schema-mode class-key
+    #    discriminators and the stream-header flag bit.
+    schema = _load_counterpart(project, protocol, _SCHEMA_SUFFIX)
+    if schema is not None:
+        senv = const_env(schema)
+        inline = senv.get("CKEY_INLINE")
+        sdef = senv.get("CKEY_SCHEMA_DEF")
+        sref = senv.get("CKEY_SCHEMA_REF")
+        base = senv.get("CKEY_STREAM_BASE")
+
+        def _at(name: str):
+            return schema.module_assigns.get(name) or 1
+
+        if isinstance(inline, int) and inline != 0:
+            # Key 0 is "inline descriptor" in BOTH encodings; anything
+            # else and a legacy stream's first class key changes meaning.
+            yield protocol_invariant_drift.at(
+                schema.path,
+                _at("CKEY_INLINE"),
+                f"CKEY_INLINE = {inline} but the classic class-key "
+                "encoding reserves 0 for inline descriptors",
+                hint="keep CKEY_INLINE == 0",
+            )
+        discriminators = {
+            name: value
+            for name, value in (
+                ("CKEY_INLINE", inline),
+                ("CKEY_SCHEMA_DEF", sdef),
+                ("CKEY_SCHEMA_REF", sref),
+            )
+            if isinstance(value, int)
+        }
+        seen: Dict[int, str] = {}
+        for name, value in discriminators.items():
+            if value in seen:
+                yield protocol_invariant_drift.at(
+                    schema.path,
+                    _at(name),
+                    f"{name} = {value} collides with {seen[value]}: the "
+                    "decoder cannot tell the two class-key forms apart",
+                    hint="give every CKEY_* discriminator a distinct value",
+                )
+            else:
+                seen[value] = name
+        if isinstance(base, int) and any(
+            base <= value for value in discriminators.values()
+        ):
+            yield protocol_invariant_drift.at(
+                schema.path,
+                _at("CKEY_STREAM_BASE"),
+                f"CKEY_STREAM_BASE = {base} overlaps a CKEY_* "
+                "discriminator: stream back-references would shadow "
+                "schema defs/refs",
+                hint="keep CKEY_STREAM_BASE above every discriminator",
+            )
+        flag = senv.get("STREAM_FLAG_SCHEMA_CACHE")
+        if isinstance(flag, int) and (
+            flag <= 0 or flag > 0xFF or (flag & (flag - 1)) != 0
+        ):
+            yield protocol_invariant_drift.at(
+                schema.path,
+                _at("STREAM_FLAG_SCHEMA_CACHE"),
+                f"STREAM_FLAG_SCHEMA_CACHE = {flag:#x} is not a single "
+                "flag bit inside the stream header's one-byte flags field",
+                hint="use a distinct power of two below 0x100",
+            )

@@ -67,6 +67,10 @@ class ServerRestoreContext:
     # Optional MetricsRegistry: delta-slots records dirty/clean counts and
     # an estimate of the reply bytes the elided slots saved.
     metrics: Optional[Any] = None
+    # "Before" digests captured *during* argument deserialization (the
+    # fused decode+digest pass). When present, delta-slots' snapshot uses
+    # them directly instead of re-walking the retained linear map.
+    predigested: Optional[SlotDigestTable] = None
 
 
 @dataclass
@@ -323,8 +327,14 @@ class DeltaSlotsRestorePolicy(RestorePolicy):
     name = "delta-slots"
 
     def snapshot(self, context: ServerRestoreContext) -> SlotDigestTable:
-        # Captured right after unmarshalling, before the method runs: the
-        # "before" picture every slot is compared against at reply time.
+        # The "before" picture every slot is compared against at reply
+        # time. The invocation pipeline usually captures it *during*
+        # argument deserialization (the fused decode+digest pass), so the
+        # retained map is not walked a second time here; the explicit
+        # walk remains for callers that decode without fusion (shipped
+        # maps, direct policy use in tests).
+        if context.predigested is not None:
+            return context.predigested
         return digest_slots(context.retained, context.accessor)
 
     def build_response(

@@ -87,6 +87,13 @@ class NRMIConfig:
     # connection, replies demuxed by correlation id) for tcp:// peers.
     # Servers accept both framings regardless of this knob.
     tcp_pipelined: bool = True
+    # Session-cached wire schemas. Client side: advertise
+    # CAP_SCHEMA_CACHE on outgoing calls and, once the server acks,
+    # encode argument streams against a per-connection schema cache
+    # (class descriptors and field-name tables ship once, then collapse
+    # to compact ids). Server side: acknowledge and decode such streams.
+    # When False this endpoint behaves as a legacy peer on both sides.
+    schema_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.profile not in _VALID_PROFILES:

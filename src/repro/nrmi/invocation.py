@@ -42,6 +42,8 @@ from repro.errors import (
 from repro.nrmi.annotations import effective_policy
 from repro.rmi.protocol import (
     CAP_DELTA_SLOTS,
+    CAP_SCHEMA_CACHE,
+    REPLY_FLAG_SCHEMA_ACK,
     CallRequest,
     Status,
     decode_call,
@@ -117,23 +119,38 @@ class ReplyPolicyChooser:
                 )
 
 
-def compute_retained(
+def compute_retained_indexed(
     linear_map: LinearMap, roots: Sequence[Any], accessor: FieldAccessor
-) -> List[Any]:
-    """The subset of the linear map reachable from the copy-restore roots.
+) -> Tuple[List[Any], List[int]]:
+    """The retained subset plus each member's position in the linear map.
 
     Both endpoints run this over isomorphic graphs with identical map
     order, so position *i* on one side corresponds to position *i* on the
-    other — the invariant that makes step 4's match-up positional.
+    other — the invariant that makes step 4's match-up positional. The
+    positions let the server look up digests captured per linear-map slot
+    during deserialization without re-walking anything.
     """
     if not roots:
-        return []
+        return [], []
     reach = IdentitySet()
     for obj in reachable(
         list(roots), accessor, mutable_only=True, stop=is_opaque_remote
     ):
         reach.add(obj)
-    return [obj for obj in linear_map if obj in reach]
+    retained: List[Any] = []
+    indices: List[int] = []
+    for index, obj in enumerate(linear_map):
+        if obj in reach:
+            retained.append(obj)
+            indices.append(index)
+    return retained, indices
+
+
+def compute_retained(
+    linear_map: LinearMap, roots: Sequence[Any], accessor: FieldAccessor
+) -> List[Any]:
+    """The subset of the linear map reachable from the copy-restore roots."""
+    return compute_retained_indexed(linear_map, roots, accessor)[0]
 
 
 def _restore_roots(args: Sequence[Any], modes: Sequence[PassingMode]) -> List[Any]:
@@ -154,7 +171,10 @@ class PreparedCall:
     requirement.
     """
 
-    __slots__ = ("request", "originals", "descriptor", "method", "_pool", "_buffer")
+    __slots__ = (
+        "request", "originals", "descriptor", "method", "_pool", "_buffer",
+        "schema_session", "schemas_defined", "schema_flagged",
+    )
 
     def __init__(
         self,
@@ -164,6 +184,9 @@ class PreparedCall:
         method: str,
         pool: Any = None,
         buffer: Any = None,
+        schema_session: Any = None,
+        schemas_defined: Sequence[Any] = (),
+        schema_flagged: bool = False,
     ) -> None:
         self.request = request
         self.originals = originals
@@ -171,6 +194,13 @@ class PreparedCall:
         self.method = method
         self._pool = pool
         self._buffer = buffer
+        # Schema-cache state the reply hands back to the session: the
+        # channel's session (when the cap was advertised), the pending
+        # definitions this stream carried, and whether the stream was
+        # actually encoded in schema mode.
+        self.schema_session = schema_session
+        self.schemas_defined = schemas_defined
+        self.schema_flagged = schema_flagged
 
     def release(self) -> None:
         """Return the pooled request buffer; idempotent, safe without a pool."""
@@ -191,8 +221,15 @@ def prepare_call(
     args: Tuple[Any, ...],
     policy_name: str | None = None,
     kwargs: dict | None = None,
+    channel: Any = None,
 ) -> PreparedCall:
-    """Marshal one call into a request, recording the retained originals."""
+    """Marshal one call into a request, recording the retained originals.
+
+    When *channel* is given and carries a schema session, the call takes
+    part in the session-cached wire schema negotiation: the capability is
+    advertised, and once the peer has acked, argument streams are encoded
+    against the connection's schema cache.
+    """
     kwarg_items = tuple((kwargs or {}).items())
     kwarg_names = tuple(name for name, _value in kwarg_items)
     args = tuple(args) + tuple(value for _name, value in kwarg_items)
@@ -219,6 +256,22 @@ def prepare_call(
         # bit is harmless on every other policy.
         caps |= CAP_DELTA_SLOTS
 
+    schema_session = None
+    use_schema = False
+    if getattr(endpoint.config, "schema_cache", True) and channel is not None:
+        schema_session = getattr(channel, "schema_session", None)
+        if schema_session is not None:
+            caps |= CAP_SCHEMA_CACHE
+            # Flag the stream only once (a) the peer has acked the
+            # capability and (b) schema references are safe: either no
+            # retries (each frame is sent on at most one connection) or a
+            # transport whose sessions cannot silently change between
+            # attempts. A defs-only stream would be a net byte loss, so
+            # the flag itself waits for the same conditions as refs.
+            use_schema = schema_session.peer_ok and (
+                not endpoint.config.retry.enabled or channel.stable_sessions
+            )
+
     ship_map = bool(getattr(endpoint.config, "ship_linear_map", False))
     # Steady-state calls allocate no fresh write buffers: the argument
     # stream and the request envelope are both built in recycled pool
@@ -228,7 +281,8 @@ def prepare_call(
     envelope_buffer = None
     args_payload = None
     writer = ObjectWriter(
-        profile=profile, externalizers=externalizers, buffer=args_buffer
+        profile=profile, externalizers=externalizers, buffer=args_buffer,
+        schema_tx=schema_session.tx if use_schema else None,
     )
     try:
         for arg in args:
@@ -287,6 +341,9 @@ def prepare_call(
         method=method,
         pool=pool,
         buffer=envelope_buffer,
+        schema_session=schema_session,
+        schemas_defined=writer.schemas_defined,
+        schema_flagged=use_schema,
     )
 
 
@@ -297,18 +354,36 @@ def complete_call(endpoint: Any, prepared: PreparedCall, response: bytes) -> Any
     profile = endpoint.profile
     externalizers = endpoint.externalizers()
     status, reader = split_response(response)
+    session = prepared.schema_session
     if status is Status.EXCEPTION:
+        # No schema confirmation here: the server may have raised before
+        # decoding the arguments (bad method, missing export), in which
+        # case any definitions this stream carried were never registered.
         exc_type = reader.read_str()
         message = reader.read_str()
         remote_tb = reader.read_str()
         raise RemoteInvocationError(exc_type, message, remote_tb)
     if status is Status.PROTOCOL_ERROR:
+        if session is not None and prepared.schema_flagged:
+            # A schema-mode stream the server could not decode — e.g. a
+            # reference to an id its connection state no longer holds.
+            # Renegotiating from scratch self-heals the next call.
+            session.reset()
         raise RemoteError(f"protocol error from {descriptor.address}: {reader.read_str()}")
 
     # The response leads with the policy the SERVER actually applied: a
     # method-level @restore_policy/@no_restore annotation may have
     # overridden the caller's request (never upgrading from 'none').
-    applied_policy_name = policy_from_wire(reader.read_u8())
+    # Its high bit is the schema-cache acknowledgement.
+    applied = reader.read_u8()
+    applied_policy_name = policy_from_wire(applied & 0x7F)
+    if session is not None:
+        if applied & REPLY_FLAG_SCHEMA_ACK:
+            session.record_ack()
+        # An OK reply proves the server decoded this stream's arguments,
+        # so any schema definitions it carried are registered over there:
+        # later streams on this connection may reference them.
+        session.confirm(prepared.schemas_defined)
     # Zero-copy: the restore payload is parsed in place from the response
     # frame (parse_response consumes it synchronously).
     payload = reader.read_view(reader.remaining)
@@ -362,10 +437,13 @@ def client_call(
     Raises :class:`RemoteInvocationError` if the remote method raised, and
     transport/marshalling errors for middleware failures.
     """
-    prepared = prepare_call(
-        endpoint, descriptor, method, args, policy_name=policy_name, kwargs=kwargs
-    )
+    # Resolved before marshalling: the channel's schema session decides
+    # whether the argument stream may use the connection's schema cache.
     channel = endpoint.channel_to(descriptor.address)
+    prepared = prepare_call(
+        endpoint, descriptor, method, args, policy_name=policy_name,
+        kwargs=kwargs, channel=channel,
+    )
     retry = endpoint.config.retry
     breaker = endpoint.breaker_for(descriptor.address)
     try:
@@ -424,22 +502,24 @@ def client_call(
 
 
 def handle_call(
-    endpoint: Any, reader: BufferReader, call_id: int = 0, attempt: int = 0
+    endpoint: Any, reader: BufferReader, call_id: int = 0, attempt: int = 0,
+    session: Any = None,
 ) -> bytes:
-    """Server half: decode, retain, execute, build the restore response."""
+    """Server half: decode, retain, execute, build the restore response.
+
+    *session* is the transport's per-connection state (None for
+    session-less carriers): it holds the receive side of the schema-cache
+    negotiation, and its presence is what lets this endpoint acknowledge
+    the client's :data:`CAP_SCHEMA_CACHE` advertisement.
+    """
     request = decode_call(reader, call_id=call_id, attempt=attempt)
     profile = profile_by_name(request.profile)
     externalizers = endpoint.externalizers()
 
-    args_reader = ObjectReader(
-        request.args_payload, profile=profile, externalizers=externalizers
-    )
-    args = [args_reader.read_root() for _ in request.modes]
-    shipped_map: List[Any] | None = None
-    if request.ship_map:
-        shipped_map = args_reader.read_root()
-    args_reader.expect_end()
-
+    # Method resolution and policy negotiation run BEFORE the arguments
+    # are decoded: the effective policy decides whether the decoder
+    # captures slot digests as it traverses (the fused decode+digest
+    # pass), and a bad method is rejected without paying for a decode.
     impl = endpoint.exports.get(request.object_id)
     if request.method.startswith("_"):
         raise RemoteError(f"refusing to dispatch private method {request.method!r}")
@@ -468,16 +548,41 @@ def handle_call(
             # delta. Non-advertising (older) callers keep getting kind 2.
             policy_name = "delta-slots"
     policy = policy_by_name(policy_name)
+
+    # Dirty-slot calls digest every slot as it is registered in the
+    # linear map — the paper's "keep a reference to the map" walk and the
+    # delta snapshot collapse into the decode traversal, so the retained
+    # map is never re-walked before the method runs.
+    fuse_digest = policy_name == "delta-slots" and not request.ship_map
+    args_reader = ObjectReader(
+        request.args_payload,
+        profile=profile,
+        externalizers=externalizers,
+        schema_rx=session.schema_rx if session is not None else None,
+        digest_accessor=endpoint.accessor if fuse_digest else None,
+    )
+    args = [args_reader.read_root() for _ in request.modes]
+    shipped_map: List[Any] | None = None
+    if request.ship_map:
+        shipped_map = args_reader.read_root()
+    args_reader.expect_end()
+
     roots = _restore_roots(args, request.modes)
     retained: List[Any] = []
+    predigested = None
     if policy_name != "none":
         if shipped_map is not None:
             # Ablation path: trust the transmitted map instead of the one
             # reconstructed during deserialization.
-            base_map = LinearMap(shipped_map)
+            retained = compute_retained(
+                LinearMap(shipped_map), roots, endpoint.accessor
+            )
         else:
-            base_map = args_reader.linear_map
-        retained = compute_retained(base_map, roots, endpoint.accessor)
+            retained, retained_indices = compute_retained_indexed(
+                args_reader.linear_map, roots, endpoint.accessor
+            )
+            if fuse_digest:
+                predigested = args_reader.digest_table(retained_indices)
 
     context = ServerRestoreContext(
         retained=retained,
@@ -487,6 +592,7 @@ def handle_call(
         externalizers=externalizers,
         stop=is_opaque_remote,
         metrics=endpoint.metrics,
+        predigested=predigested,
     )
     snapshot = policy.snapshot(context)
 
@@ -511,4 +617,14 @@ def handle_call(
         )
 
     response_payload = policy.build_response(result, context, snapshot)
-    return ok_response(bytes([policy_wire_id(policy_name)]) + response_payload)
+    applied = policy_wire_id(policy_name)
+    if (
+        session is not None
+        and request.caps & CAP_SCHEMA_CACHE
+        and getattr(endpoint.config, "schema_cache", True)
+    ):
+        # Acknowledge the schema-cache capability on the applied-policy
+        # byte's high bit: this connection keeps per-session decode state,
+        # so the client may start encoding against its schema cache.
+        applied |= REPLY_FLAG_SCHEMA_ACK
+    return ok_response(bytes([applied]) + response_payload)

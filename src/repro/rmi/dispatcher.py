@@ -51,7 +51,7 @@ class Dispatcher:
         )
         self.reply_cache = ReplyCache(max_entries=cache_size)
 
-    def _handle_tracked_call(self, reader: BufferReader) -> bytes:
+    def _handle_tracked_call(self, reader: BufferReader, session: Any) -> bytes:
         """Serve one CALL with at-most-once dedup on its call ID."""
         # Imported here: the invocation pipeline sits above the RMI
         # substrate, so a module-level import would be cyclic.
@@ -72,7 +72,8 @@ class Dispatcher:
         if attempt:
             metrics.counter("calls.retried_executions").add()
         response = handle_call(
-            self._endpoint, reader, call_id=call_id, attempt=attempt
+            self._endpoint, reader, call_id=call_id, attempt=attempt,
+            session=session,
         )
         if call_id:
             # bytes() also flattens any buffer the pipeline handed back,
@@ -81,12 +82,12 @@ class Dispatcher:
             metrics.counter("reply_cache.stores").add()
         return response
 
-    def handle(self, request: bytes) -> bytes:
+    def handle(self, request: bytes, session: Any = None) -> bytes:
         try:
             reader = BufferReader(request)
             op = reader.read_u8()
             if op == Op.CALL:
-                return self._handle_tracked_call(reader)
+                return self._handle_tracked_call(reader, session)
             if op == Op.FIELD_GET:
                 return self._handle_field_get(reader)
             if op == Op.FIELD_SET:
@@ -97,8 +98,12 @@ class Dispatcher:
                 return self._handle_dgc_renew(reader)
             if op == Op.CALL_BATCH:
                 # Each sub-request is a complete frame; route recursively
-                # so every operation (and its error handling) is uniform.
-                sub_responses = [self.handle(sub) for sub in decode_batch(reader)]
+                # (same connection, so the same session) so every
+                # operation and its error handling stay uniform.
+                sub_responses = [
+                    self.handle(sub, session=session)
+                    for sub in decode_batch(reader)
+                ]
                 return ok_response(encode_batch_responses(sub_responses))
             if op == Op.PING:
                 return ok_response()
@@ -115,6 +120,10 @@ class Dispatcher:
         except Exception as exc:  # noqa: BLE001 - never kill the server loop
             logger.warning("protocol error while dispatching: %s", exc, exc_info=True)
             return protocol_error_response(f"{type(exc).__name__}: {exc}")
+
+    # Transports probe this via call_handler: plain bytes->bytes handlers
+    # keep working, while this dispatcher receives per-connection state.
+    handle.wants_session = True
 
     def _handle_field_get(self, reader: BufferReader) -> bytes:
         endpoint = self._endpoint

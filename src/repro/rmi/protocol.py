@@ -76,7 +76,19 @@ _ID_TO_POLICY = {v: k for k, v in _POLICY_TO_ID.items()}
 #: The caller can decode the dirty-slot delta reply frame (kind 4).
 CAP_DELTA_SLOTS = 0x02
 
+#: The caller holds a per-connection schema session (repro.serde.schema)
+#: and may flag argument streams with STREAM_FLAG_SCHEMA_CACHE once the
+#: server acknowledges. Servers that honor the capability OR
+#: REPLY_FLAG_SCHEMA_ACK onto the applied-policy byte of OK CALL replies.
+CAP_SCHEMA_CACHE = 0x04
+
 _FLAG_SHIP_MAP = 0x01
+
+#: High bit of the applied-policy byte leading an OK CALL reply payload:
+#: the server accepted CAP_SCHEMA_CACHE for this connection. Policy wire
+#: ids are tiny (0-4), so the bit never collides; legacy clients that
+#: never advertise the capability never see it set.
+REPLY_FLAG_SCHEMA_ACK = 0x80
 
 
 def policy_wire_id(name: str) -> int:

@@ -47,6 +47,12 @@ _T_BIGINT = 11
 
 _MAX_IMMUTABLE_DEPTH = 16
 
+#: Number of full linear-map walks :func:`digest_slots` has performed in
+#: this process. Test observability for the fused decode+digest pass: a
+#: delta-slots call whose "before" table was captured during decoding
+#: performs exactly one walk (reply time) instead of two.
+walk_count = 0
+
 
 class SlotDigestTable:
     """Digests for one retained list, plus the pins keeping ids stable."""
@@ -165,10 +171,13 @@ def _encode_slot(writer: BufferWriter, obj: Any, accessor: FieldAccessor, pins: 
 def digest_slots(slots: List[Any], accessor: FieldAccessor) -> SlotDigestTable:
     """Digest every slot of a retained list.
 
-    Runs twice per delta-slots call: once right after deserialization
-    (the "before" picture) and once at reply-encode time; comparing the
-    two tables yields the dirty-slot set.
+    Historically ran twice per delta-slots call: once right after
+    deserialization (the "before" picture) and once at reply-encode time.
+    With the fused decode+digest pass the "before" table is captured
+    during deserialization itself, leaving only the reply-time walk here.
     """
+    global walk_count
+    walk_count += 1
     tokens: List[bytes] = []
     sizes: List[int] = []
     pins: List[Any] = []

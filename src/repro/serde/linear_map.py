@@ -41,6 +41,19 @@ class LinearMap:
         self._index[obj] = position
         return position
 
+    def append_new(self, obj: Any) -> int:
+        """Unchecked append for objects known to be absent.
+
+        The decoder's case: every shell it registers is freshly
+        allocated, so the membership probe in :meth:`append` is a wasted
+        dict lookup on the hottest decode path.
+        """
+        objects = self._objects
+        position = len(objects)
+        objects.append(obj)
+        self._index[obj] = position
+        return position
+
     def __len__(self) -> int:
         return len(self._objects)
 

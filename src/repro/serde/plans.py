@@ -100,10 +100,38 @@ class EncodePlan:
         self.encode = encode
 
 
+def _dict_store_safe(cls: type) -> bool:
+    """Whether plain ``__dict__`` stores are equivalent to ``setattr``.
+
+    True when no class in the MRO declares ``__slots__`` and no non-dunder
+    class attribute is a data descriptor (its type defines ``__set__``) —
+    then every attribute store lands in the instance dict, so the decode
+    fast path may batch field stores with a single ``dict`` update.
+    (Dunder names are skipped: every class carries ``__dict__`` and
+    ``__weakref__`` getset descriptors, which are not field stores.)
+    """
+    for klass in cls.__mro__[:-1]:
+        if "__slots__" in klass.__dict__:
+            return False
+        for name, attr in klass.__dict__.items():
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if hasattr(type(attr), "__set__"):
+                return False
+    return True
+
+
 class DecodePlan:
     """Cached per-class decoding facts: factory and hook flags."""
 
-    __slots__ = ("cls", "version", "factory", "needs_resolve", "has_upgrade")
+    __slots__ = (
+        "cls",
+        "version",
+        "factory",
+        "needs_resolve",
+        "has_upgrade",
+        "use_dict",
+    )
 
     def __init__(self, cls: type, version: int) -> None:
         self.cls = cls
@@ -111,6 +139,7 @@ class DecodePlan:
         self.factory = partial(object.__new__, cls)
         self.needs_resolve = has_resolve(cls)
         self.has_upgrade = has_upgrade(cls)
+        self.use_dict = _dict_store_safe(cls)
 
 
 def compile_decode_plan(cls: type) -> DecodePlan:
@@ -164,8 +193,19 @@ def compile_encode_plan(cls: type, registered_name: str) -> EncodePlan:
         class_id = class_ids.get(cls)
         if class_id is None:
             class_ids[cls] = len(class_ids) + 1
-            buf += class_blob
+            if writer._schema_tx is None:
+                buf += class_blob
+            else:
+                # Session schema cache in force: emit a schema def/ref
+                # instead of the inline descriptor (repro.serde.schema).
+                writer._emit_schema_class(
+                    cls, version, class_blob, registered_name,
+                    [n for n, _ in state],
+                )
         else:
+            # Back references shift past the schema-mode discriminators
+            # (offset 0 on classic streams).
+            class_id += writer._class_key_offset
             while class_id > 0x7F:
                 buf.append((class_id & 0x7F) | 0x80)
                 class_id >>= 7

@@ -22,9 +22,11 @@ inline loop instead of one full frame-machine cycle per field.
 
 from __future__ import annotations
 
+import struct
 from typing import Any, List, Optional
 
 from repro.errors import WireFormatError
+from repro.serde.digest import SlotDigestTable, _encode_slot
 from repro.serde.hooks import (
     apply_resolve,
     apply_upgrade,
@@ -35,8 +37,18 @@ from repro.serde.hooks import (
 from repro.serde.linear_map import LinearMap
 from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
 from repro.serde.registry import ClassRegistry, global_registry
+from repro.serde.schema import (
+    CKEY_INLINE,
+    CKEY_SCHEMA_DEF,
+    CKEY_SCHEMA_REF,
+    CKEY_STREAM_BASE,
+    STREAM_FLAG_SCHEMA_CACHE,
+    SchemaRxCache,
+)
 from repro.serde.tags import Tag, WIRE_MAGIC, WIRE_VERSION
-from repro.util.buffers import BufferReader, SlicingBufferReader
+from repro.util.buffers import BufferReader, BufferWriter, SlicingBufferReader
+
+_F64_UNPACK = struct.Struct(">d").unpack_from
 
 _NO_VALUE = object()
 _FRAME_PUSHED = object()
@@ -59,6 +71,7 @@ _T_FLOAT = 0x05
 _T_STR = 0x07
 _T_BYTES = 0x08
 _T_REF = 0x09
+_T_OBJECT = 0x10
 
 
 class _Frame:
@@ -75,6 +88,8 @@ class _Frame:
         "pending_name",
         "needs_resolve",
         "wire_version",
+        "field_dict",
+        "linear_slot",
     )
 
     def __init__(self, kind: int, remaining: int) -> None:
@@ -88,6 +103,12 @@ class _Frame:
         self.pending_name: Optional[str] = None
         self.needs_resolve = False
         self.wire_version: Optional[int] = None
+        #: The shell's instance dict when batched dict stores are safe
+        #: (plan.use_dict); None routes stores through the accessor.
+        self.field_dict: Optional[dict] = None
+        #: Linear-map position to digest at frame finish (fused digest
+        #: capture); -1 when capture is off or the shell is not mapped.
+        self.linear_slot = -1
 
 
 class ObjectReader:
@@ -103,6 +124,8 @@ class ObjectReader:
         profile: SerializationProfile = MODERN_PROFILE,
         registry: Optional[ClassRegistry] = None,
         externalizers: tuple = (),
+        schema_rx: Optional[SchemaRxCache] = None,
+        digest_accessor=None,
     ) -> None:
         self.profile = profile
         self.registry = registry if registry is not None else global_registry
@@ -123,6 +146,15 @@ class ObjectReader:
             and not profile.per_object_validation
         )
         self._set_field = profile.accessor.set_field
+        # Fused digest capture (repro.serde.digest): when the dispatcher
+        # passes the accessor it will later re-digest with, each mutable
+        # slot's "before" token is produced as its frame finishes, so the
+        # delta-slots snapshot needs no second walk over the linear map.
+        self._digest_accessor = digest_accessor
+        if digest_accessor is not None:
+            self._digest_tokens: List[Optional[bytes]] = []
+            self._digest_pins: List[Any] = []
+            self._digest_writer = BufferWriter()
         magic = self._buf.read_bytes(len(WIRE_MAGIC))
         if magic != WIRE_MAGIC:
             raise WireFormatError(f"bad magic {magic!r}; not an NRMI stream")
@@ -131,7 +163,18 @@ class ObjectReader:
             raise WireFormatError(
                 f"unsupported wire version {version} (expected {WIRE_VERSION})"
             )
-        self._buf.read_u8()  # reserved flags
+        flags = self._buf.read_u8()
+        if flags & STREAM_FLAG_SCHEMA_CACHE:
+            if schema_rx is None:
+                raise WireFormatError(
+                    "schema-cache stream received without a session schema "
+                    "cache (stateless decode of a negotiated stream)"
+                )
+            self._schema_rx: Optional[SchemaRxCache] = schema_rx
+            self._names_seen: Optional[set] = set()
+        else:
+            self._schema_rx = None
+            self._names_seen = None
 
     # ------------------------------------------------------------------ API
 
@@ -151,7 +194,8 @@ class ObjectReader:
         slot = len(self._handles)
         self._handles.append(obj)
         if mutable:
-            self.linear_map.append(obj)
+            # Shells are freshly allocated, so skip the membership probe.
+            self.linear_map.append_new(obj)
         return slot
 
     def _reserve(self) -> int:
@@ -162,22 +206,69 @@ class ObjectReader:
     def _read_class(self) -> tuple:
         """Return (class, wire_version, decode_plan_or_None) for a class key."""
         key = self._buf.read_uvarint()
+        if self._schema_rx is not None:
+            return self._read_schema_class_key(key)
         if key == 0:
-            cls = self.registry.class_for(self._buf.read_str())
-            plan = self.registry.decode_plan_for(cls) if self._use_plans else None
-            entry = (cls, self._buf.read_uvarint(), plan)
-            self._classes.append(entry)
-            return entry
+            return self._read_inline_class()
         try:
             return self._classes[key - 1]
         except IndexError:
             raise WireFormatError(f"dangling class id {key}") from None
+
+    def _read_inline_class(self) -> tuple:
+        """Decode an inline class descriptor (the key byte already read)."""
+        cls = self.registry.class_for(self._buf.read_str())
+        plan = self.registry.decode_plan_for(cls) if self._use_plans else None
+        entry = (cls, self._buf.read_uvarint(), plan)
+        self._classes.append(entry)
+        return entry
+
+    def _read_schema_class_key(self, key: int) -> tuple:
+        """Decode a schema-mode class key (see :mod:`repro.serde.schema`)."""
+        buf = self._buf
+        if key >= CKEY_STREAM_BASE:
+            try:
+                return self._classes[key - CKEY_STREAM_BASE]
+            except IndexError:
+                raise WireFormatError(f"dangling class id {key}") from None
+        if key == CKEY_INLINE:
+            cls = self.registry.class_for(buf.read_str())
+            plan = self.registry.decode_plan_for(cls) if self._use_plans else None
+            entry = (cls, buf.read_uvarint(), plan)
+            self._classes.append(entry)
+            return entry
+        if key == CKEY_SCHEMA_DEF:
+            schema_id = buf.read_uvarint()
+            class_name = buf.read_str()
+            version = buf.read_uvarint()
+            count = buf.read_uvarint()
+            field_names = tuple(buf.read_str() for _ in range(count))
+            schema = self._schema_rx.define(
+                schema_id, class_name, version, field_names
+            )
+        else:  # CKEY_SCHEMA_REF (key space 0..2 is exhaustive)
+            schema = self._schema_rx.lookup(buf.read_uvarint())
+        cls = self.registry.class_for(schema.class_name)
+        plan = self.registry.decode_plan_for(cls) if self._use_plans else None
+        entry = (cls, schema.version, plan)
+        self._classes.append(entry)
+        # Seed the per-stream field-name table (the writer seeds its table
+        # identically) so per-field name keys become 1-2 byte back refs.
+        seen = self._names_seen
+        names = self._names
+        for field_name in schema.field_names:
+            if field_name not in seen:
+                seen.add(field_name)
+                names.append(field_name)
+        return entry
 
     def _read_name(self) -> str:
         key = self._buf.read_uvarint()
         if key == 0:
             name = self._buf.read_str()
             self._names.append(name)
+            if self._names_seen is not None:
+                self._names_seen.add(name)
             return name
         try:
             return self._names[key - 1]
@@ -195,7 +286,7 @@ class ObjectReader:
                     result = _NO_VALUE
                     frame = stack[-1]
                     if fast and frame.kind == _F_OBJECT and frame.remaining:
-                        self._drain_object_fields(frame)
+                        self._drain_object_fields(frame, stack)
                     if frame.remaining == 0:
                         stack.pop()
                         result = self._finish(frame)
@@ -211,72 +302,371 @@ class ObjectReader:
                 and frame.kind == _F_OBJECT
                 and frame.pending_name is None
             ):
-                # Back from decoding a non-scalar field value: resume the
-                # inline scalar drain before paying full frame-machine
-                # cycles for the (typically scalar) fields that follow.
-                self._drain_object_fields(frame)
+                # Back from decoding a non-object field value: resume the
+                # direct drain loop before paying full frame-machine
+                # cycles for the fields that follow. The drain may leave
+                # deeper frames on the stack; *frame* can only hit
+                # remaining == 0 when it is back on top.
+                self._drain_object_fields(frame, stack)
             if frame.remaining == 0:
                 stack.pop()
                 result = self._finish(frame)
 
-    def _drain_object_fields(self, frame: _Frame) -> None:
-        """Consume consecutive scalar-valued fields of an object frame.
+    def _drain_object_fields(self, frame: _Frame, stack: List[_Frame]) -> None:
+        """Decode an object subtree in one direct loop.
 
-        Reads ``name, tag, payload`` triples directly — no `_Frame`
-        bookkeeping, no ``_deliver`` dispatch — until a field's value is a
-        container/object/rarity, at which point the already-read name is
-        parked on ``frame.pending_name`` and the generic machinery takes
-        over exactly where it would have been.
+        Reads ``name, tag, payload`` triples straight off the buffer — no
+        per-field ``_step``/``_deliver`` dispatch — and when a field's
+        value is itself a plan-backed object, opens its frame *inside the
+        loop* and keeps going, so a tree of objects with scalar leaves
+        decodes without ever bouncing through the generic frame machine.
+        Frames this loop pushes onto *stack* are in exactly the state
+        ``_step`` would have left them, so on any other value shape
+        (container, big int, external, ...) the already-read name is
+        parked on ``pending_name`` and the generic machinery takes over
+        exactly where it would have been. The frame the caller passed in
+        is never popped here: ``_read_value`` finishes it.
         """
         buf = self._buf
-        shell = frame.shell
         set_field = self._set_field
-        read_name = self._read_name
         handles = self._handles
-        peek = buf.peek_u8
-        read_u8 = buf.read_u8
-        remaining = frame.remaining
-        while remaining:
-            name = read_name()
-            tag = peek()
-            if tag == _T_INT:
-                read_u8()
-                value = buf.read_varint()
-            elif tag == _T_STR:
-                read_u8()
-                value = buf.read_str()
-                handles.append(value)
-            elif tag == _T_REF:
-                read_u8()
-                slot = buf.read_uvarint()
-                try:
-                    value = handles[slot]
-                except IndexError:
-                    raise WireFormatError(f"dangling handle {slot}") from None
-                if value is _NO_VALUE:
-                    raise WireFormatError(f"forward reference to handle {slot}")
-            elif tag == _T_FLOAT:
-                read_u8()
-                value = buf.read_f64()
-            elif tag == _T_NONE:
-                read_u8()
-                value = None
-            elif tag == _T_TRUE:
-                read_u8()
-                value = True
-            elif tag == _T_FALSE:
-                read_u8()
-                value = False
-            elif tag == _T_BYTES:
-                read_u8()
-                value = buf.read_len_bytes()
-                handles.append(value)
-            else:
-                frame.pending_name = name
-                break
-            set_field(shell, name, value)
-            remaining -= 1
-        frame.remaining = remaining
+        names = self._names
+        names_seen = self._names_seen
+        classes = self._classes
+        schema_rx = self._schema_rx
+        lm_append = self.linear_map.append_new
+        capture = self._digest_accessor is not None
+        accessor_new = self.profile.accessor.new_instance
+        unpack_f64 = _F64_UNPACK
+        base = len(stack)
+        cur = frame
+        shell = cur.shell
+        field_dict = cur.field_dict
+        remaining = cur.remaining
+        # Read through buffer internals directly: one attribute load up
+        # front instead of a method call per primitive. Every exit path
+        # (including raises) writes the cursor back into the buffer.
+        mv = buf._mv
+        pos = buf._pos
+        length = buf._len
+        try:
+            while True:
+                if not remaining:
+                    # The innermost object is complete. The caller's frame
+                    # is finished by _read_value; deeper frames finish and
+                    # deliver to their parent right here.
+                    cur.remaining = 0
+                    if len(stack) == base:
+                        break
+                    stack.pop()
+                    if (
+                        cur.wire_version is not None
+                        or cur.needs_resolve
+                        or cur.linear_slot >= 0
+                    ):
+                        value = self._finish(cur)
+                    else:
+                        value = cur.shell
+                    cur = stack[-1]
+                    shell = cur.shell
+                    field_dict = cur.field_dict
+                    remaining = cur.remaining
+                    name = cur.pending_name
+                    cur.pending_name = None
+                    if field_dict is not None:
+                        field_dict[name] = value
+                    else:
+                        set_field(shell, name, value)
+                    remaining -= 1
+                    continue
+                # -- field-name key (inline uvarint) ----------------------
+                byte = mv[pos]
+                pos += 1
+                if byte & 0x80:
+                    key = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = mv[pos]
+                        pos += 1
+                        key |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                        if shift > 70:
+                            buf._pos = pos
+                            raise WireFormatError(
+                                "uvarint too long (corrupt stream)"
+                            )
+                else:
+                    key = byte
+                if key:
+                    try:
+                        name = names[key - 1]
+                    except IndexError:
+                        buf._pos = pos
+                        raise WireFormatError(
+                            f"dangling name id {key}"
+                        ) from None
+                else:
+                    buf._pos = pos
+                    name = buf.read_str()
+                    pos = buf._pos
+                    names.append(name)
+                    if names_seen is not None:
+                        names_seen.add(name)
+                # -- value tag + payload ----------------------------------
+                tag = mv[pos]
+                pos += 1
+                if tag == _T_INT:
+                    byte = mv[pos]
+                    pos += 1
+                    if byte & 0x80:
+                        raw = byte & 0x7F
+                        shift = 7
+                        while True:
+                            byte = mv[pos]
+                            pos += 1
+                            raw |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 70:
+                                buf._pos = pos
+                                raise WireFormatError(
+                                    "uvarint too long (corrupt stream)"
+                                )
+                    else:
+                        raw = byte
+                    value = (raw >> 1) ^ -(raw & 1)
+                elif tag == _T_STR:
+                    byte = mv[pos]
+                    pos += 1
+                    if byte & 0x80:
+                        count = byte & 0x7F
+                        shift = 7
+                        while True:
+                            byte = mv[pos]
+                            pos += 1
+                            count |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 70:
+                                buf._pos = pos
+                                raise WireFormatError(
+                                    "uvarint too long (corrupt stream)"
+                                )
+                    else:
+                        count = byte
+                    end = pos + count
+                    if end > length:
+                        buf._pos = pos
+                        raise WireFormatError(
+                            f"truncated stream: need {count} bytes at offset "
+                            f"{pos}, have {length - pos}"
+                        )
+                    value = str(mv[pos:end], "utf-8")
+                    pos = end
+                    handles.append(value)
+                elif tag == _T_REF:
+                    byte = mv[pos]
+                    pos += 1
+                    if byte & 0x80:
+                        slot = byte & 0x7F
+                        shift = 7
+                        while True:
+                            byte = mv[pos]
+                            pos += 1
+                            slot |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 70:
+                                buf._pos = pos
+                                raise WireFormatError(
+                                    "uvarint too long (corrupt stream)"
+                                )
+                    else:
+                        slot = byte
+                    try:
+                        value = handles[slot]
+                    except IndexError:
+                        buf._pos = pos
+                        raise WireFormatError(
+                            f"dangling handle {slot}"
+                        ) from None
+                    if value is _NO_VALUE:
+                        buf._pos = pos
+                        raise WireFormatError(
+                            f"forward reference to handle {slot}"
+                        )
+                elif tag == _T_FLOAT:
+                    end = pos + 8
+                    if end > length:
+                        buf._pos = pos
+                        raise WireFormatError(
+                            f"truncated stream: need 8 bytes at offset "
+                            f"{pos}, have {length - pos}"
+                        )
+                    value = unpack_f64(mv, pos)[0]
+                    pos = end
+                elif tag == _T_NONE:
+                    value = None
+                elif tag == _T_TRUE:
+                    value = True
+                elif tag == _T_FALSE:
+                    value = False
+                elif tag == _T_BYTES:
+                    byte = mv[pos]
+                    pos += 1
+                    if byte & 0x80:
+                        count = byte & 0x7F
+                        shift = 7
+                        while True:
+                            byte = mv[pos]
+                            pos += 1
+                            count |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 70:
+                                buf._pos = pos
+                                raise WireFormatError(
+                                    "uvarint too long (corrupt stream)"
+                                )
+                    else:
+                        count = byte
+                    end = pos + count
+                    if end > length:
+                        buf._pos = pos
+                        raise WireFormatError(
+                            f"truncated stream: need {count} bytes at offset "
+                            f"{pos}, have {length - pos}"
+                        )
+                    value = bytes(mv[pos:end])
+                    pos = end
+                    handles.append(value)
+                elif tag == _T_OBJECT:
+                    # Nested object: decode the class key, open the child
+                    # frame in place, and keep draining inside it.
+                    byte = mv[pos]
+                    pos += 1
+                    if byte & 0x80:
+                        key = byte & 0x7F
+                        shift = 7
+                        while True:
+                            byte = mv[pos]
+                            pos += 1
+                            key |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 70:
+                                buf._pos = pos
+                                raise WireFormatError(
+                                    "uvarint too long (corrupt stream)"
+                                )
+                    else:
+                        key = byte
+                    if schema_rx is None:
+                        if key:
+                            try:
+                                entry = classes[key - 1]
+                            except IndexError:
+                                buf._pos = pos
+                                raise WireFormatError(
+                                    f"dangling class id {key}"
+                                ) from None
+                        else:
+                            buf._pos = pos
+                            entry = self._read_inline_class()
+                            pos = buf._pos
+                    elif key >= CKEY_STREAM_BASE:
+                        try:
+                            entry = classes[key - CKEY_STREAM_BASE]
+                        except IndexError:
+                            buf._pos = pos
+                            raise WireFormatError(
+                                f"dangling class id {key}"
+                            ) from None
+                    else:
+                        buf._pos = pos
+                        entry = self._read_schema_class_key(key)
+                        pos = buf._pos
+                    cls, wire_version, plan = entry
+                    # field count (inline uvarint)
+                    byte = mv[pos]
+                    pos += 1
+                    if byte & 0x80:
+                        count = byte & 0x7F
+                        shift = 7
+                        while True:
+                            byte = mv[pos]
+                            pos += 1
+                            count |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 70:
+                                buf._pos = pos
+                                raise WireFormatError(
+                                    "uvarint too long (corrupt stream)"
+                                )
+                    else:
+                        count = byte
+                    cur.pending_name = name
+                    cur.remaining = remaining
+                    child = _Frame(_F_OBJECT, count)
+                    if plan is not None:
+                        child_shell = plan.factory()
+                        needs_resolve = plan.needs_resolve
+                        if wire_version != plan.version and plan.has_upgrade:
+                            child.wire_version = wire_version
+                        if plan.use_dict:
+                            child.field_dict = child_shell.__dict__
+                    else:
+                        child_shell = accessor_new(cls)
+                        needs_resolve = has_resolve(cls)
+                        if wire_version != class_version(cls) and has_upgrade(
+                            cls
+                        ):
+                            child.wire_version = wire_version
+                    child.needs_resolve = needs_resolve
+                    child.shell = child_shell
+                    child.handle_slot = len(handles)
+                    handles.append(child_shell)
+                    if not needs_resolve:
+                        slot = lm_append(child_shell)
+                        if capture:
+                            child.linear_slot = slot
+                    stack.append(child)
+                    cur = child
+                    shell = child_shell
+                    field_dict = child.field_dict
+                    remaining = count
+                    continue
+                else:
+                    # Other value shape: un-consume the tag byte and hand
+                    # the parked name to the generic frame machine.
+                    pos -= 1
+                    cur.pending_name = name
+                    break
+                if field_dict is not None:
+                    field_dict[name] = value
+                else:
+                    set_field(shell, name, value)
+                remaining -= 1
+        except IndexError:
+            # mv[pos] past the end: the stream ended mid-field.
+            buf._pos = min(pos, length)
+            raise WireFormatError(
+                f"truncated stream: need 1 bytes at offset {length}, have 0"
+            ) from None
+        except UnicodeDecodeError as exc:
+            buf._pos = pos
+            raise WireFormatError(f"invalid UTF-8 in string: {exc}") from exc
+        buf._pos = pos
+        cur.remaining = remaining
 
     def _step(self, stack: List[_Frame]) -> Any:
         """Read one value header; return a value or push a frame."""
@@ -313,6 +703,9 @@ class ObjectReader:
         if tag == Tag.BYTEARRAY:
             value = bytearray(buf.read_len_bytes())
             self._register(value, mutable=True)
+            if self._digest_accessor is not None:
+                # Complete at registration (no frame): digest immediately.
+                self._capture_slot(len(self.linear_map) - 1, value)
             return value
         if tag == Tag.REF:
             slot = buf.read_uvarint()
@@ -328,6 +721,8 @@ class ObjectReader:
             frame = _Frame(_F_LIST, count)
             frame.shell = []
             self._register(frame.shell, mutable=True)
+            if self._digest_accessor is not None:
+                frame.linear_slot = len(self.linear_map) - 1
             stack.append(frame)
             return _FRAME_PUSHED
         if tag == Tag.TUPLE:
@@ -342,6 +737,8 @@ class ObjectReader:
             frame = _Frame(_F_SET, count)
             frame.shell = set()
             self._register(frame.shell, mutable=True)
+            if self._digest_accessor is not None:
+                frame.linear_slot = len(self.linear_map) - 1
             stack.append(frame)
             return _FRAME_PUSHED
         if tag == Tag.FROZENSET:
@@ -356,6 +753,8 @@ class ObjectReader:
             frame = _Frame(_F_DICT, count * 2)
             frame.shell = {}
             self._register(frame.shell, mutable=True)
+            if self._digest_accessor is not None:
+                frame.linear_slot = len(self.linear_map) - 1
             stack.append(frame)
             return _FRAME_PUSHED
         if tag == Tag.OBJECT:
@@ -367,6 +766,8 @@ class ObjectReader:
                 frame.needs_resolve = plan.needs_resolve
                 if wire_version != plan.version and plan.has_upgrade:
                     frame.wire_version = wire_version
+                if plan.use_dict:
+                    frame.field_dict = frame.shell.__dict__
             else:
                 frame.shell = self.profile.accessor.new_instance(cls)
                 frame.needs_resolve = has_resolve(cls)
@@ -377,6 +778,8 @@ class ObjectReader:
             frame.handle_slot = self._register(
                 frame.shell, mutable=not frame.needs_resolve
             )
+            if self._digest_accessor is not None and not frame.needs_resolve:
+                frame.linear_slot = len(self.linear_map) - 1
             stack.append(frame)
             return _FRAME_PUSHED
         if tag == Tag.EXTERNAL:
@@ -435,7 +838,50 @@ class ObjectReader:
             resolved = apply_resolve(frame.shell)
             self._handles[frame.handle_slot] = resolved
             return resolved
+        if frame.linear_slot >= 0:
+            # Fused digest capture: the slot's shallow state is final once
+            # its frame finishes (its children are decoded; cycles enter
+            # the token as identity refs), so digest it here instead of
+            # re-walking the linear map after decoding.
+            self._capture_slot(frame.linear_slot, frame.shell)
         return frame.shell
+
+    # ------------------------------------------------- fused digest capture
+
+    def _capture_slot(self, index: int, obj: Any) -> None:
+        tokens = self._digest_tokens
+        while len(tokens) <= index:
+            tokens.append(None)
+        writer = self._digest_writer
+        writer.reset()
+        _encode_slot(writer, obj, self._digest_accessor, self._digest_pins)
+        tokens[index] = writer.getvalue()
+
+    def digest_table(self, indices: List[int]) -> SlotDigestTable:
+        """The fused "before" digest table for *indices* (linear-map
+        positions), equivalent to ``digest_slots`` over those slots.
+
+        Only valid when the reader was built with ``digest_accessor``.
+        Slots that somehow escaped capture (defensive: e.g. registered by
+        a hook outside the frame machine) are digested on demand.
+        """
+        captured = self._digest_tokens
+        captured_len = len(captured)
+        slots = self.linear_map
+        accessor = self._digest_accessor
+        pins = self._digest_pins
+        tokens: List[bytes] = []
+        sizes: List[int] = []
+        for index in indices:
+            token = captured[index] if index < captured_len else None
+            if token is None:
+                writer = self._digest_writer
+                writer.reset()
+                _encode_slot(writer, slots[index], accessor, pins)
+                token = writer.getvalue()
+            tokens.append(token)
+            sizes.append(len(token))
+        return SlotDigestTable(tokens, sizes, pins)
 
 
 def decode_graph(

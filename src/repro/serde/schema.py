@@ -1,0 +1,277 @@
+"""Session-cached wire schemas: ship class descriptors once per connection.
+
+Every stream the writer produces is self-describing: class descriptors
+(registered name + ``__nrmi_version__``) and field-name strings are
+written inline on first use *per stream* and back-referenced afterwards.
+That is correct and stateless — and wasteful on a long-lived connection,
+where the same handful of classes crosses the wire thousands of times.
+
+This module adds a negotiated, per-connection cache layered *under* the
+stream format:
+
+* the stream header's flags byte gains :data:`STREAM_FLAG_SCHEMA_CACHE`;
+  a flagged stream encodes class keys in **schema mode** (see below);
+* the encoder keeps a :class:`SchemaTxCache` per connection assigning a
+  compact u16 *schema id* to each ``(class, version)`` pair; the first
+  flagged stream carries a full **schema definition** (id + descriptor +
+  field-name table), later streams carry a 2-3 byte **schema reference**;
+* the decoder keeps a :class:`SchemaRxCache` per connection resolving
+  references back to descriptors.
+
+Schema-mode class keys (the uvarint that follows ``Tag.OBJECT``)::
+
+    0 (CKEY_INLINE)       name str + version uvarint   (classic inline form)
+    1 (CKEY_SCHEMA_DEF)   schema_id, name, version, field-name table
+    2 (CKEY_SCHEMA_REF)   schema_id
+    k >= 3                per-stream back reference to class k - CKEY_STREAM_BASE
+
+Unflagged streams keep the classic encoding (0 = inline, k >= 1 =
+back reference) untouched, so legacy peers and stateless transports are
+unaffected — the cache is pure negotiated opt-in.
+
+Both a definition and a reference also **seed the per-stream field-name
+table** with the schema's field names (appending only names not already
+present, on both sides in the same order), so field-name strings stop
+crossing the wire entirely once a schema id is in force: every per-field
+name key collapses to a 1-2 byte back reference.
+
+Consistency protocol (why this is safe under concurrency, retries and
+reconnects):
+
+* definitions are **idempotent** — an entry keeps one stable id and one
+  frozen definition blob for its lifetime, and the receiver's ``define``
+  accepts redefinitions that match byte-for-byte;
+* a pending entry's definition is re-sent on *every* flagged stream until
+  the client sees a ``Status.OK`` reply for a request that carried it
+  (the server decodes arguments before replying, so an OK proves the
+  definition is registered on this connection);
+* references are emitted only for confirmed entries, so a reference is
+  never decoded before its definition — on any channel ordering;
+* a version bump allocates a **new id** (ids are never reused); the old
+  id stays resolvable on the receiver, and stale streams simply decode
+  to the old version (the reader's ``__nrmi_upgrade__`` path applies);
+* a connection drop resets the client session (:meth:`SchemaSession.reset`)
+  — everything re-negotiates from scratch on the new connection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WireFormatError
+
+#: Stream-header flags-byte bit: class keys use the schema-mode encoding.
+STREAM_FLAG_SCHEMA_CACHE = 0x01
+
+#: Schema-mode class-key discriminators (see module docstring).
+CKEY_INLINE = 0
+CKEY_SCHEMA_DEF = 1
+CKEY_SCHEMA_REF = 2
+#: First per-stream back-reference key; key k refers to stream class
+#: ``k - CKEY_STREAM_BASE``.
+CKEY_STREAM_BASE = 3
+
+#: Schema ids are u16: one connection can define at most 65536 schemas;
+#: past that the encoder transparently falls back to inline descriptors.
+MAX_SCHEMA_ID = 0xFFFF
+
+
+def _uvarint(value: int) -> bytes:
+    out = bytearray()
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def _str_blob(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    return _uvarint(len(encoded)) + encoded
+
+
+class WireSchema:
+    """One negotiated schema as the *receiver* sees it."""
+
+    __slots__ = ("schema_id", "class_name", "version", "field_names")
+
+    def __init__(
+        self,
+        schema_id: int,
+        class_name: str,
+        version: int,
+        field_names: Tuple[str, ...],
+    ) -> None:
+        self.schema_id = schema_id
+        self.class_name = class_name
+        self.version = version
+        self.field_names = field_names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WireSchema(id={self.schema_id}, class={self.class_name!r}, "
+            f"version={self.version})"
+        )
+
+
+class TxSchemaEntry:
+    """Encoder-side state for one ``(class, version)`` pair.
+
+    ``def_blob`` is the frozen, pre-encoded CKEY_SCHEMA_DEF key (complete
+    with id, descriptor, and field-name table) so re-sending a pending
+    definition is a single buffer append. ``confirmed`` flips once the
+    peer provably holds the definition; only then may references be sent.
+    """
+
+    __slots__ = ("schema_id", "cls", "version", "field_names", "def_blob", "confirmed")
+
+    def __init__(
+        self, schema_id: int, cls: type, version: int, field_names: Tuple[str, ...],
+        class_name: str,
+    ) -> None:
+        self.schema_id = schema_id
+        self.cls = cls
+        self.version = version
+        self.field_names = field_names
+        blob = bytearray()
+        blob.append(CKEY_SCHEMA_DEF)
+        blob += _uvarint(schema_id)
+        blob += _str_blob(class_name)
+        blob += _uvarint(version)
+        blob += _uvarint(len(field_names))
+        for name in field_names:
+            blob += _str_blob(name)
+        self.def_blob = bytes(blob)
+        self.confirmed = False
+
+
+class SchemaTxCache:
+    """Encoder-side schema table for one connection (thread-safe).
+
+    Keyed on class identity; a version mismatch (the class's declared
+    ``__nrmi_version__`` changed since the entry was made) allocates a
+    fresh entry under a fresh id — ids are never reused, so streams
+    encoded against the old entry stay decodable.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[type, TxSchemaEntry] = {}
+        self._next_id = 0
+
+    def lookup(
+        self, cls: type, version: int, class_name: str,
+        field_names: Sequence[str],
+    ) -> Optional[TxSchemaEntry]:
+        """The entry for ``(cls, version)``, created on first use.
+
+        Returns ``None`` when the u16 id space is exhausted — the caller
+        falls back to the inline descriptor form.
+        """
+        with self._lock:
+            entry = self._entries.get(cls)
+            if entry is not None and entry.version == version:
+                return entry
+            if self._next_id > MAX_SCHEMA_ID:
+                return None
+            entry = TxSchemaEntry(
+                self._next_id, cls, version, tuple(field_names), class_name
+            )
+            self._next_id += 1
+            self._entries[cls] = entry
+            return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class SchemaRxCache:
+    """Decoder-side schema table for one connection (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._schemas: Dict[int, WireSchema] = {}
+
+    def define(
+        self,
+        schema_id: int,
+        class_name: str,
+        version: int,
+        field_names: Tuple[str, ...],
+    ) -> WireSchema:
+        """Register a definition; idempotent for identical redefinitions.
+
+        Pending definitions are re-sent on every stream until confirmed,
+        so duplicates are the normal case. A *conflicting* redefinition
+        means the peer broke the id-stability contract: reject it rather
+        than silently decode against the wrong descriptor.
+        """
+        with self._lock:
+            existing = self._schemas.get(schema_id)
+            if existing is not None:
+                if (
+                    existing.class_name != class_name
+                    or existing.version != version
+                    or existing.field_names != field_names
+                ):
+                    raise WireFormatError(
+                        f"conflicting redefinition of schema id {schema_id}: "
+                        f"{existing.class_name!r} v{existing.version} vs "
+                        f"{class_name!r} v{version}"
+                    )
+                return existing
+            schema = WireSchema(schema_id, class_name, version, field_names)
+            self._schemas[schema_id] = schema
+            return schema
+
+    def lookup(self, schema_id: int) -> WireSchema:
+        with self._lock:
+            schema = self._schemas.get(schema_id)
+        if schema is None:
+            raise WireFormatError(f"dangling schema id {schema_id}")
+        return schema
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._schemas)
+
+
+class SchemaSession:
+    """Client-side negotiation state for one channel.
+
+    ``peer_ok`` flips when the server acknowledges the capability (the
+    high bit of the reply's applied-policy byte); until then every stream
+    goes out unflagged, so a legacy peer never sees schema-mode bytes.
+    ``reset`` (connection drop) discards everything: the next connection
+    renegotiates from zero, which keeps the tx table and the server's rx
+    table trivially consistent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.tx = SchemaTxCache()
+        self._peer_ok = False
+        self.generation = 0
+
+    @property
+    def peer_ok(self) -> bool:
+        return self._peer_ok
+
+    def record_ack(self) -> None:
+        with self._lock:
+            self._peer_ok = True
+
+    def confirm(self, entries: List[TxSchemaEntry]) -> None:
+        """Mark definitions as held by the peer (an OK reply arrived for a
+        request whose stream carried them)."""
+        for entry in entries:
+            entry.confirmed = True
+
+    def reset(self) -> None:
+        """Forget the negotiation (the connection it covered is gone)."""
+        with self._lock:
+            self.tx = SchemaTxCache()
+            self._peer_ok = False
+            self.generation += 1

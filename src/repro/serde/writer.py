@@ -32,6 +32,12 @@ from repro.serde.kinds import Kind, classify
 from repro.serde.linear_map import LinearMap
 from repro.serde.profiles import MODERN_PROFILE, SerializationProfile
 from repro.serde.registry import ClassRegistry, global_registry
+from repro.serde.schema import (
+    CKEY_SCHEMA_REF,
+    CKEY_STREAM_BASE,
+    STREAM_FLAG_SCHEMA_CACHE,
+    SchemaTxCache,
+)
 from repro.serde.tags import Tag, WIRE_MAGIC, WIRE_VERSION
 from repro.util.buffers import BufferWriter, ChunkedBufferWriter
 from repro.util.identity import IdentityMap
@@ -73,6 +79,7 @@ class ObjectWriter:
         collect_stats: bool = False,
         buffer: Optional[bytearray] = None,
         memo_limit: int = DEFAULT_MEMO_LIMIT,
+        schema_tx: Optional[SchemaTxCache] = None,
     ) -> None:
         self.profile = profile
         self.registry = registry if registry is not None else global_registry
@@ -116,9 +123,24 @@ class ObjectWriter:
             self._ext_cache: Optional[Dict[type, Any]] = {}
         else:
             self._ext_cache = None
+        # Session schema cache (repro.serde.schema): only engaged when the
+        # compiled-plan pipeline is fully on — the plan closures are where
+        # schema keys are emitted. On other configurations the stream goes
+        # out unflagged and byte-identical to a session-less writer.
+        if schema_tx is not None and self._ext_cache is not None:
+            self._schema_tx: Optional[SchemaTxCache] = schema_tx
+            self._class_key_offset = CKEY_STREAM_BASE - 1
+        else:
+            self._schema_tx = None
+            self._class_key_offset = 0
+        #: Schema definitions this stream carries (the caller confirms them
+        #: once the peer provably decoded this stream).
+        self.schemas_defined: List[Any] = []
         self._buf.write_bytes(WIRE_MAGIC)
         self._buf.write_u8(WIRE_VERSION)
-        self._buf.write_u8(0)  # reserved flags
+        self._buf.write_u8(
+            STREAM_FLAG_SCHEMA_CACHE if self._schema_tx is not None else 0
+        )
 
     # ------------------------------------------------------------------ API
 
@@ -188,7 +210,10 @@ class ObjectWriter:
         if self.profile.intern_descriptors:
             class_id = self._class_ids.get(cls)
             if class_id is not None:
-                self._buf.write_uvarint(class_id)
+                # Schema-mode streams shift back references past the
+                # def/ref discriminators (CKEY_STREAM_BASE); offset is 0
+                # on classic streams.
+                self._buf.write_uvarint(class_id + self._class_key_offset)
                 return
             self._class_ids[cls] = len(self._class_ids) + 1
         self._buf.write_uvarint(0)
@@ -205,6 +230,42 @@ class ObjectWriter:
             self._name_ids[name] = len(self._name_ids) + 1
         self._buf.write_uvarint(0)
         self._buf.write_str(name)
+
+    def _emit_schema_class(
+        self,
+        cls: type,
+        version: int,
+        class_blob: bytes,
+        registered_name: str,
+        field_names: List[str],
+    ) -> None:
+        """Write a first-occurrence class key on a schema-mode stream.
+
+        Emits a 2-3 byte schema reference when the peer provably holds the
+        definition, a (re)definition while confirmation is pending, and the
+        classic inline descriptor when the id space is exhausted. Either
+        schema form also seeds the per-stream field-name table (the reader
+        mirrors this), so field-name strings stop crossing the wire.
+        """
+        entry = self._schema_tx.lookup(cls, version, registered_name, field_names)
+        buf = self._buf.raw
+        if entry is None:
+            buf += class_blob
+            return
+        if entry.confirmed:
+            buf.append(CKEY_SCHEMA_REF)
+            schema_id = entry.schema_id
+            while schema_id > 0x7F:
+                buf.append((schema_id & 0x7F) | 0x80)
+                schema_id >>= 7
+            buf.append(schema_id)
+        else:
+            buf += entry.def_blob
+            self.schemas_defined.append(entry)
+        name_ids = self._name_ids
+        for name in entry.field_names:
+            if name not in name_ids:
+                name_ids[name] = len(name_ids) + 1
 
     def _validate_object(self, obj: Any, state: List[Tuple[str, Any]]) -> None:
         """Legacy-profile per-object pass (models JDK 1.3 security checks)."""

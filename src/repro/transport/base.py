@@ -14,6 +14,45 @@ from typing import Callable, Optional
 RequestHandler = Callable[[bytes], bytes]
 
 
+class TransportSession:
+    """Server-side per-connection state a transport hands the dispatcher.
+
+    One instance lives exactly as long as one client connection (or, for
+    connectionless transports like in-process dispatch, as long as the
+    channel). The dispatcher keys negotiated per-connection state on it —
+    today the receive-side schema cache for session-cached wire schemas.
+    """
+
+    __slots__ = ("_schema_rx",)
+
+    def __init__(self) -> None:
+        self._schema_rx = None
+
+    @property
+    def schema_rx(self):
+        """The connection's receive-side schema cache, created lazily."""
+        if self._schema_rx is None:
+            from repro.serde.schema import SchemaRxCache
+
+            self._schema_rx = SchemaRxCache()
+        return self._schema_rx
+
+
+def call_handler(
+    handler: RequestHandler, request: bytes, session: Optional[TransportSession]
+) -> bytes:
+    """Invoke *handler*, passing *session* only to session-aware handlers.
+
+    Transports call this instead of ``handler(request)`` so plain
+    ``bytes -> bytes`` handlers (tests, examples, custom servers) keep
+    working unchanged while the dispatcher (which sets ``wants_session``)
+    receives per-connection state.
+    """
+    if getattr(handler, "wants_session", False):
+        return handler(request, session=session)
+    return handler(request)
+
+
 class ChannelStats:
     """Round trips and bytes moved through one channel (thread-safe)."""
 
@@ -61,6 +100,14 @@ class Channel:
     means the transport's own default applies. Transports that cannot
     block (in-process dispatch) may ignore it.
     """
+
+    #: Whether one logical call always reuses the same underlying
+    #: connection-scoped session as its predecessors (no reconnects, no
+    #: retries landing on a different connection). True only for
+    #: transports with process-lifetime sessions (in-process dispatch);
+    #: the invocation layer gates schema-reference emission on it when
+    #: retries are enabled.
+    stable_sessions = False
 
     def __init__(self) -> None:
         self.stats = ChannelStats()

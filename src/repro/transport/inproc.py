@@ -12,23 +12,34 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import TransportError
-from repro.transport.base import Channel, RequestHandler
+from repro.serde.schema import SchemaSession
+from repro.transport.base import Channel, RequestHandler, TransportSession, call_handler
 
 
 class InProcChannel(Channel):
     """Calls the server's handler directly; bytes still cross the boundary."""
 
+    # In-process dispatch has no connection to lose: the per-channel
+    # session lives as long as the channel, so schema references are
+    # always safe to emit (even under retries).
+    stable_sessions = True
+
     def __init__(self, handler: RequestHandler) -> None:
         super().__init__()
         self._handler = handler
         self._closed = False
+        # Both halves of the schema-cache negotiation, channel-scoped:
+        # the client-side tx session and the server-side per-"connection"
+        # state the dispatcher keys its rx cache on.
+        self.schema_session = SchemaSession()
+        self._session = TransportSession()
 
     def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
         # In-process dispatch cannot block on a wire, so the deadline
         # budget (timeout) has nothing to bound here and is ignored.
         if self._closed:
             raise TransportError("channel is closed")
-        response = self._handler(payload)
+        response = call_handler(self._handler, payload, self._session)
         self.stats.record(sent=len(payload), received=len(response))
         return response
 

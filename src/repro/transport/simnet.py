@@ -57,6 +57,20 @@ class SimulatedChannel(Channel):
         self._simulated_seconds = 0.0
 
     @property
+    def stable_sessions(self) -> bool:
+        """Session stability is a property of the wrapped carrier."""
+        return self._inner.stable_sessions
+
+    @property
+    def schema_session(self):
+        """The wrapped channel's schema session, if it keeps one.
+
+        The simulated network only accounts time; the schema-cache
+        negotiation belongs to whatever real channel sits underneath.
+        """
+        return getattr(self._inner, "schema_session", None)
+
+    @property
     def simulated_seconds(self) -> float:
         """Total simulated wire time accrued so far."""
         with self._lock:

@@ -24,7 +24,13 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional
 
 from repro.errors import DeadlineExceededError, RetryableError, TransportError
-from repro.transport.base import Channel, RequestHandler
+from repro.serde.schema import SchemaSession
+from repro.transport.base import (
+    Channel,
+    RequestHandler,
+    TransportSession,
+    call_handler,
+)
 from repro.transport.framing import (
     PIPELINE_MAGIC,
     PIPELINE_PREAMBLE,
@@ -135,6 +141,9 @@ class TcpServer:
     def _serve_sequential(self, conn: socket.socket, first_header: bytes) -> None:
         """Classic one-request-at-a-time framing (*first_header* pre-read)."""
         header: Optional[bytes] = first_header
+        # Per-connection state (schema rx cache): dies with the socket, so
+        # a reconnecting client renegotiates from scratch.
+        session = TransportSession()
         while not self._stopping.is_set():
             try:
                 if header is not None:
@@ -145,7 +154,7 @@ class TcpServer:
             except TransportError:
                 return  # peer closed or connection broke
             try:
-                response = self._handler(request)
+                response = call_handler(self._handler, request, session)
             except Exception:  # noqa: BLE001 - handler must not kill server
                 # The RMI dispatcher encodes application errors itself;
                 # anything escaping to here is a protocol bug, and the
@@ -166,6 +175,10 @@ class TcpServer:
         write_lock = threading.Lock()
         admission = threading.Semaphore(self.PIPELINE_MAX_IN_FLIGHT)
         broken = threading.Event()
+        # One session shared by all workers of this connection: the
+        # underlying schema rx cache is thread-safe, and pipelined frames
+        # of one connection form one negotiated session.
+        session = TransportSession()
         executor = ThreadPoolExecutor(
             max_workers=self.PIPELINE_WORKERS,
             thread_name_prefix=f"tcp-pipe-{self.port}",
@@ -174,7 +187,7 @@ class TcpServer:
         def work(corr_id: int, request: bytearray) -> None:
             try:
                 try:
-                    response = self._handler(request)
+                    response = call_handler(self._handler, request, session)
                 except Exception:  # noqa: BLE001 - same contract as sequential
                     broken.set()
                     return
@@ -253,6 +266,9 @@ class TcpChannel(Channel):
         self._timeout = timeout
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
+        # Schema-cache negotiation state; reset whenever the pooled
+        # connection drops so the next connection renegotiates from zero.
+        self.schema_session = SchemaSession()
 
     def _connect(self, timeout: Optional[float] = None) -> socket.socket:
         if self._sock is None:
@@ -314,6 +330,9 @@ class TcpChannel(Channel):
             except OSError:
                 pass
             self._sock = None
+            # The server's per-connection schema cache died with the
+            # socket: forget ours too so nothing references stale ids.
+            self.schema_session.reset()
 
     def close(self) -> None:
         with self._lock:
@@ -362,6 +381,9 @@ class PipelinedTcpChannel(Channel):
         self._sock: Optional[socket.socket] = None
         self._pending: Dict[int, _PendingReply] = {}
         self._corr = itertools.count(1)
+        # Schema-cache negotiation state; reset whenever the shared
+        # connection fails so the next connection renegotiates from zero.
+        self.schema_session = SchemaSession()
         #: Peak number of simultaneously in-flight calls (observability).
         self.max_in_flight = 0
         #: Live gauge of calls currently awaiting replies.
@@ -429,6 +451,7 @@ class PipelinedTcpChannel(Channel):
             pending = list(self._pending.values())
             self._pending.clear()
             self.in_flight_gauge.set(0)
+        self.schema_session.reset()
         try:
             sock.close()
         except OSError:
@@ -482,6 +505,7 @@ class PipelinedTcpChannel(Channel):
         with self._state_lock:
             sock = self._sock
             self._sock = None
+        self.schema_session.reset()
         if sock is not None:
             try:
                 sock.close()

@@ -1,0 +1,6 @@
+"""Inlined reader tag bytes that drifted from tags.py (NRMI032 bait)."""
+
+_T_NONE = 0x00
+_T_FLOAT = 0x04  # expect: NRMI032
+_T_BLOB = 0x08  # expect: NRMI032
+_T_OBJECT = 0x10

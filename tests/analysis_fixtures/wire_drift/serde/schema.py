@@ -1,0 +1,16 @@
+"""Deliberately broken schema-cache constants (NRMI032 bait).
+
+Every invariant of the schema-mode class-key encoding is violated once:
+the inline discriminator moved off 0, the def/ref discriminators collide,
+the stream back-reference base overlaps a discriminator, and the header
+flag is not a single bit. Parsed, never imported.
+"""
+
+STREAM_FLAG_SCHEMA_CACHE = 0x03  # expect: NRMI032
+
+CKEY_INLINE = 1  # expect: NRMI032
+CKEY_SCHEMA_DEF = 1  # expect: NRMI032
+CKEY_SCHEMA_REF = 2
+CKEY_STREAM_BASE = 2  # expect: NRMI032
+
+MAX_SCHEMA_ID = 0xFFFF

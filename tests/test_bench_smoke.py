@@ -3,10 +3,13 @@
 Three layers:
 
 * run ``repro.bench.regress --quick`` end to end (into a temp file, so the
-  committed full-size ``BENCH_pr3.json`` at the repo root is not clobbered
+  committed full-size ``BENCH_pr5.json`` at the repo root is not clobbered
   by quick-mode numbers) and validate the report it writes;
-* re-measure the full-size serde micro encode in-process and hold it to
-  the recorded ``BENCH_pr3.json`` within the runner's regression budget;
+* re-measure the full-size serde micro encode AND decode in-process and
+  hold both to the recorded ``BENCH_pr5.json`` within the runner's
+  regression budget;
+* hold the plan-driven decode fast path to its defining property: modern
+  decode stays within 1.5x of modern encode;
 * replay scenario III with a 1%-mutation mutator so the sparse
   dirty-slot reply path is regression-gated alongside the dense one.
 """
@@ -55,8 +58,8 @@ IN_SUITE_LIMIT_PCT = 75.0
 
 
 @pytest.mark.bench_smoke
-def test_serde_micro_encode_within_recorded_budget():
-    recorded = regress._load_previous(REPO_ROOT / "BENCH_pr3.json")
+def test_serde_micro_timings_within_recorded_budget():
+    recorded = regress._load_previous(REPO_ROOT / "BENCH_pr5.json")
     failures = []
     for _ in range(2):  # one re-measure before failing, for noise spikes
         serde = regress.run_serde_micro(
@@ -68,6 +71,27 @@ def test_serde_micro_encode_within_recorded_budget():
         if not failures:
             break
     assert not failures, "; ".join(failures)
+
+
+@pytest.mark.bench_smoke
+def test_modern_decode_fast_path_within_encode_budget():
+    """Modern decode must stay within 1.5x of modern encode (full size).
+
+    Before the plan-driven decode fast path, decode ran ~3.5x slower than
+    encode on the scenario III micro (the per-object frame machine); the
+    direct subtree loop brought it under encode. A decode/encode ratio
+    above 1.5 means the fast path stopped engaging (e.g. plans no longer
+    report dict-safe stores) — a structural regression, not noise, since
+    both sides of the ratio are measured in the same process.
+    """
+    for _ in range(2):  # one re-measure before failing, for noise spikes
+        serde = regress.run_serde_micro(
+            regress.FULL_SIZE, rounds=4, iterations=15
+        )
+        modern = serde["modern"]
+        if modern["decode_us"] <= 1.5 * modern["encode_us"]:
+            break
+    assert modern["decode_us"] <= 1.5 * modern["encode_us"], modern
 
 
 @pytest.mark.bench_smoke
