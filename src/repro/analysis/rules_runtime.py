@@ -8,10 +8,11 @@ These lint the middleware's *own* threaded and protocol code:
 * **NRMI032** — protocol invariants: the constants that several modules
   must agree on (restore-policy/mode wire ids, capability bits, the
   pipelined-framing magic vs the frame-size limit, the tag bytes
-  ``serde/plans.py`` and ``serde/reader.py`` mirror from
-  ``serde/tags.py``, and the schema-cache class-key discriminators in
-  ``serde/schema.py``) are cross-checked from source, so a drifting edit
-  fails the lint gate before it ships a wire incompatibility.
+  ``serde/plans.py``, ``serde/reader.py``, and ``serde/codegen.py``
+  mirror from ``serde/tags.py``, and the schema-cache class-key
+  discriminators in ``serde/schema.py``) are cross-checked from source,
+  so a drifting edit fails the lint gate before it ships a wire
+  incompatibility.
 """
 
 from __future__ import annotations
@@ -162,6 +163,7 @@ _FRAMING_SUFFIX = "transport/framing.py"
 _TAGS_SUFFIX = "serde/tags.py"
 _PLANS_SUFFIX = "serde/plans.py"
 _READER_SUFFIX = "serde/reader.py"
+_CODEGEN_SUFFIX = "serde/codegen.py"
 _SCHEMA_SUFFIX = "serde/schema.py"
 
 
@@ -341,8 +343,10 @@ def _check_protocol_tree(
                 hint="derive the preamble from the two constants",
             )
 
-    # 5. The tag bytes plans.py (``_TAG_*``) and reader.py (``_T_*``)
-    #    inline must mirror serde/tags.py.
+    # 5. The tag bytes plans.py (``_TAG_*``), reader.py (``_T_*``), and
+    #    codegen.py (both prefixes: generated source interpolates the
+    #    writer-side AND reader-side literals) inline must mirror
+    #    serde/tags.py.
     tags = _load_counterpart(project, protocol, _TAGS_SUFFIX)
     if tags is not None:
         tag_cls = tags.class_named("Tag")
@@ -351,6 +355,8 @@ def _check_protocol_tree(
             for suffix, prefix in (
                 (_PLANS_SUFFIX, "_TAG_"),
                 (_READER_SUFFIX, "_T_"),
+                (_CODEGEN_SUFFIX, "_TAG_"),
+                (_CODEGEN_SUFFIX, "_T_"),
             ):
                 mirror = _load_counterpart(project, protocol, suffix)
                 if mirror is None:

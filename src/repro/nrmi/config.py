@@ -94,6 +94,16 @@ class NRMIConfig:
     # to compact ids). Server side: acknowledge and decode such streams.
     # When False this endpoint behaves as a legacy peer on both sides.
     schema_cache: bool = True
+    # Route the modern profile through exec-generated per-class
+    # encode/decode functions (repro.serde.codegen). When False the
+    # endpoint uses the interpreted compiled-plan path only; the wire
+    # format is byte-identical either way, so the knob is purely a
+    # performance ablation / escape hatch.
+    serde_codegen: bool = True
+    # Socket transport ``serve_remote()`` exposes: "tcp" (cross-host)
+    # or "uds" (Unix domain socket — single host, lower latency).
+    # Servers accept both framings on either; this picks the listener.
+    transport: str = "tcp"
 
     def __post_init__(self) -> None:
         if self.profile not in _VALID_PROFILES:
@@ -119,6 +129,10 @@ class NRMIConfig:
             raise ValueError(
                 "breaker must be a CircuitBreakerPolicy or None, got "
                 f"{type(self.breaker).__name__}"
+            )
+        if self.transport not in ("tcp", "uds"):
+            raise ValueError(
+                f"transport must be 'tcp' or 'uds', got {self.transport!r}"
             )
         if self.reply_cache_size < 0:
             raise ValueError(

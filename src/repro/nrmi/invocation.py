@@ -514,6 +514,13 @@ def handle_call(
     """
     request = decode_call(reader, call_id=call_id, attempt=attempt)
     profile = profile_by_name(request.profile)
+    if profile.use_codegen and not getattr(endpoint.config, "serde_codegen", True):
+        # The codegen knob is per-endpoint, not per-wire: a server with
+        # codegen disabled still speaks identical bytes, it just runs the
+        # interpreted plan path for this call.
+        from dataclasses import replace as _dc_replace
+
+        profile = _dc_replace(profile, use_codegen=False)
     externalizers = endpoint.externalizers()
 
     # Method resolution and policy negotiation run BEFORE the arguments

@@ -47,18 +47,35 @@ from repro.rmi.remote_ref import (
     is_opaque_remote,
 )
 from repro.serde.accessors import accessor_by_name
-from repro.serde.profiles import profile_by_name
+from repro.serde.profiles import SerializationProfile, profile_by_name
 from repro.serde.reader import ObjectReader
 from repro.serde.registry import Externalizer
 from repro.serde.writer import ObjectWriter
 from repro.transport.base import Channel
 from repro.transport.reliability import BreakerRegistry, CircuitBreaker
 from repro.transport.resolver import ChannelResolver, global_resolver
+from repro.transport.stream import StreamServer
 from repro.transport.tcp import TcpServer
+from repro.transport.uds import UdsServer
 from repro.util.rng import DeterministicRandom
 from repro.util.buffers import BufferPool, BufferReader, BufferWriter
 from repro.util.metrics import MetricsRegistry
 from repro.errors import RemoteInvocationError
+
+
+def resolve_profile(config: NRMIConfig) -> SerializationProfile:
+    """The serialization profile *config* selects, codegen knob applied.
+
+    ``serde_codegen=False`` strips the exec-generated fast path off the
+    modern profile, leaving the interpreted compiled-plan path (the
+    legacy profile never had codegen, so the knob is a no-op there).
+    """
+    import dataclasses
+
+    profile = profile_by_name(config.profile)
+    if not config.serde_codegen and profile.use_codegen:
+        profile = dataclasses.replace(profile, use_codegen=False)
+    return profile
 
 
 class Endpoint:
@@ -72,7 +89,7 @@ class Endpoint:
     ) -> None:
         self.config = config if config is not None else NRMIConfig()
         self.resolver = resolver
-        self.profile = profile_by_name(self.config.profile)
+        self.profile = resolve_profile(self.config)
         self.accessor = accessor_by_name(self.config.implementation)
         self.engine = RestoreEngine(accessor=self.accessor, opaque=is_opaque_remote)
         self.exports = ExportTable(
@@ -106,6 +123,7 @@ class Endpoint:
         )
         self.address = resolver.register_inproc(self.name, self.dispatcher.handle)
         self._tcp_server: Optional[TcpServer] = None
+        self._uds_server: Optional[StreamServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
@@ -129,6 +147,31 @@ class Endpoint:
             self.address = self._tcp_server.address
         return self._tcp_server.address
 
+    def serve_uds(self, path: Optional[str] = None) -> str:
+        """Additionally expose this endpoint over a Unix domain socket.
+
+        Returns the ``uds://<path>`` address (a fresh temp-dir socket
+        when *path* is omitted). Stubs minted after this call carry the
+        UDS address, so they stay valid for other processes on this
+        host. Raises :class:`~repro.errors.TransportError` on platforms
+        without ``AF_UNIX``.
+        """
+        if self._uds_server is None:
+            self._uds_server = UdsServer(self.dispatcher.handle, path=path)
+            self.address = self._uds_server.address
+        return self._uds_server.address
+
+    def serve_remote(self, **kwargs: Any) -> str:
+        """Expose this endpoint over the socket transport the config picks.
+
+        ``config.transport == "tcp"`` forwards *kwargs* to
+        :meth:`serve_tcp` (host/port), ``"uds"`` to :meth:`serve_uds`
+        (path); returns the resulting address either way.
+        """
+        if self.config.transport == "uds":
+            return self.serve_uds(**kwargs)
+        return self.serve_tcp(**kwargs)
+
     def close(self) -> None:
         if self._closed:
             return
@@ -136,6 +179,8 @@ class Endpoint:
         self.resolver.unregister_inproc(self.name)
         if self._tcp_server is not None:
             self._tcp_server.stop()
+        if self._uds_server is not None:
+            self._uds_server.stop()
         if self._executor is not None:
             self._executor.shutdown(wait=False)
         sweeper_stop = getattr(self, "_sweeper_stop", None)

@@ -131,6 +131,7 @@ class DecodePlan:
         "needs_resolve",
         "has_upgrade",
         "use_dict",
+        "decode_fn",
     )
 
     def __init__(self, cls: type, version: int) -> None:
@@ -140,6 +141,9 @@ class DecodePlan:
         self.needs_resolve = has_resolve(cls)
         self.has_upgrade = has_upgrade(cls)
         self.use_dict = _dict_store_safe(cls)
+        # Optional generated decoder (repro.serde.codegen); None means the
+        # reader's frame machine decodes this class from the plan facts.
+        self.decode_fn = None
 
 
 def compile_decode_plan(cls: type) -> DecodePlan:

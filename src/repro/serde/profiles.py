@@ -41,6 +41,11 @@ class SerializationProfile:
     #: Route writes/reads through the chunk-list / slice-copy buffer classes
     #: that model the legacy stack's per-primitive allocation behaviour.
     chunked_buffers: bool = False
+    #: Use exec-generated per-class encode/decode functions
+    #: (see repro.serde.codegen) on top of compiled plans. Subordinate to
+    #: ``use_compiled_plans`` — ignored when plans are off. Byte-identical
+    #: to the interpreted plan path.
+    use_codegen: bool = False
 
     def __repr__(self) -> str:
         return f"SerializationProfile({self.name!r})"
@@ -66,6 +71,7 @@ MODERN_PROFILE = SerializationProfile(
     per_object_validation=False,
     use_compiled_plans=True,
     chunked_buffers=False,
+    use_codegen=True,
 )
 
 _PROFILES = {p.name: p for p in (LEGACY_PROFILE, MODERN_PROFILE)}

@@ -26,6 +26,7 @@ import struct
 from typing import Any, List, Optional
 
 from repro.errors import WireFormatError
+from repro.serde.codegen import BAIL
 from repro.serde.digest import SlotDigestTable, _encode_slot
 from repro.serde.hooks import (
     apply_resolve,
@@ -145,7 +146,14 @@ class ObjectReader:
             and profile.intern_descriptors
             and not profile.per_object_validation
         )
+        # exec-generated decoders (repro.serde.codegen) ride on the plan
+        # pipeline: same wire bytes, direct function call per object.
+        self._use_codegen = self._use_plans and profile.use_codegen
         self._set_field = profile.accessor.set_field
+        # Lazily-built tuple of hot internals bound in one load by
+        # generated decoders (repro.serde.codegen); every member is bound
+        # once in __init__ and only mutated in place, never rebound.
+        self._codegen_ctx: Optional[tuple] = None
         # Fused digest capture (repro.serde.digest): when the dispatcher
         # passes the accessor it will later re-digest with, each mutable
         # slot's "before" token is produced as its frame finishes, so the
@@ -215,10 +223,18 @@ class ObjectReader:
         except IndexError:
             raise WireFormatError(f"dangling class id {key}") from None
 
+    def _plan_for(self, cls: type):
+        """The decode plan matching this reader's profile (or None)."""
+        if self._use_codegen:
+            return self.registry.codegen_decode_plan_for(cls)
+        if self._use_plans:
+            return self.registry.decode_plan_for(cls)
+        return None
+
     def _read_inline_class(self) -> tuple:
         """Decode an inline class descriptor (the key byte already read)."""
         cls = self.registry.class_for(self._buf.read_str())
-        plan = self.registry.decode_plan_for(cls) if self._use_plans else None
+        plan = self._plan_for(cls)
         entry = (cls, self._buf.read_uvarint(), plan)
         self._classes.append(entry)
         return entry
@@ -233,7 +249,7 @@ class ObjectReader:
                 raise WireFormatError(f"dangling class id {key}") from None
         if key == CKEY_INLINE:
             cls = self.registry.class_for(buf.read_str())
-            plan = self.registry.decode_plan_for(cls) if self._use_plans else None
+            plan = self._plan_for(cls)
             entry = (cls, buf.read_uvarint(), plan)
             self._classes.append(entry)
             return entry
@@ -249,7 +265,7 @@ class ObjectReader:
         else:  # CKEY_SCHEMA_REF (key space 0..2 is exhaustive)
             schema = self._schema_rx.lookup(buf.read_uvarint())
         cls = self.registry.class_for(schema.class_name)
-        plan = self.registry.decode_plan_for(cls) if self._use_plans else None
+        plan = self._plan_for(cls)
         entry = (cls, schema.version, plan)
         self._classes.append(entry)
         # Seed the per-stream field-name table (the writer seeds its table
@@ -285,7 +301,15 @@ class ObjectReader:
                 if result is _FRAME_PUSHED:
                     result = _NO_VALUE
                     frame = stack[-1]
-                    if fast and frame.kind == _F_OBJECT and frame.remaining:
+                    # pending_name is set when a generated decoder bailed
+                    # mid-field: the next value must route through _step/
+                    # _deliver, not the name-first drain loop.
+                    if (
+                        fast
+                        and frame.kind == _F_OBJECT
+                        and frame.remaining
+                        and frame.pending_name is None
+                    ):
                         self._drain_object_fields(frame, stack)
                     if frame.remaining == 0:
                         stack.pop()
@@ -668,6 +692,34 @@ class ObjectReader:
         buf._pos = pos
         cur.remaining = remaining
 
+    def _spawn_object_frame(self, entry: tuple, count: int) -> _Frame:
+        """Open the decoding frame for one object whose class key and
+        field count have been consumed (shell registered, digest slot
+        noted). Shared by ``_step`` and the generated decoders' bail
+        paths."""
+        cls, wire_version, plan = entry
+        frame = _Frame(_F_OBJECT, count)
+        if plan is not None:
+            frame.shell = plan.factory()
+            frame.needs_resolve = plan.needs_resolve
+            if wire_version != plan.version and plan.has_upgrade:
+                frame.wire_version = wire_version
+            if plan.use_dict:
+                frame.field_dict = frame.shell.__dict__
+        else:
+            frame.shell = self.profile.accessor.new_instance(cls)
+            frame.needs_resolve = has_resolve(cls)
+            if wire_version != class_version(cls) and has_upgrade(cls):
+                frame.wire_version = wire_version
+        # Mirrors the writer: readResolve classes are value-like and
+        # stay out of the linear map, keeping the maps index-aligned.
+        frame.handle_slot = self._register(
+            frame.shell, mutable=not frame.needs_resolve
+        )
+        if self._digest_accessor is not None and not frame.needs_resolve:
+            frame.linear_slot = len(self.linear_map) - 1
+        return frame
+
     def _step(self, stack: List[_Frame]) -> Any:
         """Read one value header; return a value or push a frame."""
         if stack:
@@ -758,29 +810,18 @@ class ObjectReader:
             stack.append(frame)
             return _FRAME_PUSHED
         if tag == Tag.OBJECT:
-            cls, wire_version, plan = self._read_class()
+            entry = self._read_class()
+            plan = entry[2]
+            if plan is not None and plan.decode_fn is not None:
+                # Generated decoder: reads its own field count, returns the
+                # finished object — or BAIL after parking frames in exactly
+                # the mid-object state the machine expects.
+                value = plan.decode_fn(self, stack, entry[1])
+                if value is BAIL:
+                    return _FRAME_PUSHED
+                return value
             count = buf.read_uvarint()
-            frame = _Frame(_F_OBJECT, count)
-            if plan is not None:
-                frame.shell = plan.factory()
-                frame.needs_resolve = plan.needs_resolve
-                if wire_version != plan.version and plan.has_upgrade:
-                    frame.wire_version = wire_version
-                if plan.use_dict:
-                    frame.field_dict = frame.shell.__dict__
-            else:
-                frame.shell = self.profile.accessor.new_instance(cls)
-                frame.needs_resolve = has_resolve(cls)
-                if wire_version != class_version(cls) and has_upgrade(cls):
-                    frame.wire_version = wire_version
-            # Mirrors the writer: readResolve classes are value-like and
-            # stay out of the linear map, keeping the maps index-aligned.
-            frame.handle_slot = self._register(
-                frame.shell, mutable=not frame.needs_resolve
-            )
-            if self._digest_accessor is not None and not frame.needs_resolve:
-                frame.linear_slot = len(self.linear_map) - 1
-            stack.append(frame)
+            stack.append(self._spawn_object_frame(entry, count))
             return _FRAME_PUSHED
         if tag == Tag.EXTERNAL:
             ext_name = self._read_name()

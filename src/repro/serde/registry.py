@@ -67,6 +67,10 @@ class ClassRegistry:
         # registry owns its caches so isolated registries never share plans.
         self._encode_plans: Dict[type, Any] = {}
         self._decode_plans: Dict[type, Any] = {}
+        # exec-generated plans (repro.serde.codegen), cached separately so
+        # profiles with codegen off keep hitting the interpreted closures.
+        self._codegen_encode_plans: Dict[type, Any] = {}
+        self._codegen_decode_plans: Dict[type, Any] = {}
 
     def register(self, cls: type, name: Optional[str] = None) -> type:
         """Register *cls* for serialization; returns *cls* (decorator use)."""
@@ -172,15 +176,71 @@ class ClassRegistry:
                 self._decode_plans[cls] = plan
             return plan
 
+    def codegen_encode_plan_for(self, cls: type):
+        """The exec-generated encode plan for *cls*.
+
+        Invalidated when the class's ``__nrmi_version__`` moves (like the
+        interpreted plans) *or* the process-wide schema epoch is bumped —
+        generated source bakes descriptor blobs in.
+        """
+        from repro.serde.codegen import compile_codegen_encode_plan, schema_epoch
+        from repro.serde.hooks import class_version
+
+        plan = self._codegen_encode_plans.get(cls)
+        if (
+            plan is not None
+            and plan.version == class_version(cls)
+            and plan.epoch == schema_epoch()
+        ):
+            return plan
+        with self._lock:
+            plan = self._codegen_encode_plans.get(cls)
+            if (
+                plan is None
+                or plan.version != class_version(cls)
+                or plan.epoch != schema_epoch()
+            ):
+                plan = compile_codegen_encode_plan(cls, self.name_of(cls))
+                self._codegen_encode_plans[cls] = plan
+            return plan
+
+    def codegen_decode_plan_for(self, cls: type):
+        """The exec-generated decode plan for *cls*, invalidated like
+        :meth:`codegen_encode_plan_for`."""
+        from repro.serde.codegen import compile_codegen_decode_plan, schema_epoch
+        from repro.serde.hooks import class_version
+
+        plan = self._codegen_decode_plans.get(cls)
+        if (
+            plan is not None
+            and plan.version == class_version(cls)
+            and plan.epoch == schema_epoch()
+        ):
+            return plan
+        with self._lock:
+            plan = self._codegen_decode_plans.get(cls)
+            if (
+                plan is None
+                or plan.version != class_version(cls)
+                or plan.epoch != schema_epoch()
+            ):
+                plan = compile_codegen_decode_plan(cls, self.name_of(cls))
+                self._codegen_decode_plans[cls] = plan
+            return plan
+
     def invalidate_plans(self, cls: Optional[type] = None) -> None:
         """Drop compiled plans for *cls* (or all classes when omitted)."""
         with self._lock:
             if cls is None:
                 self._encode_plans.clear()
                 self._decode_plans.clear()
+                self._codegen_encode_plans.clear()
+                self._codegen_decode_plans.clear()
             else:
                 self._encode_plans.pop(cls, None)
                 self._decode_plans.pop(cls, None)
+                self._codegen_encode_plans.pop(cls, None)
+                self._codegen_decode_plans.pop(cls, None)
 
 
 #: Process-wide default registry. Tests that need isolation construct their

@@ -52,6 +52,24 @@ reconnects):
   to the old version (the reader's ``__nrmi_upgrade__`` path applies);
 * a connection drop resets the client session (:meth:`SchemaSession.reset`)
   — everything re-negotiates from scratch on the new connection.
+
+Process-wide descriptor table (PR 6): schema ids and definition blobs are
+allocated once per process by :data:`global_schema_table` rather than per
+connection. Each :class:`SchemaTxCache` is a thin per-connection *view* —
+it keeps only the per-connection ``confirmed`` flags, while the id, the
+field-name tuple, and the pre-encoded definition blob come from the shared
+table. Consequences:
+
+* a class's schema id is stable across every connection in the process,
+  and descriptor construction (field-name layout, blob encoding) happens
+  exactly once per ``(class, version)`` — new connections re-*send* the
+  frozen blob until confirmed, but never re-*compute* it;
+* ids are never reused across reconnects either, so a server that kept
+  old rx state can never see a conflicting redefinition;
+* the table carries an **epoch** counter, bumped by :meth:`~GlobalSchemaTable.reset`;
+  generated serde functions (:mod:`repro.serde.codegen`) are stamped with
+  the epoch at compile time and recompiled when it moves, so no compiled
+  code outlives the descriptor table it baked in.
 """
 
 from __future__ import annotations
@@ -128,11 +146,39 @@ class TxSchemaEntry:
 
     def __init__(
         self, schema_id: int, cls: type, version: int, field_names: Tuple[str, ...],
-        class_name: str,
+        class_name: str, def_blob: Optional[bytes] = None,
     ) -> None:
         self.schema_id = schema_id
         self.cls = cls
         self.version = version
+        self.field_names = field_names
+        if def_blob is None:
+            blob = bytearray()
+            blob.append(CKEY_SCHEMA_DEF)
+            blob += _uvarint(schema_id)
+            blob += _str_blob(class_name)
+            blob += _uvarint(version)
+            blob += _uvarint(len(field_names))
+            for name in field_names:
+                blob += _str_blob(name)
+            def_blob = bytes(blob)
+        self.def_blob = def_blob
+        self.confirmed = False
+
+
+class GlobalSchemaRecord:
+    """One process-wide descriptor: id + frozen definition blob."""
+
+    __slots__ = ("schema_id", "cls", "version", "class_name", "field_names", "def_blob")
+
+    def __init__(
+        self, schema_id: int, cls: type, version: int, class_name: str,
+        field_names: Tuple[str, ...],
+    ) -> None:
+        self.schema_id = schema_id
+        self.cls = cls
+        self.version = version
+        self.class_name = class_name
         self.field_names = field_names
         blob = bytearray()
         blob.append(CKEY_SCHEMA_DEF)
@@ -143,22 +189,96 @@ class TxSchemaEntry:
         for name in field_names:
             blob += _str_blob(name)
         self.def_blob = bytes(blob)
-        self.confirmed = False
 
 
-class SchemaTxCache:
-    """Encoder-side schema table for one connection (thread-safe).
+class GlobalSchemaTable:
+    """Process-wide, epoch-stamped descriptor table (thread-safe).
 
-    Keyed on class identity; a version mismatch (the class's declared
-    ``__nrmi_version__`` changed since the entry was made) allocates a
-    fresh entry under a fresh id — ids are never reused, so streams
-    encoded against the old entry stay decodable.
+    Allocates schema ids and pre-encodes definition blobs once per
+    ``(class, version)`` for the whole process; per-connection
+    :class:`SchemaTxCache` views share these records. A version bump
+    allocates a fresh record under a fresh id — ids are monotonic and
+    never reused while the table lives.
+
+    ``epoch`` changes only on :meth:`reset` (a maintenance/test hook that
+    *does* restart the id space); compiled serde functions are stamped
+    with it so a reset invalidates anything that baked descriptors in.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._entries: Dict[type, TxSchemaEntry] = {}
+        self._records: Dict[type, GlobalSchemaRecord] = {}
         self._next_id = 0
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        # Lock-free read: torn reads are impossible for a Python int, and
+        # callers re-validate under the registry lock before recompiling.
+        return self._epoch
+
+    def lookup(
+        self, cls: type, version: int, class_name: str,
+        field_names: Sequence[str],
+    ) -> Optional[GlobalSchemaRecord]:
+        """The record for ``(cls, version)``, allocated on first use.
+
+        Returns ``None`` when the u16 id space is exhausted — callers fall
+        back to inline descriptors.
+        """
+        with self._lock:
+            record = self._records.get(cls)
+            if record is not None and record.version == version:
+                return record
+            if self._next_id > MAX_SCHEMA_ID:
+                return None
+            record = GlobalSchemaRecord(
+                self._next_id, cls, version, class_name, tuple(field_names)
+            )
+            self._next_id += 1
+            self._records[cls] = record
+            return record
+
+    def reset(self) -> None:
+        """Drop every record and restart the id space (tests/maintenance).
+
+        Bumps the epoch: live connections renegotiate as their sessions
+        reset, and epoch-stamped compiled serde functions recompile.
+        """
+        with self._lock:
+            self._records.clear()
+            self._next_id = 0
+            self._epoch += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+#: The process-wide descriptor table every connection shares by default.
+global_schema_table = GlobalSchemaTable()
+
+
+def schema_epoch() -> int:
+    """The current epoch of :data:`global_schema_table`."""
+    return global_schema_table.epoch
+
+
+class SchemaTxCache:
+    """Encoder-side schema view for one connection (thread-safe).
+
+    Ids, field-name tuples, and definition blobs come from the shared
+    :class:`GlobalSchemaTable` — this view adds only the per-connection
+    ``confirmed`` flags. Keyed on class identity; a version mismatch (the
+    class's declared ``__nrmi_version__`` changed since the entry was
+    made) fetches a fresh record under a fresh id — ids are never reused,
+    so streams encoded against the old entry stay decodable.
+    """
+
+    def __init__(self, table: Optional[GlobalSchemaTable] = None) -> None:
+        self._lock = threading.Lock()
+        self._table = table if table is not None else global_schema_table
+        self._entries: Dict[type, TxSchemaEntry] = {}
 
     def lookup(
         self, cls: type, version: int, class_name: str,
@@ -173,12 +293,13 @@ class SchemaTxCache:
             entry = self._entries.get(cls)
             if entry is not None and entry.version == version:
                 return entry
-            if self._next_id > MAX_SCHEMA_ID:
+            record = self._table.lookup(cls, version, class_name, field_names)
+            if record is None:
                 return None
             entry = TxSchemaEntry(
-                self._next_id, cls, version, tuple(field_names), class_name
+                record.schema_id, cls, version, record.field_names,
+                record.class_name, def_blob=record.def_blob,
             )
-            self._next_id += 1
             self._entries[cls] = entry
             return entry
 

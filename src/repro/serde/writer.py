@@ -101,6 +101,11 @@ class ObjectWriter:
         self._name_ids: Dict[str, int] = {}
         self._replacements: IdentityMap[Any] = IdentityMap()
         self._root_count = 0
+        # Lazily-built tuple of hot internals (buffer storage, handle/memo
+        # tables, linear-map internals) bound in one load by generated
+        # encoders (repro.serde.codegen). Invalidated whenever any member
+        # is *rebound* (discard); in-place mutation keeps it valid.
+        self._codegen_ctx: Optional[tuple] = None
         # Compiled-plan fast path. Requires the plan's baked-in assumptions
         # to hold: interned descriptors, no per-object validation pass, and
         # stats collection off (the fast path skips per-value counting).
@@ -113,6 +118,9 @@ class ObjectWriter:
             self._plan_cache: Optional[Dict[type, Any]] = {}
         else:
             self._plan_cache = None
+        # exec-generated encoders (repro.serde.codegen) ride on top of the
+        # plan pipeline; byte-identical, so the knob is purely perf.
+        self._use_codegen = profile.use_codegen
         # Per-class externalizer-claim cache, valid only while every
         # externalizer in play (writer-local and registry) declares its
         # claim a pure function of type.
@@ -192,6 +200,7 @@ class ObjectWriter:
         self._handles = IdentityMap()
         self._replacements = IdentityMap()
         self.linear_map = LinearMap()
+        self._codegen_ctx = None
         if pool is not None:
             pool.release(buffer)
 
@@ -476,7 +485,10 @@ class ObjectWriter:
             # First instance of a plan-safe class: compile (or fetch) the
             # plan from the registry and cache it writer-locally so later
             # instances dispatch straight from the hot loop.
-            plan = self.registry.encode_plan_for(cls)
+            if self._use_codegen:
+                plan = self.registry.codegen_encode_plan_for(cls)
+            else:
+                plan = self.registry.encode_plan_for(cls)
             self._plan_cache[cls] = plan
             plan.encode(self, obj, stack)
             return

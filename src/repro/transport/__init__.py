@@ -7,6 +7,9 @@ Three interchangeable channels behind one interface:
 * :mod:`repro.transport.tcp` — a real threaded TCP server with
   length-prefixed framing (integration tests exercise the full stack over
   sockets);
+* :mod:`repro.transport.uds` — the same stream machinery
+  (:mod:`repro.transport.stream`) over Unix domain sockets, the low-
+  latency single-host carrier;
 * :mod:`repro.transport.simnet` — a deterministic network model
   (bandwidth, per-message latency, per-host CPU scale) layered over the
   in-process channel; it *accounts* simulated transfer time instead of
@@ -29,6 +32,7 @@ from repro.transport.reliability import (
 from repro.transport.resolver import ChannelResolver, global_resolver
 from repro.transport.simnet import NetworkModel, SimulatedChannel
 from repro.transport.tcp import TcpChannel, TcpServer
+from repro.transport.uds import UdsChannel, UdsServer
 
 __all__ = [
     "Channel",
@@ -43,6 +47,8 @@ __all__ = [
     "SimulatedChannel",
     "TcpChannel",
     "TcpServer",
+    "UdsChannel",
+    "UdsServer",
     "CircuitBreaker",
     "CircuitBreakerPolicy",
     "ReplyCache",

@@ -10,7 +10,10 @@ Address forms:
 * ``inproc://<name>`` — an endpoint living in this process, registered
   with the resolver (tests, benchmarks, and the simulated network);
 * ``tcp://<host>:<port>`` — a TCP endpoint; channels are cached per
-  address.
+  address;
+* ``uds://<path>`` — a Unix-domain-socket endpoint on this host
+  (POSIX only; resolving it elsewhere raises a clear
+  :class:`~repro.errors.TransportError`).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from repro.errors import TransportError
 from repro.transport.base import Channel, RequestHandler
 from repro.transport.inproc import InProcChannel
 from repro.transport.tcp import PipelinedTcpChannel, TcpChannel
+from repro.transport.uds import PipelinedUdsChannel, UdsChannel, _require_af_unix
 
 
 class ChannelResolver:
@@ -69,12 +73,13 @@ class ChannelResolver:
     def resolve(self, address: str, pipelined: bool = False) -> Channel:
         """The channel for *address*; one cached per (address, framing).
 
-        *pipelined* only affects ``tcp://`` addresses: it selects the
-        multi-call-in-flight channel (other schemes multiplex natively).
-        Both framings may coexist against one server — it auto-detects
-        per connection — so the two variants cache under separate keys.
+        *pipelined* only affects ``tcp://`` and ``uds://`` addresses: it
+        selects the multi-call-in-flight channel (other schemes multiplex
+        natively). Both framings may coexist against one server — it
+        auto-detects per connection — so the two variants cache under
+        separate keys.
         """
-        pipelined = pipelined and address.startswith("tcp://")
+        pipelined = pipelined and address.startswith(("tcp://", "uds://"))
         key = f"pipelined+{address}" if pipelined else address
         with self._lock:
             channel = self._channels.get(key)
@@ -101,6 +106,13 @@ class ChannelResolver:
                 raise TransportError(f"malformed tcp address {address!r}")
             channel_type = PipelinedTcpChannel if pipelined else TcpChannel
             return channel_type(host, int(port_text))
+        if address.startswith("uds://"):
+            _require_af_unix()
+            path = address[len("uds://") :]
+            if not path:
+                raise TransportError(f"malformed uds address {address!r}")
+            channel_type = PipelinedUdsChannel if pipelined else UdsChannel
+            return channel_type(path)
         raise TransportError(f"unsupported address scheme in {address!r}")
 
     def drop(self, address: str) -> None:

@@ -1,0 +1,522 @@
+"""Shared machinery for byte-stream transports (TCP, Unix sockets).
+
+Everything above the socket — framing auto-detection, the sequential and
+pipelined server loops, graceful drain-then-force-close shutdown, the
+pooled client channel, and the multi-call-in-flight pipelined channel —
+is identical whether bytes travel over ``AF_INET`` or ``AF_UNIX``. This
+module holds that machinery once; :mod:`repro.transport.tcp` and
+:mod:`repro.transport.uds` supply only the endpoint-specific pieces:
+how a listener is bound, how a client socket is opened, how the endpoint
+is named in addresses and error messages.
+
+The server accepts connections and serves framed request/response pairs,
+one thread per connection (the model of classic RMI's connection
+handling). Connection handles are reaped as peers disconnect, and
+``stop()`` drains in-flight requests within a bounded grace period before
+force-closing stragglers.
+
+The plain client channel keeps one connection and serializes requests
+over it with a lock; the pipelined channel keeps many calls in flight on
+one connection, demultiplexed by correlation id. Neither ever resends on
+its own: a broken exchange surfaces as
+:class:`~repro.errors.RetryableError` and only the retry layer
+(:mod:`repro.transport.reliability`), which stamps a call ID the server
+can deduplicate, may send the same request twice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+from repro.errors import DeadlineExceededError, RetryableError, TransportError
+from repro.serde.schema import SchemaSession
+from repro.transport.base import (
+    Channel,
+    RequestHandler,
+    TransportSession,
+    call_handler,
+)
+from repro.transport.framing import (
+    PIPELINE_MAGIC,
+    PIPELINE_PREAMBLE,
+    PIPELINE_VERSION,
+    read_frame,
+    read_frame_body,
+    read_frame_corr,
+    recv_exact,
+    write_frame,
+    write_frame_corr,
+)
+from repro.util.metrics import Gauge
+
+
+class StreamServer:
+    """Serves a request handler over a stream socket until stopped.
+
+    Subclasses pass an already-bound, listening socket plus a *label*
+    used for thread naming, and implement :attr:`address` (the string a
+    resolver can dial) plus optionally :meth:`_configure_connection`
+    (per-accepted-socket options) and :meth:`_on_stop` (endpoint
+    cleanup, e.g. unlinking a Unix socket path).
+    """
+
+    #: Default seconds ``stop()`` waits for in-flight requests to drain.
+    STOP_GRACE_SECONDS = 2.0
+    #: Workers concurrently executing requests of one pipelined connection.
+    PIPELINE_WORKERS = 8
+    #: Cap on frames admitted but not yet answered per pipelined connection.
+    PIPELINE_MAX_IN_FLIGHT = 64
+
+    def __init__(
+        self, handler: RequestHandler, sock: socket.socket, label: str
+    ) -> None:
+        self._handler = handler
+        self._sock = sock
+        self._label = label
+        self._stopping = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{label}-accept", daemon=True
+        )
+        self._conn_lock = threading.Lock()
+        self._conn_threads: set[threading.Thread] = set()
+        self._conn_socks: set[socket.socket] = set()
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        raise NotImplementedError
+
+    def _configure_connection(self, conn: socket.socket) -> None:
+        """Per-connection socket options (e.g. TCP_NODELAY); default none."""
+
+    def _on_stop(self) -> None:
+        """Endpoint cleanup after the listener closes; default none."""
+
+    @property
+    def live_connections(self) -> int:
+        """Connections currently being served (reaped handles excluded)."""
+        with self._conn_lock:
+            return len(self._conn_threads)
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:
+                return  # listening socket closed during shutdown
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"{self._label}-conn",
+                daemon=True,
+            )
+            with self._conn_lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    return
+                self._conn_threads.add(thread)
+                self._conn_socks.add(conn)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                self._configure_connection(conn)
+                # Framing auto-detect: a pipelined client opens with the
+                # 8-byte preamble; interpreted as a length header its first
+                # four bytes would announce an illegally oversized frame,
+                # so plain clients can never collide with it.
+                try:
+                    first = bytes(recv_exact(conn, 4))
+                except TransportError:
+                    return
+                if first == PIPELINE_MAGIC:
+                    try:
+                        version = bytes(recv_exact(conn, 4))
+                    except TransportError:
+                        return
+                    if version != PIPELINE_VERSION:
+                        return  # unknown pipeline revision: drop
+                    self._serve_pipelined(conn)
+                    return
+                self._serve_sequential(conn, first)
+        finally:
+            # Reap this handle so the sets track only live connections.
+            with self._conn_lock:
+                self._conn_threads.discard(threading.current_thread())
+                self._conn_socks.discard(conn)
+
+    def _serve_sequential(self, conn: socket.socket, first_header: bytes) -> None:
+        """Classic one-request-at-a-time framing (*first_header* pre-read)."""
+        header: Optional[bytes] = first_header
+        # Per-connection state (schema rx cache): dies with the socket, so
+        # a reconnecting client renegotiates from scratch.
+        session = TransportSession()
+        while not self._stopping.is_set():
+            try:
+                if header is not None:
+                    request = read_frame_body(conn, header)
+                    header = None
+                else:
+                    request = read_frame(conn)
+            except TransportError:
+                return  # peer closed or connection broke
+            try:
+                response = call_handler(self._handler, request, session)
+            except Exception:  # noqa: BLE001 - handler must not kill server
+                # The RMI dispatcher encodes application errors itself;
+                # anything escaping to here is a protocol bug, and the
+                # only safe move is dropping the connection.
+                return
+            try:
+                write_frame(conn, response)
+            except TransportError:
+                return
+
+    def _serve_pipelined(self, conn: socket.socket) -> None:
+        """Serve correlation-tagged frames, many requests in flight.
+
+        Each request runs on a worker; responses go out in completion
+        order under a write lock, tagged with the request's correlation
+        id so the client's reader thread can demultiplex them.
+        """
+        write_lock = threading.Lock()
+        admission = threading.Semaphore(self.PIPELINE_MAX_IN_FLIGHT)
+        broken = threading.Event()
+        # One session shared by all workers of this connection: the
+        # underlying schema rx cache is thread-safe, and pipelined frames
+        # of one connection form one negotiated session.
+        session = TransportSession()
+        executor = ThreadPoolExecutor(
+            max_workers=self.PIPELINE_WORKERS,
+            thread_name_prefix=f"{self._label}-pipe",
+        )
+
+        def work(corr_id: int, request: bytearray) -> None:
+            try:
+                try:
+                    response = call_handler(self._handler, request, session)
+                except Exception:  # noqa: BLE001 - same contract as sequential
+                    broken.set()
+                    return
+                try:
+                    with write_lock:
+                        write_frame_corr(conn, corr_id, response)
+                except TransportError:
+                    broken.set()
+            finally:
+                admission.release()
+
+        try:
+            while not self._stopping.is_set() and not broken.is_set():
+                try:
+                    corr_id, request = read_frame_corr(conn)
+                except TransportError:
+                    return
+                admission.acquire()
+                executor.submit(work, corr_id, request)
+        finally:
+            # Dropping the connection (the context manager in the caller
+            # closes it) fails the client's pending calls; workers still
+            # running just hit a dead socket.
+            executor.shutdown(wait=False)
+
+    def stop(self, grace: Optional[float] = None) -> None:
+        """Stop accepting, drain in-flight requests, then force-close.
+
+        Connection threads get *grace* seconds (default
+        :attr:`STOP_GRACE_SECONDS`) to finish the request they are
+        serving; any connection still open afterwards is closed out from
+        under its thread, which unblocks its pending ``read_frame``.
+        """
+        if grace is None:
+            grace = self.STOP_GRACE_SECONDS
+        self._stopping.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=grace)
+        deadline = time.monotonic() + grace
+        with self._conn_lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
+        with self._conn_lock:
+            stragglers = list(self._conn_socks)
+        for conn in stragglers:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            thread.join(timeout=0.1)
+        self._on_stop()
+
+    def __enter__(self) -> "StreamServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class StreamChannel(Channel):
+    """Client channel over a single pooled stream connection.
+
+    Subclasses implement :meth:`_open_socket` (dial the endpoint and
+    apply per-socket options) and :meth:`_describe` (the endpoint as it
+    should read in error messages).
+    """
+
+    def __init__(self, timeout: Optional[float] = 30.0) -> None:
+        super().__init__()
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        # Schema-cache negotiation state; reset whenever the pooled
+        # connection drops so the next connection renegotiates from zero.
+        self.schema_session = SchemaSession()
+
+    def _open_socket(self, timeout: Optional[float]) -> socket.socket:
+        """A connected socket, or :class:`DeadlineExceededError` /
+        :class:`RetryableError` describing why dialing failed."""
+        raise NotImplementedError
+
+    def _describe(self) -> str:
+        raise NotImplementedError
+
+    def _connect(self, timeout: Optional[float] = None) -> socket.socket:
+        if self._sock is None:
+            connect_timeout = timeout if timeout is not None else self._timeout
+            sock = self._open_socket(connect_timeout)
+            # Dialing may leave the connect timeout on the socket;
+            # per-request deadlines are applied by the framing layer.
+            sock.settimeout(self._timeout)
+            self._sock = sock
+        return self._sock
+
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
+        """One request/response exchange; *never* resends on failure.
+
+        A broken pooled connection surfaces as
+        :class:`~repro.errors.RetryableError` — the connection is dropped
+        so the next attempt reconnects, but resending is the retry
+        layer's decision (it attaches a call ID so the server can
+        deduplicate). A blind resend here would silently run
+        non-idempotent methods twice.
+        """
+        with self._lock:
+            sock = self._connect(timeout)
+            try:
+                write_frame(sock, payload, timeout=timeout)
+                response = read_frame(sock, timeout=timeout)
+            except TransportError:
+                self._drop_connection()
+                raise
+            finally:
+                if timeout is not None and self._sock is not None:
+                    # Restore the pooled connection's default timeout so a
+                    # later deadline-free request does not inherit ours.
+                    try:
+                        self._sock.settimeout(self._timeout)
+                    except OSError:
+                        pass
+            self.stats.record(sent=len(payload), received=len(response))
+            return response
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            # The server's per-connection schema cache died with the
+            # socket: forget ours too so nothing references stale ids.
+            self.schema_session.reset()
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+
+class _PendingReply:
+    """One in-flight call's rendezvous with the reader thread."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[bytearray] = None
+        self.error: Optional[Exception] = None
+
+
+class PipelinedStreamChannel(Channel):
+    """A stream channel keeping many calls in flight on one connection.
+
+    Where :class:`StreamChannel` serializes callers behind a lock for the
+    whole request/response exchange, this channel only serializes the
+    *send*; a background reader thread demultiplexes replies to their
+    callers by the correlation id every frame carries. Concurrent callers
+    therefore share one connection without head-of-line blocking — a
+    sparse delta reply overtakes a bulky full-map reply still streaming
+    out of the server.
+
+    Correlation ids are a transport concern and deliberately distinct
+    from the RMI layer's at-most-once call IDs: they tag *frames* on one
+    connection (every operation, PING and FIELD_GET included), while call
+    IDs identify *calls* across connections and retries.
+
+    Failure semantics match :class:`StreamChannel`: a broken connection
+    fails every pending call with :class:`~repro.errors.RetryableError`
+    and the next request reconnects; this channel never resends.
+
+    Subclasses implement :meth:`_open_socket` / :meth:`_describe` as for
+    :class:`StreamChannel`, plus *label* for thread/gauge naming.
+    """
+
+    def __init__(self, label: str, timeout: Optional[float] = 30.0) -> None:
+        super().__init__()
+        self._label = label
+        self._timeout = timeout
+        self._state_lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._pending: Dict[int, _PendingReply] = {}
+        self._corr = itertools.count(1)
+        # Schema-cache negotiation state; reset whenever the shared
+        # connection fails so the next connection renegotiates from zero.
+        self.schema_session = SchemaSession()
+        #: Peak number of simultaneously in-flight calls (observability).
+        self.max_in_flight = 0
+        #: Live gauge of calls currently awaiting replies.
+        self.in_flight_gauge = Gauge(f"{label}.pipelined.in_flight")
+
+    def _open_socket(self, timeout: Optional[float]) -> socket.socket:
+        raise NotImplementedError
+
+    def _describe(self) -> str:
+        raise NotImplementedError
+
+    def _ensure_connected(self, timeout: Optional[float]) -> socket.socket:
+        with self._state_lock:
+            if self._sock is not None:
+                return self._sock
+            connect_timeout = timeout if timeout is not None else self._timeout
+            sock = self._open_socket(connect_timeout)
+            # The reader thread blocks in recv with no socket timeout;
+            # per-call deadlines are enforced on the caller's event wait
+            # instead, so a slow call never breaks the shared connection.
+            sock.settimeout(None)
+            try:
+                sock.sendall(PIPELINE_PREAMBLE)
+            except OSError as exc:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise RetryableError(f"pipeline handshake failed: {exc}") from exc
+            self._sock = sock
+            reader = threading.Thread(
+                target=self._read_loop,
+                args=(sock,),
+                name=f"{self._label}-pipe-reader",
+                daemon=True,
+            )
+            reader.start()
+            return sock
+
+    def _read_loop(self, sock: socket.socket) -> None:
+        try:
+            while True:
+                corr_id, frame = read_frame_corr(sock)
+                with self._state_lock:
+                    waiter = self._pending.pop(corr_id, None)
+                    self.in_flight_gauge.set(len(self._pending))
+                if waiter is not None:
+                    waiter.response = frame
+                    waiter.event.set()
+                # An unknown id is a reply whose caller already timed out
+                # and abandoned the wait: drop it.
+        except Exception as exc:  # noqa: BLE001 - all reader exits fail pending
+            self._fail_connection(sock, exc)
+
+    def _fail_connection(self, sock: socket.socket, exc: Exception) -> None:
+        with self._state_lock:
+            if self._sock is sock:
+                self._sock = None
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self.in_flight_gauge.set(0)
+        self.schema_session.reset()
+        try:
+            sock.close()
+        except OSError:
+            pass
+        for waiter in pending:
+            waiter.error = RetryableError(f"pipelined connection lost: {exc}")
+            waiter.event.set()
+
+    def request(self, payload: bytes, timeout: Optional[float] = None) -> bytes:
+        """One call over the shared connection; safe to invoke from many
+        threads concurrently. Never resends (see :class:`StreamChannel`)."""
+        sock = self._ensure_connected(timeout)
+        corr_id = next(self._corr) & 0xFFFFFFFF
+        waiter = _PendingReply()
+        with self._state_lock:
+            if self._sock is not sock:
+                raise RetryableError("pipelined connection lost before send")
+            self._pending[corr_id] = waiter
+            in_flight = len(self._pending)
+            self.in_flight_gauge.set(in_flight)
+            if in_flight > self.max_in_flight:
+                self.max_in_flight = in_flight
+        try:
+            with self._send_lock:
+                write_frame_corr(sock, corr_id, payload)
+        except TransportError as exc:
+            with self._state_lock:
+                self._pending.pop(corr_id, None)
+            self._fail_connection(sock, exc)
+            raise
+        wait_budget = timeout if timeout is not None else self._timeout
+        if not waiter.event.wait(wait_budget):
+            with self._state_lock:
+                self._pending.pop(corr_id, None)
+                self.in_flight_gauge.set(len(self._pending))
+            raise DeadlineExceededError(
+                f"no reply from {self._describe()} within {wait_budget}s"
+            )
+        if waiter.error is not None:
+            raise waiter.error
+        response = waiter.response
+        self.stats.record(sent=len(payload), received=len(response))
+        return response
+
+    @property
+    def in_flight(self) -> int:
+        with self._state_lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        with self._state_lock:
+            sock = self._sock
+            self._sock = None
+        self.schema_session.reset()
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            # The reader thread notices the closed socket and fails any
+            # still-pending calls through _fail_connection.

@@ -1,0 +1,17 @@
+"""Codegen tag mirrors that drifted from tags.py (NRMI032 bait).
+
+The codegen module interpolates *both* literal sets into generated
+source — ``_TAG_*`` into encoders, ``_T_*`` into decoders — so the rule
+cross-checks both prefixes against the canonical Tag enum. One drifted
+value and one unknown name per prefix. Parsed, never imported.
+"""
+
+_TAG_NONE = 0x00
+_TAG_INT = 0x04  # expect: NRMI032
+_TAG_GLYPH = 0x0C  # expect: NRMI032
+_TAG_OBJECT = 0x10
+
+_T_NONE = 0x00
+_T_TRUE = 0x02  # expect: NRMI032
+_T_GLYPH = 0x0C  # expect: NRMI032
+_T_OBJECT = 0x10

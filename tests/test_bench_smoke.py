@@ -1,12 +1,14 @@
 """CI bench-smoke step: the benchmark-regression runner stays healthy.
 
-Three layers:
+Four layers:
 
 * run ``repro.bench.regress --quick`` end to end (into a temp file, so the
-  committed full-size ``BENCH_pr5.json`` at the repo root is not clobbered
-  by quick-mode numbers) and validate the report it writes;
+  committed full-size ``BENCH_pr6.json`` at the repo root is not clobbered
+  by quick-mode numbers) and validate the report it writes — including
+  that codegen actually engaged under the modern profile and beat the
+  interpreted-plan baseline measured in the same run;
 * re-measure the full-size serde micro encode AND decode in-process and
-  hold both to the recorded ``BENCH_pr5.json`` within the runner's
+  hold both to the recorded ``BENCH_pr6.json`` within the runner's
   regression budget;
 * hold the plan-driven decode fast path to its defining property: modern
   decode stays within 1.5x of modern encode;
@@ -23,6 +25,11 @@ from repro.bench import regress
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
+# In-suite re-measures run short windows: enough samples for a stable
+# p50, without stretching the smoke step.
+SMOKE_WINDOWS = 2
+SMOKE_WINDOW_SECONDS = 0.2
+
 
 @pytest.mark.bench_smoke
 def test_regress_quick_runs_clean(tmp_path):
@@ -32,10 +39,14 @@ def test_regress_quick_runs_clean(tmp_path):
     report = json.loads(output.read_text())
     assert report["meta"]["quick"] is True
     assert report["meta"]["size"] == regress.QUICK_SIZE
-    for profile in ("modern", "legacy"):
+    assert report["meta"]["git_rev"]  # stamped, "unknown" at worst
+    for profile in ("modern", "modern-interp", "legacy"):
         row = report["serde_micro"][profile]
         assert row["encode_us"] > 0
         assert row["decode_us"] > 0
+        assert row["encode_us"] <= row["encode_p90_us"] <= row["encode_p99_us"]
+        assert row["decode_us"] <= row["decode_p90_us"] <= row["decode_p99_us"]
+        assert row["window_samples"] > 0
         assert row["bytes"] > 0
     # The profile gap must keep the paper's shape: legacy does strictly
     # more work and writes strictly more bytes.
@@ -43,6 +54,18 @@ def test_regress_quick_runs_clean(tmp_path):
         report["serde_micro"]["modern"]["bytes"]
         < report["serde_micro"]["legacy"]["bytes"]
     )
+    # Codegen must actually be engaged under the modern profile ...
+    assert report["codegen"]["compiled"] > 0
+    # ... and pay for itself against the interpreted plans in the same
+    # run (dedicated full runs show ~1.5x; even quick windows clear 1.1x).
+    modern = report["serde_micro"]["modern"]
+    interp = report["serde_micro"]["modern-interp"]
+    assert modern["encode_us"] < interp["encode_us"]
+    assert modern["decode_us"] < interp["decode_us"]
+    # The transport round-trip section is present with sane timings.
+    assert report["transport_rt"]["tcp"]["rt_us"] > 0
+    uds_row = report["transport_rt"]["uds"]
+    assert uds_row.get("skipped") or uds_row["rt_us"] > 0
     assert report["gate"]["passed"] is True
     # The delta ablation must be present and keep its defining shape: a
     # sparse mutator's dirty-slot reply is smaller than the full map.
@@ -59,11 +82,11 @@ IN_SUITE_LIMIT_PCT = 75.0
 
 @pytest.mark.bench_smoke
 def test_serde_micro_timings_within_recorded_budget():
-    recorded = regress._load_previous(REPO_ROOT / "BENCH_pr5.json")
+    recorded = regress._load_previous(REPO_ROOT / "BENCH_pr6.json")
     failures = []
     for _ in range(2):  # one re-measure before failing, for noise spikes
         serde = regress.run_serde_micro(
-            regress.FULL_SIZE, rounds=4, iterations=15
+            regress.FULL_SIZE, SMOKE_WINDOWS, SMOKE_WINDOW_SECONDS
         )
         failures = regress._check_gate(
             recorded, serde, regress.FULL_SIZE, limit_pct=IN_SUITE_LIMIT_PCT
@@ -86,7 +109,7 @@ def test_modern_decode_fast_path_within_encode_budget():
     """
     for _ in range(2):  # one re-measure before failing, for noise spikes
         serde = regress.run_serde_micro(
-            regress.FULL_SIZE, rounds=4, iterations=15
+            regress.FULL_SIZE, SMOKE_WINDOWS, SMOKE_WINDOW_SECONDS
         )
         modern = serde["modern"]
         if modern["decode_us"] <= 1.5 * modern["encode_us"]:
@@ -131,12 +154,16 @@ def test_compare_mode_reports_deltas(tmp_path, capsys):
     assert "serde_micro.modern.encode_us" in out
     assert "+10.0%" in out
 
-    # Beyond the gate: time-like metrics regress the exit status ...
+    # Beyond the gate: time-like metrics regress the exit status, and the
+    # exit message names each failing metric ...
     new.write_text(json.dumps({
         "meta": meta,
         "serde_micro": {"modern": {"encode_us": 200.0, "bytes": 500}},
     }))
     assert regress.run_compare(old, new) == 1
+    err = capsys.readouterr().err
+    assert "compare failed: 1 metric(s) regressed" in err
+    assert "serde_micro.modern.encode_us" in err
     # ... but byte counts are informational only.
     new.write_text(json.dumps({
         "meta": meta,

@@ -75,10 +75,25 @@ def local_baseline(method, *args):
 
 
 class ChaosPair:
-    """An endpoint pair with a fault-injecting channel between them."""
+    """An endpoint pair with a fault-injecting channel between them.
 
-    def __init__(self, make_endpoint_pair, client_config=None, **fault_kwargs):
+    *transport* picks the carrier underneath the fault channel:
+    ``inproc`` (the default) or ``uds`` — the invariants must hold no
+    matter what the faults are injected on top of.
+    """
+
+    def __init__(
+        self,
+        make_endpoint_pair,
+        client_config=None,
+        transport="inproc",
+        **fault_kwargs,
+    ):
         self.pair = make_endpoint_pair(client_config=client_config)
+        if transport == "uds":
+            # Rebinds server.address to uds://…; the wrapper below then
+            # attaches to the socket-backed channel instead of inproc.
+            self.pair.server.serve_uds()
         holder = {}
 
         def wrap(inner):
@@ -121,16 +136,24 @@ class TestFaultAtEveryStage:
         ),
     ]
 
+    @pytest.mark.parametrize("transport", ["inproc", "uds"])
     @pytest.mark.parametrize("policy", ["full", "delta"])
     @pytest.mark.parametrize(
         "stage,mode,schedule,expected", STAGES, ids=[s[0] for s in STAGES]
     )
     def test_heap_atomic_on_failure_then_converges(
-        self, make_endpoint_pair, stage, mode, schedule, expected, policy
+        self, make_endpoint_pair, stage, mode, schedule, expected, policy,
+        transport,
     ):
+        if transport == "uds":
+            import socket as socket_mod
+
+            if not hasattr(socket_mod, "AF_UNIX"):
+                pytest.skip("platform lacks AF_UNIX")
         chaos = ChaosPair(
             make_endpoint_pair,
             client_config=NRMIConfig(retry=FAST_RETRY, policy=policy),
+            transport=transport,
             mode=mode or "drop_request",
             fail_on_calls=schedule,
         )

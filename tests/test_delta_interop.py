@@ -18,7 +18,7 @@ from repro.transport.simnet import NetworkModel, SimulatedChannel
 
 from tests.model_helpers import Box, Node, heap_fingerprint
 
-TRANSPORTS = ("inproc", "simnet", "tcp")
+TRANSPORTS = ("inproc", "simnet", "tcp", "uds")
 
 
 class ScrambleService(Remote):
@@ -63,6 +63,8 @@ class InteropWorld:
         address = self.server.address
         if transport == "tcp":
             address = self.server.serve_tcp()
+        elif transport == "uds":
+            address = self.server.serve_uds()
         elif transport == "simnet":
             self.resolver.set_wrapper(
                 address,

@@ -37,8 +37,9 @@ from repro.util.buffers import BufferWriter
 from tests.model_helpers import Box, Node, heap_fingerprint
 
 # "tcp" and "pipelined" hit the same server (it auto-detects framing per
-# connection); the client config selects the channel.
-TRANSPORTS = ("inproc", "simnet", "tcp", "pipelined")
+# connection); the client config selects the channel. The "uds" pair is
+# the same split over a Unix domain socket.
+TRANSPORTS = ("inproc", "simnet", "tcp", "pipelined", "uds", "uds-pipelined")
 
 PROFILES = {
     # profile name -> (profile, implementation) config arguments
@@ -75,7 +76,9 @@ def local_fingerprint():
 
 
 def client_config(transport, **kwargs):
-    kwargs.setdefault("tcp_pipelined", transport == "pipelined")
+    kwargs.setdefault(
+        "tcp_pipelined", transport in ("pipelined", "uds-pipelined")
+    )
     return NRMIConfig(**kwargs)
 
 
@@ -95,6 +98,8 @@ class SchemaWorld:
         address = self.server.address
         if transport in ("tcp", "pipelined"):
             address = self.server.serve_tcp()
+        elif transport in ("uds", "uds-pipelined"):
+            address = self.server.serve_uds()
         elif transport == "simnet":
             self.resolver.set_wrapper(
                 address,

@@ -4,6 +4,10 @@ The plan compiler (:mod:`repro.serde.plans`) must be invisible on the wire:
 compiled and generic encoding agree byte for byte, and its caches must
 follow ``__nrmi_version__`` — a bumped version means a stale plan would
 stamp the wrong version into class descriptors, so the registry recompiles.
+
+The exec-generated plans (:mod:`repro.serde.codegen`) add a second
+invalidation axis: generated source bakes descriptor blobs in, so the
+registry also recompiles them when the process-wide schema epoch moves.
 """
 
 from dataclasses import replace
@@ -11,16 +15,28 @@ from dataclasses import replace
 import pytest
 
 from repro.core.markers import Restorable, Serializable
+from repro.serde import codegen as codegen_mod
+from repro.serde.codegen import (
+    CodegenDecodePlan,
+    CodegenEncodePlan,
+    codegen_metrics,
+)
 from repro.serde.plans import DecodePlan, EncodePlan
 from repro.serde.profiles import MODERN_PROFILE
 from repro.serde.reader import ObjectReader
 from repro.serde.registry import ClassRegistry, global_registry
+from repro.serde.schema import global_schema_table
 from repro.serde.writer import ObjectWriter
 
 from tests.model_helpers import Node, Pair
 
 MODERN_NO_PLANS = replace(
     MODERN_PROFILE, name="modern-noplans", use_compiled_plans=False
+)
+# Interpreted-plan path with codegen off: the correctness oracle the
+# generated functions must match byte for byte.
+MODERN_NO_CODEGEN = replace(
+    MODERN_PROFILE, name="modern-nocodegen", use_codegen=False
 )
 
 
@@ -120,6 +136,108 @@ class TestPlanCache:
         assert type(instance) is PlainRecord
         assert plan.needs_resolve is False
         assert plan.has_upgrade is False
+
+
+class TestCodegenPlanCache:
+    """The generated-function caches: version *and* epoch invalidation."""
+
+    def test_codegen_plans_cached_per_class(self, registry):
+        encode = registry.codegen_encode_plan_for(Versioned)
+        decode = registry.codegen_decode_plan_for(Versioned)
+        assert isinstance(encode, CodegenEncodePlan)
+        assert isinstance(decode, CodegenDecodePlan)
+        assert registry.codegen_encode_plan_for(Versioned) is encode
+        assert registry.codegen_decode_plan_for(Versioned) is decode
+        # Cached separately from the interpreted plans.
+        assert registry.encode_plan_for(Versioned) is not encode
+
+    def test_version_bump_recompiles_codegen_plans(self, registry):
+        stale_encode = registry.codegen_encode_plan_for(Versioned)
+        stale_decode = registry.codegen_decode_plan_for(Versioned)
+        Versioned.__nrmi_version__ = 2
+        try:
+            fresh_encode = registry.codegen_encode_plan_for(Versioned)
+            fresh_decode = registry.codegen_decode_plan_for(Versioned)
+            assert fresh_encode is not stale_encode
+            assert fresh_decode is not stale_decode
+            assert fresh_encode.version == 2
+            assert fresh_decode.version == 2
+            # Stable until the version moves again.
+            assert registry.codegen_encode_plan_for(Versioned) is fresh_encode
+        finally:
+            Versioned.__nrmi_version__ = 1
+
+    def test_bumped_version_reaches_the_codegen_wire(self, registry):
+        """The recompiled generated encoder stamps the new version into
+        its baked class blob — a stale function would ship version 1."""
+        writer = ObjectWriter(profile=MODERN_PROFILE, registry=registry)
+        writer.write_root(Versioned())
+        before = writer.getvalue()
+        Versioned.__nrmi_version__ = 7
+        try:
+            writer = ObjectWriter(profile=MODERN_PROFILE, registry=registry)
+            writer.write_root(Versioned())
+            after = writer.getvalue()
+            # ... and it matches what the interpreted path says version 7
+            # looks like.
+            oracle = ObjectWriter(
+                profile=MODERN_NO_CODEGEN, registry=registry
+            )
+            oracle.write_root(Versioned())
+            assert after == oracle.getvalue()
+        finally:
+            Versioned.__nrmi_version__ = 1
+        assert before != after
+
+    def test_schema_epoch_bump_recompiles_codegen_plans(self, registry):
+        """A :meth:`GlobalSchemaTable.reset` invalidates every generated
+        function (their source bakes descriptor blobs in); the interpreted
+        plans, which consult the table at run time, survive."""
+        codegen_encode = registry.codegen_encode_plan_for(Versioned)
+        codegen_decode = registry.codegen_decode_plan_for(Versioned)
+        interpreted = registry.encode_plan_for(Versioned)
+        assert codegen_encode.epoch == global_schema_table.epoch
+        global_schema_table.reset()
+        fresh_encode = registry.codegen_encode_plan_for(Versioned)
+        fresh_decode = registry.codegen_decode_plan_for(Versioned)
+        assert fresh_encode is not codegen_encode
+        assert fresh_decode is not codegen_decode
+        assert fresh_encode.epoch == global_schema_table.epoch
+        assert registry.encode_plan_for(Versioned) is interpreted
+
+    def test_compiled_counter_counts_generated_functions(self, registry):
+        before = codegen_metrics.counter("serde.codegen.compiled").value
+        registry.codegen_encode_plan_for(Versioned)
+        registry.codegen_decode_plan_for(Versioned)
+        after = codegen_metrics.counter("serde.codegen.compiled").value
+        assert after == before + 2
+        # Cache hits don't recompile.
+        registry.codegen_encode_plan_for(Versioned)
+        assert codegen_metrics.counter("serde.codegen.compiled").value == after
+
+    def test_compile_failure_falls_back_byte_identically(
+        self, registry, monkeypatch
+    ):
+        """A codegen compile failure must degrade, not break: the fallback
+        plan wraps the interpreted closure and the wire bytes are
+        unchanged."""
+        monkeypatch.setattr(
+            codegen_mod,
+            "_build_encode_source",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        fallbacks = codegen_metrics.counter("serde.codegen.fallbacks")
+        before = fallbacks.value
+        value = Versioned(a=11, b="degraded")
+        writer = ObjectWriter(profile=MODERN_PROFILE, registry=registry)
+        writer.write_root(value)
+        broken = writer.getvalue()
+        assert fallbacks.value == before + 1
+        monkeypatch.undo()
+        registry.invalidate_plans(Versioned)
+        oracle = ObjectWriter(profile=MODERN_NO_CODEGEN, registry=registry)
+        oracle.write_root(value)
+        assert broken == oracle.getvalue()
 
 
 class TestByteIdentity:

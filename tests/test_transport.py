@@ -1,5 +1,6 @@
 """Transport layer: framing, in-process channel, TCP, simnet, resolver."""
 
+import os
 import socket
 import threading
 import time
@@ -20,6 +21,7 @@ from repro.transport.inproc import InProcChannel
 from repro.transport.resolver import ChannelResolver
 from repro.transport.simnet import LOOPBACK_MODEL, NetworkModel, SimulatedChannel
 from repro.transport.tcp import PipelinedTcpChannel, TcpChannel, TcpServer
+from repro.transport.uds import PipelinedUdsChannel, UdsChannel, UdsServer
 
 
 def echo_handler(request: bytes) -> bytes:
@@ -454,3 +456,109 @@ class TestChannelStats:
         }
         stats.reset()
         assert stats.snapshot()["requests"] == 0
+
+
+requires_af_unix = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="platform lacks AF_UNIX"
+)
+
+
+@requires_af_unix
+class TestUds:
+    def test_request_response_over_socket(self):
+        with UdsServer(echo_handler) as server:
+            channel = UdsChannel(server.path)
+            try:
+                assert channel.request(b"over-uds") == b"echo:over-uds"
+            finally:
+                channel.close()
+
+    def test_address_property_and_unlink_on_stop(self):
+        server = UdsServer(echo_handler)
+        assert server.address == f"uds://{server.path}"
+        assert os.path.exists(server.path)
+        server.stop()
+        assert not os.path.exists(server.path)
+
+    def test_explicit_path_and_stale_socket_reclaimed(self, tmp_path):
+        path = str(tmp_path / "ep.sock")
+        with UdsServer(echo_handler, path=path) as server:
+            assert server.path == path
+        # A crashed predecessor leaves the file behind; binding again
+        # must reclaim it rather than fail with EADDRINUSE.
+        open(path, "w").close()
+        with UdsServer(echo_handler, path=path) as server:
+            channel = UdsChannel(server.path)
+            try:
+                assert channel.request(b"again") == b"echo:again"
+            finally:
+                channel.close()
+
+    def test_connection_refused(self):
+        channel = UdsChannel("/nonexistent/nrmi-test.sock")
+        with pytest.raises(RetryableError):
+            channel.request(b"x")
+
+    def test_plain_and_pipelined_share_one_server(self):
+        with UdsServer(echo_handler) as server:
+            plain = UdsChannel(server.path)
+            piped = PipelinedUdsChannel(server.path)
+            try:
+                assert plain.request(b"plain") == b"echo:plain"
+                assert piped.request(b"piped") == b"echo:piped"
+                assert plain.request(b"plain2") == b"echo:plain2"
+            finally:
+                plain.close()
+                piped.close()
+
+    def test_pipelined_concurrent_callers(self):
+        with UdsServer(echo_handler) as server:
+            channel = PipelinedUdsChannel(server.path)
+            errors = []
+
+            def worker(worker_id: int):
+                for i in range(10):
+                    expected = f"echo:{worker_id}-{i}".encode()
+                    if channel.request(f"{worker_id}-{i}".encode()) != expected:
+                        errors.append((worker_id, i))
+
+            threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            channel.close()
+            assert errors == []
+
+
+class TestUdsResolution:
+    @requires_af_unix
+    def test_resolver_parses_uds_addresses(self):
+        with UdsServer(echo_handler) as server:
+            resolver = ChannelResolver()
+            try:
+                plain = resolver.resolve(server.address)
+                piped = resolver.resolve(server.address, pipelined=True)
+                assert isinstance(plain, UdsChannel)
+                assert isinstance(piped, PipelinedUdsChannel)
+                assert plain.path == server.path
+                assert resolver.resolve(server.address) is plain
+                assert resolver.resolve(server.address, pipelined=True) is piped
+                assert plain.request(b"via-resolver") == b"echo:via-resolver"
+            finally:
+                resolver.close_all()
+
+    @requires_af_unix
+    def test_malformed_uds_address_rejected(self):
+        resolver = ChannelResolver()
+        with pytest.raises(TransportError, match="malformed uds address"):
+            resolver.resolve("uds://")
+
+    def test_non_posix_platform_gets_clear_error(self, monkeypatch):
+        """Without AF_UNIX the resolver must say so, not crash obscurely."""
+        import repro.transport.uds as uds_mod
+
+        monkeypatch.delattr(uds_mod.socket, "AF_UNIX", raising=False)
+        resolver = ChannelResolver()
+        with pytest.raises(TransportError, match="requires AF_UNIX"):
+            resolver.resolve("uds:///tmp/never.sock")
