@@ -1,4 +1,4 @@
-"""Runtime self-check rules (NRMI031–NRMI032).
+"""Runtime self-check rules (NRMI031–NRMI034).
 
 These lint the middleware's *own* threaded and protocol code:
 
@@ -13,6 +13,11 @@ These lint the middleware's *own* threaded and protocol code:
   discriminators in ``serde/schema.py``) are cross-checked from source,
   so a drifting edit fails the lint gate before it ships a wire
   incompatibility.
+* **NRMI034** — blocking call on the net thread: any method reachable
+  from a class's ``selector.select()`` loop must stay non-blocking
+  (no handler execution, no ``time.sleep``, no blocking frame reads,
+  no blocking queue waits) — one blocked callback stalls every
+  connection the staged server owns.
 """
 
 from __future__ import annotations
@@ -453,3 +458,122 @@ def _check_protocol_tree(
                 "flag bit inside the stream header's one-byte flags field",
                 hint="use a distinct power of two below 0x100",
             )
+
+
+# ------------------------------------------- net-loop blocking discipline
+
+
+#: Callables that block by design: executing a request via the dispatcher,
+#: sleeping, or the blocking frame-read helpers (each loops in ``recv``
+#: until a full frame arrives — unbounded waiting on peer bytes).
+_BLOCKING_CALLABLES = frozenset(
+    {
+        "call_handler",
+        "read_frame",
+        "read_frame_body",
+        "read_frame_corr",
+        "recv_exact",
+    }
+)
+
+#: Method names that mean a blocking wait when invoked on a queue-like
+#: receiver (one whose name mentions queue/job); ``wait``/``join`` block
+#: on any receiver (events, conditions, threads).
+_BLOCKING_QUEUE_METHODS = frozenset({"get", "put", "pop"})
+_BLOCKING_ANY_RECEIVER = frozenset({"wait", "join"})
+
+
+def _self_method_calls(method_node: ast.AST, known: Set[str]) -> Set[str]:
+    """Names of same-class methods invoked as ``self.<name>(...)``."""
+    called: Set[str] = set()
+    for node in ast.walk(method_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr in known
+        ):
+            called.add(node.func.attr)
+    return called
+
+
+def _calls_selector_select(method_node: ast.AST) -> bool:
+    """True when the method calls ``self.<selector>.select(...)``."""
+    for node in ast.walk(method_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "select"
+            and dotted_name(node.func.value).startswith("self.")
+        ):
+            return True
+    return False
+
+
+def _blocking_call_reason(node: ast.Call) -> Optional[str]:
+    """Why this call blocks, or None when it is allowed on the net thread."""
+    name = dotted_name(node.func)
+    if name == "time.sleep" or name == "sleep":
+        return "time.sleep (stalls the whole event loop)"
+    callee = last_component(name)
+    if callee in _BLOCKING_CALLABLES:
+        if callee == "call_handler":
+            return "call_handler (dispatcher execution belongs on a worker)"
+        return f"{callee} (blocking read; the net loop must parse incrementally)"
+    if isinstance(node.func, ast.Attribute):
+        attr = node.func.attr
+        receiver = last_component(dotted_name(node.func.value)).lower()
+        if attr in _BLOCKING_ANY_RECEIVER:
+            return f".{attr}() (blocking wait on the net thread)"
+        if attr in _BLOCKING_QUEUE_METHODS and (
+            "queue" in receiver or "job" in receiver
+        ):
+            return (
+                f"{receiver}.{attr}() (blocking queue operation; use a "
+                "non-blocking try variant)"
+            )
+    return None
+
+
+@rule("NRMI034", "blocking-call-in-net-loop", FAMILY_RUNTIME, Severity.ERROR)
+def blocking_call_in_net_loop(module: ModuleModel) -> Iterable[Finding]:
+    """One net thread owns every socket of the staged server: a blocking
+    call anywhere in its ``select()`` loop's reachable call graph freezes
+    all connections at once. Flags dispatcher execution, sleeps, blocking
+    frame reads, and blocking queue waits in any method reachable (via
+    ``self.<method>()`` calls) from a method that calls
+    ``self.<selector>.select(...)``. Worker-thread methods are naturally
+    exempt: they are spawned as thread targets, not called."""
+    for cls in module.classes:
+        known = set(cls.methods)
+        roots = {
+            name
+            for name, method in cls.methods.items()
+            if _calls_selector_select(method.node)
+        }
+        if not roots:
+            continue
+        reachable = set(roots)
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop()
+            for callee in _self_method_calls(cls.methods[current].node, known):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    frontier.append(callee)
+        for name in sorted(reachable):
+            for node in ast.walk(cls.methods[name].node):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _blocking_call_reason(node)
+                if reason is not None:
+                    yield blocking_call_in_net_loop.at(
+                        module.path,
+                        node,
+                        f"{cls.name}.{name} runs on the net thread "
+                        f"(reachable from its selector loop) but calls "
+                        f"blocking {reason}",
+                        hint="hand the work to a worker thread, or use a "
+                        "non-blocking variant with selector readiness",
+                    )

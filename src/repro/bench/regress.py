@@ -3,10 +3,13 @@
 Replays the serde micro-benchmark (``bench_serde_micro``: encode/decode of
 scenario III trees under the legacy, modern, and modern-interp — codegen
 disabled — profiles), a TCP-vs-UDS transport round-trip comparison,
-Table-5-style NRMI copy-restore calls, and the delta-restore ablation
-(full-map vs dirty-slot replies under sparse and dense mutators), and
-writes the measurements to ``BENCH_pr6.json`` at the repository root
-(override with ``--out``).
+Table-5-style NRMI copy-restore calls, the delta-restore ablation
+(full-map vs dirty-slot replies under sparse and dense mutators), and a
+concurrency sweep (the staged event-loop server vs the thread-per-
+connection baseline under 8/32/128 simultaneous echo clients: pooled
+p50/p99 latency, throughput, and the BUSY shed rate), and writes the
+measurements to ``BENCH_pr7.json`` at the repository root (override with
+``--out``).
 
 Serde-micro and transport timings use **windowed percentiles**: the
 operation runs back-to-back inside fixed wall-clock windows (1 s each in
@@ -39,6 +42,7 @@ import math
 import socket as _socket
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import replace as _dc_replace
 from pathlib import Path
@@ -103,6 +107,15 @@ _TABLE5_CONFIGS = {
     "legacy-portable": NRMIConfig(profile="legacy", implementation="portable"),
     "modern-optimized": NRMIConfig(profile="modern", implementation="optimized"),
 }
+
+# Concurrency-sweep grid: simultaneous echo connections per server kind.
+# Full mode reaches 128 connections — the regime where a thread per
+# connection costs 128 server threads while the staged core still runs
+# one net thread plus a fixed worker pool.
+_SWEEP_CONNECTIONS_FULL = (8, 32, 128)
+_SWEEP_CONNECTIONS_QUICK = (4, 16)
+_SWEEP_WORKERS = 8
+_SWEEP_PAYLOAD = b"x" * 64
 
 # Mutation densities for the delta-restore ablation: "sparse" touches ~5%
 # of the nodes per call (the regime dirty-slot replies are built for),
@@ -344,6 +357,118 @@ def run_delta_restore(
     return results
 
 
+def _sweep_one_server(server, connections: int, window_seconds: float) -> Dict:
+    """Pooled latency percentiles for *connections* echo clients.
+
+    Each client thread owns one framed socket and issues back-to-back
+    echo round trips until the window closes. BUSY frames (the staged
+    server shedding under overload) are counted separately and excluded
+    from the latency pool — a 2-byte rejection is not a round trip.
+    """
+    from repro.rmi.protocol import Status
+    from repro.transport.framing import read_frame, write_frame
+
+    latencies: List[float] = []
+    busy_total = 0
+    lock = threading.Lock()
+    barrier = threading.Barrier(connections + 1)
+    stop = threading.Event()
+
+    def client() -> None:
+        nonlocal busy_total
+        sock = _socket.create_connection(
+            (server.host, server.port), timeout=10.0
+        )
+        local: List[float] = []
+        local_busy = 0
+        try:
+            barrier.wait()
+            while not stop.is_set():
+                start = time.perf_counter()
+                write_frame(sock, _SWEEP_PAYLOAD)
+                response = read_frame(sock, timeout=10.0)
+                elapsed = time.perf_counter() - start
+                if len(response) == 2 and response[0] == Status.BUSY:
+                    local_busy += 1
+                else:
+                    local.append(elapsed)
+        finally:
+            sock.close()
+            with lock:
+                latencies.extend(local)
+                busy_total += local_busy
+
+    threads = [threading.Thread(target=client) for _ in range(connections)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    time.sleep(window_seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+    latencies.sort()
+    calls = len(latencies)
+    if not calls:
+        return {"connections": connections, "calls": 0, "busy": busy_total}
+    total = busy_total + calls
+    return {
+        "connections": connections,
+        "p50_us": round(_percentile(latencies, 0.50) * 1e6, 1),
+        "p99_us": round(_percentile(latencies, 0.99) * 1e6, 1),
+        "calls": calls,
+        "calls_per_sec": round(calls / window_seconds, 1),
+        "busy": busy_total,
+        "shed_rate": round(busy_total / total, 4),
+    }
+
+
+def run_concurrency_sweep(
+    connection_counts=_SWEEP_CONNECTIONS_FULL,
+    window_seconds: float = 0.5,
+) -> Dict[str, Dict]:
+    """Staged event-loop server vs thread-per-connection baseline.
+
+    Echo handler (no marshalling) so the numbers isolate the server
+    core: accept/framing/dispatch architecture, not serde. Each row is
+    ``connections`` simultaneous clients hammering one server; the
+    staged rows run the default shed policy, so under overload they
+    trade a bounded queue for explicit BUSY rejections, which the sweep
+    reports as ``shed_rate``.
+    """
+    from repro.transport.tcp import TcpServer, ThreadedTcpServer
+
+    def echo(request, session=None):
+        return bytes(request)
+
+    results: Dict[str, Dict] = {
+        "meta": {
+            "payload_bytes": len(_SWEEP_PAYLOAD),
+            "window_seconds": window_seconds,
+            "staged_workers": _SWEEP_WORKERS,
+        }
+    }
+    for kind in ("staged", "threaded"):
+        rows: Dict[str, Dict] = {}
+        for connections in connection_counts:
+            if kind == "staged":
+                server = TcpServer(
+                    echo,
+                    workers=_SWEEP_WORKERS,
+                    queue_capacity=max(64, 2 * connections),
+                )
+            else:
+                server = ThreadedTcpServer(echo)
+            try:
+                rows[f"c{connections}"] = _sweep_one_server(
+                    server, connections, window_seconds
+                )
+            finally:
+                server.stop(grace=2.0)
+        results[kind] = rows
+    return results
+
+
 # ------------------------------------------------------------- comparison
 
 #: Report sections whose numeric leaves are comparable measurements.
@@ -352,6 +477,7 @@ _COMPARE_SECTIONS = (
     "transport_rt",
     "table5_calls_us",
     "delta_restore",
+    "concurrency_sweep",
 )
 
 
@@ -511,7 +637,7 @@ def _codegen_counters() -> Dict[str, int]:
 
 def _default_output() -> Path:
     # src/repro/bench/regress.py -> repository root.
-    return Path(__file__).resolve().parents[3] / "BENCH_pr6.json"
+    return Path(__file__).resolve().parents[3] / "BENCH_pr7.json"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -529,13 +655,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         dest="output",
         type=Path,
         default=None,
-        help="output JSON path (default: BENCH_pr6.json at the repo root)",
+        help="output JSON path (default: BENCH_pr7.json at the repo root)",
     )
     parser.add_argument(
         "--no-calls",
         action="store_true",
-        help="skip the Table-5 call replay, delta ablation, and transport "
-        "round trips (serde micro only)",
+        help="skip the Table-5 call replay, delta ablation, transport "
+        "round trips, and concurrency sweep (serde micro only)",
     )
     parser.add_argument(
         "--compare",
@@ -571,6 +697,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.no_calls
         else run_delta_restore(size, rounds, call_iterations)
     )
+    sweep = (
+        {}
+        if args.no_calls
+        else run_concurrency_sweep(
+            _SWEEP_CONNECTIONS_QUICK if args.quick else _SWEEP_CONNECTIONS_FULL,
+            window_seconds=0.15 if args.quick else 0.5,
+        )
+    )
 
     baseline = PRE_PR_BASELINE_US.get(size)
     speedups = {}
@@ -603,6 +737,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "transport_rt": transport,
         "table5_calls_us": table5,
         "delta_restore": delta,
+        "concurrency_sweep": sweep,
         "codegen": _codegen_counters(),
         "pre_pr_baseline_us": baseline or {},
         "speedup_vs_pre_pr": speedups,
@@ -643,6 +778,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{row['delta']['reply_bytes']:.0f}B reply "
             f"({row['reply_bytes_ratio']:.1f}x fewer reply bytes)"
         )
+    for kind in ("staged", "threaded"):
+        for row in sweep.get(kind, {}).values():
+            if row.get("calls"):
+                print(
+                    f"sweep/{kind}/c{row['connections']}: "
+                    f"p50 {row['p50_us']:.1f}us p99 {row['p99_us']:.1f}us "
+                    f"{row['calls_per_sec']:.0f} calls/s "
+                    f"shed {row['shed_rate'] * 100:.1f}%"
+                )
     print(f"wrote {output}")
     if failures:
         for failure in failures:

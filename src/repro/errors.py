@@ -69,6 +69,30 @@ class RetryableError(TransportError):
     """
 
 
+class ServerBusyError(RetryableError):
+    """The server shed the request before executing it (overload).
+
+    The staged server answers with a fast BUSY frame when its bounded job
+    queue is full or it is draining for shutdown — the request body was
+    never deserialized and the method never ran, so retrying is always
+    safe. Subclassing :class:`RetryableError` puts BUSY on the normal
+    retry/backoff path and counts it against the per-address circuit
+    breaker, so persistent overload eventually fails fast instead of
+    hammering the queue.
+    """
+
+    #: Wire reason codes carried in the BUSY frame's second byte.
+    QUEUE_FULL = 0
+    DRAINING = 1
+
+    _REASONS = {QUEUE_FULL: "job queue full", DRAINING: "draining for shutdown"}
+
+    def __init__(self, reason: int = QUEUE_FULL) -> None:
+        self.reason = reason
+        detail = self._REASONS.get(reason, f"reason {reason}")
+        super().__init__(f"server busy ({detail}); the request did not execute")
+
+
 class DeadlineExceededError(TransportError):
     """The per-call deadline elapsed before a reply arrived.
 

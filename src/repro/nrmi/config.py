@@ -104,6 +104,19 @@ class NRMIConfig:
     # or "uds" (Unix domain socket — single host, lower latency).
     # Servers accept both framings on either; this picks the listener.
     transport: str = "tcp"
+    # Staged-server sizing: worker threads executing requests, and the
+    # bounded job-queue capacity between the net loop and the workers.
+    # The queue bound is the overload knob — see overload_policy.
+    server_workers: int = 8
+    queue_capacity: int = 64
+    # Cap on frames one connection may have admitted-but-unanswered; a
+    # pipelined client past the cap has its reads paused, so one client
+    # cannot monopolize every worker.
+    max_inflight_per_conn: int = 64
+    # What the server does when the job queue is full: "shed" answers
+    # immediately with the fast BUSY frame (client retries with backoff);
+    # "block" pauses reading and lets kernel socket buffers backpressure.
+    overload_policy: str = "shed"
 
     def __post_init__(self) -> None:
         if self.profile not in _VALID_PROFILES:
@@ -137,6 +150,24 @@ class NRMIConfig:
         if self.reply_cache_size < 0:
             raise ValueError(
                 f"reply_cache_size must be >= 0, got {self.reply_cache_size}"
+            )
+        if self.server_workers < 1:
+            raise ValueError(
+                f"server_workers must be >= 1, got {self.server_workers}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_inflight_per_conn < 1:
+            raise ValueError(
+                "max_inflight_per_conn must be >= 1, got "
+                f"{self.max_inflight_per_conn}"
+            )
+        if self.overload_policy not in ("shed", "block"):
+            raise ValueError(
+                "overload_policy must be 'shed' or 'block', got "
+                f"{self.overload_policy!r}"
             )
         if self.implementation == "optimized" and self.profile == "legacy":
             # The paper's optimized NRMI exists only on JDK 1.4; mirror that

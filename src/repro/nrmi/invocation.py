@@ -52,6 +52,7 @@ from repro.rmi.protocol import (
     ok_response,
     policy_from_wire,
     policy_wire_id,
+    raise_if_busy,
     set_attempt,
     split_response,
 )
@@ -468,7 +469,13 @@ def client_call(
                     # without re-marshalling the arguments.
                     set_attempt(frame, attempt)
                     metrics.counter("calls.retries").add()
-                return channel.request(frame, timeout=remaining)
+                response = channel.request(frame, timeout=remaining)
+                # A BUSY shed must surface *inside* the retry boundary:
+                # to the transport it is a successful exchange, but to
+                # the call it is a retryable failure (the request never
+                # executed), so backoff-and-retry applies.
+                raise_if_busy(response)
+                return response
 
             def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
                 logger.debug(
@@ -489,12 +496,21 @@ def client_call(
                     on_retry=on_retry,
                 )
             except Exception as exc:
-                from repro.errors import CircuitOpenError, DeadlineExceededError
+                from repro.errors import (
+                    CircuitOpenError,
+                    DeadlineExceededError,
+                    ServerBusyError,
+                )
 
                 if isinstance(exc, DeadlineExceededError):
                     metrics.counter("calls.deadline_exceeded").add()
                 elif isinstance(exc, CircuitOpenError):
                     metrics.counter("calls.breaker_rejected").add()
+                elif isinstance(exc, ServerBusyError):
+                    # Every retry attempt was shed: the server stayed
+                    # saturated (or draining) through the whole backoff
+                    # schedule.
+                    metrics.counter("calls.server_busy").add()
                 raise
     finally:
         prepared.release()

@@ -143,9 +143,24 @@ class Endpoint:
         valid for peers in other processes.
         """
         if self._tcp_server is None:
-            self._tcp_server = TcpServer(self.dispatcher.handle, host=host, port=port)
+            self._tcp_server = TcpServer(
+                self.dispatcher.handle,
+                host=host,
+                port=port,
+                **self._server_options(),
+            )
             self.address = self._tcp_server.address
         return self._tcp_server.address
+
+    def _server_options(self) -> dict:
+        """Staged-server sizing and overload policy from the config."""
+        return {
+            "workers": self.config.server_workers,
+            "queue_capacity": self.config.queue_capacity,
+            "max_inflight_per_conn": self.config.max_inflight_per_conn,
+            "overload_policy": self.config.overload_policy,
+            "metrics": self.metrics,
+        }
 
     def serve_uds(self, path: Optional[str] = None) -> str:
         """Additionally expose this endpoint over a Unix domain socket.
@@ -157,7 +172,9 @@ class Endpoint:
         without ``AF_UNIX``.
         """
         if self._uds_server is None:
-            self._uds_server = UdsServer(self.dispatcher.handle, path=path)
+            self._uds_server = UdsServer(
+                self.dispatcher.handle, path=path, **self._server_options()
+            )
             self.address = self._uds_server.address
         return self._uds_server.address
 

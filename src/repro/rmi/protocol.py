@@ -31,7 +31,7 @@ from enum import IntEnum
 from typing import List, Tuple
 
 from repro.core.semantics import PassingMode
-from repro.errors import UnmarshalError, WireFormatError
+from repro.errors import ServerBusyError, UnmarshalError, WireFormatError
 from repro.util.buffers import BufferReader, BufferWriter
 
 
@@ -49,6 +49,12 @@ class Status(IntEnum):
     OK = 0
     EXCEPTION = 1
     PROTOCOL_ERROR = 2
+    # Load shedding: the server refused the request before deserializing
+    # it (bounded queue full, or draining for shutdown). The frame is
+    # status byte + one reason byte and nothing else — built by the net
+    # loop without touching the payload, so shedding stays O(1) under
+    # overload. Clients surface it as the retryable ServerBusyError.
+    BUSY = 3
 
 
 _MODE_TO_ID = {
@@ -379,11 +385,42 @@ def protocol_error_response(message: str) -> bytes:
     return writer.getvalue()
 
 
+def busy_response(reason: int = ServerBusyError.QUEUE_FULL) -> bytes:
+    """The fast load-shedding reply: status byte + one reason byte.
+
+    Deliberately tiny and writer-free — the server's net loop emits it
+    inline for requests it never deserialized, so a shed costs two bytes
+    of encoding work no matter how large the rejected payload was.
+    """
+    return bytes((Status.BUSY, reason & 0xFF))
+
+
+def raise_if_busy(response) -> None:
+    """Raise :class:`ServerBusyError` when *response* is a BUSY frame.
+
+    A one-byte peek, cheap enough for the retry layer's send path: BUSY
+    must surface *inside* ``call_with_retry`` (as a retryable exception)
+    rather than after it, or shedding would never be retried.
+    """
+    if response and response[0] == _BUSY_BYTE:
+        raise ServerBusyError(response[1] if len(response) > 1 else 0)
+
+
+_BUSY_BYTE = int(Status.BUSY)
+
+
 def split_response(response: bytes) -> Tuple[Status, BufferReader]:
-    """Parse the status byte; the reader is positioned at the payload."""
+    """Parse the status byte; the reader is positioned at the payload.
+
+    A BUSY status never reaches the caller as a parsed reply: the server
+    refused the request without executing it, so the one correct reaction
+    everywhere is the retryable :class:`ServerBusyError`.
+    """
     reader = BufferReader(response)
     try:
         status = Status(reader.read_u8())
     except (ValueError, WireFormatError) as exc:
         raise UnmarshalError(f"malformed response: {exc}") from exc
+    if status is Status.BUSY:
+        raise ServerBusyError(reader.read_u8() if reader.remaining else 0)
     return status, reader

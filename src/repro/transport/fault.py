@@ -24,6 +24,12 @@ Failure modes:
 * ``duplicate_response`` — the request is delivered **twice** (a
   duplicated frame in flight), so the peer sees the same call ID again;
   with a reply cache the method still executes once.
+* ``stall`` — slow-loris: a **fresh** connection sends only
+  ``stall_after_bytes`` of the framed request and then goes silent,
+  leaving the server holding a partial frame (its partial-read deadline
+  must eventually reap the connection). The pooled inner channel is
+  untouched, so the caller's retry succeeds immediately while the
+  stalled socket keeps occupying the server.
 
 Failures trigger by seeded rate (``failure_rate``), by deterministic
 schedule (``fail_on_calls={3, 7}`` — 1-based indices of ``request``
@@ -32,12 +38,15 @@ invocations), or on demand (``fail_next()``).
 
 from __future__ import annotations
 
+import struct
 import time
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.errors import DeadlineExceededError, RetryableError
 from repro.transport.base import Channel
 from repro.util.rng import DeterministicRandom
+
+_LEN = struct.Struct(">I")
 
 FAILURE_MODES = (
     "drop_request",
@@ -46,6 +55,7 @@ FAILURE_MODES = (
     "delay",
     "corrupt_response",
     "duplicate_response",
+    "stall",
 )
 
 
@@ -75,20 +85,29 @@ class FaultInjectingChannel(Channel):
         seed: int = 0,
         fail_on_calls: Optional[Iterable[int]] = None,
         delay_seconds: float = 0.05,
+        stall_after_bytes: int = 4,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         super().__init__()
         if mode not in FAILURE_MODES:
             raise ValueError(f"mode must be one of {FAILURE_MODES}, got {mode!r}")
+        if stall_after_bytes < 0:
+            raise ValueError(
+                f"stall_after_bytes must be >= 0, got {stall_after_bytes}"
+            )
         self._inner = inner
         self._mode = mode
         self._rate = failure_rate
         self._rng = DeterministicRandom(seed)
         self._fail_on_calls = frozenset(fail_on_calls or ())
         self._delay_seconds = delay_seconds
+        self._stall_after_bytes = stall_after_bytes
         self._sleep = sleep
         self._disconnected = False
         self._force_next = False
+        #: Sockets deliberately left open mid-frame (slow-loris); closed
+        #: only by :meth:`close` / :meth:`release_stalled`.
+        self._stalled_socks: List[object] = []
         self.calls_seen = 0
         self.injected_failures = 0
         self.delivered = 0
@@ -148,6 +167,8 @@ class FaultInjectingChannel(Channel):
         if mode == "corrupt_response":
             response = self._inner.request(payload, timeout=timeout)
             return corrupt_payload(response)
+        if mode == "stall":
+            return self._inject_stall(payload, timeout)
         # duplicate_response: the frame was duplicated in flight — the
         # peer processes the request twice; the caller reads the second
         # reply. Without server-side dedup this executes the method twice.
@@ -157,5 +178,53 @@ class FaultInjectingChannel(Channel):
         self.stats.record(sent=len(payload), received=len(response))
         return response
 
+    def _inject_stall(self, payload: bytes, timeout: Optional[float]) -> bytes:
+        """Slow-loris: dial a fresh connection, send a partial frame, and
+        leave the socket open and silent.
+
+        Requires the inner channel to be a stream channel (it must expose
+        ``_open_socket``). The inner channel's own pooled connection is
+        never touched, so the caller's retry goes through cleanly while
+        the server is left holding our half-frame until its partial-read
+        deadline reaps it.
+        """
+        opener = getattr(self._inner, "_open_socket", None)
+        if opener is None:
+            raise RetryableError(
+                "stall mode requires a stream inner channel "
+                f"(got {type(self._inner).__name__})"
+            )
+        framed = _LEN.pack(len(payload)) + bytes(payload)
+        prefix = framed[: self._stall_after_bytes]
+        sock = opener(timeout)
+        try:
+            if prefix:
+                sock.sendall(prefix)
+        except OSError:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        else:
+            self._stalled_socks.append(sock)
+        raise RetryableError(
+            f"request stalled after {len(prefix)} bytes mid-frame (injected)"
+        )
+
+    @property
+    def stalled_connections(self) -> int:
+        """Sockets currently held open mid-frame by ``stall`` injections."""
+        return len(self._stalled_socks)
+
+    def release_stalled(self) -> None:
+        """Close every stalled socket (the slow-loris client gives up)."""
+        while self._stalled_socks:
+            sock = self._stalled_socks.pop()
+            try:
+                sock.close()  # type: ignore[attr-defined]
+            except OSError:
+                pass
+
     def close(self) -> None:
+        self.release_stalled()
         self._inner.close()

@@ -1,0 +1,789 @@
+"""The staged event-loop server core: net loop → bounded queue → workers.
+
+One selector-driven **net thread** owns every socket: it accepts
+connections, reads bytes without blocking, assembles frames (plain and
+pipelined framing auto-detected per connection exactly like the classic
+thread-per-connection server), and writes replies back. Execution happens
+on N **worker threads** that block on a bounded job queue; completed
+replies travel back to the net thread through a completion queue and a
+wake pipe. Nothing busy-polls: the net thread blocks in ``select`` and
+workers block in the queue's condition variable (the Queueing design —
+one net thread, bounded workers, blocking waits).
+
+Overload behaviour is explicit policy, not an accident of threading:
+
+* **bounded queue** — at most ``queue_capacity`` requests wait for a
+  worker. Under ``overload_policy="shed"`` a request arriving at a full
+  queue is answered immediately with the two-byte BUSY frame — the
+  payload is never deserialized, so shedding stays O(1) however large
+  the rejected call was. Under ``"block"`` the frame waits at its
+  connection and the net thread stops *reading* that connection once its
+  backlog fills, pushing backpressure into the kernel socket buffers.
+* **per-connection in-flight cap** — a pipelined client may keep at most
+  ``max_inflight_per_conn`` calls executing; beyond that its frames
+  queue locally and reads pause, so one aggressive client cannot occupy
+  every worker.
+* **graceful drain** — ``stop(grace)`` closes the listener, stops
+  reading, answers already-parsed-but-unsubmitted frames with BUSY, and
+  lets queued/executing work finish and flush within the grace budget;
+  at the deadline the remainder is rejected with BUSY and connections
+  are force-closed. The drain outcome is deterministic: every accepted
+  connection ends with a reply, a BUSY, or a clean close.
+* **partial-frame deadline** — a connection sitting on an incomplete
+  frame (slow-loris) longer than ``partial_read_timeout`` is reaped.
+
+The BUSY frame is the one protocol byte this layer emits itself
+(:func:`repro.rmi.protocol.busy_response` — status ``BUSY`` + reason),
+the transport-level analogue of an HTTP 503 sent by the listener.
+
+Net-thread discipline: every method reachable from the ``select`` loop
+must be non-blocking — no handler execution, no ``time.sleep``, no
+blocking frame reads, no blocking queue waits. ``nrmi-lint`` rule
+NRMI034 enforces this statically.
+"""
+
+from __future__ import annotations
+
+import collections
+import selectors
+import socket
+import struct
+import threading
+import time
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ServerBusyError, TransportError
+from repro.rmi.protocol import busy_response
+from repro.transport.base import (
+    RequestHandler,
+    TransportSession,
+    call_handler,
+)
+from repro.transport.framing import (
+    MAX_FRAME_BYTES,
+    PIPELINE_MAGIC,
+    PIPELINE_VERSION,
+)
+from repro.util.metrics import MetricsRegistry
+
+_LEN = struct.Struct(">I")
+_HEADER_SIZE = _LEN.size
+
+#: Bytes pulled off a readable socket per event — large enough to drain a
+#: pipelined burst in few syscalls, small enough to bound per-event work.
+_RECV_CHUNK = 256 * 1024
+
+_BUSY_QUEUE_FULL = busy_response(ServerBusyError.QUEUE_FULL)
+_BUSY_DRAINING = busy_response(ServerBusyError.DRAINING)
+
+#: Selector-key sentinels for the two non-connection file objects.
+_LISTENER = object()
+_WAKER = object()
+
+
+class _FramingViolation(Exception):
+    """Peer sent bytes no framing accepts (oversized length, bad magic)."""
+
+
+class _Connection:
+    """Per-connection state, owned exclusively by the net thread.
+
+    No locks: every field is read and written only on the net thread.
+    Workers refer to a connection solely as an opaque token inside job
+    and completion tuples.
+    """
+
+    __slots__ = (
+        "sock",
+        "fd",
+        "session",
+        "framing",
+        "inbuf",
+        "backlog",
+        "inflight",
+        "out",
+        "out_offset",
+        "registered",
+        "closed",
+        "last_progress",
+    )
+
+    def __init__(self, sock: socket.socket, now: float) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        # Schema rx cache etc.: dies with the socket, shared by every
+        # worker executing this connection's frames (thread-safe inside).
+        self.session = TransportSession()
+        self.framing: Optional[str] = None  # None until auto-detected
+        self.inbuf = bytearray()
+        #: Parsed frames not yet submitted: (corr_id or None, payload).
+        self.backlog: Deque[Tuple[Optional[int], bytes]] = collections.deque()
+        #: Frames submitted to the queue / executing, reply not yet queued.
+        self.inflight = 0
+        #: Outbound byte segments awaiting write, FIFO.
+        self.out: Deque[memoryview] = collections.deque()
+        self.out_offset = 0
+        #: Current selector interest mask (0 = not registered).
+        self.registered = 0
+        self.closed = False
+        self.last_progress = now
+
+
+class _BoundedJobQueue:
+    """The stage boundary: net thread pushes without blocking, workers
+    block to pop. Capacity is the overload-policy knob, not a guess."""
+
+    def __init__(self, capacity: int, depth_gauge, active_gauge) -> None:
+        self._capacity = capacity
+        self._items: Deque[tuple] = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._active = 0
+        self._depth_gauge = depth_gauge
+        self._active_gauge = active_gauge
+
+    def try_push(self, job: tuple) -> bool:
+        """Admit *job* unless the queue is full or closed; never blocks."""
+        with self._lock:
+            if self._closed or len(self._items) >= self._capacity:
+                return False
+            self._items.append(job)
+            self._depth_gauge.set(len(self._items))
+            self._not_empty.notify()
+            return True
+
+    def pop(self) -> Optional[tuple]:
+        """Blocking take for workers; None once closed and empty."""
+        with self._not_empty:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if not self._items:
+                return None
+            job = self._items.popleft()
+            self._active += 1
+            self._depth_gauge.set(len(self._items))
+            self._active_gauge.set(self._active)
+            return job
+
+    def task_done(self) -> None:
+        with self._lock:
+            self._active -= 1
+            self._active_gauge.set(self._active)
+
+    def drain(self) -> list:
+        """Remove and return every not-yet-started job (drain rejection)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._depth_gauge.set(0)
+            return items
+
+    def close(self) -> None:
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs queued plus jobs executing (drain-completion condition)."""
+        with self._lock:
+            return len(self._items) + self._active
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class StagedStreamServer:
+    """Serves a request handler over a stream socket until stopped.
+
+    Subclasses pass an already-bound, listening socket plus a *label*
+    used for thread naming, and implement :attr:`address` (the string a
+    resolver can dial) plus optionally :meth:`_configure_connection`
+    (per-accepted-socket options) and :meth:`_on_stop` (endpoint
+    cleanup, e.g. unlinking a Unix socket path — called only after the
+    listener and net thread are fully down, so a successor reclaiming
+    the endpoint can never be unlinked by a late stop).
+    """
+
+    #: Default seconds ``stop()`` lets in-flight work drain.
+    STOP_GRACE_SECONDS = 2.0
+    #: Default worker threads executing requests.
+    DEFAULT_WORKERS = 8
+    #: Default bounded job-queue capacity (requests awaiting a worker).
+    DEFAULT_QUEUE_CAPACITY = 64
+    #: Default cap on frames admitted but not yet answered per connection.
+    DEFAULT_MAX_INFLIGHT_PER_CONN = 64
+    #: Default seconds a partial frame may sit before the conn is reaped.
+    DEFAULT_PARTIAL_READ_TIMEOUT = 30.0
+
+    OVERLOAD_POLICIES = ("shed", "block")
+
+    def __init__(
+        self,
+        handler: RequestHandler,
+        sock: socket.socket,
+        label: str,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        max_inflight_per_conn: int = DEFAULT_MAX_INFLIGHT_PER_CONN,
+        overload_policy: str = "shed",
+        partial_read_timeout: Optional[float] = DEFAULT_PARTIAL_READ_TIMEOUT,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if max_inflight_per_conn < 1:
+            raise ValueError(
+                f"max_inflight_per_conn must be >= 1, got {max_inflight_per_conn}"
+            )
+        if overload_policy not in self.OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload_policy must be one of {self.OVERLOAD_POLICIES}, "
+                f"got {overload_policy!r}"
+            )
+        self._handler = handler
+        self._sock = sock
+        self._label = label
+        self._max_inflight = max_inflight_per_conn
+        self._overload_policy = overload_policy
+        self._partial_read_timeout = partial_read_timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._shed_counter = self.metrics.counter("server.shed.queue_full")
+        self._drain_shed_counter = self.metrics.counter("server.shed.draining")
+        self._jobs_counter = self.metrics.counter("server.jobs.submitted")
+
+        self._jobs = _BoundedJobQueue(
+            queue_capacity,
+            self.metrics.gauge("server.queue_depth"),
+            self.metrics.gauge("server.workers.active"),
+        )
+        #: Finished work travelling worker → net thread:
+        #: (conn, corr_id, response bytes, handler_failed). Plain deque —
+        #: append/popleft are atomic, no lock needed.
+        self._completions: Deque[tuple] = collections.deque()
+
+        self._conns: Dict[int, _Connection] = {}
+        #: Connections whose head frame met a full queue under the
+        #: "block" policy; re-pumped when completions free queue space.
+        self._parked: set = set()
+        self._stopping = threading.Event()
+        self._force_stop = threading.Event()
+        self._drained = threading.Event()
+        self._draining = False
+        self._stop_lock = threading.Lock()
+        self._stop_called = False
+
+        sock.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(sock, selectors.EVENT_READ, _LISTENER)
+        self._wake_rx, self._wake_tx = socket.socketpair()
+        self._wake_rx.setblocking(False)
+        self._wake_tx.setblocking(False)
+        self._selector.register(self._wake_rx, selectors.EVENT_READ, _WAKER)
+
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{label}-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+        self._net_thread = threading.Thread(
+            target=self._net_loop, name=f"{label}-net", daemon=True
+        )
+        self._net_thread.start()
+
+    # --------------------------------------------------- subclass surface
+
+    @property
+    def address(self) -> str:
+        raise NotImplementedError
+
+    def _configure_connection(self, conn: socket.socket) -> None:
+        """Per-connection socket options (e.g. TCP_NODELAY); default none."""
+
+    def _on_stop(self) -> None:
+        """Endpoint cleanup after the listener closes; default none."""
+
+    @property
+    def live_connections(self) -> int:
+        """Connections currently being served (reaped handles excluded)."""
+        return len(self._conns)
+
+    # ------------------------------------------------------- worker stage
+
+    def _worker_loop(self) -> None:
+        jobs = self._jobs
+        handler = self._handler
+        completed = self.metrics.counter("server.jobs.completed")
+        while True:
+            job = jobs.pop()
+            if job is None:
+                return
+            conn, corr_id, payload = job
+            try:
+                response = call_handler(handler, payload, conn.session)
+                record = (conn, corr_id, response, False)
+            except Exception:  # noqa: BLE001 - handler must not kill server
+                # The RMI dispatcher encodes application errors itself;
+                # anything escaping to here is a protocol bug, and the
+                # only safe move is dropping the connection.
+                record = (conn, corr_id, b"", True)
+            # Publish the completion BEFORE task_done: the net thread's
+            # drain condition is "outstanding == 0 and no completions
+            # pending" — the other order could close a connection under
+            # a reply that was finished but not yet visible.
+            self._completions.append(record)
+            completed.add()
+            jobs.task_done()
+            self._wake()
+
+    def _wake(self) -> None:
+        try:
+            self._wake_tx.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe full or closed: a wakeup is already pending / moot
+
+    # ---------------------------------------------------------- net stage
+
+    def _net_loop(self) -> None:
+        try:
+            while not self._force_stop.is_set():
+                if self._stopping.is_set() and not self._draining:
+                    self._begin_drain()
+                if self._draining and self._drain_complete():
+                    break
+                events = self._selector.select(self._select_timeout())
+                for key, mask in events:
+                    if key.data is _LISTENER:
+                        self._handle_accept()
+                    elif key.data is _WAKER:
+                        self._drain_waker()
+                    else:
+                        connection = key.data
+                        if mask & selectors.EVENT_READ:
+                            self._handle_read(connection)
+                        if mask & selectors.EVENT_WRITE and not connection.closed:
+                            self._handle_write(connection)
+                self._drain_completions()
+                self._pump_parked()
+                if self._partial_read_timeout is not None:
+                    self._reap_stalled()
+        finally:
+            self._shutdown_loop()
+
+    def _select_timeout(self) -> Optional[float]:
+        """Block indefinitely when idle; tick only while a deadline is
+        armed (drain in progress, or a partial frame that may stall)."""
+        if self._draining:
+            return 0.05
+        if self._partial_read_timeout is not None and any(
+            connection.inbuf for connection in self._conns.values()
+        ):
+            return min(0.1, self._partial_read_timeout)
+        return None
+
+    def _drain_waker(self) -> None:
+        try:
+            while self._wake_rx.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _handle_accept(self) -> None:
+        while True:
+            try:
+                conn, _peer = self._sock.accept()
+            except (BlockingIOError, OSError):
+                return  # drained, or listener closed during shutdown
+            if self._draining or self._stopping.is_set():
+                # Drain starts by closing the listener, so this race
+                # window is one already-queued accept: give it a clean
+                # close instead of serving half a connection.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            try:
+                self._configure_connection(conn)
+                conn.setblocking(False)
+            except OSError:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            connection = _Connection(conn, time.monotonic())
+            self._conns[connection.fd] = connection
+            self.metrics.counter("server.connections.accepted").add()
+            self._update_interest(connection)
+
+    def _handle_read(self, connection: _Connection) -> None:
+        if connection.closed:
+            return
+        try:
+            data = connection.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(connection)
+            return
+        if not data:
+            self._close_conn(connection)  # peer closed; replies are moot
+            return
+        connection.inbuf += data
+        connection.last_progress = time.monotonic()
+        try:
+            self._parse_frames(connection)
+        except _FramingViolation:
+            self._close_conn(connection)
+            return
+        self._pump_conn(connection)
+
+    def _parse_frames(self, connection: _Connection) -> None:
+        """Move complete frames from the byte buffer into the backlog.
+
+        Framing auto-detect, incremental edition: a pipelined client
+        opens with the 8-byte preamble; interpreted as a length header
+        its first four bytes would announce an illegally oversized
+        frame, so plain clients can never collide with it.
+        """
+        buf = connection.inbuf
+        while True:
+            if connection.framing is None:
+                if len(buf) < _HEADER_SIZE:
+                    return
+                if bytes(buf[:_HEADER_SIZE]) == PIPELINE_MAGIC:
+                    if len(buf) < 2 * _HEADER_SIZE:
+                        return
+                    if (
+                        bytes(buf[_HEADER_SIZE : 2 * _HEADER_SIZE])
+                        != PIPELINE_VERSION
+                    ):
+                        raise _FramingViolation("unknown pipeline revision")
+                    del buf[: 2 * _HEADER_SIZE]
+                    connection.framing = "pipelined"
+                    continue
+                connection.framing = "plain"
+            if connection.framing == "plain":
+                if len(buf) < _HEADER_SIZE:
+                    return
+                (length,) = _LEN.unpack_from(buf, 0)
+                if length > MAX_FRAME_BYTES:
+                    raise _FramingViolation("oversized frame announced")
+                end = _HEADER_SIZE + length
+                if len(buf) < end:
+                    return
+                payload = bytes(buf[_HEADER_SIZE:end])
+                del buf[:end]
+                connection.backlog.append((None, payload))
+            else:
+                if len(buf) < 2 * _HEADER_SIZE:
+                    return
+                (length,) = _LEN.unpack_from(buf, 0)
+                if length > MAX_FRAME_BYTES:
+                    raise _FramingViolation("oversized frame announced")
+                (corr_id,) = _LEN.unpack_from(buf, _HEADER_SIZE)
+                end = 2 * _HEADER_SIZE + length
+                if len(buf) < end:
+                    return
+                payload = bytes(buf[2 * _HEADER_SIZE : end])
+                del buf[:end]
+                connection.backlog.append((corr_id, payload))
+
+    def _pump_conn(self, connection: _Connection) -> None:
+        """Submit backlog frames within the caps; apply overload policy."""
+        while connection.backlog and not connection.closed:
+            if connection.inflight >= self._conn_inflight_cap(connection):
+                break
+            corr_id, payload = connection.backlog[0]
+            if self._draining:
+                connection.backlog.popleft()
+                self._drain_shed_counter.add()
+                self._queue_reply(connection, corr_id, _BUSY_DRAINING)
+                continue
+            if self._jobs.try_push((connection, corr_id, payload)):
+                connection.backlog.popleft()
+                connection.inflight += 1
+                self._jobs_counter.add()
+                continue
+            if self._overload_policy == "shed":
+                # Load shedding: the payload is never deserialized; the
+                # two-byte BUSY frame is the entire cost of rejection.
+                connection.backlog.popleft()
+                self._shed_counter.add()
+                self._queue_reply(connection, corr_id, _BUSY_QUEUE_FULL)
+                continue
+            # "block": park the frame; the next completion frees queue
+            # space and re-pumps parked connections.
+            self._parked.add(connection)
+            break
+        self._update_interest(connection)
+
+    def _pump_parked(self) -> None:
+        """Retry connections whose head frame was parked on a full queue."""
+        if not self._parked:
+            return
+        for connection in list(self._parked):
+            self._parked.discard(connection)
+            if not connection.closed:
+                self._pump_conn(connection)
+
+    def _conn_inflight_cap(self, connection: _Connection) -> int:
+        # Plain framing has no correlation ids: replies must leave in
+        # request order, so at most one frame executes at a time (the
+        # backlog preserves arrival order for the rest).
+        if connection.framing == "plain":
+            return 1
+        return self._max_inflight
+
+    def _drain_completions(self) -> None:
+        while self._completions:
+            connection, corr_id, response, failed = self._completions.popleft()
+            connection.inflight -= 1
+            if connection.closed:
+                continue
+            if failed:
+                self._close_conn(connection)
+                continue
+            self._queue_reply(connection, corr_id, response)
+            self._pump_conn(connection)
+
+    def _queue_reply(self, connection: _Connection, corr_id, payload) -> None:
+        if connection.closed:
+            return
+        length = len(payload)
+        if length > MAX_FRAME_BYTES:
+            self._close_conn(connection)
+            return
+        if corr_id is None:
+            connection.out.append(memoryview(_LEN.pack(length)))
+        else:
+            connection.out.append(
+                memoryview(_LEN.pack(length) + _LEN.pack(corr_id & 0xFFFFFFFF))
+            )
+        if length:
+            connection.out.append(memoryview(payload))
+        self._flush_conn(connection)
+
+    def _handle_write(self, connection: _Connection) -> None:
+        self._flush_conn(connection)
+
+    def _flush_conn(self, connection: _Connection) -> None:
+        try:
+            while connection.out:
+                head = connection.out[0]
+                offset = connection.out_offset
+                sent = connection.sock.send(head[offset:] if offset else head)
+                offset += sent
+                if offset >= len(head):
+                    connection.out.popleft()
+                    connection.out_offset = 0
+                else:
+                    connection.out_offset = offset
+        except (BlockingIOError, InterruptedError):
+            pass  # kernel buffer full: EVENT_WRITE finishes the job
+        except OSError:
+            self._close_conn(connection)
+            return
+        self._update_interest(connection)
+
+    def _update_interest(self, connection: _Connection) -> None:
+        if connection.closed:
+            return
+        mask = 0
+        if (
+            not self._draining
+            and len(connection.backlog) < self._max_inflight
+        ):
+            mask |= selectors.EVENT_READ
+        if connection.out:
+            mask |= selectors.EVENT_WRITE
+        if mask == connection.registered:
+            return
+        try:
+            if connection.registered == 0:
+                self._selector.register(connection.sock, mask, connection)
+            elif mask == 0:
+                self._selector.unregister(connection.sock)
+            else:
+                self._selector.modify(connection.sock, mask, connection)
+        except (KeyError, ValueError, OSError):
+            self._close_conn(connection)
+            return
+        connection.registered = mask
+
+    def _close_conn(self, connection: _Connection) -> None:
+        if connection.closed:
+            return
+        connection.closed = True
+        if connection.registered:
+            try:
+                self._selector.unregister(connection.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            connection.registered = 0
+        try:
+            connection.sock.close()
+        except OSError:
+            pass
+        self._parked.discard(connection)
+        self._conns.pop(connection.fd, None)
+
+    def _reap_stalled(self) -> None:
+        deadline = self._partial_read_timeout
+        now = time.monotonic()
+        stalled = [
+            connection
+            for connection in self._conns.values()
+            if connection.inbuf and now - connection.last_progress > deadline
+        ]
+        for connection in stalled:
+            self.metrics.counter("server.connections.reaped_stalled").add()
+            self._close_conn(connection)
+
+    # ------------------------------------------------------ drain machine
+
+    def _begin_drain(self) -> None:
+        """Drain step 1: stop accepting and reading; BUSY the backlog.
+
+        A connection with work still executing keeps its backlog for
+        now: plain framing matches replies to requests by order, so its
+        BUSY rejections must queue *after* the in-flight replies —
+        ``_pump_conn`` (run on each completion) rejects them then.
+        """
+        self._draining = True
+        self._parked.clear()
+        try:
+            self._selector.unregister(self._sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        for connection in list(self._conns.values()):
+            if connection.inflight == 0:
+                self._reject_backlog(connection)
+            self._update_interest(connection)
+
+    def _reject_backlog(self, connection: _Connection) -> None:
+        while connection.backlog:
+            corr_id, _payload = connection.backlog.popleft()
+            self._drain_shed_counter.add()
+            self._queue_reply(connection, corr_id, _BUSY_DRAINING)
+
+    def _drain_complete(self) -> bool:
+        """Drain step 2 exit test: no queued/executing work, no pending
+        completions, every reply flushed."""
+        if self._jobs.outstanding or self._completions:
+            return False
+        return all(
+            not connection.out and not connection.backlog
+            for connection in self._conns.values()
+        )
+
+    def _shutdown_loop(self) -> None:
+        """Final net-thread cleanup, shared by graceful and forced exits."""
+        forced = self._force_stop.is_set()
+        if not self._draining:
+            self._begin_drain()
+        if forced:
+            # Grace expired: reject every not-yet-started job with BUSY.
+            rejected = self._jobs.drain()
+            for connection, corr_id, _payload in rejected:
+                connection.inflight -= 1
+                self._drain_shed_counter.add()
+                self._queue_reply(connection, corr_id, _BUSY_DRAINING)
+            if rejected:
+                self.metrics.counter("server.drain.rejected").add(len(rejected))
+        # Late completions from still-running workers, then one last
+        # best-effort flush so BUSY/replies reach peers before close.
+        self._drain_completions()
+        for connection in list(self._conns.values()):
+            self._reject_backlog(connection)
+            self._flush_conn(connection)
+        for connection in list(self._conns.values()):
+            self._close_conn(connection)
+        self.metrics.counter(
+            "server.drain.forced" if forced else "server.drain.graceful"
+        ).add()
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for waker in (self._wake_rx, self._wake_tx):
+            try:
+                waker.close()
+            except OSError:
+                pass
+        self._drained.set()
+
+    # ------------------------------------------------------------- stop
+
+    def stop(self, grace: Optional[float] = None) -> None:
+        """Stop accepting, drain in-flight work, then force-close.
+
+        In-flight and queued requests get *grace* seconds (default
+        :attr:`STOP_GRACE_SECONDS`) to finish and flush; whatever is
+        still queued at the deadline is rejected with BUSY, and any
+        connection still open is closed. The UDS-path unlink (and any
+        other :meth:`_on_stop` cleanup) runs strictly after the listener
+        and net thread are down.
+        """
+        if grace is None:
+            grace = self.STOP_GRACE_SECONDS
+        with self._stop_lock:
+            first = not self._stop_called
+            self._stop_called = True
+        if not first:
+            self._drained.wait(grace)
+            return
+        self._stopping.set()
+        self._wake()
+        if not self._drained.wait(grace):
+            self._force_stop.set()
+            self._wake()
+            self._drained.wait(5.0)
+        self._net_thread.join(timeout=5.0)
+        try:
+            self._sock.close()  # idempotent; the net loop normally did it
+        except OSError:
+            pass
+        self._jobs.close()
+        for thread in self._workers:
+            # Workers stuck in a runaway handler are daemons; don't hang
+            # shutdown on them.
+            thread.join(timeout=0.5)
+        self._on_stop()
+
+    def __enter__(self) -> "StagedStreamServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+# Re-exported for callers that want to assert on the exact shed frames.
+BUSY_QUEUE_FULL_FRAME = _BUSY_QUEUE_FULL
+BUSY_DRAINING_FRAME = _BUSY_DRAINING
+
+# TransportError is imported for the module's public exception surface
+# (framing violations close the connection rather than raising to callers).
+__all__ = [
+    "StagedStreamServer",
+    "BUSY_QUEUE_FULL_FRAME",
+    "BUSY_DRAINING_FRAME",
+    "TransportError",
+]

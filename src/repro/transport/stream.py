@@ -1,19 +1,21 @@
 """Shared machinery for byte-stream transports (TCP, Unix sockets).
 
-Everything above the socket — framing auto-detection, the sequential and
-pipelined server loops, graceful drain-then-force-close shutdown, the
-pooled client channel, and the multi-call-in-flight pipelined channel —
-is identical whether bytes travel over ``AF_INET`` or ``AF_UNIX``. This
-module holds that machinery once; :mod:`repro.transport.tcp` and
-:mod:`repro.transport.uds` supply only the endpoint-specific pieces:
-how a listener is bound, how a client socket is opened, how the endpoint
-is named in addresses and error messages.
+Everything above the socket — framing auto-detection, serving, graceful
+drain-then-force-close shutdown, the pooled client channel, and the
+multi-call-in-flight pipelined channel — is identical whether bytes
+travel over ``AF_INET`` or ``AF_UNIX``. This module holds that machinery
+once; :mod:`repro.transport.tcp` and :mod:`repro.transport.uds` supply
+only the endpoint-specific pieces: how a listener is bound, how a client
+socket is opened, how the endpoint is named in addresses and errors.
 
-The server accepts connections and serves framed request/response pairs,
-one thread per connection (the model of classic RMI's connection
-handling). Connection handles are reaped as peers disconnect, and
-``stop()`` drains in-flight requests within a bounded grace period before
-force-closing stragglers.
+The default server core is the **staged** design in
+:mod:`repro.transport.netloop` (re-exported here as ``StreamServer``):
+one selector-based net thread frames requests, a bounded job queue feeds
+N worker threads, and overload behaviour (BUSY shedding, in-flight caps,
+graceful drain) is explicit policy. The classic thread-per-connection
+server survives as :class:`ThreadedStreamServer`, kept as the
+benchmarking baseline the concurrency sweep compares against — the model
+of classic RMI's connection handling, one thread per accepted socket.
 
 The plain client channel keeps one connection and serializes requests
 over it with a lock; the pipelined channel keeps many calls in flight on
@@ -52,11 +54,24 @@ from repro.transport.framing import (
     write_frame,
     write_frame_corr,
 )
+from repro.transport.netloop import StagedStreamServer as StreamServer
 from repro.util.metrics import Gauge
 
+__all__ = [
+    "StreamServer",
+    "ThreadedStreamServer",
+    "StreamChannel",
+    "PipelinedStreamChannel",
+]
 
-class StreamServer:
-    """Serves a request handler over a stream socket until stopped.
+
+class ThreadedStreamServer:
+    """Thread-per-connection server core, kept as the scaling baseline.
+
+    This is the classic model: an accept thread spawns one thread per
+    connection, which reads, executes, and writes in a loop. It is the
+    comparison point for the staged :class:`StreamServer`'s concurrency
+    sweep; production paths use the staged core.
 
     Subclasses pass an already-bound, listening socket plus a *label*
     used for thread naming, and implement :attr:`address` (the string a
@@ -117,6 +132,13 @@ class StreamServer:
             )
             with self._conn_lock:
                 if self._stopping.is_set():
+                    # Accepted during drain: never served, so give the
+                    # peer a deterministic clean close instead of letting
+                    # the socket leak until process exit.
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
                     conn.close()
                     return
                 self._conn_threads.add(thread)
@@ -253,6 +275,12 @@ class StreamServer:
         with self._conn_lock:
             stragglers = list(self._conn_socks)
         for conn in stragglers:
+            # Grace expired: half-close first so the peer observes a
+            # clean EOF (not a reset racing its last write), then close.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 conn.close()
             except OSError:
@@ -261,9 +289,12 @@ class StreamServer:
             threads = list(self._conn_threads)
         for thread in threads:
             thread.join(timeout=0.1)
+        # Endpoint cleanup (e.g. UDS unlink) strictly after the listener
+        # closed above — a successor rebinding the endpoint must never be
+        # unlinked by this server's late shutdown.
         self._on_stop()
 
-    def __enter__(self) -> "StreamServer":
+    def __enter__(self) -> "ThreadedStreamServer":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

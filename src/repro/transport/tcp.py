@@ -18,7 +18,16 @@ from repro.transport.stream import (
     PipelinedStreamChannel,
     StreamChannel,
     StreamServer,
+    ThreadedStreamServer,
 )
+
+
+def _bind_tcp(host: str, port: int) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(128)
+    return sock
 
 
 def _dial_tcp(host: str, port: int, timeout: Optional[float]) -> socket.socket:
@@ -37,7 +46,11 @@ def _dial_tcp(host: str, port: int, timeout: Optional[float]) -> socket.socket:
 
 
 class TcpServer(StreamServer):
-    """Serves a request handler over TCP until stopped.
+    """Serves a request handler over TCP until stopped (staged core).
+
+    Keyword *server_options* pass through to the staged stream server:
+    ``workers``, ``queue_capacity``, ``max_inflight_per_conn``,
+    ``overload_policy``, ``partial_read_timeout``, ``metrics``.
 
     Usable as a context manager::
 
@@ -46,14 +59,36 @@ class TcpServer(StreamServer):
     """
 
     def __init__(
+        self,
+        handler: RequestHandler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **server_options: object,
+    ) -> None:
+        sock = _bind_tcp(host, port)
+        self.host, self.port = sock.getsockname()
+        super().__init__(
+            handler, sock, label=f"tcp-{self.port}", **server_options
+        )
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    def _configure_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class ThreadedTcpServer(ThreadedStreamServer):
+    """Thread-per-connection TCP server, kept as the scaling baseline
+    for the staged core's concurrency sweep (see ``repro.bench.regress``)."""
+
+    def __init__(
         self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0
     ) -> None:
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((host, port))
-        sock.listen(32)
+        sock = _bind_tcp(host, port)
         self.host, self.port = sock.getsockname()
-        super().__init__(handler, sock, label=f"tcp-{self.port}")
+        super().__init__(handler, sock, label=f"tcp-thr-{self.port}")
 
     @property
     def address(self) -> str:

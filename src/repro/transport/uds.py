@@ -75,9 +75,18 @@ class UdsServer(StreamServer):
 
     With no *path*, a fresh socket under the temp dir is used and both
     the path attribute and :attr:`address` report where it landed.
+
+    Keyword *server_options* pass through to the staged stream server:
+    ``workers``, ``queue_capacity``, ``max_inflight_per_conn``,
+    ``overload_policy``, ``partial_read_timeout``, ``metrics``.
     """
 
-    def __init__(self, handler: RequestHandler, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        handler: RequestHandler,
+        path: Optional[str] = None,
+        **server_options: object,
+    ) -> None:
         _require_af_unix()
         self.path = path if path is not None else default_socket_path()
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -90,14 +99,17 @@ class UdsServer(StreamServer):
         except OSError as exc:
             sock.close()
             raise TransportError(f"cannot bind uds socket {self.path!r}: {exc}") from exc
-        sock.listen(32)
-        super().__init__(handler, sock, label="uds")
+        sock.listen(128)
+        super().__init__(handler, sock, label="uds", **server_options)
 
     @property
     def address(self) -> str:
         return f"uds://{self.path}"
 
     def _on_stop(self) -> None:
+        # The staged server invokes this only after the listener is
+        # closed and the net thread has exited, so this unlink can never
+        # race a successor that already reclaimed the path by binding it.
         try:
             os.unlink(self.path)
         except OSError:

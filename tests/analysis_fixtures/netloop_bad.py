@@ -1,0 +1,59 @@
+"""Seeded net-loop blocking hazards (NRMI034).
+
+Parsed by the analyzer, never imported; ``# expect: CODE`` markers pin
+the expected findings to exact lines. The class mimics the staged
+server's shape: ``_loop`` calls ``selector.select()``, so everything it
+reaches via ``self.<method>()`` runs on the net thread and must stay
+non-blocking. The worker loop is spawned as a thread target, never
+called, so its (legitimate) blocking calls are exempt.
+"""
+
+import selectors
+import threading
+import time
+
+
+def call_handler(handler, request, session):
+    return handler(request, session)
+
+
+def read_frame(sock):
+    return b""
+
+
+class BadNetLoop:
+    def __init__(self, handler, jobs_queue):
+        self._handler = handler
+        self._jobs_queue = jobs_queue
+        self._selector = selectors.DefaultSelector()
+        self._worker = threading.Thread(target=self._worker_loop)
+
+    def _loop(self):
+        while True:
+            events = self._selector.select(0.1)
+            for key, _mask in events:
+                self._on_ready(key.fileobj)
+            self._tick()
+
+    def _on_ready(self, sock):
+        request = read_frame(sock)  # expect: NRMI034
+        response = call_handler(self._handler, request, None)  # expect: NRMI034
+        self._jobs_queue.put(response)  # expect: NRMI034
+        self._drain_inline(sock)
+
+    def _drain_inline(self, sock):
+        time.sleep(0.01)  # expect: NRMI034
+        return self._jobs_queue.get()  # expect: NRMI034
+
+    def _tick(self):
+        # Non-blocking queue admission is the allowed pattern.
+        self._jobs_queue.try_push(b"")
+
+    def _worker_loop(self):
+        # Runs on a worker thread (spawned, never self-called): blocking
+        # here is correct and must NOT be flagged.
+        while True:
+            job = self._jobs_queue.get()
+            if job is None:
+                return
+            call_handler(self._handler, job, None)

@@ -12,6 +12,8 @@ Each scenario checks the two robustness invariants:
   on retransmission instead of re-running the method.
 """
 
+import socket as socket_mod
+import threading
 import time
 
 import pytest
@@ -22,6 +24,7 @@ from repro.errors import (
     DeadlineExceededError,
     RemoteInvocationError,
     SerializationError,
+    ServerBusyError,
     TransportError,
     UnmarshalError,
 )
@@ -78,22 +81,27 @@ class ChaosPair:
     """An endpoint pair with a fault-injecting channel between them.
 
     *transport* picks the carrier underneath the fault channel:
-    ``inproc`` (the default) or ``uds`` — the invariants must hold no
-    matter what the faults are injected on top of.
+    ``inproc`` (the default), ``tcp``, or ``uds`` — the invariants must
+    hold no matter what the faults are injected on top of.
     """
 
     def __init__(
         self,
         make_endpoint_pair,
         client_config=None,
+        server_config=None,
         transport="inproc",
         **fault_kwargs,
     ):
-        self.pair = make_endpoint_pair(client_config=client_config)
+        self.pair = make_endpoint_pair(
+            server_config=server_config, client_config=client_config
+        )
         if transport == "uds":
             # Rebinds server.address to uds://…; the wrapper below then
             # attaches to the socket-backed channel instead of inproc.
             self.pair.server.serve_uds()
+        elif transport == "tcp":
+            self.pair.server.serve_tcp()
         holder = {}
 
         def wrap(inner):
@@ -351,3 +359,207 @@ class TestBreakerIntegration:
         assert (
             chaos.client.metrics.gauge(f"breaker.state.{address}").value == 1
         )
+
+
+SOCKET_TRANSPORTS = ["tcp", "uds"]
+
+#: Patient retry for overload rows: keeps retrying shed calls until the
+#: single worker drains the burst.
+OVERLOAD_RETRY = RetryPolicy(max_attempts=12, base_delay=0.02, jitter=0.0)
+
+
+def _skip_without_af_unix(transport):
+    if transport == "uds" and not hasattr(socket_mod, "AF_UNIX"):
+        pytest.skip("platform lacks AF_UNIX")
+
+
+def _socket_pair(make_endpoint_pair, transport, server_config=None,
+                 client_config=None):
+    _skip_without_af_unix(transport)
+    pair = make_endpoint_pair(
+        server_config=server_config, client_config=client_config
+    )
+    if transport == "uds":
+        pair.server.serve_uds()
+    else:
+        pair.server.serve_tcp()
+    return pair
+
+
+def _socket_server(pair):
+    """The live StagedStreamServer behind the endpoint's address."""
+    return pair.server._uds_server or pair.server._tcp_server
+
+
+class SlowLedgerService(Remote):
+    """Non-idempotent and deliberately slow, so overload is reachable."""
+
+    def __init__(self, delay=0.05):
+        self.delay = delay
+        self.executions = 0
+        self.started = threading.Event()
+        self._lock = threading.Lock()
+
+    def push(self, box, value):
+        self.started.set()
+        with self._lock:
+            self.executions += 1
+        time.sleep(self.delay)
+        box.payload.append(value)
+        return list(box.payload)
+
+
+class TestOverload:
+    """Queue-full shedding, BUSY-then-retry, drain, and slow-loris rows.
+
+    The at-most-once invariant threads through every row: a shed or
+    stalled request must never have executed, so the ledger's execution
+    count always equals the number of *successful* calls.
+    """
+
+    @pytest.mark.parametrize("transport", SOCKET_TRANSPORTS)
+    def test_queue_full_burst_sheds_with_busy(
+        self, make_endpoint_pair, transport
+    ):
+        """A pipelined burst against workers=1/queue=1 sheds the overflow
+        with immediate BUSY; shed calls never execute."""
+        pair = _socket_pair(
+            make_endpoint_pair,
+            transport,
+            server_config=NRMIConfig(server_workers=1, queue_capacity=1),
+        )
+        ledger = SlowLedgerService(delay=0.05)
+        service = pair.serve(ledger, name="slow")
+        outcomes = []
+        lock = threading.Lock()
+
+        def call(value):
+            try:
+                service.push(Box([]), value)
+                verdict = "ok"
+            except ServerBusyError:
+                verdict = "busy"
+            with lock:
+                outcomes.append(verdict)
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert len(outcomes) == 8
+        assert outcomes.count("busy") >= 1
+        assert outcomes.count("ok") >= 1
+        # At-most-once through shedding: a BUSY call never ran.
+        assert ledger.executions == outcomes.count("ok")
+        assert (
+            pair.server.metrics.counter("server.shed.queue_full").value >= 1
+        )
+
+    @pytest.mark.parametrize("transport", SOCKET_TRANSPORTS)
+    def test_busy_then_retry_every_call_executes_once(
+        self, make_endpoint_pair, transport
+    ):
+        """With retry enabled, shed calls back off and eventually land:
+        every call succeeds and executes exactly once (no duplicates
+        through the shed/retry cycles)."""
+        pair = _socket_pair(
+            make_endpoint_pair,
+            transport,
+            server_config=NRMIConfig(server_workers=1, queue_capacity=1),
+            client_config=NRMIConfig(retry=OVERLOAD_RETRY),
+        )
+        ledger = SlowLedgerService(delay=0.03)
+        service = pair.serve(ledger, name="slow")
+        failures = []
+        lock = threading.Lock()
+
+        def call(value):
+            try:
+                service.push(Box([]), value)
+            except TransportError as exc:  # pragma: no cover - fails test
+                with lock:
+                    failures.append(exc)
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures
+        assert ledger.executions == 8  # exactly once each, despite sheds
+        assert (
+            pair.server.metrics.counter("server.shed.queue_full").value >= 1
+        )
+        assert pair.client.metrics.counter("calls.retries").value >= 1
+
+    @pytest.mark.parametrize("transport", SOCKET_TRANSPORTS)
+    def test_drain_during_inflight_completes_then_refuses(
+        self, make_endpoint_pair, transport
+    ):
+        """stop(grace) lets the executing call finish and flush its
+        reply, then the endpoint refuses new work."""
+        pair = _socket_pair(
+            make_endpoint_pair,
+            transport,
+            server_config=NRMIConfig(server_workers=2, queue_capacity=8),
+        )
+        ledger = SlowLedgerService(delay=0.3)
+        service = pair.serve(ledger, name="slow")
+        result = {}
+
+        def call():
+            result["value"] = service.push(Box([]), 1)
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        assert ledger.started.wait(5.0)  # the call is executing
+        _socket_server(pair).stop(grace=5.0)
+        thread.join(timeout=5.0)
+        assert result.get("value") == [1]  # drained, not dropped
+        assert ledger.executions == 1
+        assert (
+            pair.server.metrics.counter("server.drain.graceful").value == 1
+        )
+        with pytest.raises(TransportError):
+            service.push(Box([]), 2)
+        assert ledger.executions == 1  # the refused call never ran
+
+    @pytest.mark.parametrize("transport", SOCKET_TRANSPORTS)
+    def test_slow_loris_reaped_while_retry_succeeds(
+        self, make_endpoint_pair, transport
+    ):
+        """A stalled half-frame occupies the server only until the
+        partial-read deadline reaps it; the caller's retry (a fresh
+        exchange) succeeds and the stalled attempt never executed."""
+        _skip_without_af_unix(transport)
+        chaos = ChaosPair(
+            make_endpoint_pair,
+            client_config=NRMIConfig(retry=FAST_RETRY),
+            transport=transport,
+            mode="stall",
+            fail_on_calls={2},  # first push attempt stalls mid-frame
+            stall_after_bytes=6,
+        )
+        server = _socket_server(chaos.pair)
+        server._partial_read_timeout = 0.2
+
+        box = make_heap()
+        result = chaos.service.push(box, 42)
+        assert result[-1] == 42
+        assert chaos.ledger.executions == 1  # stalled attempt never ran
+        assert heap_fingerprint([box]) == local_baseline("push", 42)
+        assert chaos.fault.stalled_connections == 1
+
+        reaped = chaos.server.metrics.counter(
+            "server.connections.reaped_stalled"
+        )
+        deadline = time.monotonic() + 5.0
+        while reaped.value < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert reaped.value >= 1
+        chaos.fault.release_stalled()
