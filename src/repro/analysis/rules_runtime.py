@@ -1,4 +1,4 @@
-"""Runtime self-check rules (NRMI031–NRMI034).
+"""Runtime self-check rules (NRMI031–NRMI035).
 
 These lint the middleware's *own* threaded and protocol code:
 
@@ -18,6 +18,12 @@ These lint the middleware's *own* threaded and protocol code:
   (no handler execution, no ``time.sleep``, no blocking frame reads,
   no blocking queue waits) — one blocked callback stalls every
   connection the staged server owns.
+* **NRMI035** — blocking call on a ring spin/poll path: any method
+  reachable from a loop that re-probes a shared-memory ring
+  (``try_read_into``/``try_write``/``readable``/``poll_ready``/...)
+  must stay non-blocking — a sleep or blocking wait inside a
+  microsecond-scale spin turns the shm transport's latency win into a
+  scheduler round trip per call.
 """
 
 from __future__ import annotations
@@ -576,4 +582,83 @@ def blocking_call_in_net_loop(module: ModuleModel) -> Iterable[Finding]:
                         f"blocking {reason}",
                         hint="hand the work to a worker thread, or use a "
                         "non-blocking variant with selector readiness",
+                    )
+
+
+# --------------------------------------------- ring spin-path discipline
+
+
+#: Non-blocking ring/duplex probes: a loop re-invoking one of these is a
+#: spin/poll wait, and everything it reaches must stay non-blocking.
+#: Deliberately excludes admission helpers like ``try_push`` — a loop
+#: retrying queue admission is backpressure handling, not a spin wait.
+_RING_POLL_METHODS = frozenset(
+    {
+        "try_read_into",
+        "try_write",
+        "readable",
+        "writable",
+        "poll_ready",
+        "try_recv",
+        "try_send",
+    }
+)
+
+
+def _loops_on_ring_poll(method_node: ast.AST) -> bool:
+    """True when the method has a loop re-invoking a ring/duplex probe."""
+    for loop in ast.walk(method_node):
+        if not isinstance(loop, (ast.While, ast.For)):
+            continue
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RING_POLL_METHODS
+            ):
+                return True
+    return False
+
+
+@rule("NRMI035", "blocking-call-in-ring-spin", FAMILY_RUNTIME, Severity.ERROR)
+def blocking_call_in_ring_spin(module: ModuleModel) -> Iterable[Finding]:
+    """The shm transport's latency rests on its spin/poll paths staying
+    syscall-lean: a loop re-probing a ring (``try_read_into`` /
+    ``try_write`` / ``readable`` / ``poll_ready`` ...) is a wait measured
+    in microseconds, and a blocking call anywhere in its reachable call
+    graph — a sleep, a blocking frame read, a blocking queue wait —
+    turns every round trip into a scheduler round trip. Parking on a
+    selector after declaring intent (``select.select`` on the doorbell)
+    is the sanctioned slow path and is not flagged; ``sched_yield``-style
+    GIL donation is invisible to this rule by construction."""
+    for cls in module.classes:
+        known = set(cls.methods)
+        roots = {
+            name
+            for name, method in cls.methods.items()
+            if _loops_on_ring_poll(method.node)
+        }
+        if not roots:
+            continue
+        reachable = set(roots)
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop()
+            for callee in _self_method_calls(cls.methods[current].node, known):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    frontier.append(callee)
+        for name in sorted(reachable):
+            for node in ast.walk(cls.methods[name].node):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _blocking_call_reason(node)
+                if reason is not None:
+                    yield blocking_call_in_ring_spin.at(
+                        module.path,
+                        node,
+                        f"{cls.name}.{name} is on a ring spin/poll path "
+                        f"but calls blocking {reason}",
+                        hint="yield the core between probes and park on "
+                        "the doorbell via select for the slow path",
                     )

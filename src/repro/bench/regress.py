@@ -2,14 +2,16 @@
 
 Replays the serde micro-benchmark (``bench_serde_micro``: encode/decode of
 scenario III trees under the legacy, modern, and modern-interp — codegen
-disabled — profiles), a TCP-vs-UDS transport round-trip comparison,
-Table-5-style NRMI copy-restore calls, the delta-restore ablation
-(full-map vs dirty-slot replies under sparse and dense mutators), and a
-concurrency sweep (the staged event-loop server vs the thread-per-
-connection baseline under 8/32/128 simultaneous echo clients: pooled
-p50/p99 latency, throughput, and the BUSY shed rate), and writes the
-measurements to ``BENCH_pr7.json`` at the repository root (override with
-``--out``).
+disabled — profiles), a tcp/uds/shm transport round-trip comparison, a
+transport × payload × framing **matrix** (echo calls carrying 64 B–64 KiB
+byte payloads over plain and pipelined channels, one windowed-percentile
+row per cell), Table-5-style NRMI copy-restore calls, the delta-restore
+ablation (full-map vs dirty-slot replies under sparse and dense
+mutators), and a concurrency sweep (the staged event-loop server vs the
+thread-per-connection baseline under 8/32/128 simultaneous echo clients:
+pooled p50/p99 latency, throughput, and the BUSY shed rate), and writes
+the measurements to ``BENCH_pr8.json`` at the repository root (override
+with ``--out``).
 
 Serde-micro and transport timings use **windowed percentiles**: the
 operation runs back-to-back inside fixed wall-clock windows (1 s each in
@@ -49,6 +51,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.bench.trees import generate_workload
+from repro.core.markers import Remote
 from repro.nrmi.config import NRMIConfig
 from repro.nrmi.runtime import Endpoint
 from repro.serde.codegen import codegen_metrics
@@ -56,6 +59,7 @@ from repro.serde.profiles import LEGACY_PROFILE, MODERN_PROFILE
 from repro.serde.reader import ObjectReader
 from repro.serde.writer import ObjectWriter
 from repro.transport.resolver import ChannelResolver
+from repro.transport.shm import shm_supported
 
 SCENARIO = "III"
 SEED = 7
@@ -219,18 +223,29 @@ def run_serde_micro(
     return results
 
 
+def _transport_unavailable(scheme: str) -> Optional[str]:
+    """Why *scheme* cannot run on this platform, or ``None`` if it can."""
+    if scheme in ("uds", "shm") and not hasattr(_socket, "AF_UNIX"):
+        return "platform lacks AF_UNIX"
+    if scheme == "shm" and not shm_supported():
+        return "platform lacks shm prerequisites (memfd/shm_open + send_fds)"
+    return None
+
+
 def run_transport_rt(windows: int, window_seconds: float) -> Dict[str, Dict]:
-    """Framed round-trip percentiles over TCP loopback vs Unix sockets.
+    """Framed round-trip percentiles: TCP loopback vs Unix sockets vs shm.
 
     The probe is a PING — the smallest framed exchange the protocol has —
-    so the numbers isolate transport cost (syscalls, TCP/IP stack vs
-    kernel byte copy) from marshalling. On platforms without ``AF_UNIX``
-    the uds row reports ``skipped``.
+    so the numbers isolate transport cost (syscalls and the TCP/IP stack,
+    a kernel byte copy, or two shared-memory ring writes) from
+    marshalling. Rows whose transport the platform cannot provide report
+    ``skipped``.
     """
     results: Dict[str, Dict] = {}
-    for scheme in ("tcp", "uds"):
-        if scheme == "uds" and not hasattr(_socket, "AF_UNIX"):
-            results[scheme] = {"skipped": "platform lacks AF_UNIX"}
+    for scheme in ("tcp", "uds", "shm"):
+        unavailable = _transport_unavailable(scheme)
+        if unavailable:
+            results[scheme] = {"skipped": unavailable}
             continue
         resolver = ChannelResolver()
         # Sequential framing on purpose: the pipelined channel adds a
@@ -262,8 +277,118 @@ def run_transport_rt(windows: int, window_seconds: float) -> Dict[str, Dict]:
             resolver.close_all()
     tcp_p50 = results.get("tcp", {}).get("rt_us")
     uds_p50 = results.get("uds", {}).get("rt_us")
+    shm_p50 = results.get("shm", {}).get("rt_us")
     if tcp_p50 and uds_p50:
         results["uds_vs_tcp_speedup"] = round(tcp_p50 / uds_p50, 2)
+    if uds_p50 and shm_p50:
+        results["shm_vs_uds_speedup"] = round(uds_p50 / shm_p50, 2)
+    return results
+
+
+#: Transport-matrix payload ladder: 64 B rides inside one sendmsg
+#: coalesce / TCP segment, 4 KiB is one ring record / socket buffer
+#: chunk, 64 KiB forces the shm ring to wrap and chunk mid-message.
+_MATRIX_PAYLOADS_FULL = (64, 4096, 65536)
+_MATRIX_PAYLOADS_QUICK = (64, 4096)
+_MATRIX_SCHEMES = ("tcp", "uds", "shm")
+_MATRIX_MODES = ("plain", "pipelined")
+
+
+class _MatrixEchoService(Remote):
+    """Echoes a bytes payload — the smallest *marshalled* exchange.
+
+    Unlike :func:`run_transport_rt`'s raw PING, the matrix goes through
+    lookup/dispatch and serde with a primitive payload, so cells measure
+    the full call path with payload size as the controlled variable.
+    """
+
+    def echo(self, data: bytes) -> bytes:
+        return data
+
+
+def run_transport_matrix(
+    windows: int,
+    window_seconds: float,
+    payload_sizes=_MATRIX_PAYLOADS_FULL,
+) -> Dict[str, Dict]:
+    """Transport × payload × framing grid of echo-call percentiles.
+
+    One row per (scheme, channel mode, payload size) cell:
+    ``results[scheme][mode]["64B"] == {"rt_us": ..., "rt_p99_us": ...}``.
+    ``plain`` is the sequential framed channel, ``pipelined`` the
+    multi-call-in-flight variant (a reader-thread handoff per call).
+    Unavailable transports collapse to a ``skipped`` row, so reports
+    from platforms without shm still diff cleanly under ``--compare``.
+    The headline cross-transport ratios (``shm_vs_uds_speedup_64B``,
+    ``uds_vs_tcp_speedup_64B``) come from the plain 64 B cells — the
+    cells where transport cost dominates marshalling.
+    """
+    results: Dict[str, Dict] = {
+        "meta": {
+            "payload_bytes": [int(size) for size in payload_sizes],
+            "workload": "echo(bytes) via lookup/dispatch + serde",
+        }
+    }
+    for scheme in _MATRIX_SCHEMES:
+        unavailable = _transport_unavailable(scheme)
+        if unavailable:
+            results[scheme] = {"skipped": unavailable}
+            continue
+        scheme_rows: Dict[str, Dict] = {}
+        for mode in _MATRIX_MODES:
+            resolver = ChannelResolver()
+            config = NRMIConfig(
+                transport=scheme, tcp_pipelined=(mode == "pipelined")
+            )
+            server = Endpoint(
+                name=f"matrix-server-{scheme}-{mode}",
+                config=config,
+                resolver=resolver,
+            )
+            client = Endpoint(
+                name=f"matrix-client-{scheme}-{mode}",
+                config=config,
+                resolver=resolver,
+            )
+            mode_rows: Dict[str, Dict] = {}
+            try:
+                server.bind("echo", _MatrixEchoService())
+                service = client.lookup(server.address, "echo")
+                for size in payload_sizes:
+                    payload = b"x" * size
+
+                    def call():
+                        service.echo(payload)
+
+                    stats = _windowed_stats(call, windows, window_seconds)
+                    mode_rows[f"{size}B"] = {
+                        "rt_us": round(stats["p50"], 1),
+                        "rt_p90_us": round(stats["p90"], 1),
+                        "rt_p99_us": round(stats["p99"], 1),
+                        "window_samples": int(stats["samples"]),
+                    }
+            finally:
+                client.close()
+                server.close()
+                resolver.close_all()
+            scheme_rows[mode] = mode_rows
+        results[scheme] = scheme_rows
+
+    def _plain_64(scheme: str) -> Optional[float]:
+        return (
+            results.get(scheme, {})
+            .get("plain", {})
+            .get("64B", {})
+            .get("rt_us")
+        )
+
+    tcp_p50, uds_p50, shm_p50 = (
+        _plain_64("tcp"), _plain_64("uds"), _plain_64("shm")
+    )
+    if tcp_p50 and uds_p50:
+        results["uds_vs_tcp_speedup_64B"] = round(tcp_p50 / uds_p50, 2)
+    if uds_p50 and shm_p50:
+        results["shm_vs_uds_speedup_64B"] = round(uds_p50 / shm_p50, 2)
     return results
 
 
@@ -475,6 +600,7 @@ def run_concurrency_sweep(
 _COMPARE_SECTIONS = (
     "serde_micro",
     "transport_rt",
+    "transport_matrix",
     "table5_calls_us",
     "delta_restore",
     "concurrency_sweep",
@@ -637,7 +763,7 @@ def _codegen_counters() -> Dict[str, int]:
 
 def _default_output() -> Path:
     # src/repro/bench/regress.py -> repository root.
-    return Path(__file__).resolve().parents[3] / "BENCH_pr7.json"
+    return Path(__file__).resolve().parents[3] / "BENCH_pr8.json"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -655,13 +781,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         dest="output",
         type=Path,
         default=None,
-        help="output JSON path (default: BENCH_pr7.json at the repo root)",
+        help="output JSON path (default: BENCH_pr8.json at the repo root)",
     )
     parser.add_argument(
         "--no-calls",
         action="store_true",
         help="skip the Table-5 call replay, delta ablation, transport "
-        "round trips, and concurrency sweep (serde micro only)",
+        "round trips, transport matrix, and concurrency sweep "
+        "(serde micro only)",
     )
     parser.add_argument(
         "--compare",
@@ -689,6 +816,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     serde = run_serde_micro(size, windows, window_seconds)
     transport = {} if args.no_calls else run_transport_rt(windows, window_seconds)
+    matrix = (
+        {}
+        if args.no_calls
+        else run_transport_matrix(
+            windows,
+            window_seconds,
+            _MATRIX_PAYLOADS_QUICK if args.quick else _MATRIX_PAYLOADS_FULL,
+        )
+    )
     table5 = (
         {} if args.no_calls else run_table5_calls(size, rounds, call_iterations)
     )
@@ -735,6 +871,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "serde_micro": serde,
         "transport_rt": transport,
+        "transport_matrix": matrix,
         "table5_calls_us": table5,
         "delta_restore": delta,
         "concurrency_sweep": sweep,
@@ -757,7 +894,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"decode {row['decode_us']:.1f}us "
             f"(p99 {row['decode_p99_us']:.1f}) ({row['bytes']} bytes)"
         )
-    for scheme in ("tcp", "uds"):
+    for scheme in _MATRIX_SCHEMES:
         row = transport.get(scheme)
         if not row:
             continue
@@ -768,6 +905,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"transport/{scheme}: rt {row['rt_us']:.1f}us "
                 f"(p99 {row['rt_p99_us']:.1f})"
             )
+    for scheme in _MATRIX_SCHEMES:
+        scheme_rows = matrix.get(scheme)
+        if not scheme_rows:
+            continue
+        if "skipped" in scheme_rows:
+            print(f"matrix/{scheme}: skipped ({scheme_rows['skipped']})")
+            continue
+        for mode, mode_rows in scheme_rows.items():
+            for cell, row in mode_rows.items():
+                print(
+                    f"matrix/{scheme}/{mode}/{cell}: "
+                    f"rt {row['rt_us']:.1f}us (p99 {row['rt_p99_us']:.1f})"
+                )
+    for ratio_key in ("uds_vs_tcp_speedup_64B", "shm_vs_uds_speedup_64B"):
+        if ratio_key in matrix:
+            print(f"matrix/{ratio_key}: {matrix[ratio_key]:.2f}x")
     for config_name, row in table5.items():
         print(f"table5/{config_name}: {row['call_us']:.1f}us per call")
     for label, row in delta.items():

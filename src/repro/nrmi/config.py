@@ -100,9 +100,10 @@ class NRMIConfig:
     # format is byte-identical either way, so the knob is purely a
     # performance ablation / escape hatch.
     serde_codegen: bool = True
-    # Socket transport ``serve_remote()`` exposes: "tcp" (cross-host)
-    # or "uds" (Unix domain socket — single host, lower latency).
-    # Servers accept both framings on either; this picks the listener.
+    # Socket transport ``serve_remote()`` exposes: "tcp" (cross-host),
+    # "uds" (Unix domain socket — single host, lower latency), or "shm"
+    # (shared-memory rings — single host, no kernel in the data path).
+    # Servers accept both framings on any; this picks the listener.
     transport: str = "tcp"
     # Staged-server sizing: worker threads executing requests, and the
     # bounded job-queue capacity between the net loop and the workers.
@@ -143,9 +144,9 @@ class NRMIConfig:
                 "breaker must be a CircuitBreakerPolicy or None, got "
                 f"{type(self.breaker).__name__}"
             )
-        if self.transport not in ("tcp", "uds"):
+        if self.transport not in ("tcp", "uds", "shm"):
             raise ValueError(
-                f"transport must be 'tcp' or 'uds', got {self.transport!r}"
+                f"transport must be 'tcp', 'uds', or 'shm', got {self.transport!r}"
             )
         if self.reply_cache_size < 0:
             raise ValueError(

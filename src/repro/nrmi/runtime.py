@@ -54,6 +54,7 @@ from repro.serde.writer import ObjectWriter
 from repro.transport.base import Channel
 from repro.transport.reliability import BreakerRegistry, CircuitBreaker
 from repro.transport.resolver import ChannelResolver, global_resolver
+from repro.transport.shm import ShmServer
 from repro.transport.stream import StreamServer
 from repro.transport.tcp import TcpServer
 from repro.transport.uds import UdsServer
@@ -124,6 +125,7 @@ class Endpoint:
         self.address = resolver.register_inproc(self.name, self.dispatcher.handle)
         self._tcp_server: Optional[TcpServer] = None
         self._uds_server: Optional[StreamServer] = None
+        self._shm_server: Optional[StreamServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
@@ -178,15 +180,34 @@ class Endpoint:
             self.address = self._uds_server.address
         return self._uds_server.address
 
+    def serve_shm(self, name: Optional[str] = None) -> str:
+        """Additionally expose this endpoint over shared-memory rings.
+
+        Returns the ``shm://<name>`` address (a fresh name when omitted).
+        Stubs minted after this call carry the shm address, so they stay
+        valid for co-located processes. Raises
+        :class:`~repro.errors.TransportError` on platforms without
+        ``AF_UNIX`` + ``SCM_RIGHTS`` fd passing.
+        """
+        if self._shm_server is None:
+            self._shm_server = ShmServer(
+                self.dispatcher.handle, name=name, **self._server_options()
+            )
+            self.address = self._shm_server.address
+        return self._shm_server.address
+
     def serve_remote(self, **kwargs: Any) -> str:
         """Expose this endpoint over the socket transport the config picks.
 
         ``config.transport == "tcp"`` forwards *kwargs* to
         :meth:`serve_tcp` (host/port), ``"uds"`` to :meth:`serve_uds`
-        (path); returns the resulting address either way.
+        (path), ``"shm"`` to :meth:`serve_shm` (name); returns the
+        resulting address either way.
         """
         if self.config.transport == "uds":
             return self.serve_uds(**kwargs)
+        if self.config.transport == "shm":
+            return self.serve_shm(**kwargs)
         return self.serve_tcp(**kwargs)
 
     def close(self) -> None:
@@ -198,6 +219,8 @@ class Endpoint:
             self._tcp_server.stop()
         if self._uds_server is not None:
             self._uds_server.stop()
+        if self._shm_server is not None:
+            self._shm_server.stop()
         if self._executor is not None:
             self._executor.shutdown(wait=False)
         sweeper_stop = getattr(self, "_sweeper_stop", None)

@@ -10,6 +10,9 @@ Three interchangeable channels behind one interface:
 * :mod:`repro.transport.uds` — the same stream machinery
   (:mod:`repro.transport.stream`) over Unix domain sockets, the low-
   latency single-host carrier;
+* :mod:`repro.transport.shm` — the same framed stream over mmap'd
+  shared-memory rings (Unix-socket handshake, then no kernel in the
+  data path), the fastest co-located carrier;
 * :mod:`repro.transport.simnet` — a deterministic network model
   (bandwidth, per-message latency, per-host CPU scale) layered over the
   in-process channel; it *accounts* simulated transfer time instead of
@@ -29,7 +32,14 @@ from repro.transport.reliability import (
     ReplyCache,
     RetryPolicy,
 )
-from repro.transport.resolver import ChannelResolver, global_resolver
+from repro.transport.resolver import (
+    ChannelResolver,
+    global_resolver,
+    register_scheme,
+    supported_schemes,
+    unregister_scheme,
+)
+from repro.transport.shm import ShmChannel, ShmServer
 from repro.transport.simnet import NetworkModel, SimulatedChannel
 from repro.transport.tcp import TcpChannel, TcpServer
 from repro.transport.uds import UdsChannel, UdsServer
@@ -43,8 +53,13 @@ __all__ = [
     "InProcChannel",
     "ChannelResolver",
     "global_resolver",
+    "register_scheme",
+    "supported_schemes",
+    "unregister_scheme",
     "NetworkModel",
     "SimulatedChannel",
+    "ShmChannel",
+    "ShmServer",
     "TcpChannel",
     "TcpServer",
     "UdsChannel",

@@ -6,9 +6,13 @@ pipelined framing auto-detected per connection exactly like the classic
 thread-per-connection server), and writes replies back. Execution happens
 on N **worker threads** that block on a bounded job queue; completed
 replies travel back to the net thread through a completion queue and a
-wake pipe. Nothing busy-polls: the net thread blocks in ``select`` and
-workers block in the queue's condition variable (the Queueing design —
-one net thread, bounded workers, blocking waits).
+wake pipe. At rest nothing busy-polls: the net thread blocks in
+``select`` and workers block in the queue's condition variable (the
+Queueing design — one net thread, bounded workers, blocking waits). The
+one bounded exception is doorbell (shm) connections: after traffic the
+net thread *linger-polls* their rings for a short window — clearing the
+consumer-waiting flag so active clients skip the doorbell syscall
+entirely — and re-parks in ``select`` once the window passes quiet.
 
 Overload behaviour is explicit policy, not an accident of threading:
 
@@ -65,6 +69,7 @@ from repro.transport.framing import (
     PIPELINE_VERSION,
 )
 from repro.util.metrics import MetricsRegistry
+from repro.util.ring import yield_cpu as _yield_cpu
 
 _LEN = struct.Struct(">I")
 _HEADER_SIZE = _LEN.size
@@ -106,11 +111,18 @@ class _Connection:
         "registered",
         "closed",
         "last_progress",
+        "doorbell",
+        "hot_until",
     )
 
     def __init__(self, sock: socket.socket, now: float) -> None:
         self.sock = sock
         self.fd = sock.fileno()
+        #: Duplexes that signal write space via doorbell *reads* (shm).
+        self.doorbell = bool(getattr(sock, "doorbell_interest", False))
+        #: Monotonic deadline of this connection's linger-poll window
+        #: (doorbell duplexes only; 0.0 = not currently hot).
+        self.hot_until = 0.0
         # Schema rx cache etc.: dies with the socket, shared by every
         # worker executing this connection's frames (thread-safe inside).
         self.session = TransportSession()
@@ -133,6 +145,12 @@ class _BoundedJobQueue:
     """The stage boundary: net thread pushes without blocking, workers
     block to pop. Capacity is the overload-policy knob, not a guess."""
 
+    #: Yield-spin rounds one worker lingers on an empty queue before the
+    #: condition-variable wait. While it spins, a push costs no futex
+    #: wake (``notify`` with no waiters is lock-only), and the pop costs
+    #: no futex sleep — the two syscalls otherwise paid per request.
+    POP_SPIN = 500
+
     def __init__(self, capacity: int, depth_gauge, active_gauge) -> None:
         self._capacity = capacity
         self._items: Deque[tuple] = collections.deque()
@@ -140,6 +158,17 @@ class _BoundedJobQueue:
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
         self._active = 0
+        #: Set by the net loop while it linger-polls doorbell rings: the
+        #: whole pipeline is in low-latency mode, so one worker spins too
+        #: and the queue handoff sheds its futex round trip. Off (the
+        #: default) workers block immediately — kernel-wakeup transports
+        #: gain nothing from a spinner, it is pure scheduling noise.
+        self.spin_hot = False
+        #: True while some worker holds the (single) spin slot; plain
+        #: read-test-then-set under the GIL — the worst case of a lost
+        #: race is two spinners for one window, which is only wasted
+        #: yields, never a lost job.
+        self._spinning = False
         self._depth_gauge = depth_gauge
         self._active_gauge = active_gauge
 
@@ -150,11 +179,35 @@ class _BoundedJobQueue:
                 return False
             self._items.append(job)
             self._depth_gauge.set(len(self._items))
-            self._not_empty.notify()
+            if not self._spinning:
+                # With a spinner armed the notify would wake a second
+                # worker that loses the race and re-sleeps — a futex
+                # round trip per request for nothing. The spinner's
+                # post-spin locked re-check makes the skip safe, and
+                # ``pop`` cascades a notify when items are left over.
+                self._not_empty.notify()
             return True
 
     def pop(self) -> Optional[tuple]:
         """Blocking take for workers; None once closed and empty."""
+        if (
+            self.spin_hot
+            and not self._items
+            and not self._closed
+            and not self._spinning
+        ):
+            # Hot-path linger, queue edition: one worker stays runnable
+            # for a bounded window so the next job starts without a
+            # condvar sleep/wake round trip. Deque reads are atomic;
+            # the locked path below re-checks everything regardless.
+            self._spinning = True
+            try:
+                for _ in range(self.POP_SPIN):
+                    if self._items or self._closed or not self.spin_hot:
+                        break
+                    _yield_cpu()
+            finally:
+                self._spinning = False
         with self._not_empty:
             while not self._items and not self._closed:
                 self._not_empty.wait()
@@ -164,6 +217,11 @@ class _BoundedJobQueue:
             self._active += 1
             self._depth_gauge.set(len(self._items))
             self._active_gauge.set(self._active)
+            if self._items and not self._spinning:
+                # Baton pass: a push during a spin window skips its
+                # notify, so whoever takes an item wakes the next worker
+                # while a backlog remains.
+                self._not_empty.notify()
             return job
 
     def task_done(self) -> None:
@@ -217,6 +275,14 @@ class StagedStreamServer:
     DEFAULT_MAX_INFLIGHT_PER_CONN = 64
     #: Default seconds a partial frame may sit before the conn is reaped.
     DEFAULT_PARTIAL_READ_TIMEOUT = 30.0
+    #: Seconds a doorbell (shm) connection stays in the linger poll after
+    #: its last traffic. Long enough to cover a sequential caller's
+    #: think-time between round trips, short enough that an idle
+    #: connection is back to costing zero CPU within a few milliseconds.
+    DOORBELL_LINGER_SECONDS = 0.002
+    #: Linger-poll rounds between selector services: bounds how long an
+    #: accept or doorbell EOF can wait behind ring polling.
+    POLL_ROUNDS = 32
 
     OVERLOAD_POLICIES = ("shed", "block")
 
@@ -270,6 +336,12 @@ class StagedStreamServer:
         self._completions: Deque[tuple] = collections.deque()
 
         self._conns: Dict[int, _Connection] = {}
+        #: Doorbell connections currently in the linger poll, by fd.
+        self._hot: Dict[int, _Connection] = {}
+        #: True while the net thread is polling instead of blocking in
+        #: ``select`` — workers skip the waker syscall when set (the
+        #: loop drains completions every iteration anyway).
+        self._net_polling = False
         #: Connections whose head frame met a full queue under the
         #: "block" policy; re-pumped when completions free queue space.
         self._parked: set = set()
@@ -312,6 +384,18 @@ class StagedStreamServer:
     def _configure_connection(self, conn: socket.socket) -> None:
         """Per-connection socket options (e.g. TCP_NODELAY); default none."""
 
+    def _wrap_accepted(self, conn: socket.socket):
+        """Turn a freshly accepted socket into the connection's duplex.
+
+        The default serves the socket itself; a non-socket carrier (the
+        shm transport) overrides this to run its handshake and return a
+        socket-shaped duplex instead. Must not block: it runs on the net
+        thread. Raise ``OSError`` to reject the connection.
+        """
+        self._configure_connection(conn)
+        conn.setblocking(False)
+        return conn
+
     def _on_stop(self) -> None:
         """Endpoint cleanup after the listener closes; default none."""
 
@@ -349,6 +433,14 @@ class StagedStreamServer:
             self._wake()
 
     def _wake(self) -> None:
+        if self._net_polling:
+            # The net thread is linger-polling, not parked in ``select``;
+            # it drains completions every loop iteration, so the waker
+            # byte would be a wasted syscall. The loop clears the flag
+            # *before* its post-poll completion drain, and the GIL orders
+            # that store against this read: a worker that saw the flag
+            # set appended its completion before the drain that follows.
+            return
         try:
             self._wake_tx.send(b"\x00")
         except (BlockingIOError, OSError):
@@ -375,6 +467,24 @@ class StagedStreamServer:
                             self._handle_read(connection)
                         if mask & selectors.EVENT_WRITE and not connection.closed:
                             self._handle_write(connection)
+                if self._hot:
+                    # Amortize the selector service: many poll rounds per
+                    # ``select(0)``. Each round drains completions too, so
+                    # replies never wait on the outer loop; accepts and
+                    # doorbell EOFs wait at most POLL_ROUNDS yield-rounds.
+                    self._net_polling = True
+                    self._jobs.spin_hot = True
+                    for _ in range(self.POLL_ROUNDS):
+                        self._poll_hot()
+                        self._drain_completions()
+                        self._pump_parked()
+                        if not self._hot:
+                            break
+                # Order matters: disarm waker suppression BEFORE the
+                # completion drain, so any worker that skipped the waker
+                # has its completion collected before ``select`` blocks.
+                self._net_polling = bool(self._hot)
+                self._jobs.spin_hot = self._net_polling
                 self._drain_completions()
                 self._pump_parked()
                 if self._partial_read_timeout is not None:
@@ -385,6 +495,8 @@ class StagedStreamServer:
     def _select_timeout(self) -> Optional[float]:
         """Block indefinitely when idle; tick only while a deadline is
         armed (drain in progress, or a partial frame that may stall)."""
+        if self._hot:
+            return 0.0  # linger-polling doorbell rings: never block
         if self._draining:
             return 0.05
         if self._partial_read_timeout is not None and any(
@@ -416,15 +528,14 @@ class StagedStreamServer:
                     pass
                 continue
             try:
-                self._configure_connection(conn)
-                conn.setblocking(False)
+                sock_like = self._wrap_accepted(conn)
             except OSError:
                 try:
                     conn.close()
                 except OSError:
                     pass
                 continue
-            connection = _Connection(conn, time.monotonic())
+            connection = _Connection(sock_like, time.monotonic())
             self._conns[connection.fd] = connection
             self.metrics.counter("server.connections.accepted").add()
             self._update_interest(connection)
@@ -432,6 +543,12 @@ class StagedStreamServer:
     def _handle_read(self, connection: _Connection) -> None:
         if connection.closed:
             return
+        if connection.out and connection.doorbell:
+            # The doorbell byte may mean "write space freed": flush the
+            # pending output first, then fall through to read.
+            self._flush_conn(connection)
+            if connection.closed:
+                return
         try:
             data = connection.sock.recv(_RECV_CHUNK)
         except (BlockingIOError, InterruptedError):
@@ -439,6 +556,12 @@ class StagedStreamServer:
         except OSError:
             self._close_conn(connection)
             return
+        self._ingest(connection, data)
+        if connection.doorbell and not connection.closed:
+            self._mark_hot(connection)
+
+    def _ingest(self, connection: _Connection, data) -> None:
+        """Feed freshly read bytes through framing into the backlog."""
         if not data:
             self._close_conn(connection)  # peer closed; replies are moot
             return
@@ -450,6 +573,68 @@ class StagedStreamServer:
             self._close_conn(connection)
             return
         self._pump_conn(connection)
+
+    # ------------------------------------------------- doorbell linger poll
+
+    def _mark_hot(self, connection: _Connection) -> None:
+        """(Re)open a doorbell connection's linger-poll window.
+
+        While hot, the duplex's consumer-waiting flag stays clear, so
+        the peer's request path is two ring writes and zero syscalls;
+        the net thread polls the ring directly instead of sleeping in
+        ``select`` waiting for a doorbell byte.
+        """
+        connection.hot_until = time.monotonic() + self.DOORBELL_LINGER_SECONDS
+        if connection.fd not in self._hot:
+            self._hot[connection.fd] = connection
+            connection.sock.unpark_rx()
+
+    def _poll_hot(self) -> None:
+        """One poll round over hot connections; expire quiet ones.
+
+        Yields the core when nothing is ready: on a loaded single core a
+        tight poll would hold the GIL and starve the very peers and
+        workers whose progress it is polling for.
+        """
+        now = time.monotonic()
+        progressed = False
+        for fd, connection in list(self._hot.items()):
+            if connection.closed:
+                self._hot.pop(fd, None)
+                continue
+            if connection.out:
+                self._flush_conn(connection)
+                if connection.closed:
+                    self._hot.pop(fd, None)
+                    continue
+            if connection.sock.poll_ready():
+                self._read_ring(connection)
+                if connection.closed:
+                    self._hot.pop(fd, None)
+                    continue
+                connection.hot_until = now + self.DOORBELL_LINGER_SECONDS
+                progressed = True
+            elif now >= connection.hot_until:
+                if connection.sock.park_rx():
+                    # Bytes slipped in while the flag went up: the peer
+                    # may or may not have rung; poll once more either way.
+                    connection.hot_until = now + self.DOORBELL_LINGER_SECONDS
+                else:
+                    connection.hot_until = 0.0
+                    self._hot.pop(fd, None)
+        if not progressed and self._hot:
+            _yield_cpu()
+
+    def _read_ring(self, connection: _Connection) -> None:
+        """Ring-only read for the linger poll (no doorbell drain)."""
+        try:
+            data = connection.sock.recv_ring(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(connection)
+            return
+        self._ingest(connection, data)
 
     def _parse_frames(self, connection: _Connection) -> None:
         """Move complete frames from the byte buffer into the backlog.
@@ -610,6 +795,11 @@ class StagedStreamServer:
             mask |= selectors.EVENT_READ
         if connection.out:
             mask |= selectors.EVENT_WRITE
+        if mask and connection.doorbell:
+            # Doorbell duplexes signal *everything* — new data and freed
+            # write space alike — as a readable doorbell byte, and their
+            # fd is always writable, so EVENT_WRITE would spin the loop.
+            mask = selectors.EVENT_READ
         if mask == connection.registered:
             return
         try:
@@ -640,6 +830,7 @@ class StagedStreamServer:
             pass
         self._parked.discard(connection)
         self._conns.pop(connection.fd, None)
+        self._hot.pop(connection.fd, None)
 
     def _reap_stalled(self) -> None:
         deadline = self._partial_read_timeout

@@ -13,19 +13,85 @@ Address forms:
   address;
 * ``uds://<path>`` — a Unix-domain-socket endpoint on this host
   (POSIX only; resolving it elsewhere raises a clear
-  :class:`~repro.errors.TransportError`).
+  :class:`~repro.errors.TransportError`);
+* ``shm://<name>`` — a shared-memory ring endpoint on this host
+  (rendezvous over a Unix socket, frames over mmap'd rings).
+
+Scheme→factory mapping lives in a module-level table: each entry names a
+factory building the channel for the part after ``scheme://`` and
+whether the scheme supports the pipelined framing variant. Third-party
+transports join with :func:`register_scheme`; an unknown scheme fails
+with the supported set spelled out.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, NamedTuple, Optional
 
 from repro.errors import TransportError
 from repro.transport.base import Channel, RequestHandler
 from repro.transport.inproc import InProcChannel
+from repro.transport.shm import PipelinedShmChannel, ShmChannel, _require_shm
 from repro.transport.tcp import PipelinedTcpChannel, TcpChannel
 from repro.transport.uds import PipelinedUdsChannel, UdsChannel, _require_af_unix
+
+#: A factory receives ``(resolver, rest, pipelined)`` where *rest* is the
+#: address with ``scheme://`` stripped; it returns a fresh channel.
+SchemeFactory = Callable[["ChannelResolver", str, bool], Channel]
+
+
+class TransportScheme(NamedTuple):
+    """One row of the scheme table."""
+
+    name: str
+    factory: SchemeFactory
+    #: Whether the scheme has a multi-call-in-flight framing variant;
+    #: schemes that multiplex natively (inproc) leave this False and
+    #: ``resolve(pipelined=True)`` quietly falls back to the plain form.
+    pipelined: bool = False
+
+
+_SCHEME_LOCK = threading.Lock()
+_SCHEMES: Dict[str, TransportScheme] = {}
+
+
+def register_scheme(
+    name: str, factory: SchemeFactory, *, pipelined: bool = False
+) -> None:
+    """Add (or replace) the transport behind ``<name>://`` addresses.
+
+    The table is process-wide: every resolver instance sees the scheme.
+    Registering an existing name replaces it — deliberate, so tests and
+    embedders can shadow a built-in with an instrumented variant.
+    """
+    if not name or "://" in name:
+        raise ValueError(f"malformed scheme name {name!r}")
+    with _SCHEME_LOCK:
+        _SCHEMES[name] = TransportScheme(name, factory, pipelined)
+
+
+def unregister_scheme(name: str) -> None:
+    with _SCHEME_LOCK:
+        _SCHEMES.pop(name, None)
+
+
+def supported_schemes() -> tuple:
+    """The registered scheme names, sorted (for error messages, docs)."""
+    with _SCHEME_LOCK:
+        return tuple(sorted(_SCHEMES))
+
+
+def _scheme_for(address: str) -> TransportScheme:
+    scheme, sep, _rest = address.partition("://")
+    entry = _SCHEMES.get(scheme) if sep else None
+    if entry is None:
+        supported = ", ".join(f"{name}://" for name in supported_schemes())
+        raise TransportError(
+            f"unsupported address scheme in {address!r} "
+            f"(supported: {supported})"
+        )
+    return entry
 
 
 class ChannelResolver:
@@ -73,13 +139,13 @@ class ChannelResolver:
     def resolve(self, address: str, pipelined: bool = False) -> Channel:
         """The channel for *address*; one cached per (address, framing).
 
-        *pipelined* only affects ``tcp://`` and ``uds://`` addresses: it
-        selects the multi-call-in-flight channel (other schemes multiplex
-        natively). Both framings may coexist against one server — it
-        auto-detects per connection — so the two variants cache under
-        separate keys.
+        *pipelined* only affects schemes whose table entry declares the
+        multi-call-in-flight variant (``tcp``, ``uds``, ``shm``); other
+        schemes multiplex natively. Both framings may coexist against
+        one server — it auto-detects per connection — so the two
+        variants cache under separate keys.
         """
-        pipelined = pipelined and address.startswith(("tcp://", "uds://"))
+        pipelined = pipelined and _scheme_for(address).pipelined
         key = f"pipelined+{address}" if pipelined else address
         with self._lock:
             channel = self._channels.get(key)
@@ -93,27 +159,9 @@ class ChannelResolver:
             return channel
 
     def _open(self, address: str, pipelined: bool = False) -> Channel:
-        if address.startswith("inproc://"):
-            name = address[len("inproc://") :]
-            handler = self._inproc_handlers.get(name)
-            if handler is None:
-                raise TransportError(f"no in-process endpoint named {name!r}")
-            return InProcChannel(handler)
-        if address.startswith("tcp://"):
-            hostport = address[len("tcp://") :]
-            host, _, port_text = hostport.rpartition(":")
-            if not host or not port_text.isdigit():
-                raise TransportError(f"malformed tcp address {address!r}")
-            channel_type = PipelinedTcpChannel if pipelined else TcpChannel
-            return channel_type(host, int(port_text))
-        if address.startswith("uds://"):
-            _require_af_unix()
-            path = address[len("uds://") :]
-            if not path:
-                raise TransportError(f"malformed uds address {address!r}")
-            channel_type = PipelinedUdsChannel if pipelined else UdsChannel
-            return channel_type(path)
-        raise TransportError(f"unsupported address scheme in {address!r}")
+        entry = _scheme_for(address)
+        rest = address[len(entry.name) + 3 :]
+        return entry.factory(self, rest, pipelined)
 
     def drop(self, address: str) -> None:
         """Close and forget the cached channel(s) for *address*."""
@@ -132,6 +180,46 @@ class ChannelResolver:
             self._channels.clear()
         for channel in channels:
             channel.close()
+
+
+# ------------------------------------------------------ built-in schemes
+
+
+def _open_inproc(resolver: ChannelResolver, rest: str, pipelined: bool) -> Channel:
+    handler = resolver._inproc_handlers.get(rest)
+    if handler is None:
+        raise TransportError(f"no in-process endpoint named {rest!r}")
+    return InProcChannel(handler)
+
+
+def _open_tcp(resolver: ChannelResolver, rest: str, pipelined: bool) -> Channel:
+    host, _, port_text = rest.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise TransportError(f"malformed tcp address {'tcp://' + rest!r}")
+    channel_type = PipelinedTcpChannel if pipelined else TcpChannel
+    return channel_type(host, int(port_text))
+
+
+def _open_uds(resolver: ChannelResolver, rest: str, pipelined: bool) -> Channel:
+    _require_af_unix()
+    if not rest:
+        raise TransportError("malformed uds address 'uds://'")
+    channel_type = PipelinedUdsChannel if pipelined else UdsChannel
+    return channel_type(rest)
+
+
+def _open_shm(resolver: ChannelResolver, rest: str, pipelined: bool) -> Channel:
+    _require_shm()
+    if not rest:
+        raise TransportError("malformed shm address 'shm://'")
+    channel_type = PipelinedShmChannel if pipelined else ShmChannel
+    return channel_type(rest)
+
+
+register_scheme("inproc", _open_inproc)
+register_scheme("tcp", _open_tcp, pipelined=True)
+register_scheme("uds", _open_uds, pipelined=True)
+register_scheme("shm", _open_shm, pipelined=True)
 
 
 #: Process-wide resolver used by default; tests may build private ones.

@@ -1,0 +1,324 @@
+"""Single-producer/single-consumer byte rings over a shared buffer.
+
+The shared-memory transport (:mod:`repro.transport.shm`) carries the
+framed byte stream over two of these rings — one per direction — mapped
+into both processes. Each ring is a power-of-two data area plus a small
+control block:
+
+```
+ctrl (256 bytes, one cache line per word)          data (capacity bytes)
+┌────────────┬────────────┬──────────────┬──────────────┐ ┌───────────┐
+│ tail  u64  │ head  u64  │ consumer-    │ producer-    │ │ records…  │
+│ (producer) │ (consumer) │ waiting  u32 │ waiting  u32 │ │           │
+│ @0         │ @64        │ @128         │ @192         │ │           │
+└────────────┴────────────┴──────────────┴──────────────┘ └───────────┘
+```
+
+``tail`` and ``head`` are monotonically increasing byte offsets; the
+actual position is ``offset & (capacity - 1)``. The producer writes only
+``tail``, the consumer writes only ``head``, and each lives on its own
+cache line so the two sides never false-share. Data moves in *records* —
+``u32 length`` + 4 reserved bytes + payload, rounded up to 8 bytes so
+every record header lands 8-aligned. A record never straddles the end of
+the buffer: when the remaining contiguous span is too small the producer
+plants a 4-byte *wrap marker* (length ``0xFFFFFFFF``) and continues at
+offset zero, so payload copies are always one contiguous
+``memoryview`` slice assignment (a single ``memcpy``), never split.
+
+Publication discipline mirrors release/acquire: the producer stores the
+payload and record header *before* publishing the new ``tail``, and the
+consumer copies the payload out *before* publishing the new ``head`` —
+under CPython the GIL serializes the interpreter-level stores, so a
+counter is never observable ahead of the bytes it covers, in-process or
+across a shared ``mmap``.
+
+The waiting flags implement the doorbell protocol without hot-path
+syscalls: a side that is about to park sets its flag, re-checks the ring,
+and only then sleeps on the doorbell fd; the opposite side sends a
+doorbell byte only when it observes the flag set. Byte buffering in the
+doorbell socket makes lost wakeups structurally impossible.
+
+Records are transport chunks, not message boundaries: a frame larger
+than the free contiguous span is split across records and the consumer
+just concatenates payloads — both sides see one ordered byte stream.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+
+__all__ = [
+    "CTRL_BYTES",
+    "RECORD_HEADER",
+    "RING_ALIGN",
+    "WRAP_MARKER",
+    "RingConsumer",
+    "RingProducer",
+    "consumer_view",
+    "init_ring",
+    "producer_view",
+    "ring_region_size",
+    "yield_cpu",
+]
+
+if hasattr(os, "sched_yield"):
+    yield_cpu = os.sched_yield
+else:  # pragma: no cover - POSIX always has sched_yield
+
+    def yield_cpu() -> None:
+        """Donate the rest of the timeslice without leaving the runqueue."""
+        time.sleep(0)
+
+#: Control block size; each control word sits on its own 64-byte line.
+CTRL_BYTES = 256
+#: Bytes of header before each record's payload (u32 length + 4 reserved).
+RECORD_HEADER = 8
+#: Record positions stay aligned to this, so a wrap marker always fits.
+RING_ALIGN = 8
+#: Length-field value marking "skip to the start of the buffer".
+WRAP_MARKER = 0xFFFFFFFF
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+_OFF_TAIL = 0
+_OFF_HEAD = 64
+_OFF_CONSUMER_WAITING = 128
+_OFF_PRODUCER_WAITING = 192
+
+
+def ring_region_size(capacity: int) -> int:
+    """Bytes one ring occupies in the shared buffer (ctrl + data)."""
+    return CTRL_BYTES + capacity
+
+
+def _check_capacity(capacity: int) -> None:
+    if capacity < 64 or capacity & (capacity - 1):
+        raise ValueError(f"ring capacity must be a power of two >= 64: {capacity}")
+
+
+def init_ring(buffer, offset: int, capacity: int) -> None:
+    """Zero a ring's control block (fresh mmap segments arrive zeroed;
+    this makes reusing a buffer in tests explicit)."""
+    _check_capacity(capacity)
+    view = memoryview(buffer)
+    view[offset : offset + CTRL_BYTES] = bytes(CTRL_BYTES)
+    view.release()
+
+
+class _RingSide:
+    """State both sides share: views over the ctrl/data regions."""
+
+    def __init__(self, buffer, offset: int, capacity: int) -> None:
+        _check_capacity(capacity)
+        base = memoryview(buffer)
+        if base.format != "B":
+            base = base.cast("B")
+        self._base = base
+        self._ctrl = base[offset : offset + CTRL_BYTES]
+        self._data = base[offset + CTRL_BYTES : offset + CTRL_BYTES + capacity]
+        self._cap = capacity
+        self._mask = capacity - 1
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    def detach(self) -> None:
+        """Release the buffer views so the backing mmap can close."""
+        self._ctrl.release()
+        self._data.release()
+        self._base.release()
+
+
+class RingProducer(_RingSide):
+    """The writing side. Exactly one producer per ring."""
+
+    def __init__(self, buffer, offset: int, capacity: int) -> None:
+        super().__init__(buffer, offset, capacity)
+        # Local tail mirror: authoritative, since only we advance it.
+        self._tail = _U64.unpack_from(self._ctrl, _OFF_TAIL)[0]
+
+    # ------------------------------------------------------------ writing
+
+    def try_write(self, data) -> int:
+        """Append as much of *data* as currently fits; returns the byte
+        count accepted (0 when the ring is full). Never blocks."""
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        if view.format != "B":
+            view = view.cast("B")
+        remaining = len(view)
+        total = 0
+        ctrl, ring = self._ctrl, self._data
+        cap, mask = self._cap, self._mask
+        while remaining:
+            tail = self._tail
+            head = _U64.unpack_from(ctrl, _OFF_HEAD)[0]
+            free = cap - (tail - head)
+            if free < RECORD_HEADER + RING_ALIGN:
+                break
+            pos = tail & mask
+            till_end = cap - pos
+            if till_end < RECORD_HEADER + RING_ALIGN:
+                # Not even a minimal record fits before the edge: plant
+                # the wrap marker (the 8-byte stub always holds it) and
+                # restart at offset zero — if the wrapped ring still has
+                # room for a record.
+                if free - till_end < RECORD_HEADER + RING_ALIGN:
+                    break
+                _U32.pack_into(ring, pos, WRAP_MARKER)
+                tail += till_end
+                _U64.pack_into(ctrl, _OFF_TAIL, tail)
+                self._tail = tail
+                continue
+            span = min(till_end, free)
+            room = ((span - RECORD_HEADER) // RING_ALIGN) * RING_ALIGN
+            chunk = room if remaining > room else remaining
+            base = pos + RECORD_HEADER
+            ring[base : base + chunk] = view[total : total + chunk]
+            _U32.pack_into(ring, pos, chunk)
+            # Publish *after* payload and header are in place.
+            tail += RECORD_HEADER + ((chunk + RING_ALIGN - 1) & ~(RING_ALIGN - 1))
+            _U64.pack_into(ctrl, _OFF_TAIL, tail)
+            self._tail = tail
+            total += chunk
+            remaining -= chunk
+        return total
+
+    def writable(self) -> bool:
+        """Whether :meth:`try_write` could accept at least one byte now."""
+        head = _U64.unpack_from(self._ctrl, _OFF_HEAD)[0]
+        free = self._cap - (self._tail - head)
+        pos = self._tail & self._mask
+        till_end = self._cap - pos
+        if till_end < RECORD_HEADER + RING_ALIGN:
+            free -= till_end  # a wrap marker would eat the stub first
+        return free >= RECORD_HEADER + RING_ALIGN
+
+    def free_bytes(self) -> int:
+        """Raw unreserved bytes (headers/padding not accounted)."""
+        head = _U64.unpack_from(self._ctrl, _OFF_HEAD)[0]
+        return self._cap - (self._tail - head)
+
+    # ----------------------------------------------------- doorbell flags
+
+    @property
+    def peer_waiting(self) -> bool:
+        """True when the consumer declared itself parked: a producer that
+        just published must ring the doorbell."""
+        return _U32.unpack_from(self._ctrl, _OFF_CONSUMER_WAITING)[0] != 0
+
+    def set_waiting(self) -> None:
+        """Declare this producer parked on a full ring (set before the
+        final emptiness re-check, cleared after waking)."""
+        _U32.pack_into(self._ctrl, _OFF_PRODUCER_WAITING, 1)
+
+    def clear_waiting(self) -> None:
+        _U32.pack_into(self._ctrl, _OFF_PRODUCER_WAITING, 0)
+
+
+class RingConsumer(_RingSide):
+    """The reading side. Exactly one consumer per ring."""
+
+    def __init__(self, buffer, offset: int, capacity: int) -> None:
+        super().__init__(buffer, offset, capacity)
+        self._head = _U64.unpack_from(self._ctrl, _OFF_HEAD)[0]
+        # Partially-consumed record: local state only — head (and thus
+        # the producer's free space) advances on record boundaries.
+        self._rec_pos = 0
+        self._rec_remaining = 0
+        self._rec_len = 0
+
+    # ------------------------------------------------------------ reading
+
+    def try_read_into(self, out, nbytes: int = 0) -> int:
+        """Copy up to ``nbytes or len(out)`` pending stream bytes into
+        *out*; returns the count copied (0 when empty). Never blocks."""
+        view = out if isinstance(out, memoryview) else memoryview(out)
+        if view.format != "B":
+            view = view.cast("B")
+        want = nbytes or len(view)
+        ctrl, ring = self._ctrl, self._data
+        copied = 0
+        while copied < want:
+            if self._rec_remaining:
+                take = self._rec_remaining
+                if take > want - copied:
+                    take = want - copied
+                src = self._rec_pos
+                view[copied : copied + take] = ring[src : src + take]
+                copied += take
+                self._rec_pos = src + take
+                self._rec_remaining -= take
+                if not self._rec_remaining:
+                    # Free the record's span only once fully copied out.
+                    padded = (self._rec_len + RING_ALIGN - 1) & ~(RING_ALIGN - 1)
+                    head = self._head + RECORD_HEADER + padded
+                    _U64.pack_into(ctrl, _OFF_HEAD, head)
+                    self._head = head
+                continue
+            head = self._head
+            tail = _U64.unpack_from(ctrl, _OFF_TAIL)[0]
+            if tail == head:
+                break
+            pos = head & self._mask
+            (length,) = _U32.unpack_from(ring, pos)
+            if length == WRAP_MARKER:
+                head += self._cap - pos
+                _U64.pack_into(ctrl, _OFF_HEAD, head)
+                self._head = head
+                continue
+            self._rec_pos = pos + RECORD_HEADER
+            self._rec_remaining = length
+            self._rec_len = length
+        return copied
+
+    def pending_bytes(self) -> int:
+        """Upper bound on pending stream bytes (includes record headers
+        and padding still to be skipped) — cheap sizing hint for read
+        buffers; the exact count comes out of :meth:`try_read_into`."""
+        tail = _U64.unpack_from(self._ctrl, _OFF_TAIL)[0]
+        return tail - self._head + self._rec_remaining
+
+    def readable(self) -> bool:
+        """Whether at least one stream byte is pending."""
+        if self._rec_remaining:
+            return True
+        tail = _U64.unpack_from(self._ctrl, _OFF_TAIL)[0]
+        head = self._head
+        if tail == head:
+            return False
+        pos = head & self._mask
+        (length,) = _U32.unpack_from(self._data, pos)
+        if length != WRAP_MARKER:
+            return True
+        # Only a wrap marker published so far: data begins at offset 0.
+        return tail > head + (self._cap - pos)
+
+    # ----------------------------------------------------- doorbell flags
+
+    @property
+    def peer_waiting(self) -> bool:
+        """True when the producer is parked on a full ring: a consumer
+        that just freed space must ring the doorbell."""
+        return _U32.unpack_from(self._ctrl, _OFF_PRODUCER_WAITING)[0] != 0
+
+    def set_waiting(self) -> None:
+        """Declare this consumer parked (or, for a selector-driven
+        consumer, permanently interested in doorbell bytes)."""
+        _U32.pack_into(self._ctrl, _OFF_CONSUMER_WAITING, 1)
+
+    def clear_waiting(self) -> None:
+        _U32.pack_into(self._ctrl, _OFF_CONSUMER_WAITING, 0)
+
+
+def producer_view(buffer, offset: int, capacity: int) -> RingProducer:
+    """The producing side of the ring at *offset* inside *buffer*."""
+    return RingProducer(buffer, offset, capacity)
+
+
+def consumer_view(buffer, offset: int, capacity: int) -> RingConsumer:
+    """The consuming side of the ring at *offset* inside *buffer*."""
+    return RingConsumer(buffer, offset, capacity)

@@ -1,0 +1,69 @@
+"""Seeded ring spin-path blocking hazards (NRMI035).
+
+Parsed by the analyzer, never imported; ``# expect: CODE`` markers pin
+the expected findings to exact lines. The class mimics the shm duplex's
+shape: methods that loop re-probing a ring (``try_read_into`` /
+``try_write``) are spin waits, so everything they reach via
+``self.<method>()`` must stay non-blocking. Parking on the doorbell via
+``select.select`` after declaring intent is the sanctioned slow path and
+must NOT be flagged; neither may a thread-target method that legally
+blocks, since it is spawned rather than self-called.
+"""
+
+import select
+import threading
+import time
+
+
+def read_frame(sock):
+    return b""
+
+
+class BadRingDuplex:
+    def __init__(self, rx, tx, doorbell, jobs_queue):
+        self._rx = rx
+        self._tx = tx
+        self._sock = doorbell
+        self._jobs_queue = jobs_queue
+        self._pump = threading.Thread(target=self._pump_loop)
+
+    def recv_into(self, buffer):
+        while True:
+            got = self._rx.try_read_into(buffer)
+            if got:
+                return got
+            time.sleep(0.001)  # expect: NRMI035
+
+    def sendall(self, data):
+        view = memoryview(data)
+        sent = 0
+        while sent < len(view):
+            wrote = self._tx.try_write(view[sent:])
+            if wrote:
+                sent += wrote
+                continue
+            self._wait_for_space()
+
+    def _wait_for_space(self):
+        # Reached only from the sendall spin loop: its blocking waits
+        # are spin-path findings even though it has no loop itself.
+        self._jobs_queue.get()  # expect: NRMI035
+        self._drained.wait()  # expect: NRMI035
+        read_frame(self._sock)  # expect: NRMI035
+
+    def _park(self, timeout):
+        # The sanctioned slow path: declare intent, then sleep on the
+        # doorbell fd in select. Must NOT be flagged.
+        self._rx.set_waiting()
+        if not self._rx.readable():
+            select.select([self._sock], [], [], timeout)
+        self._rx.clear_waiting()
+
+    def _pump_loop(self):
+        # Runs on a spawned thread, never self-called from a spin path:
+        # blocking here is legitimate and must NOT be flagged.
+        while True:
+            job = self._jobs_queue.get()
+            if job is None:
+                return
+            time.sleep(0.01)

@@ -51,7 +51,13 @@ def found_markers(result):
 class TestFixtureFindings:
     @pytest.mark.parametrize(
         "fixture",
-        ["contract_bad.py", "serde_bad.py", "restore_bad.py", "netloop_bad.py"],
+        [
+            "contract_bad.py",
+            "serde_bad.py",
+            "restore_bad.py",
+            "netloop_bad.py",
+            "ringspin_bad.py",
+        ],
     )
     def test_exact_codes_and_lines(self, fixture):
         path = FIXTURES / fixture

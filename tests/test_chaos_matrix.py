@@ -81,8 +81,9 @@ class ChaosPair:
     """An endpoint pair with a fault-injecting channel between them.
 
     *transport* picks the carrier underneath the fault channel:
-    ``inproc`` (the default), ``tcp``, or ``uds`` — the invariants must
-    hold no matter what the faults are injected on top of.
+    ``inproc`` (the default), ``tcp``, ``uds``, or ``shm`` — the
+    invariants must hold no matter what the faults are injected on top
+    of.
     """
 
     def __init__(
@@ -100,6 +101,8 @@ class ChaosPair:
             # Rebinds server.address to uds://…; the wrapper below then
             # attaches to the socket-backed channel instead of inproc.
             self.pair.server.serve_uds()
+        elif transport == "shm":
+            self.pair.server.serve_shm()
         elif transport == "tcp":
             self.pair.server.serve_tcp()
         holder = {}
@@ -361,7 +364,7 @@ class TestBreakerIntegration:
         )
 
 
-SOCKET_TRANSPORTS = ["tcp", "uds"]
+SOCKET_TRANSPORTS = ["tcp", "uds", "shm"]
 
 #: Patient retry for overload rows: keeps retrying shed calls until the
 #: single worker drains the burst.
@@ -371,6 +374,11 @@ OVERLOAD_RETRY = RetryPolicy(max_attempts=12, base_delay=0.02, jitter=0.0)
 def _skip_without_af_unix(transport):
     if transport == "uds" and not hasattr(socket_mod, "AF_UNIX"):
         pytest.skip("platform lacks AF_UNIX")
+    if transport == "shm":
+        from repro.transport.shm import shm_supported
+
+        if not shm_supported():
+            pytest.skip("platform lacks AF_UNIX fd passing for shm")
 
 
 def _socket_pair(make_endpoint_pair, transport, server_config=None,
@@ -381,6 +389,8 @@ def _socket_pair(make_endpoint_pair, transport, server_config=None,
     )
     if transport == "uds":
         pair.server.serve_uds()
+    elif transport == "shm":
+        pair.server.serve_shm()
     else:
         pair.server.serve_tcp()
     return pair
@@ -388,7 +398,11 @@ def _socket_pair(make_endpoint_pair, transport, server_config=None,
 
 def _socket_server(pair):
     """The live StagedStreamServer behind the endpoint's address."""
-    return pair.server._uds_server or pair.server._tcp_server
+    return (
+        pair.server._uds_server
+        or pair.server._shm_server
+        or pair.server._tcp_server
+    )
 
 
 class SlowLedgerService(Remote):

@@ -18,7 +18,7 @@ from repro.transport.simnet import NetworkModel, SimulatedChannel
 
 from tests.model_helpers import Box, Node, heap_fingerprint
 
-TRANSPORTS = ("inproc", "simnet", "tcp", "uds")
+TRANSPORTS = ("inproc", "simnet", "tcp", "uds", "shm")
 
 
 class ScrambleService(Remote):
@@ -65,6 +65,8 @@ class InteropWorld:
             address = self.server.serve_tcp()
         elif transport == "uds":
             address = self.server.serve_uds()
+        elif transport == "shm":
+            address = self.server.serve_shm()
         elif transport == "simnet":
             self.resolver.set_wrapper(
                 address,

@@ -38,8 +38,18 @@ from tests.model_helpers import Box, Node, heap_fingerprint
 
 # "tcp" and "pipelined" hit the same server (it auto-detects framing per
 # connection); the client config selects the channel. The "uds" pair is
-# the same split over a Unix domain socket.
-TRANSPORTS = ("inproc", "simnet", "tcp", "pipelined", "uds", "uds-pipelined")
+# the same split over a Unix domain socket, and the "shm" pair over a
+# shared-memory ring pair with a Unix-socket doorbell.
+TRANSPORTS = (
+    "inproc",
+    "simnet",
+    "tcp",
+    "pipelined",
+    "uds",
+    "uds-pipelined",
+    "shm",
+    "shm-pipelined",
+)
 
 PROFILES = {
     # profile name -> (profile, implementation) config arguments
@@ -77,7 +87,8 @@ def local_fingerprint():
 
 def client_config(transport, **kwargs):
     kwargs.setdefault(
-        "tcp_pipelined", transport in ("pipelined", "uds-pipelined")
+        "tcp_pipelined",
+        transport in ("pipelined", "uds-pipelined", "shm-pipelined"),
     )
     return NRMIConfig(**kwargs)
 
@@ -100,6 +111,8 @@ class SchemaWorld:
             address = self.server.serve_tcp()
         elif transport in ("uds", "uds-pipelined"):
             address = self.server.serve_uds()
+        elif transport in ("shm", "shm-pipelined"):
+            address = self.server.serve_shm()
         elif transport == "simnet":
             self.resolver.set_wrapper(
                 address,

@@ -1,0 +1,389 @@
+"""Shared-memory transport: ring primitives, shm:// duplex, lifecycle.
+
+The ring tests drive :mod:`repro.util.ring` directly over a plain
+bytearray — wrap-around at every (aligned) offset, full-ring
+backpressure, the doorbell waiting flags, and a two-thread byte-exact
+stress run. The transport tests stand up real :class:`ShmServer`
+instances: round trips plain and pipelined, frames larger than the ring,
+park/wake when the client outlasts its spin budget, idle-CPU parking,
+and the rendezvous-socket lifecycle (live-server refusal, stale-socket
+reclaim, unlink-on-stop, and the inode guard that keeps a late-stopping
+predecessor from unlinking its successor).
+"""
+
+import os
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.resolver import ChannelResolver
+from repro.transport.shm import (
+    PipelinedShmChannel,
+    ShmChannel,
+    ShmServer,
+    handshake_path,
+    shm_supported,
+)
+from repro.util.ring import (
+    CTRL_BYTES,
+    RECORD_HEADER,
+    consumer_view,
+    init_ring,
+    producer_view,
+    ring_region_size,
+    yield_cpu,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="platform lacks AF_UNIX fd passing"
+)
+
+
+def make_ring(capacity: int):
+    buffer = bytearray(ring_region_size(capacity))
+    init_ring(buffer, 0, capacity)
+    return producer_view(buffer, 0, capacity), consumer_view(buffer, 0, capacity)
+
+
+def read_all(rx, chunk: int = 4096) -> bytes:
+    out = bytearray()
+    buf = bytearray(chunk)
+    while True:
+        got = rx.try_read_into(buf)
+        if not got:
+            return bytes(out)
+        out += buf[:got]
+
+
+class TestRingPrimitives:
+    def test_simple_roundtrip(self):
+        tx, rx = make_ring(256)
+        assert tx.try_write(b"hello ring") == 10
+        assert rx.readable()
+        assert read_all(rx) == b"hello ring"
+        assert not rx.readable()
+
+    def test_empty_ring_reads_nothing(self):
+        _, rx = make_ring(256)
+        assert not rx.readable()
+        assert rx.pending_bytes() == 0
+        assert rx.try_read_into(bytearray(16)) == 0
+
+    def test_capacity_must_be_power_of_two(self):
+        for bad in (0, 63, 100, 257):
+            with pytest.raises(ValueError):
+                make_ring(bad)
+
+    def test_wraparound_at_every_aligned_offset(self):
+        """March head/tail past the buffer edge at every 8-aligned
+        position a record can start from; the stream must stay exact."""
+        capacity = 256
+        tx, rx = make_ring(capacity)
+        rng = random.Random(7)
+        written = bytearray()
+        echoed = bytearray()
+        # Odd-sized chunks so record padding shifts the start offset by
+        # every multiple of the alignment over enough iterations.
+        for step in range(400):
+            chunk = bytes([step & 0xFF]) * rng.randrange(1, 61)
+            assert tx.try_write(chunk) == len(chunk)
+            written += chunk
+            echoed += read_all(rx)
+        assert echoed == written
+
+    def test_full_ring_backpressure_and_drain(self):
+        capacity = 256
+        tx, rx = make_ring(capacity)
+        blob = b"z" * 1024
+        accepted = tx.try_write(blob)
+        # The ring takes what fits (minus headers), never more.
+        assert 0 < accepted < capacity
+        assert tx.try_write(b"more") == 0
+        assert not tx.writable()
+        assert read_all(rx) == blob[:accepted]
+        assert tx.writable()
+        assert tx.try_write(b"more") == 4
+        assert read_all(rx) == b"more"
+
+    def test_large_stream_chunks_through_small_ring(self):
+        tx, rx = make_ring(128)
+        payload = bytes(range(256)) * 64  # 16 KiB through a 128 B ring
+        out = bytearray()
+        sent = 0
+        view = memoryview(payload)
+        while len(out) < len(payload):
+            sent += tx.try_write(view[sent:])
+            out += read_all(rx)
+        assert bytes(out) == payload
+
+    def test_pending_bytes_is_an_upper_bound(self):
+        tx, rx = make_ring(256)
+        assert rx.pending_bytes() == 0
+        tx.try_write(b"abc")
+        # 3 payload bytes, but the bound counts header + padding too.
+        assert rx.pending_bytes() >= 3
+        assert rx.pending_bytes() <= 3 + RECORD_HEADER + 8
+        got = bytearray(1)
+        rx.try_read_into(got)  # partially consume the record
+        assert rx.pending_bytes() >= 2
+        assert read_all(rx) == b"bc"
+        assert rx.pending_bytes() == 0
+
+    def test_waiting_flags_cross_sides(self):
+        tx, rx = make_ring(256)
+        assert not tx.peer_waiting and not rx.peer_waiting
+        rx.set_waiting()
+        assert tx.peer_waiting  # producer must ring the doorbell now
+        rx.clear_waiting()
+        assert not tx.peer_waiting
+        tx.set_waiting()
+        assert rx.peer_waiting  # consumer must ring back on free space
+        tx.clear_waiting()
+        assert not rx.peer_waiting
+
+    def test_two_thread_byte_exact_stress(self):
+        capacity = 4096
+        tx, rx = make_ring(capacity)
+        rng = random.Random(99)
+        payload = bytes(rng.randrange(256) for _ in range(200_000))
+        received = bytearray()
+        failures = []
+        abort = threading.Event()
+
+        def producer():
+            view = memoryview(payload)
+            sent = 0
+            try:
+                while sent < len(view) and not abort.is_set():
+                    wrote = tx.try_write(view[sent : sent + rng.randrange(1, 7000)])
+                    if wrote:
+                        sent += wrote
+                    else:
+                        yield_cpu()
+            except Exception as exc:  # pragma: no cover - debug aid
+                failures.append(exc)
+                abort.set()
+
+        def consumer():
+            buf = bytearray(1500)
+            try:
+                while len(received) < len(payload) and not abort.is_set():
+                    got = rx.try_read_into(buf)
+                    if got:
+                        received.extend(buf[:got])
+                    else:
+                        yield_cpu()
+            except Exception as exc:  # pragma: no cover - debug aid
+                failures.append(exc)
+                abort.set()
+
+        threads = [
+            threading.Thread(target=producer),
+            threading.Thread(target=consumer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not failures
+        assert not any(thread.is_alive() for thread in threads)
+        assert bytes(received) == payload
+
+
+def echo_handler(request: bytes) -> bytes:
+    return b"echo:" + bytes(request)
+
+
+class TestShmTransport:
+    def test_roundtrip(self):
+        with ShmServer(echo_handler) as server:
+            channel = ShmChannel(server.name)
+            try:
+                assert channel.request(b"ping") == b"echo:ping"
+                for index in range(50):
+                    payload = f"msg-{index}".encode()
+                    assert channel.request(payload) == b"echo:" + payload
+            finally:
+                channel.close()
+
+    def test_frame_larger_than_ring_flows_under_backpressure(self):
+        # 64 KiB rings, a 1 MiB frame: both directions must chunk the
+        # stream into records and move it under flow control.
+        with ShmServer(echo_handler, capacity=1 << 16) as server:
+            channel = ShmChannel(server.name)
+            try:
+                payload = os.urandom(1 << 20)
+                assert channel.request(payload) == b"echo:" + payload
+            finally:
+                channel.close()
+
+    def test_pipelined_concurrent_callers(self):
+        with ShmServer(echo_handler) as server:
+            channel = PipelinedShmChannel(server.name)
+            errors = []
+
+            def worker(worker_id: int):
+                try:
+                    for index in range(25):
+                        payload = f"w{worker_id}-{index}".encode()
+                        reply = channel.request(payload)
+                        assert reply == b"echo:" + payload
+                except Exception as exc:  # pragma: no cover - debug aid
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(n,)) for n in range(4)
+            ]
+            try:
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+                assert not errors
+            finally:
+                channel.close()
+
+    def test_client_parks_on_doorbell_and_wakes(self):
+        # The handler outlasts any realistic spin budget, so the client
+        # must park on the doorbell fd and be woken by the reply's byte.
+        def slow(request: bytes) -> bytes:
+            time.sleep(0.08)
+            return b"late:" + bytes(request)
+
+        with ShmServer(slow) as server:
+            channel = ShmChannel(server.name, spin=10)
+            try:
+                assert channel.request(b"x") == b"late:x"
+            finally:
+                channel.close()
+
+    def test_reconnect_after_channel_close(self):
+        with ShmServer(echo_handler) as server:
+            first = ShmChannel(server.name)
+            assert first.request(b"one") == b"echo:one"
+            first.close()
+            second = ShmChannel(server.name)
+            try:
+                assert second.request(b"two") == b"echo:two"
+            finally:
+                second.close()
+
+    def test_idle_connection_burns_no_cpu(self):
+        """After the linger window expires both sides must be parked in
+        select — near-zero process CPU while the connection idles."""
+        from repro.transport.netloop import StagedStreamServer
+
+        with ShmServer(echo_handler) as server:
+            channel = ShmChannel(server.name)
+            try:
+                assert channel.request(b"warm") == b"echo:warm"
+                # Let the net thread's linger poll expire and re-park.
+                time.sleep(10 * StagedStreamServer.DOORBELL_LINGER_SECONDS + 0.05)
+                cpu_before = time.process_time()
+                wall_before = time.monotonic()
+                time.sleep(0.8)
+                cpu_spent = time.process_time() - cpu_before
+                wall = time.monotonic() - wall_before
+                # Generous budget for suite noise; a busy-polling loop
+                # would burn ~100% of the window, not a few percent.
+                assert cpu_spent < 0.25 * wall, (
+                    f"idle shm connection used {cpu_spent:.3f}s CPU "
+                    f"over {wall:.3f}s wall"
+                )
+                # Still alive after re-parking.
+                assert channel.request(b"again") == b"echo:again"
+            finally:
+                channel.close()
+
+
+class TestShmLifecycle:
+    def test_live_server_refuses_rebind(self):
+        with ShmServer(echo_handler) as server:
+            with pytest.raises(TransportError, match="in use"):
+                ShmServer(echo_handler, name=server.name)
+
+    def test_stop_unlinks_rendezvous_socket(self):
+        server = ShmServer(echo_handler)
+        path = server.path
+        assert os.path.exists(path)
+        server.stop(grace=2.0)
+        assert not os.path.exists(path)
+
+    def test_stale_socket_is_reclaimed(self):
+        name = "stale-reclaim-test"
+        path = handshake_path(name)
+        # A dead predecessor's leftover: a bound socket nobody listens on.
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            leftover.bind(path)
+        finally:
+            leftover.close()
+        assert os.path.exists(path)
+        server = ShmServer(echo_handler, name=name)
+        try:
+            channel = ShmChannel(name)
+            try:
+                assert channel.request(b"hi") == b"echo:hi"
+            finally:
+                channel.close()
+        finally:
+            server.stop(grace=2.0)
+        assert not os.path.exists(path)
+
+    def test_successor_rebinds_after_stop(self):
+        name = "successor-test"
+        first = ShmServer(echo_handler, name=name)
+        first.stop(grace=2.0)
+        second = ShmServer(echo_handler, name=name)
+        try:
+            channel = ShmChannel(name)
+            try:
+                assert channel.request(b"hello") == b"echo:hello"
+            finally:
+                channel.close()
+        finally:
+            second.stop(grace=2.0)
+
+    def test_late_stop_never_unlinks_successor(self):
+        """Inode guard: a predecessor stopping *after* its path was
+        reclaimed and rebound must leave the successor's socket alone."""
+        name = "inode-guard-test"
+        first = ShmServer(echo_handler, name=name)
+        # Simulate the crashed-predecessor path going stale + reclaimed:
+        # the successor rebinds the same path with a fresh inode.
+        os.unlink(first.path)
+        second = ShmServer(echo_handler, name=name)
+        try:
+            first.stop(grace=2.0)  # late stop; must not unlink
+            assert os.path.exists(second.path)
+            channel = ShmChannel(name)
+            try:
+                assert channel.request(b"still here") == b"echo:still here"
+            finally:
+                channel.close()
+        finally:
+            second.stop(grace=2.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(TransportError, match="power of two"):
+            ShmServer(echo_handler, capacity=5000)
+
+    def test_resolver_opens_shm_scheme(self):
+        with ShmServer(echo_handler) as server:
+            resolver = ChannelResolver()
+            try:
+                channel = resolver.resolve(server.address)
+                assert channel.request(b"via-resolver") == b"echo:via-resolver"
+                # Cached: same channel object on re-resolve.
+                assert resolver.resolve(server.address) is channel
+            finally:
+                resolver.close_all()
+
+    def test_resolver_rejects_malformed_shm_address(self):
+        resolver = ChannelResolver()
+        with pytest.raises(TransportError, match="malformed shm"):
+            resolver.resolve("shm://")
