@@ -283,6 +283,16 @@ class StagedStreamServer:
     #: Linger-poll rounds between selector services: bounds how long an
     #: accept or doorbell EOF can wait behind ring polling.
     POLL_ROUNDS = 32
+    #: Longest the net thread sleeps in ``select`` while any doorbell
+    #: connection exists. The doorbell handshake (peer publishes, then
+    #: loads our waiting flag; we set the flag, then re-check the ring)
+    #: is a store→load pattern pure Python cannot fence — cross-process
+    #: on a weakly-ordered CPU the two sides can cross and the wakeup
+    #: byte is never sent. Waking on this bound and re-checking the
+    #: rings (:meth:`_doorbell_backstop`) turns that lost wakeup into a
+    #: bounded latency blip; a few wakeups per second of pure-memory
+    #: probes keeps idle CPU effectively zero.
+    DOORBELL_BACKSTOP_SECONDS = 0.25
 
     OVERLOAD_POLICIES = ("shed", "block")
 
@@ -336,6 +346,8 @@ class StagedStreamServer:
         self._completions: Deque[tuple] = collections.deque()
 
         self._conns: Dict[int, _Connection] = {}
+        #: Every live doorbell connection, by fd (backstop re-check set).
+        self._doorbells: Dict[int, _Connection] = {}
         #: Doorbell connections currently in the linger poll, by fd.
         self._hot: Dict[int, _Connection] = {}
         #: True while the net thread is polling instead of blocking in
@@ -467,6 +479,8 @@ class StagedStreamServer:
                             self._handle_read(connection)
                         if mask & selectors.EVENT_WRITE and not connection.closed:
                             self._handle_write(connection)
+                if self._doorbells:
+                    self._doorbell_backstop()
                 if self._hot:
                     # Amortize the selector service: many poll rounds per
                     # ``select(0)``. Each round drains completions too, so
@@ -494,16 +508,42 @@ class StagedStreamServer:
 
     def _select_timeout(self) -> Optional[float]:
         """Block indefinitely when idle; tick only while a deadline is
-        armed (drain in progress, or a partial frame that may stall)."""
+        armed (drain in progress, a partial frame that may stall, or a
+        doorbell connection whose wakeup byte could have been lost)."""
         if self._hot:
             return 0.0  # linger-polling doorbell rings: never block
+        timeout: Optional[float] = None
         if self._draining:
-            return 0.05
-        if self._partial_read_timeout is not None and any(
+            timeout = 0.05
+        elif self._partial_read_timeout is not None and any(
             connection.inbuf for connection in self._conns.values()
         ):
-            return min(0.1, self._partial_read_timeout)
-        return None
+            timeout = min(0.1, self._partial_read_timeout)
+        if self._doorbells:
+            backstop = self.DOORBELL_BACKSTOP_SECONDS
+            timeout = backstop if timeout is None else min(timeout, backstop)
+        return timeout
+
+    def _doorbell_backstop(self) -> None:
+        """Re-check every parked doorbell ring (lost-wakeup safety net).
+
+        A peer commit whose doorbell byte was elided by the store→load
+        race (see :attr:`DOORBELL_BACKSTOP_SECONDS`) shows up here as a
+        readable ring — or pending output whose space-freed wakeup went
+        missing — and re-enters the linger poll, which reads/flushes it.
+        Pure memory probes, no syscalls: safe on the net thread.
+        """
+        for connection in list(self._doorbells.values()):
+            if connection.closed or connection.fd in self._hot:
+                continue
+            if connection.sock.poll_ready() or (
+                # Pending output re-enters the poll only when the ring
+                # can accept bytes — a stalled peer must not convert the
+                # backstop into a busy-poll on its full ring.
+                connection.out
+                and connection.sock.poll_send_ready()
+            ):
+                self._mark_hot(connection)
 
     def _drain_waker(self) -> None:
         try:
@@ -537,6 +577,8 @@ class StagedStreamServer:
                 continue
             connection = _Connection(sock_like, time.monotonic())
             self._conns[connection.fd] = connection
+            if connection.doorbell:
+                self._doorbells[connection.fd] = connection
             self.metrics.counter("server.connections.accepted").add()
             self._update_interest(connection)
 
@@ -830,6 +872,7 @@ class StagedStreamServer:
             pass
         self._parked.discard(connection)
         self._conns.pop(connection.fd, None)
+        self._doorbells.pop(connection.fd, None)
         self._hot.pop(connection.fd, None)
 
     def _reap_stalled(self) -> None:

@@ -42,6 +42,11 @@ import time
 import uuid
 from typing import Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX; shm is gated anyway
+    fcntl = None  # type: ignore[assignment]
+
 from repro.errors import DeadlineExceededError, RetryableError, TransportError
 from repro.transport.base import RequestHandler
 from repro.transport.stream import (
@@ -80,6 +85,17 @@ _HS = struct.Struct("!8sII")
 _HEADER_BYTES = 4096
 
 _DOORBELL_BYTE = b"\x00"
+
+#: Longest a parked side sleeps before re-checking its ring unprompted.
+#: The flag handshake ("set waiting, re-check, park" vs "publish, see
+#: flag, ring") is a Dekker-style store→load pattern that pure Python
+#: cannot fence; cross-process on a weakly-ordered CPU the two sides can
+#: cross and the doorbell byte is never sent (see ``repro.util.ring``).
+#: The bounded park turns that lost wakeup from a hang into a latency
+#: blip; on the hot path it costs nothing — a rung doorbell still wakes
+#: the sleeper immediately, and an idle connection ticks a few times a
+#: second, far below measurable CPU.
+PARK_BACKSTOP_SECONDS = 0.25
 
 
 def shm_supported() -> bool:
@@ -253,11 +269,12 @@ class _RingDuplex:
             if self._recheck(waiter):
                 return
             if deadline is None:
-                timeout = None
+                timeout = PARK_BACKSTOP_SECONDS
             else:
                 timeout = deadline - time.monotonic()
                 if timeout <= 0:
                     raise socket.timeout(f"shm {what} timed out")
+                timeout = min(timeout, PARK_BACKSTOP_SECONDS)
             try:
                 ready, _, _ = select.select([self._sock], [], [], timeout)
             except (OSError, ValueError):
@@ -310,11 +327,14 @@ class _RingDuplex:
             spin = self._spin
 
     def recv(self, bufsize: int, flags: int = 0):
-        """Non-blocking net-thread read: everything currently in the ring.
+        """Non-blocking net-thread read, socket semantics: at most
+        *bufsize* bytes, ``BlockingIOError`` when nothing is pending.
 
-        Returning the *whole* pending stream (not just *bufsize*) keeps
-        the doorbell level-trigger honest — once this returns, a queued
-        doorbell byte implies genuinely new data.
+        Bytes beyond *bufsize* stay in the ring with no doorbell byte to
+        announce them; that is safe because every caller that sees this
+        duplex treats it as a doorbell connection and follows a read
+        with the linger poll, whose :meth:`poll_ready` /
+        :meth:`park_rx` re-checks find the residue without a wakeup.
         """
         self._drain_doorbell()
         return self._recv_pending(bufsize)
@@ -342,7 +362,8 @@ class _RingDuplex:
         if got < size:
             del out[got:]
         else:
-            while True:
+            while len(out) < bufsize:
+                size = min(size, bufsize - len(out))
                 chunk = bytearray(size)
                 more = rx.try_read_into(chunk)
                 if not more:
@@ -432,6 +453,10 @@ class _RingDuplex:
     def poll_ready(self) -> bool:
         """Ring-only readability probe — no syscall."""
         return self._rx.readable()
+
+    def poll_send_ready(self) -> bool:
+        """Ring-only writability probe — no syscall."""
+        return self._tx.writable()
 
     def unpark_rx(self) -> None:
         """Enter polling mode: with the consumer-waiting flag clear, the
@@ -538,21 +563,58 @@ class ShmServer(StreamServer):
         self.name = name if name is not None else default_segment_name()
         self.path = handshake_path(self.name)
         self._capacity = capacity
-        self._reclaim_stale()
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        # The probe→unlink→bind→listen sequence below is a TOCTOU unless
+        # serialized: two servers starting on the same name could both
+        # judge the path stale, both unlink, and the second bind would
+        # silently orphan the first's listener. An exclusive flock on a
+        # sibling lock file (held through listen(); also taken around the
+        # stop-time unlink) makes reclaim-and-bind atomic. The lock file
+        # itself is never unlinked — removing it would let a third
+        # starter lock a fresh inode while a waiter holds the old one.
+        lock_fd = self._lock_endpoint()
         try:
-            sock.bind(self.path)
-        except OSError as exc:
-            sock.close()
-            raise TransportError(
-                f"cannot bind shm rendezvous socket {self.path!r}: {exc}"
-            ) from exc
-        try:
-            self._bound_ino: Optional[int] = os.stat(self.path).st_ino
-        except OSError:
-            self._bound_ino = None
-        sock.listen(128)
+            self._reclaim_stale()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.bind(self.path)
+            except OSError as exc:
+                sock.close()
+                raise TransportError(
+                    f"cannot bind shm rendezvous socket {self.path!r}: {exc}"
+                ) from exc
+            try:
+                self._bound_ino: Optional[int] = os.stat(self.path).st_ino
+            except OSError:
+                self._bound_ino = None
+            sock.listen(128)
+        finally:
+            self._unlock_endpoint(lock_fd)
         super().__init__(handler, sock, label="shm", **server_options)
+
+    def _lock_endpoint(self) -> Optional[int]:
+        """Exclusive advisory lock on the endpoint's sibling lock file;
+        returns the holding fd (None when flock is unavailable)."""
+        if fcntl is None:
+            return None
+        try:
+            fd = os.open(self.path + ".lock", os.O_RDWR | os.O_CREAT, 0o600)
+        except OSError:
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
+    @staticmethod
+    def _unlock_endpoint(fd: Optional[int]) -> None:
+        if fd is None:
+            return
+        try:
+            os.close(fd)  # closing drops the flock
+        except OSError:
+            pass
 
     def _reclaim_stale(self) -> None:
         """Distinguish a live predecessor (error out) from a dead one's
@@ -593,6 +655,7 @@ class ShmServer(StreamServer):
         except OSError:
             os.close(fd)
             raise
+        rx = tx = None
         try:
             segment[: len(_MAGIC)] = _MAGIC
             rx = consumer_view(
@@ -609,7 +672,18 @@ class ShmServer(StreamServer):
                 conn, [_HS.pack(_MAGIC, _VERSION, self._capacity)], [fd]
             )
         except OSError:
-            segment.close()
+            # A client that vanished mid-handshake (EPIPE/ECONNRESET from
+            # send_fds) must stay an OSError to the accept path: closing
+            # the mmap while ring views are still exported over it raises
+            # BufferError, which would escape and kill the net thread —
+            # so release the views first.
+            for side in (rx, tx):
+                if side is not None:
+                    side.detach()
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - detach released all
+                pass
             raise
         finally:
             os.close(fd)
@@ -619,19 +693,25 @@ class ShmServer(StreamServer):
     def _on_stop(self) -> None:
         # Runs only after the listener closed and the net thread exited.
         # The inode guard keeps a late stop() from unlinking a successor
-        # that already reclaimed and rebound the path.
+        # that already reclaimed and rebound the path; the endpoint lock
+        # serializes the stat+unlink against a successor's reclaim-and-
+        # bind so the guard cannot race it.
+        lock_fd = self._lock_endpoint()
         try:
-            if (
-                self._bound_ino is not None
-                and os.stat(self.path).st_ino != self._bound_ino
-            ):
+            try:
+                if (
+                    self._bound_ino is not None
+                    and os.stat(self.path).st_ino != self._bound_ino
+                ):
+                    return
+            except OSError:
                 return
-        except OSError:
-            return
-        try:
-            os.unlink(self.path)
-        except OSError:
-            pass
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        finally:
+            self._unlock_endpoint(lock_fd)
 
 
 class ShmChannel(StreamChannel):

@@ -25,18 +25,37 @@ plants a 4-byte *wrap marker* (length ``0xFFFFFFFF``) and continues at
 offset zero, so payload copies are always one contiguous
 ``memoryview`` slice assignment (a single ``memcpy``), never split.
 
-Publication discipline mirrors release/acquire: the producer stores the
-payload and record header *before* publishing the new ``tail``, and the
-consumer copies the payload out *before* publishing the new ``head`` —
-under CPython the GIL serializes the interpreter-level stores, so a
-counter is never observable ahead of the bytes it covers, in-process or
-across a shared ``mmap``.
+Publication discipline mirrors release/acquire in *program order*: the
+producer stores the payload and record header before publishing the new
+``tail``, and the consumer copies the payload out before publishing the
+new ``head``. Pure Python has no memory fences, so how much of that
+order the other side actually observes is platform-dependent:
+
+* **Same process** (threads): the GIL serializes the interpreter-level
+  stores — a counter is never observable ahead of the bytes it covers.
+  This is the fully supported mode.
+* **Cross-process over a shared ``mmap``**: each GIL orders only its own
+  process. On x86-64 (TSO) the store-store order above is preserved by
+  the hardware, so publication stays safe; on weakly-ordered CPUs
+  (aarch64 — Apple Silicon, Graviton) payload/header stores may become
+  visible *after* the published ``tail``, and the flag handshake below
+  is a Dekker-style store→load pattern that is unordered even on x86.
+  The consumer therefore validates every record length it loads
+  (:meth:`RingConsumer.try_read_into` raises ``OSError(EIO)`` on a torn
+  or impossible value instead of consuming garbage), and the transport
+  layer bounds every park with a timeout re-check
+  (:data:`repro.transport.shm.PARK_BACKSTOP_SECONDS`) so a lost wakeup
+  costs bounded latency, never a hang. Neither turns weak ordering into
+  release/acquire — cross-process use on weakly-ordered CPUs remains
+  best-effort, detected rather than prevented.
 
 The waiting flags implement the doorbell protocol without hot-path
 syscalls: a side that is about to park sets its flag, re-checks the ring,
 and only then sleeps on the doorbell fd; the opposite side sends a
 doorbell byte only when it observes the flag set. Byte buffering in the
-doorbell socket makes lost wakeups structurally impossible.
+doorbell socket means a doorbell that was *sent* is never lost; the
+backstop above covers the one that was never sent because the flag
+store and the ring load crossed.
 
 Records are transport chunks, not message boundaries: a frame larger
 than the free contiguous span is split across records and the consumer
@@ -45,6 +64,7 @@ just concatenates payloads — both sides see one ordered byte stream.
 
 from __future__ import annotations
 
+import errno
 import os
 import struct
 import time
@@ -270,6 +290,13 @@ class RingConsumer(_RingSide):
                 _U64.pack_into(ctrl, _OFF_HEAD, head)
                 self._head = head
                 continue
+            if length == 0 or length > self._cap - RECORD_HEADER:
+                # The producer never writes such a record: this is a torn
+                # read of an unpublished header (cross-process on a
+                # weakly-ordered CPU — see the module docstring) or a
+                # trampled control block. Consuming it would desync the
+                # stream; fail the connection instead.
+                raise OSError(errno.EIO, "shm ring corrupt record length")
             self._rec_pos = pos + RECORD_HEADER
             self._rec_remaining = length
             self._rec_len = length

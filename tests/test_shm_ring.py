@@ -14,6 +14,7 @@ predecessor from unlinking its successor).
 import os
 import random
 import socket
+import struct
 import threading
 import time
 
@@ -193,6 +194,22 @@ class TestRingPrimitives:
         assert not any(thread.is_alive() for thread in threads)
         assert bytes(received) == payload
 
+    def test_corrupt_record_length_detected(self):
+        """A record length no producer can write (torn cross-process read
+        or trampled control block) must fail the read, not desync or
+        spin the consumer."""
+        capacity = 256
+        buffer = bytearray(ring_region_size(capacity))
+        init_ring(buffer, 0, capacity)
+        tx = producer_view(buffer, 0, capacity)
+        rx = consumer_view(buffer, 0, capacity)
+        tx.try_write(b"hello")
+        # Trample the record's length field (first u32 of the data area).
+        for bogus in (0, capacity, 0x7FFFFFFF):
+            struct.pack_into("<I", buffer, CTRL_BYTES, bogus)
+            with pytest.raises(OSError, match="corrupt record length"):
+                rx.try_read_into(bytearray(16))
+
 
 def echo_handler(request: bytes) -> bytes:
     return b"echo:" + bytes(request)
@@ -299,6 +316,75 @@ class TestShmTransport:
             finally:
                 channel.close()
 
+    def test_client_vanishing_mid_handshake_keeps_server_alive(self):
+        """A client that connects and dies before reading the segment fd
+        makes ``send_fds`` fail mid-handshake; that must reject only the
+        one connection — not escape (e.g. as ``BufferError`` from
+        closing a still-viewed mmap) and kill the net thread."""
+        with ShmServer(echo_handler) as server:
+            for _ in range(5):
+                ghost = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                ghost.connect(server.path)
+                ghost.close()  # gone before the handshake lands
+            time.sleep(0.1)  # let the net thread chew through the ghosts
+            channel = ShmChannel(server.name)
+            try:
+                assert channel.request(b"survivor") == b"echo:survivor"
+            finally:
+                channel.close()
+
+    def test_recv_caps_at_bufsize(self):
+        """The non-blocking ``recv`` obeys socket semantics: at most
+        *bufsize* bytes per call, residue delivered by later calls."""
+        from repro.transport.shm import _RingDuplex
+        from repro.util.ring import ring_region_size as region
+
+        capacity = 4096
+        buffer = bytearray(2 * region(capacity))
+        init_ring(buffer, 0, capacity)
+        init_ring(buffer, region(capacity), capacity)
+        left, right = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        sender = _RingDuplex(
+            buffer,
+            left,
+            consumer_view(buffer, region(capacity), capacity),
+            producer_view(buffer, 0, capacity),
+        )
+        receiver = _RingDuplex(
+            buffer,
+            right,
+            consumer_view(buffer, 0, capacity),
+            producer_view(buffer, region(capacity), capacity),
+        )
+        try:
+            payload = bytes(range(256)) * 8  # 2 KiB across several records
+            sender.sendall(payload)
+            got = bytearray()
+            while len(got) < len(payload):
+                chunk = receiver.recv(64)
+                assert 0 < len(chunk) <= 64
+                got += chunk
+            assert bytes(got) == payload
+            with pytest.raises(BlockingIOError):
+                receiver.recv(64)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_lost_doorbell_backstop_recovers(self, monkeypatch):
+        """With every doorbell byte suppressed (the worst case of the
+        cross-process store→load race) a round trip must still complete
+        via the bounded-park re-checks, just slower."""
+        from repro.transport.shm import _RingDuplex
+
+        with ShmServer(echo_handler) as server:
+            monkeypatch.setattr(_RingDuplex, "_ring_peer", lambda self: None)
+            channel = ShmChannel(server.name, timeout=5.0, spin=10)
+            try:
+                assert channel.request(b"quiet") == b"echo:quiet"
+            finally:
+                channel.close()
+
 
 class TestShmLifecycle:
     def test_live_server_refuses_rebind(self):
@@ -367,6 +453,35 @@ class TestShmLifecycle:
                 channel.close()
         finally:
             second.stop(grace=2.0)
+
+    def test_bind_waits_for_endpoint_lock(self):
+        """Reclaim-and-bind runs under the endpoint lock, so concurrent
+        starters serialize instead of racing probe→unlink→bind (which
+        could orphan the winner's listener)."""
+        fcntl = pytest.importorskip("fcntl")
+        name = "lock-serialize-test"
+        path = handshake_path(name)
+        lock_fd = os.open(path + ".lock", os.O_RDWR | os.O_CREAT, 0o600)
+        fcntl.flock(lock_fd, fcntl.LOCK_EX)
+        started = threading.Event()
+        server_box = {}
+
+        def start_server():
+            server_box["server"] = ShmServer(echo_handler, name=name)
+            started.set()
+
+        thread = threading.Thread(target=start_server)
+        thread.start()
+        try:
+            assert not started.wait(0.3), "bind did not wait for the lock"
+            fcntl.flock(lock_fd, fcntl.LOCK_UN)
+            assert started.wait(5.0), "bind never acquired the freed lock"
+        finally:
+            os.close(lock_fd)
+            thread.join(timeout=5.0)
+            server = server_box.get("server")
+            if server is not None:
+                server.stop(grace=2.0)
 
     def test_capacity_validation(self):
         with pytest.raises(TransportError, match="power of two"):
