@@ -1,0 +1,25 @@
+# Developer entry points. The same commands CI runs; PYTHONPATH=src is
+# exported so no editable install is needed.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint test test-bench
+
+# nrmi-lint gates src/ and examples/ at zero findings (tests/ is excluded
+# on purpose: analysis_fixtures/ seeds deliberate violations). ruff covers
+# all three trees when available; the container image may not ship it, so
+# its absence is a skip, not a failure.
+lint:
+	$(PYTHON) -m repro.analysis --jobs 0 src examples
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests examples; \
+	else \
+		echo "ruff not installed; skipping style pass"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-bench:
+	$(PYTHON) -m pytest -q -m bench_smoke

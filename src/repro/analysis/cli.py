@@ -4,6 +4,8 @@ Usage::
 
     nrmi-lint src examples            # lint trees, human output
     nrmi-lint --json src              # stable machine-readable output
+    nrmi-lint --format sarif src      # SARIF 2.1.0 for CI annotation
+    nrmi-lint --jobs 0 src            # fan module rules out per CPU
     nrmi-lint --select NRMI031 src    # run one rule
     nrmi-lint --list-rules            # print the rule catalogue
 
@@ -19,7 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.engine import analyze_paths
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.rulebase import ALL_RULES
 
 USAGE_ERROR = 2
@@ -39,7 +41,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the stable JSON schema instead of human-readable text",
+        help="emit the stable JSON schema (alias for --format json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="output format (default text; sarif emits SARIF 2.1.0)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run module rules in N worker processes (0 = one per CPU)",
     )
     parser.add_argument(
         "--select",
@@ -90,11 +105,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_usage(sys.stderr)
         print("nrmi-lint: error: no paths given", file=sys.stderr)
         return USAGE_ERROR
+    output_format = options.format or ("json" if options.json else "text")
+    if options.json and options.format not in (None, "json"):
+        print(
+            "nrmi-lint: error: --json conflicts with "
+            f"--format {options.format}",
+            file=sys.stderr,
+        )
+        return USAGE_ERROR
+    if options.jobs < 0:
+        print("nrmi-lint: error: --jobs must be >= 0", file=sys.stderr)
+        return USAGE_ERROR
     try:
         result = analyze_paths(
             options.paths,
             select=_split_codes(options.select),
             ignore=_split_codes(options.ignore),
+            jobs=options.jobs,
         )
     except FileNotFoundError as exc:
         print(f"nrmi-lint: error: no such path: {exc}", file=sys.stderr)
@@ -102,8 +129,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as exc:
         print(f"nrmi-lint: error: {exc.args[0]}", file=sys.stderr)
         return USAGE_ERROR
-    if options.json:
+    if output_format == "json":
         print(render_json(result))
+    elif output_format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose_suppressed=options.show_suppressed))
     return result.exit_code

@@ -385,6 +385,82 @@ def iter_methods(cls: ClassModel) -> Iterable[FunctionModel]:
     return cls.methods.values()
 
 
+#: Constructors whose result is a mutual-exclusion primitive: a ``with``
+#: block over one of these attributes counts as a guard.
+LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def lock_attr_names(cls: ClassModel) -> Set[str]:
+    """self attributes initialised to a threading lock in ``__init__``."""
+    init = cls.methods.get("__init__")
+    if init is None:
+        return set()
+    locks: Set[str] = set()
+    for node in ast.walk(init.node):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        callee = last_component(dotted_name(node.value.func))
+        if callee not in LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def lock_aliases(method_node: ast.AST, lock_attrs: Set[str]) -> Dict[str, str]:
+    """Local name → lock attribute for ``name = self.<lock>`` bindings.
+
+    ``lock = self._lock`` followed by ``with lock:`` is the same guard as
+    ``with self._lock:`` — RLock callers use the alias shape for re-entrant
+    sections. Collected over the whole method (flow-insensitive): a name
+    aliasing a lock anywhere in the method is treated as that lock, which
+    over-approximates guarding but never invents a lock that isn't there.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(method_node):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and value.attr in lock_attrs
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases[target.id] = value.attr
+    return aliases
+
+
+def held_locks_of_with(
+    node: ast.AST, lock_attrs: Set[str], aliases: Dict[str, str]
+) -> Set[str]:
+    """Lock attributes acquired by a ``with``/``async with`` statement."""
+    held: Set[str] = set()
+    for item in getattr(node, "items", ()):
+        expr = item.context_expr
+        # `with self._lock:` — possibly `with self._lock.acquire_timeout()`
+        # style chains are NOT matched: only the bare attribute context.
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        ):
+            held.add(expr.attr)
+        elif isinstance(expr, ast.Name) and expr.id in aliases:
+            held.add(aliases[expr.id])
+    return held
+
+
 def stores_in(node: ast.AST) -> Iterable[ast.AST]:
     """Assignment-like statements anywhere under *node*."""
     for child in ast.walk(node):

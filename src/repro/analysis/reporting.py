@@ -12,6 +12,7 @@ import json
 from typing import Any, Dict
 
 from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import Finding, Severity
 
 JSON_SCHEMA_VERSION = 1
 
@@ -54,3 +55,86 @@ def to_json_payload(result: AnalysisResult) -> Dict[str, Any]:
 
 def render_json(result: AnalysisResult) -> str:
     return json.dumps(to_json_payload(result), indent=2, sort_keys=True)
+
+
+# ------------------------------------------------------------------ SARIF
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> Dict[str, Any]:
+    message = finding.message
+    if finding.hint:
+        message += f" ({finding.hint})"
+    result: Dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def to_sarif_payload(result: AnalysisResult) -> Dict[str, Any]:
+    """SARIF 2.1.0 — the separate CI-annotation format.
+
+    The rule table lists every registered rule (not just the ones that
+    fired) so viewers can resolve ruleIds; in-source suppressions ride
+    along as ``suppressions: [{kind: inSource}]`` results. The v1
+    ``--json`` schema is unaffected.
+    """
+    from repro.analysis.rulebase import ALL_RULES
+
+    rules = [
+        {
+            "id": descriptor.code,
+            "name": descriptor.name,
+            "shortDescription": {"text": descriptor.name.replace("-", " ")},
+            "fullDescription": {"text": descriptor.doc},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(descriptor.severity, "warning")
+            },
+            "properties": {"family": descriptor.family},
+        }
+        for descriptor in sorted(ALL_RULES, key=lambda r: r.code)
+    ]
+    results = [_sarif_result(f, suppressed=False) for f in result.findings]
+    results.extend(_sarif_result(f, suppressed=True) for f in result.suppressed)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "nrmi-lint",
+                        "informationUri": "https://example.invalid/nrmi-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    return json.dumps(to_sarif_payload(result), indent=2, sort_keys=True)

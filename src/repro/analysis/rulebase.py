@@ -18,8 +18,15 @@ FAMILY_CONTRACT = "contract"
 FAMILY_SERDE = "serializability"
 FAMILY_RESTORE = "copy-restore"
 FAMILY_RUNTIME = "runtime"
+FAMILY_CONCURRENCY = "concurrency"
 
-FAMILIES = (FAMILY_CONTRACT, FAMILY_SERDE, FAMILY_RESTORE, FAMILY_RUNTIME)
+FAMILIES = (
+    FAMILY_CONTRACT,
+    FAMILY_SERDE,
+    FAMILY_RESTORE,
+    FAMILY_RUNTIME,
+    FAMILY_CONCURRENCY,
+)
 
 
 @dataclass

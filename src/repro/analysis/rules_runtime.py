@@ -42,35 +42,17 @@ from repro.analysis.model import (
     dotted_name,
     enum_values,
     fold_const,
+    held_locks_of_with,
     last_component,
+    lock_aliases,
+    lock_attr_names,
 )
 from repro.analysis.rulebase import FAMILY_RUNTIME, rule
-
-_LOCK_CONSTRUCTORS = frozenset(
-    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
-)
 
 
 def _lock_attrs(cls: ClassModel) -> Set[str]:
     """self attributes initialised to a threading lock in __init__."""
-    init = cls.methods.get("__init__")
-    if init is None:
-        return set()
-    locks: Set[str] = set()
-    for node in ast.walk(init.node):
-        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
-            continue
-        callee = last_component(dotted_name(node.value.func))
-        if callee not in _LOCK_CONSTRUCTORS:
-            continue
-        for target in node.targets:
-            if (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
-                locks.add(target.attr)
-    return locks
+    return lock_attr_names(cls)
 
 
 def _self_attr_of(node: ast.expr) -> Optional[str]:
@@ -92,18 +74,18 @@ def _attr_stores(
     """(attr, node, guarded) for every store to a ``self.`` attribute.
 
     *guarded* is True when the store sits inside ``with self.<lock>:`` for
-    any of *lock_attrs*. Implemented as a recursive descent carrying the
-    guard state — ``ast.walk`` cannot express scoping.
+    any of *lock_attrs* — including the alias shape ``lock = self._lock``
+    then ``with lock:`` (the idiom RLock callers use for re-entrant
+    sections). Implemented as a recursive descent carrying the guard
+    state — ``ast.walk`` cannot express scoping.
     """
+    aliases = lock_aliases(method_node, lock_attrs)
 
     def visit(node: ast.AST, guarded: bool):
-        if isinstance(node, ast.With):
-            holds = guarded
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds = guarded or bool(held_locks_of_with(node, lock_attrs, aliases))
             for item in node.items:
-                expr = item.context_expr
-                attr = _self_attr_of(expr)
-                if attr in lock_attrs:
-                    holds = True
+                yield from visit(item.context_expr, guarded)
             for child in node.body:
                 yield from visit(child, holds)
             return

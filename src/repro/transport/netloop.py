@@ -486,7 +486,7 @@ class StagedStreamServer:
                     # ``select(0)``. Each round drains completions too, so
                     # replies never wait on the outer loop; accepts and
                     # doorbell EOFs wait at most POLL_ROUNDS yield-rounds.
-                    self._net_polling = True
+                    self._net_polling = True  # nrmi: disable=NRMI041 -- single boolean flag: workers only read it in _wake to skip the waker write, and a stale read merely costs one redundant doorbell byte (see the disarm-ordering comment below)
                     self._jobs.spin_hot = True
                     for _ in range(self.POLL_ROUNDS):
                         self._poll_hot()

@@ -37,7 +37,7 @@ class Session(Serializable):
     __nrmi_transient__ = ("lock", "log")
 
     def __init__(self, path):
-        self.lock = threading.Lock()
+        self.lock = threading.Lock()  # near-miss: NRMI011
         self.log = open(path, "a")
         self.path = path
 
@@ -47,7 +47,7 @@ class Session(Serializable):
 
 
 class TidySlots(Serializable):
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right")  # near-miss: NRMI012
 
     def __init__(self):
         self.left = None
@@ -55,36 +55,50 @@ class TidySlots(Serializable):
 
 
 class Versioned(Serializable):
-    __nrmi_version__ = 2
+    __nrmi_version__ = 2  # near-miss: NRMI033
 
     def __nrmi_upgrade__(self, wire_version):
         if wire_version < 2:
             self.extra = None
 
 
-class StoreContract:
+class ValueKey(Serializable):
+    """Value equality on a by-copy type: identity matching only governs
+    Restorable (copy-restore) classes, so this must not be flagged."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def __eq__(self, other):  # near-miss: NRMI013
+        return isinstance(other, ValueKey) and other.path == self.path
+
+    def __hash__(self):
+        return hash(self.path)
+
+
+class StoreContract:  # near-miss: NRMI001, NRMI003
     def put(self, record): ...
 
     def get(self, key): ...
 
 
-class StoreService(Remote):
+class StoreService(Remote):  # near-miss: NRMI004
     def __init__(self):
         self._lock = threading.Lock()
         self._rows = {}
 
     def put(self, record):
         with self._lock:
-            self._rows[record.key] = record.value
+            self._rows[record.key] = record.value  # near-miss: NRMI022, NRMI031
         return record.key
 
-    def get(self, key, default=None):
+    def get(self, key, default=None):  # near-miss: NRMI023
         with self._lock:
             return self._rows.get(key, default)
 
     @no_restore
     def count(self, table):
-        return len(table.rows)
+        return len(table.rows)  # near-miss: NRMI021
 
     @restore_policy("delta")
     def touch(self, table):
@@ -94,7 +108,7 @@ class StoreService(Remote):
 
 def stable_digest(mapping):
     digest = hashlib.sha256()
-    for key in sorted(mapping.keys()):
+    for key in sorted(mapping.keys()):  # near-miss: NRMI014
         digest.update(str(key).encode())
         digest.update(str(mapping[key]).encode())
     return digest.hexdigest()
@@ -106,4 +120,4 @@ def unordered_listing(mapping):
 
 
 def wire(endpoint):
-    endpoint.bind("store", StoreService(), interface=StoreContract)
+    endpoint.bind("store", StoreService(), interface=StoreContract)  # near-miss: NRMI002

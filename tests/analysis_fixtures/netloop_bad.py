@@ -47,7 +47,7 @@ class BadNetLoop:
 
     def _tick(self):
         # Non-blocking queue admission is the allowed pattern.
-        self._jobs_queue.try_push(b"")
+        self._jobs_queue.try_push(b"")  # near-miss: NRMI034
 
     def _worker_loop(self):
         # Runs on a worker thread (spawned, never self-called): blocking

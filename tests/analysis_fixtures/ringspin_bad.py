@@ -56,7 +56,7 @@ class BadRingDuplex:
         # doorbell fd in select. Must NOT be flagged.
         self._rx.set_waiting()
         if not self._rx.readable():
-            select.select([self._sock], [], [], timeout)
+            select.select([self._sock], [], [], timeout)  # near-miss: NRMI035
         self._rx.clear_waiting()
 
     def _pump_loop(self):

@@ -1,6 +1,6 @@
 """Inlined tag bytes that drifted from tags.py (NRMI032 bait)."""
 
-_TAG_NONE = 0x00
+_TAG_NONE = 0x00  # near-miss: NRMI032
 _TAG_TRUE = 0x01
 _TAG_STR = 0x06  # expect: NRMI032
 _TAG_BLOB = 0x08  # expect: NRMI032

@@ -30,6 +30,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 FIXTURES = ROOT / "tests" / "analysis_fixtures"
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*(NRMI\d{3})")
+_NEAR_MISS_RE = re.compile(r"#\s*near-miss:\s*((?:NRMI\d{3}[,\s]*)+)")
 
 
 def expected_markers(*paths: pathlib.Path):
@@ -42,6 +43,19 @@ def expected_markers(*paths: pathlib.Path):
             for match in _EXPECT_RE.finditer(text):
                 expected.append((str(path), match.group(1), lineno))
     return sorted(expected)
+
+
+def near_miss_markers(*paths: pathlib.Path):
+    """(relative_path, code, line) triples from # near-miss: comments."""
+    claims = []
+    for path in paths:
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in _NEAR_MISS_RE.finditer(text):
+                for code in re.findall(r"NRMI\d{3}", match.group(1)):
+                    claims.append((str(path), code, lineno))
+    return sorted(claims)
 
 
 def found_markers(result):
@@ -57,6 +71,7 @@ class TestFixtureFindings:
             "restore_bad.py",
             "netloop_bad.py",
             "ringspin_bad.py",
+            "concurrency_bad.py",
         ],
     )
     def test_exact_codes_and_lines(self, fixture):
@@ -76,14 +91,15 @@ class TestFixtureFindings:
         assert found_markers(result) == expected_markers(*files)
         assert all(f.code == "NRMI032" for f in result.findings)
 
-    def test_clean_fixture_reports_nothing(self):
-        result = analyze_paths([str(FIXTURES / "clean.py")])
+    @pytest.mark.parametrize("fixture", ["clean.py", "concurrency_clean.py"])
+    def test_clean_fixture_reports_nothing(self, fixture):
+        result = analyze_paths([str(FIXTURES / fixture)])
         assert result.findings == []
         assert result.suppressed == []
         assert result.exit_code == 0
 
     def test_rule_coverage_is_broad(self):
-        """≥10 distinct codes across all four families, all seeded."""
+        """≥10 distinct codes across all five families, all seeded."""
         seeded = {code for _, code, _ in expected_markers(*FIXTURES.rglob("*.py"))}
         assert len(seeded) >= 10
         families = {RULES_BY_CODE[code].family for code in seeded}
@@ -92,7 +108,221 @@ class TestFixtureFindings:
             "serializability",
             "copy-restore",
             "runtime",
+            "concurrency",
         }
+
+
+class TestRuleLiveness:
+    """Meta-test over RULES_BY_CODE: no silently-dead rules.
+
+    Every registered rule must have (a) a bait fixture hit — an
+    ``# expect:`` marker that the per-fixture tests pin to an exact
+    line — and (b) a clean near-miss — a ``# near-miss:`` marker on a
+    line that skirts the rule without firing it.
+    """
+
+    def test_every_rule_has_a_bait_hit(self):
+        files = sorted(FIXTURES.rglob("*.py"))
+        seeded = {code for _, code, _ in expected_markers(*files)}
+        missing = sorted(set(RULES_BY_CODE) - seeded)
+        assert not missing, f"rules with no bait fixture hit: {missing}"
+
+    def test_every_rule_has_a_near_miss_claim(self):
+        files = sorted(FIXTURES.rglob("*.py"))
+        claimed = {code for _, code, _ in near_miss_markers(*files)}
+        missing = sorted(set(RULES_BY_CODE) - claimed)
+        assert not missing, f"rules with no clean near-miss: {missing}"
+
+    def test_bait_hits_fire_and_near_misses_stay_silent(self):
+        files = sorted(FIXTURES.rglob("*.py"))
+        result = analyze_paths([str(FIXTURES)])
+        fired = {(f.path, f.code, f.line) for f in result.findings}
+        fired |= {(f.path, f.code, f.line) for f in result.suppressed}
+        unfired = [m for m in expected_markers(*files) if m not in fired]
+        assert not unfired, f"expect markers with no finding: {unfired}"
+        false_positives = [
+            m for m in near_miss_markers(*files) if m in fired
+        ]
+        assert not false_positives, (
+            f"near-miss lines that fired: {false_positives}"
+        )
+
+
+class TestLockGuardAliases:
+    """Satellite: NRMI031's guard matcher follows lock aliases and
+    RLock re-entry, so NRMI041's locksets (built on the same helpers)
+    don't inherit the false positives."""
+
+    @staticmethod
+    def _lint(tmp_path, source):
+        path = tmp_path / "guarded.py"
+        path.write_text(source)
+        return analyze_paths([str(path)], select=["NRMI031"])
+
+    def test_alias_guard_is_recognized(self, tmp_path):
+        result = self._lint(
+            tmp_path,
+            "import threading\n"
+            "class Cell:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.total = 0\n"
+            "    def bump(self):\n"
+            "        lock = self._lock\n"
+            "        with lock:\n"
+            "            self.total += 1\n"
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            self.total = 0\n",
+        )
+        assert result.findings == []
+
+    def test_rlock_reentrant_sections_are_guarded(self, tmp_path):
+        result = self._lint(
+            tmp_path,
+            "import threading\n"
+            "class Cell:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self.total = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            with self._lock:\n"
+            "                self.total += 1\n"
+            "    def reset(self):\n"
+            "        lock = self._lock\n"
+            "        with lock:\n"
+            "            self.total = 0\n",
+        )
+        assert result.findings == []
+
+    def test_truly_bare_store_is_still_flagged(self, tmp_path):
+        result = self._lint(
+            tmp_path,
+            "import threading\n"
+            "class Cell:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.total = 0\n"
+            "    def bump(self):\n"
+            "        lock = self._lock\n"
+            "        with lock:\n"
+            "            self.total += 1\n"
+            "    def reset(self):\n"
+            "        self.total = 0\n",
+        )
+        assert [(f.code, f.line) for f in result.findings] == [("NRMI031", 11)]
+
+    def test_unrelated_alias_is_not_a_guard(self, tmp_path):
+        result = self._lint(
+            tmp_path,
+            "import threading\n"
+            "class Cell:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._gate = open('/dev/null')\n"
+            "        self.total = 0\n"
+            "    def bump(self):\n"
+            "        gate = self._gate\n"
+            "        with gate:\n"
+            "            self.total += 1\n"
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            self.total = 0\n",
+        )
+        assert [f.code for f in result.findings] == ["NRMI031"]
+
+
+class TestSarifOutput:
+    def test_sarif_shape(self):
+        from repro.analysis import to_sarif_payload
+
+        result = analyze_paths([str(FIXTURES / "contract_bad.py")])
+        payload = to_sarif_payload(result)
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "nrmi-lint"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert rule_ids == set(RULES_BY_CODE)
+        assert len(run["results"]) == len(result.findings)
+        first = run["results"][0]
+        assert first["ruleId"].startswith("NRMI")
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("contract_bad.py")
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+    def test_sarif_levels_match_severities(self):
+        from repro.analysis import to_sarif_payload
+
+        result = analyze_paths([str(FIXTURES / "concurrency_bad.py")])
+        payload = to_sarif_payload(result)
+        by_rule = {r["ruleId"]: r["level"] for r in payload["runs"][0]["results"]}
+        assert by_rule["NRMI043"] == "error"
+        assert by_rule["NRMI041"] == "warning"
+
+    def test_sarif_carries_in_source_suppressions(self):
+        from repro.analysis import to_sarif_payload
+
+        result = analyze_paths([str(FIXTURES / "locks_bad.py")])
+        payload = to_sarif_payload(result)
+        suppressed = [
+            r
+            for r in payload["runs"][0]["results"]
+            if r.get("suppressions")
+        ]
+        assert len(suppressed) == 1
+        assert suppressed[0]["suppressions"] == [{"kind": "inSource"}]
+
+    def test_cli_format_sarif(self, capsys):
+        assert lint_main(["--format", "sarif", str(FIXTURES / "clean.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+
+    def test_json_flag_conflicts_with_other_formats(self, capsys):
+        code = lint_main(
+            ["--json", "--format", "sarif", str(FIXTURES / "clean.py")]
+        )
+        assert code == 2
+
+    def test_json_schema_is_unchanged_by_sarif(self):
+        """--json stays byte-stable: schema v1, same fields, same order."""
+        result = analyze_paths([str(FIXTURES / "locks_bad.py")])
+        payload = to_json_payload(result)
+        assert payload["schema"] == 1
+        assert sorted(payload) == [
+            "findings", "schema", "summary", "suppressed", "tool",
+        ]
+
+
+class TestParallelJobs:
+    def test_jobs_output_is_identical_to_serial(self):
+        serial = analyze_paths([str(FIXTURES)])
+        parallel = analyze_paths([str(FIXTURES)], jobs=2)
+        assert to_json_payload(parallel) == to_json_payload(serial)
+
+    def test_jobs_zero_means_auto(self):
+        result = analyze_paths([str(FIXTURES / "clean.py")], jobs=0)
+        assert result.findings == []
+
+    def test_jobs_respects_select(self):
+        serial = analyze_paths([str(FIXTURES)], select=["NRMI011"])
+        parallel = analyze_paths([str(FIXTURES)], select=["NRMI011"], jobs=2)
+        assert to_json_payload(parallel) == to_json_payload(serial)
+
+    def test_jobs_with_unknown_code_still_raises(self):
+        with pytest.raises(KeyError):
+            analyze_paths([str(FIXTURES)], select=["NRMI999"], jobs=2)
+
+    def test_cli_rejects_negative_jobs(self, capsys):
+        assert lint_main(["--jobs", "-1", str(FIXTURES / "clean.py")]) == 2
+
+    def test_cli_jobs_flag(self, capsys):
+        assert lint_main(["--jobs", "2", "--json", str(FIXTURES / "clean.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 0
 
 
 class TestEngine:
@@ -242,7 +472,7 @@ class TestCli:
 
 class TestRuleRegistry:
     def test_families_and_severities(self):
-        assert len(ALL_RULES) >= 12
+        assert len(ALL_RULES) >= 20
         for rule in ALL_RULES:
             assert re.match(r"^NRMI\d{3}$", rule.code)
             assert rule.scope in ("module", "project")

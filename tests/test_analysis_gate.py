@@ -13,6 +13,9 @@ import json
 import pathlib
 import subprocess
 import sys
+import time
+
+import pytest
 
 from repro.analysis import analyze_paths
 
@@ -20,10 +23,42 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def test_repo_sources_lint_clean():
-    result = analyze_paths([str(ROOT / "src"), str(ROOT / "examples")])
+    # The gate runs with --jobs semantics (0 = one worker per CPU) so the
+    # growing rule set doesn't slow the suite; output is merge-identical
+    # to a serial run by construction.
+    result = analyze_paths([str(ROOT / "src"), str(ROOT / "examples")], jobs=0)
     rendered = "\n".join(f.render() for f in result.findings)
     assert not result.findings, f"nrmi-lint findings in repo sources:\n{rendered}"
     assert result.files > 80  # the walk really covered the tree
+
+
+def test_concurrency_rules_engage_on_repo():
+    """NRMI04x must actually run over the staged core and shm ring: the
+    suppression in netloop.py proves NRMI041 engaged, and the ring rule
+    must pass over the real producer/consumer split WITHOUT suppressions.
+    """
+    result = analyze_paths(
+        [str(ROOT / "src"), str(ROOT / "examples")],
+        select=["NRMI041", "NRMI042", "NRMI043", "NRMI044", "NRMI045", "NRMI046"],
+    )
+    assert result.findings == []
+    suppressed = {(f.code, pathlib.Path(f.path).name) for f in result.suppressed}
+    assert ("NRMI041", "netloop.py") in suppressed
+    assert not any(code == "NRMI043" for code, _ in suppressed)
+
+
+@pytest.mark.bench_smoke
+def test_full_repo_lint_wall_time():
+    """Full-repo lint stays under 10s with --jobs — the satellite gate
+    that keeps the rule catalogue from slowing tier-1."""
+    start = time.perf_counter()
+    result = analyze_paths(
+        [str(ROOT / "src"), str(ROOT / "tests"), str(ROOT / "examples")],
+        jobs=0,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.files > 100
+    assert elapsed < 10.0, f"full-repo lint took {elapsed:.2f}s"
 
 
 def test_protocol_invariants_actually_ran():
