@@ -9,8 +9,11 @@ row per cell), Table-5-style NRMI copy-restore calls, the delta-restore
 ablation (full-map vs dirty-slot replies under sparse and dense
 mutators), and a concurrency sweep (the staged event-loop server vs the
 thread-per-connection baseline under 8/32/128 simultaneous echo clients:
-pooled p50/p99 latency, throughput, and the BUSY shed rate), and writes
-the measurements to ``BENCH_pr8.json`` at the repository root (override
+pooled p50/p99 latency, throughput, and the BUSY shed rate), a
+**zero-copy × payload** ladder over shm (the staged copy path vs
+in-place ring encode/borrowed decode, headline
+``shm_zerocopy_vs_shm`` ratio per payload size), and writes the
+measurements to ``BENCH_pr10.json`` at the repository root (override
 with ``--out``).
 
 Serde-micro and transport timings use **windowed percentiles**: the
@@ -352,8 +355,12 @@ def run_transport_matrix(
             )
             mode_rows: Dict[str, Dict] = {}
             try:
+                # serve_remote() is what moves the endpoint's address off
+                # inproc:// and onto the scheme under test — without it
+                # every cell would silently measure direct dispatch.
+                address = server.serve_remote()
                 server.bind("echo", _MatrixEchoService())
-                service = client.lookup(server.address, "echo")
+                service = client.lookup(address, "echo")
                 for size in payload_sizes:
                     payload = b"x" * size
 
@@ -389,6 +396,80 @@ def run_transport_matrix(
         results["uds_vs_tcp_speedup_64B"] = round(tcp_p50 / uds_p50, 2)
     if uds_p50 and shm_p50:
         results["shm_vs_uds_speedup_64B"] = round(uds_p50 / shm_p50, 2)
+    return results
+
+
+def run_zero_copy_matrix(
+    windows: int,
+    window_seconds: float,
+    payload_sizes=_MATRIX_PAYLOADS_FULL,
+) -> Dict[str, Dict]:
+    """Zero-copy × payload ladder over the shm transport.
+
+    Two rows per payload size: ``copy`` forces the staged path
+    (``shm_zero_copy=False`` — encode into a pooled buffer, write_frame
+    copies it into the ring, recv copies the reply out) and ``zerocopy``
+    lets the client encode straight into the ring reservation and decode
+    the reply off a borrowed ring slice while the server borrows the
+    request record in place. Wire bytes are identical; the ladder
+    isolates what the two staging copies cost at each size. The headline
+    ``shm_zerocopy_vs_shm`` ratios are copy-p50 / zerocopy-p50 per cell
+    (> 1.0 means zero-copy wins). Sequential framing on purpose, same
+    rationale as :func:`run_transport_rt`.
+    """
+    results: Dict[str, Dict] = {
+        "meta": {
+            "payload_bytes": [int(size) for size in payload_sizes],
+            "workload": "echo(bytes) via lookup/dispatch + serde, shm plain",
+        }
+    }
+    unavailable = _transport_unavailable("shm")
+    if unavailable:
+        results["skipped"] = unavailable
+        return results
+    for label, zero_copy in (("copy", False), ("zerocopy", True)):
+        resolver = ChannelResolver()
+        config = NRMIConfig(
+            transport="shm", tcp_pipelined=False, shm_zero_copy=zero_copy
+        )
+        server = Endpoint(
+            name=f"zc-server-{label}", config=config, resolver=resolver
+        )
+        client = Endpoint(
+            name=f"zc-client-{label}", config=config, resolver=resolver
+        )
+        rows: Dict[str, Dict] = {}
+        try:
+            address = server.serve_remote()
+            server.bind("echo", _MatrixEchoService())
+            service = client.lookup(address, "echo")
+            for size in payload_sizes:
+                payload = b"x" * size
+
+                def call():
+                    service.echo(payload)
+
+                stats = _windowed_stats(call, windows, window_seconds)
+                rows[f"{size}B"] = {
+                    "rt_us": round(stats["p50"], 1),
+                    "rt_p90_us": round(stats["p90"], 1),
+                    "rt_p99_us": round(stats["p99"], 1),
+                    "window_samples": int(stats["samples"]),
+                }
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+        results[label] = rows
+    ratios: Dict[str, float] = {}
+    for size in payload_sizes:
+        cell = f"{size}B"
+        copy_p50 = results.get("copy", {}).get(cell, {}).get("rt_us")
+        zc_p50 = results.get("zerocopy", {}).get(cell, {}).get("rt_us")
+        if copy_p50 and zc_p50:
+            ratios[cell] = round(copy_p50 / zc_p50, 3)
+    if ratios:
+        results["shm_zerocopy_vs_shm"] = ratios
     return results
 
 
@@ -601,6 +682,7 @@ _COMPARE_SECTIONS = (
     "serde_micro",
     "transport_rt",
     "transport_matrix",
+    "zero_copy_matrix",
     "table5_calls_us",
     "delta_restore",
     "concurrency_sweep",
@@ -763,7 +845,7 @@ def _codegen_counters() -> Dict[str, int]:
 
 def _default_output() -> Path:
     # src/repro/bench/regress.py -> repository root.
-    return Path(__file__).resolve().parents[3] / "BENCH_pr8.json"
+    return Path(__file__).resolve().parents[3] / "BENCH_pr10.json"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -781,7 +863,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         dest="output",
         type=Path,
         default=None,
-        help="output JSON path (default: BENCH_pr8.json at the repo root)",
+        help="output JSON path (default: BENCH_pr10.json at the repo root)",
     )
     parser.add_argument(
         "--no-calls",
@@ -820,6 +902,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         {}
         if args.no_calls
         else run_transport_matrix(
+            windows,
+            window_seconds,
+            _MATRIX_PAYLOADS_QUICK if args.quick else _MATRIX_PAYLOADS_FULL,
+        )
+    )
+    zero_copy = (
+        {}
+        if args.no_calls
+        else run_zero_copy_matrix(
             windows,
             window_seconds,
             _MATRIX_PAYLOADS_QUICK if args.quick else _MATRIX_PAYLOADS_FULL,
@@ -872,6 +963,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serde_micro": serde,
         "transport_rt": transport,
         "transport_matrix": matrix,
+        "zero_copy_matrix": zero_copy,
         "table5_calls_us": table5,
         "delta_restore": delta,
         "concurrency_sweep": sweep,
@@ -921,6 +1013,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     for ratio_key in ("uds_vs_tcp_speedup_64B", "shm_vs_uds_speedup_64B"):
         if ratio_key in matrix:
             print(f"matrix/{ratio_key}: {matrix[ratio_key]:.2f}x")
+    if "skipped" in zero_copy:
+        print(f"zerocopy: skipped ({zero_copy['skipped']})")
+    for label in ("copy", "zerocopy"):
+        for cell, row in zero_copy.get(label, {}).items():
+            print(
+                f"zerocopy/{label}/{cell}: rt {row['rt_us']:.1f}us "
+                f"(p99 {row['rt_p99_us']:.1f})"
+            )
+    for cell, ratio in zero_copy.get("shm_zerocopy_vs_shm", {}).items():
+        print(f"zerocopy/shm_zerocopy_vs_shm/{cell}: {ratio:.3f}x")
     for config_name, row in table5.items():
         print(f"table5/{config_name}: {row['call_us']:.1f}us per call")
     for label, row in delta.items():

@@ -105,6 +105,12 @@ class NRMIConfig:
     # (shared-memory rings — single host, no kernel in the data path).
     # Servers accept both framings on any; this picks the listener.
     transport: str = "tcp"
+    # Over shm, encode CALL frames directly into the ring reservation and
+    # decode replies off borrowed ring slices (no staging copy). Wire
+    # bytes are identical either way; False forces the staged copy path
+    # — kept as an ablation knob and for the bench's copy-vs-zero-copy
+    # ladder. Ignored by socket transports.
+    shm_zero_copy: bool = True
     # Staged-server sizing: worker threads executing requests, and the
     # bounded job-queue capacity between the net loop and the workers.
     # The queue bound is the overload knob — see overload_policy.

@@ -48,6 +48,7 @@ from repro.rmi.protocol import (
     Status,
     decode_call,
     encode_call,
+    encode_call_header,
     exception_response,
     ok_response,
     policy_from_wire,
@@ -215,6 +216,77 @@ class PreparedCall:
         self._buffer = None
 
 
+class _CallPlan:
+    """Everything about one call that is decided *before* marshalling."""
+
+    __slots__ = (
+        "args", "modes", "policy_name", "kwarg_names", "caps",
+        "schema_session", "use_schema", "ship_map",
+    )
+
+
+def _plan_call(
+    endpoint: Any,
+    descriptor: RemoteDescriptor,
+    args: Tuple[Any, ...],
+    policy_name: str | None,
+    kwargs: dict | None,
+    channel: Any,
+) -> _CallPlan:
+    """Resolve modes, restore policy, capability bits, and schema-cache
+    participation — shared by the staged and zero-copy encode paths."""
+    plan = _CallPlan()
+    kwarg_items = tuple((kwargs or {}).items())
+    plan.kwarg_names = tuple(name for name, _value in kwarg_items)
+    plan.args = tuple(args) + tuple(value for _name, value in kwarg_items)
+    plan.modes = resolve_modes(plan.args)
+    has_restorable = any(
+        mode is PassingMode.BY_COPY_RESTORE for mode in plan.modes
+    )
+    if not has_restorable:
+        policy_name = "none"
+    elif policy_name is None:
+        policy_name = endpoint.config.policy
+    if policy_name == "auto":
+        # "auto" never crosses the wire: resolve it here from the per-
+        # address dirty-ratio history (delta while replies stay sparse,
+        # full once this peer's methods dirty most of the map).
+        chooser = getattr(endpoint, "reply_chooser", None)
+        policy_name = (
+            chooser.choose(descriptor.address) if chooser is not None else "delta"
+        )
+    plan.policy_name = policy_name
+    caps = 0
+    if getattr(endpoint.config, "delta_reply_frames", False):
+        # Advertise that our complete_call can decode the dirty-slot
+        # reply frame; the server only uses it for "delta" calls, so the
+        # bit is harmless on every other policy.
+        caps |= CAP_DELTA_SLOTS
+
+    plan.schema_session = None
+    plan.use_schema = False
+    if getattr(endpoint.config, "schema_cache", True) and channel is not None:
+        schema_session = getattr(channel, "schema_session", None)
+        if schema_session is not None:
+            plan.schema_session = schema_session
+            caps |= CAP_SCHEMA_CACHE
+            # Flag the stream only once (a) the peer has acked the
+            # capability and (b) schema references are safe: either no
+            # retries (each frame is sent on at most one connection) or a
+            # transport whose sessions cannot silently change between
+            # attempts. A defs-only stream would be a net byte loss, so
+            # the flag itself waits for the same conditions as refs.
+            plan.use_schema = schema_session.peer_ok and (
+                not endpoint.config.retry.enabled or channel.stable_sessions
+            )
+    plan.caps = caps
+    plan.ship_map = (
+        bool(getattr(endpoint.config, "ship_linear_map", False))
+        and policy_name != "none"
+    )
+    return plan
+
+
 def prepare_call(
     endpoint: Any,
     descriptor: RemoteDescriptor,
@@ -231,49 +303,17 @@ def prepare_call(
     advertised, and once the peer has acked, argument streams are encoded
     against the connection's schema cache.
     """
-    kwarg_items = tuple((kwargs or {}).items())
-    kwarg_names = tuple(name for name, _value in kwarg_items)
-    args = tuple(args) + tuple(value for _name, value in kwarg_items)
-    modes = resolve_modes(args)
-    has_restorable = any(mode is PassingMode.BY_COPY_RESTORE for mode in modes)
-    if not has_restorable:
-        policy_name = "none"
-    elif policy_name is None:
-        policy_name = endpoint.config.policy
-    if policy_name == "auto":
-        # "auto" never crosses the wire: resolve it here from the per-
-        # address dirty-ratio history (delta while replies stay sparse,
-        # full once this peer's methods dirty most of the map).
-        chooser = getattr(endpoint, "reply_chooser", None)
-        policy_name = (
-            chooser.choose(descriptor.address) if chooser is not None else "delta"
-        )
+    plan = _plan_call(endpoint, descriptor, args, policy_name, kwargs, channel)
+    args = plan.args
+    modes = plan.modes
+    policy_name = plan.policy_name
+    kwarg_names = plan.kwarg_names
+    caps = plan.caps
+    schema_session = plan.schema_session
+    use_schema = plan.use_schema
+    ship_map = plan.ship_map
     profile = endpoint.profile
     externalizers = endpoint.externalizers()
-    caps = 0
-    if getattr(endpoint.config, "delta_reply_frames", False):
-        # Advertise that our complete_call can decode the dirty-slot
-        # reply frame; the server only uses it for "delta" calls, so the
-        # bit is harmless on every other policy.
-        caps |= CAP_DELTA_SLOTS
-
-    schema_session = None
-    use_schema = False
-    if getattr(endpoint.config, "schema_cache", True) and channel is not None:
-        schema_session = getattr(channel, "schema_session", None)
-        if schema_session is not None:
-            caps |= CAP_SCHEMA_CACHE
-            # Flag the stream only once (a) the peer has acked the
-            # capability and (b) schema references are safe: either no
-            # retries (each frame is sent on at most one connection) or a
-            # transport whose sessions cannot silently change between
-            # attempts. A defs-only stream would be a net byte loss, so
-            # the flag itself waits for the same conditions as refs.
-            use_schema = schema_session.peer_ok and (
-                not endpoint.config.retry.enabled or channel.stable_sessions
-            )
-
-    ship_map = bool(getattr(endpoint.config, "ship_linear_map", False))
     # Steady-state calls allocate no fresh write buffers: the argument
     # stream and the request envelope are both built in recycled pool
     # storage, and the args bytes flow into the envelope through a view.
@@ -288,7 +328,7 @@ def prepare_call(
     try:
         for arg in args:
             writer.write_root(arg)
-        if ship_map and policy_name != "none":
+        if ship_map:
             # Ablation: transmit the map as an extra root. Its entries are all
             # back references, so this costs ~2 bytes per reachable object plus
             # an extra encode/decode pass — the cost optimization 5.2.4 #1 avoids.
@@ -310,7 +350,7 @@ def prepare_call(
                 profile=profile.name,
                 modes=modes,
                 args_payload=args_payload,
-                ship_map=ship_map and policy_name != "none",
+                ship_map=ship_map,
                 kwarg_names=kwarg_names,
                 # Every call gets an at-most-once identity: should any layer
                 # (retry, a duplicated frame) deliver this request twice, the
@@ -415,6 +455,89 @@ def complete_call(endpoint: Any, prepared: PreparedCall, response: bytes) -> Any
     return result
 
 
+def _zero_copy_call(
+    endpoint: Any,
+    channel: Any,
+    descriptor: RemoteDescriptor,
+    method: str,
+    args: Tuple[Any, ...],
+    policy_name: str | None,
+    kwargs: dict | None,
+) -> Any:
+    """One remote call with both client-side payload copies deleted.
+
+    Instead of marshalling into a pooled staging buffer and handing the
+    channel a finished frame, the envelope header and the argument
+    stream are encoded *through* the channel, directly into its tx-ring
+    reservation (spilling to a pooled buffer only when the frame
+    outgrows the contiguous span). The reply is decoded off a borrowed
+    rx-ring slice inside the channel's exchange — ``complete_call``
+    materializes every decoded value, so nothing aliases ring memory
+    once the borrow is consumed. Wire bytes are identical to the staged
+    path's.
+    """
+    plan = _plan_call(endpoint, descriptor, args, policy_name, kwargs, channel)
+    profile = endpoint.profile
+    externalizers = endpoint.externalizers()
+    request = CallRequest(
+        object_id=descriptor.object_id,
+        method=method,
+        policy=plan.policy_name,
+        profile=profile.name,
+        modes=plan.modes,
+        args_payload=b"",  # encoded in place, after the header
+        ship_map=plan.ship_map,
+        kwarg_names=plan.kwarg_names,
+        call_id=endpoint.next_call_id(),
+        caps=plan.caps,
+    )
+    originals: List[Any] = []
+    schemas_defined: Sequence[Any] = ()
+
+    def encode(writer: Any) -> None:
+        nonlocal originals, schemas_defined
+        encode_call_header(writer, request)
+        obj_writer = ObjectWriter(
+            profile=profile,
+            externalizers=externalizers,
+            schema_tx=plan.schema_session.tx if plan.use_schema else None,
+            out=writer,
+        )
+        try:
+            for arg in plan.args:
+                obj_writer.write_root(arg)
+            if plan.ship_map:
+                obj_writer.write_root(list(obj_writer.linear_map.objects))
+            if plan.policy_name != "none":
+                originals = compute_retained(
+                    obj_writer.linear_map,
+                    _restore_roots(plan.args, plan.modes),
+                    endpoint.accessor,
+                )
+        except BaseException:
+            # The channel rolls the ring reservation back; dropping the
+            # writer's memo pins here keeps the failed encode leak-free.
+            obj_writer.discard()
+            raise
+        schemas_defined = obj_writer.schemas_defined
+
+    def consume(response: Any) -> Any:
+        prepared = PreparedCall(
+            request=b"",
+            originals=originals,
+            descriptor=descriptor,
+            method=method,
+            schema_session=plan.schema_session,
+            schemas_defined=schemas_defined,
+            schema_flagged=plan.use_schema,
+        )
+        return complete_call(endpoint, prepared, response)
+
+    return channel.request_zero_copy(
+        encode, consume, pool=getattr(endpoint, "buffer_pool", None)
+    )
+
+
 def client_call(
     endpoint: Any,
     descriptor: RemoteDescriptor,
@@ -441,11 +564,27 @@ def client_call(
     # Resolved before marshalling: the channel's schema session decides
     # whether the argument stream may use the connection's schema cache.
     channel = endpoint.channel_to(descriptor.address)
+    retry = endpoint.config.retry
+    if (
+        not retry.enabled
+        and endpoint.breaker_for(descriptor.address) is None
+        and getattr(channel, "supports_zero_copy", False)
+        and getattr(endpoint.config, "shm_zero_copy", True)
+        # Chunked-buffer profiles (legacy) build their stream in chunks
+        # and cannot target an external sink; they keep the staged path.
+        and not endpoint.profile.chunked_buffers
+    ):
+        # Hot path over shm: encode straight into the tx ring and decode
+        # the reply off a borrowed rx-ring slice. Reliability machinery
+        # is incompatible by construction — a resend needs a retained
+        # frame to re-stamp, which is exactly the copy this path deletes.
+        return _zero_copy_call(
+            endpoint, channel, descriptor, method, args, policy_name, kwargs
+        )
     prepared = prepare_call(
         endpoint, descriptor, method, args, policy_name=policy_name,
         kwargs=kwargs, channel=channel,
     )
-    retry = endpoint.config.retry
     breaker = endpoint.breaker_for(descriptor.address)
     try:
         if breaker is None and not retry.enabled:

@@ -162,6 +162,9 @@ class Endpoint:
             "max_inflight_per_conn": self.config.max_inflight_per_conn,
             "overload_policy": self.config.overload_policy,
             "metrics": self.metrics,
+            # Only shm duplexes are zero-copy capable; socket transports
+            # accept and ignore the knob.
+            "zero_copy": self.config.shm_zero_copy,
         }
 
     def serve_uds(self, path: Optional[str] = None) -> str:

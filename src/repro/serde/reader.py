@@ -738,7 +738,9 @@ class ObjectReader:
             return buf.read_varint()
         if tag == Tag.INT_BIG:
             negative = buf.read_u8()
-            magnitude = int.from_bytes(buf.read_len_bytes(), "big")
+            # read_len_view: int.from_bytes consumes the span in place,
+            # so no intermediate bytes copy (matters on borrowed input).
+            magnitude = int.from_bytes(buf.read_len_view(), "big")
             return -magnitude if negative else magnitude
         if tag == Tag.FLOAT:
             return buf.read_f64()
@@ -753,7 +755,9 @@ class ObjectReader:
             self._register(value, mutable=False)
             return value
         if tag == Tag.BYTEARRAY:
-            value = bytearray(buf.read_len_bytes())
+            # read_len_view: the bytearray constructor is the one copy
+            # this value needs; read_len_bytes would make it two.
+            value = bytearray(buf.read_len_view())
             self._register(value, mutable=True)
             if self._digest_accessor is not None:
                 # Complete at registration (no frame): digest immediately.

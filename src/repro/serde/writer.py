@@ -69,6 +69,13 @@ class ObjectWriter:
     *buffer* lets callers (the invocation pipeline) supply recycled
     ``bytearray`` storage from a :class:`repro.util.buffers.BufferPool`;
     it is ignored for profiles that use the chunked legacy buffer.
+
+    *out* goes one step further: an externally supplied writer (the
+    zero-copy path passes a ``SinkBufferWriter`` over a shm ring
+    reservation) becomes the stream destination as-is — nothing is
+    cleared and the stream header is appended after whatever the caller
+    already wrote (a CALL envelope header). Mutually exclusive with
+    *buffer*, and only meaningful for non-chunked profiles.
     """
 
     def __init__(
@@ -80,6 +87,7 @@ class ObjectWriter:
         buffer: Optional[bytearray] = None,
         memo_limit: int = DEFAULT_MEMO_LIMIT,
         schema_tx: Optional[SchemaTxCache] = None,
+        out: Optional[BufferWriter] = None,
     ) -> None:
         self.profile = profile
         self.registry = registry if registry is not None else global_registry
@@ -88,7 +96,11 @@ class ObjectWriter:
         #: per encoded value, so benchmarks leave it off).
         self.stats: Optional[Dict[str, int]] = {} if collect_stats else None
         self.linear_map = LinearMap()
-        if profile.chunked_buffers:
+        if out is not None:
+            if profile.chunked_buffers:
+                raise ValueError("external sinks require a non-chunked profile")
+            self._buf = out
+        elif profile.chunked_buffers:
             self._buf = ChunkedBufferWriter()
         else:
             self._buf = BufferWriter(buffer)

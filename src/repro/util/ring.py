@@ -60,6 +60,27 @@ store and the ring load crossed.
 Records are transport chunks, not message boundaries: a frame larger
 than the free contiguous span is split across records and the consumer
 just concatenates payloads — both sides see one ordered byte stream.
+
+Besides the copying ``try_write``/``try_read_into`` pair, both sides
+expose a zero-copy surface over the same record format:
+
+* producer: :meth:`RingProducer.reserve` hands out a writable
+  ``memoryview`` over the next record's payload span (wrap markers and
+  header alignment already handled), :meth:`RingProducer.commit`
+  publishes the bytes the caller wrote in place, and
+  :meth:`RingProducer.abort` rolls the reservation back without
+  publishing anything — a torn record is impossible because the length
+  header is written only at commit time, after the payload.
+* consumer: :meth:`RingConsumer.peek_record` borrows the next pending
+  record's payload as a read-only ``memoryview`` without moving
+  ``head``; :meth:`RingConsumer.consume` releases the borrow and frees
+  the span.
+
+View lifetime is the caller's contract: a reserved or borrowed view is
+invalidated (released) by the commit/abort/consume that ends it, and
+every view must be dead before the backing segment's ``detach``/close —
+the same BufferError containment discipline the shm transport applies
+to its segment teardown.
 """
 
 from __future__ import annotations
@@ -160,12 +181,19 @@ class RingProducer(_RingSide):
         super().__init__(buffer, offset, capacity)
         # Local tail mirror: authoritative, since only we advance it.
         self._tail = _U64.unpack_from(self._ctrl, _OFF_TAIL)[0]
+        # In-flight reservation (zero-copy writer). The length header is
+        # only written at commit, so an aborted reservation leaves no
+        # trace and a crashed writer never publishes a torn record.
+        self._res_len = 0
+        self._res_view = None
 
     # ------------------------------------------------------------ writing
 
     def try_write(self, data) -> int:
         """Append as much of *data* as currently fits; returns the byte
         count accepted (0 when the ring is full). Never blocks."""
+        if self._res_view is not None:
+            raise RuntimeError("ring write while a reservation is active")
         view = data if isinstance(data, memoryview) else memoryview(data)
         if view.format != "B":
             view = view.cast("B")
@@ -206,6 +234,102 @@ class RingProducer(_RingSide):
             total += chunk
             remaining -= chunk
         return total
+
+    # ------------------------------------------------- zero-copy writing
+
+    def reserve(self, nbytes: int):
+        """Reserve writable payload space for one in-place record.
+
+        Returns a writable ``memoryview`` over up to *nbytes* contiguous
+        payload bytes (the grant may be smaller: it is clipped to the
+        largest 8-aligned span that fits before the buffer edge and the
+        consumer's head), or ``None`` when not even a minimal record
+        fits. Wrap markers are planted exactly as :meth:`try_write`
+        would — publishing a skip is harmless before an abort because
+        the consumer just fast-forwards over it.
+
+        The reservation must be ended with :meth:`commit` or
+        :meth:`abort`; both invalidate the returned view. Exactly one
+        reservation may be active at a time, and :meth:`try_write` is
+        rejected while one is (it would trample the reserved span).
+        """
+        if self._res_view is not None:
+            raise RuntimeError("ring reservation already active")
+        if nbytes <= 0:
+            raise ValueError(f"reserve needs a positive size: {nbytes}")
+        ctrl, ring = self._ctrl, self._data
+        cap, mask = self._cap, self._mask
+        while True:
+            tail = self._tail
+            head = _U64.unpack_from(ctrl, _OFF_HEAD)[0]
+            free = cap - (tail - head)
+            if free < RECORD_HEADER + RING_ALIGN:
+                return None
+            pos = tail & mask
+            till_end = cap - pos
+            if till_end < RECORD_HEADER + RING_ALIGN:
+                if free - till_end < RECORD_HEADER + RING_ALIGN:
+                    return None
+                _U32.pack_into(ring, pos, WRAP_MARKER)
+                tail += till_end
+                _U64.pack_into(ctrl, _OFF_TAIL, tail)
+                self._tail = tail
+                continue
+            span = min(till_end, free)
+            room = ((span - RECORD_HEADER) // RING_ALIGN) * RING_ALIGN
+            grant = room if nbytes > room else nbytes
+            base = pos + RECORD_HEADER
+            view = ring[base : base + grant]
+            self._res_len = grant
+            self._res_view = view
+            return view
+
+    def commit(self, nbytes: int) -> None:
+        """Publish *nbytes* of the active reservation as one record.
+
+        The caller has already written the payload through the reserved
+        view, so the publication order is preserved: payload first, then
+        the length header, then the tail. ``commit(0)`` is equivalent to
+        :meth:`abort` (a zero-length record is the corrupt-stream
+        sentinel and is never written). The reserved view is released —
+        using it afterwards raises, by design.
+        """
+        if self._res_view is None:
+            raise RuntimeError("commit without an active reservation")
+        if nbytes < 0 or nbytes > self._res_len:
+            raise ValueError(
+                f"commit of {nbytes} bytes exceeds the {self._res_len}-byte grant"
+            )
+        self._res_view.release()
+        self._res_view = None
+        self._res_len = 0
+        if nbytes == 0:
+            return
+        tail = self._tail
+        _U32.pack_into(self._data, tail & self._mask, nbytes)
+        tail += RECORD_HEADER + ((nbytes + RING_ALIGN - 1) & ~(RING_ALIGN - 1))
+        _U64.pack_into(self._ctrl, _OFF_TAIL, tail)
+        self._tail = tail
+
+    def abort(self) -> None:
+        """Roll back the active reservation without publishing anything.
+
+        Nothing was observable to the consumer (the length header is
+        only written by :meth:`commit`), so this is pure local state:
+        the span is returned to the free pool and the reserved view is
+        released so a leaked reference fails fast instead of scribbling
+        on a future record.
+        """
+        if self._res_view is None:
+            raise RuntimeError("abort without an active reservation")
+        self._res_view.release()
+        self._res_view = None
+        self._res_len = 0
+
+    def detach(self) -> None:
+        if self._res_view is not None:
+            self.abort()
+        super().detach()
 
     def writable(self) -> bool:
         """Whether :meth:`try_write` could accept at least one byte now."""
@@ -250,12 +374,16 @@ class RingConsumer(_RingSide):
         self._rec_pos = 0
         self._rec_remaining = 0
         self._rec_len = 0
+        # Outstanding zero-copy borrow from peek_record, if any.
+        self._borrow = None
 
     # ------------------------------------------------------------ reading
 
     def try_read_into(self, out, nbytes: int = 0) -> int:
         """Copy up to ``nbytes or len(out)`` pending stream bytes into
         *out*; returns the count copied (0 when empty). Never blocks."""
+        if self._borrow is not None:
+            raise RuntimeError("ring read while a borrow is active")
         view = out if isinstance(out, memoryview) else memoryview(out)
         if view.format != "B":
             view = view.cast("B")
@@ -301,6 +429,84 @@ class RingConsumer(_RingSide):
             self._rec_remaining = length
             self._rec_len = length
         return copied
+
+    # ------------------------------------------------- zero-copy reading
+
+    def peek_record(self):
+        """Borrow the next pending record's payload without copying.
+
+        Returns a ``memoryview`` over the unconsumed payload bytes of
+        the record at the head of the stream (after skipping any wrap
+        marker), or ``None`` when the ring is empty. The head does NOT
+        advance — the producer still sees the span as occupied — until
+        :meth:`consume` runs, so the bytes behind the view are stable
+        for as long as the borrow is held.
+
+        Composes with :meth:`try_read_into`: a partially copied record's
+        remainder is what gets borrowed. Exactly one borrow may be
+        active at a time; copying reads are rejected while one is.
+        """
+        if self._borrow is not None:
+            raise RuntimeError("ring borrow already active")
+        ctrl, ring = self._ctrl, self._data
+        while not self._rec_remaining:
+            head = self._head
+            tail = _U64.unpack_from(ctrl, _OFF_TAIL)[0]
+            if tail == head:
+                return None
+            pos = head & self._mask
+            (length,) = _U32.unpack_from(ring, pos)
+            if length == WRAP_MARKER:
+                head += self._cap - pos
+                _U64.pack_into(ctrl, _OFF_HEAD, head)
+                self._head = head
+                continue
+            if length == 0 or length > self._cap - RECORD_HEADER:
+                raise OSError(errno.EIO, "shm ring corrupt record length")
+            self._rec_pos = pos + RECORD_HEADER
+            self._rec_remaining = length
+            self._rec_len = length
+        src = self._rec_pos
+        view = ring[src : src + self._rec_remaining]
+        self._borrow = view
+        return view
+
+    def consume(self, nbytes=None) -> None:
+        """End the active borrow, freeing *nbytes* of it to the producer.
+
+        ``nbytes`` defaults to the whole borrowed span; ``consume(0)``
+        releases the borrow without advancing (the bytes will be seen
+        again — the copy-path fallback). The borrowed view is released,
+        so any reference that escaped the borrow window fails fast
+        instead of silently reading recycled ring memory.
+        """
+        view = self._borrow
+        if view is None:
+            raise RuntimeError("consume without an active borrow")
+        self._borrow = None
+        if nbytes is None:
+            nbytes = self._rec_remaining
+        elif nbytes < 0 or nbytes > self._rec_remaining:
+            view.release()
+            raise ValueError(
+                f"consume of {nbytes} bytes exceeds the "
+                f"{self._rec_remaining}-byte borrow"
+            )
+        view.release()
+        if not nbytes:
+            return
+        self._rec_pos += nbytes
+        self._rec_remaining -= nbytes
+        if not self._rec_remaining:
+            padded = (self._rec_len + RING_ALIGN - 1) & ~(RING_ALIGN - 1)
+            head = self._head + RECORD_HEADER + padded
+            _U64.pack_into(self._ctrl, _OFF_HEAD, head)
+            self._head = head
+
+    def detach(self) -> None:
+        if self._borrow is not None:
+            self.consume(0)
+        super().detach()
 
     def pending_bytes(self) -> int:
         """Upper bound on pending stream bytes (includes record headers

@@ -1,0 +1,70 @@
+"""Seeded borrowed-view escapes (NRMI036).
+
+Parsed by the analyzer, never imported; ``# expect: CODE`` markers pin
+the expected findings to exact lines. The class mimics the shapes the
+zero-copy shm path deals in: ``peek_record``/``reserve`` hand out
+memoryviews over mapped ring memory that die at ``consume``/``commit``.
+Storing one on ``self``, returning one, or touching one after the
+release are the seeded bugs. Copying with ``bytes(view)`` before the
+borrow ends is the sanctioned idiom and must NOT be flagged.
+"""
+
+
+class BadBorrower:
+    def __init__(self, rx, tx):
+        self._rx = rx
+        self._tx = tx
+        self._stash = None
+
+    def cache_view(self):
+        view = self._rx.peek_record()
+        self._stash = view  # expect: NRMI036
+        self._rx.consume()
+
+    def leak_slice(self):
+        record = self._rx.peek_record()
+        self._stash = record[4:]  # expect: NRMI036
+        self._rx.consume()
+
+    def hand_out(self):
+        view = self._rx.peek_record()
+        return view  # expect: NRMI036
+
+    def hand_out_directly(self):
+        return self._rx.peek_record()  # expect: NRMI036
+
+    def use_after_consume(self):
+        view = self._rx.peek_record()
+        self._rx.consume()
+        return bytes(view)  # expect: NRMI036
+
+    def write_after_commit(self):
+        span = self._tx.reserve(64)
+        span[:5] = b"hello"
+        self._tx.commit(5)
+        total = len(span)  # expect: NRMI036
+        return total
+
+    def copy_before_release(self):
+        # The sanctioned idiom: snapshot while the borrow is live, then
+        # release; only the copy survives. Must NOT be flagged.
+        view = self._rx.peek_record()
+        data = bytes(view)
+        self._rx.consume()
+        return data  # near-miss: NRMI036
+
+    def store_a_copy(self):
+        view = self._rx.peek_record()
+        self._stash = bytes(view)  # near-miss: NRMI036
+        self._rx.consume()
+
+    def fallback_branch_does_not_poison(self):
+        # A branch that releases and immediately bails (the copy-path
+        # fallback) must not poison the straight-line continuation.
+        record = self._rx.peek_record()
+        if len(record) < 4:
+            self._rx.consume(0)
+            return None
+        first = record[0]  # near-miss: NRMI036
+        self._rx.consume()
+        return first

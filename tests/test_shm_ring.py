@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from repro.core.markers import Remote
 from repro.errors import TransportError
 from repro.transport.resolver import ChannelResolver
 from repro.transport.shm import (
@@ -502,3 +503,413 @@ class TestShmLifecycle:
         resolver = ChannelResolver()
         with pytest.raises(TransportError, match="malformed shm"):
             resolver.resolve("shm://")
+
+
+class TestRingZeroCopy:
+    """reserve/commit producer API and peek_record/consume borrow API."""
+
+    def test_reserve_commit_roundtrip(self):
+        tx, rx = make_ring(256)
+        view = tx.reserve(16)
+        assert len(view) == 16
+        view[:5] = b"hello"
+        tx.commit(5)
+        assert read_all(rx) == b"hello"
+
+    def test_reserve_commit_at_every_aligned_wraparound_offset(self):
+        """March the in-place producer past the buffer edge from every
+        8-aligned start offset; the committed stream must stay exact
+        — and byte-identical to what try_write would have produced."""
+        capacity = 256
+        tx, rx = make_ring(capacity)
+        rng = random.Random(11)
+        written = bytearray()
+        echoed = bytearray()
+        for step in range(400):
+            chunk = bytes([step & 0xFF]) * rng.randrange(1, 61)
+            view = tx.reserve(len(chunk))
+            assert view is not None
+            take = min(len(view), len(chunk))
+            view[:take] = chunk[:take]
+            tx.commit(take)
+            written += chunk[:take]
+            echoed += read_all(rx)
+        assert echoed == written
+
+    def test_reserve_grant_clips_to_contiguous_tail(self):
+        """A reservation never spans the buffer edge: the grant is the
+        largest aligned span before the edge, not the requested size —
+        the caller spills the remainder through copied records."""
+        capacity = 256
+        tx, rx = make_ring(capacity)
+        # An empty ring at offset 0: the whole data area minus header.
+        view = tx.reserve(10_000)
+        assert len(view) == ((capacity - RECORD_HEADER) // 8) * 8
+        tx.abort()
+        # Move the cursor mid-ring so the contiguous tail shrinks.
+        tx.try_write(b"x" * 100)
+        assert read_all(rx) == b"x" * 100
+        view = tx.reserve(10_000)
+        assert view is not None
+        assert len(view) < capacity - RECORD_HEADER
+        assert len(view) % 8 == 0
+        granted = len(view)
+        view[:granted] = b"y" * granted
+        tx.commit(granted)
+        assert read_all(rx) == b"y" * granted
+
+    def test_abort_after_reserve_leaves_stream_intact(self):
+        tx, rx = make_ring(256)
+        assert tx.try_write(b"before") == 6
+        view = tx.reserve(32)
+        view[:7] = b"garbage"  # scribbled, never published
+        tx.abort()
+        assert tx.try_write(b"after") == 5
+        assert read_all(rx) == b"beforeafter"
+
+    def test_commit_zero_is_abort(self):
+        tx, rx = make_ring(256)
+        view = tx.reserve(16)
+        view[:4] = b"junk"
+        tx.commit(0)
+        assert not rx.readable()
+        # The reservation is over: a fresh one is legal.
+        view = tx.reserve(8)
+        view[:2] = b"ok"
+        tx.commit(2)
+        assert read_all(rx) == b"ok"
+
+    def test_reservation_excludes_copy_writes_and_double_reserve(self):
+        tx, _ = make_ring(256)
+        tx.reserve(8)
+        with pytest.raises(RuntimeError, match="reservation"):
+            tx.try_write(b"nope")
+        with pytest.raises(RuntimeError, match="reservation"):
+            tx.reserve(8)
+        tx.abort()
+        assert tx.try_write(b"ok") == 2
+
+    def test_commit_beyond_grant_rejected(self):
+        tx, _ = make_ring(256)
+        view = tx.reserve(16)
+        with pytest.raises(ValueError, match="grant"):
+            tx.commit(len(view) + 1)
+        tx.abort()
+
+    def test_commit_invalidates_reserved_view(self):
+        tx, _ = make_ring(256)
+        view = tx.reserve(16)
+        view[:2] = b"ab"
+        tx.commit(2)
+        with pytest.raises(ValueError):
+            view[0] = 0  # released by commit, by design
+
+    def test_reserve_backpressure_when_full(self):
+        tx, rx = make_ring(256)
+        blob = b"z" * 1024
+        tx.try_write(blob)
+        assert tx.reserve(8) is None  # no room: not even a minimal record
+        read_all(rx)
+        assert tx.reserve(8) is not None
+        tx.abort()
+
+    def test_peek_consume_borrow_roundtrip(self):
+        tx, rx = make_ring(256)
+        tx.try_write(b"first")
+        tx.try_write(b"second")
+        view = rx.peek_record()
+        assert bytes(view) == b"first"
+        rx.consume()
+        view = rx.peek_record()
+        assert bytes(view) == b"second"
+        rx.consume()
+        assert rx.peek_record() is None
+
+    def test_partial_consume_keeps_remainder_borrowable(self):
+        tx, rx = make_ring(256)
+        tx.try_write(b"abcdef")
+        view = rx.peek_record()
+        assert bytes(view) == b"abcdef"
+        rx.consume(2)
+        view = rx.peek_record()
+        assert bytes(view) == b"cdef"
+        rx.consume()
+        assert not rx.readable()
+
+    def test_consume_zero_releases_without_advancing(self):
+        """The copy-path fallback: release the borrow, re-read the same
+        bytes through the copying reader."""
+        tx, rx = make_ring(256)
+        tx.try_write(b"stay")
+        view = rx.peek_record()
+        assert bytes(view) == b"stay"
+        rx.consume(0)
+        with pytest.raises(ValueError):
+            view[0]  # released: an escaped reference fails fast
+        assert read_all(rx) == b"stay"
+
+    def test_borrow_excludes_copy_reads_and_double_borrow(self):
+        tx, rx = make_ring(256)
+        tx.try_write(b"data")
+        rx.peek_record()
+        with pytest.raises(RuntimeError, match="borrow"):
+            rx.try_read_into(bytearray(16))
+        with pytest.raises(RuntimeError, match="borrow"):
+            rx.peek_record()
+        rx.consume()
+
+    def test_borrow_pins_span_against_producer(self):
+        """While a borrow is live the producer must not reclaim the
+        span: head only advances at consume."""
+        capacity = 256
+        tx, rx = make_ring(capacity)
+        payload = b"p" * 64
+        tx.try_write(payload)
+        view = rx.peek_record()
+        free_before = tx.free_bytes()
+        # Fill the rest of the ring; the borrowed record's span stays out
+        # of the free pool until consume.
+        filler = b"f" * capacity
+        accepted = tx.try_write(filler)
+        assert accepted <= free_before
+        assert bytes(view) == payload
+        rx.consume()
+        assert read_all(rx) == filler[:accepted]
+
+    def test_two_thread_mixed_producer_stress_byte_identity(self):
+        """Producer alternates randomly between try_write (copy) and
+        reserve/commit (in-place); the consumer's stream must equal the
+        payload byte-for-byte — the two paths are interchangeable."""
+        capacity = 4096
+        tx, rx = make_ring(capacity)
+        rng = random.Random(1234)
+        payload = bytes(rng.randrange(256) for _ in range(200_000))
+        received = bytearray()
+        failures = []
+        abort = threading.Event()
+
+        def producer():
+            view = memoryview(payload)
+            sent = 0
+            try:
+                while sent < len(view) and not abort.is_set():
+                    chunk = view[sent : sent + rng.randrange(1, 7000)]
+                    if rng.randrange(2):
+                        wrote = tx.try_write(chunk)
+                    else:
+                        grant = tx.reserve(len(chunk))
+                        if grant is None:
+                            wrote = 0
+                        else:
+                            wrote = min(len(grant), len(chunk))
+                            grant[:wrote] = chunk[:wrote]
+                            tx.commit(wrote)
+                    if wrote:
+                        sent += wrote
+                    else:
+                        yield_cpu()
+            except Exception as exc:  # pragma: no cover - debug aid
+                failures.append(exc)
+                abort.set()
+
+        def consumer():
+            buf = bytearray(1500)
+            try:
+                while len(received) < len(payload) and not abort.is_set():
+                    if rng_consumer.randrange(2):
+                        got = rx.try_read_into(buf)
+                        if got:
+                            received.extend(buf[:got])
+                        else:
+                            yield_cpu()
+                    else:
+                        view = rx.peek_record()
+                        if view is None:
+                            yield_cpu()
+                        else:
+                            received.extend(view)
+                            rx.consume()
+            except Exception as exc:  # pragma: no cover - debug aid
+                failures.append(exc)
+                abort.set()
+
+        rng_consumer = random.Random(5678)
+        threads = [
+            threading.Thread(target=producer),
+            threading.Thread(target=consumer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not failures
+        assert not any(thread.is_alive() for thread in threads)
+        assert bytes(received) == payload
+
+
+class TestInPlaceFrames:
+    """InPlaceFrameWriter: header backfill, spill handoff, rollback."""
+
+    def _ring_frame(self, capacity=256, request=64):
+        tx, rx = make_ring(capacity)
+        view = tx.reserve(request)
+        return tx, rx, view
+
+    def test_frame_fits_reservation(self):
+        from repro.transport.framing import InPlaceFrameWriter
+
+        tx, rx, view = self._ring_frame()
+        frame = InPlaceFrameWriter(view)
+        frame.writer.write_bytes(b"body-bytes")
+        in_place, spill = frame.finish()
+        assert spill is None
+        assert in_place == 4 + 10
+        tx.commit(in_place)
+        record = read_all(rx)
+        assert record == struct.pack(">I", 10) + b"body-bytes"
+
+    def test_frame_spills_past_reservation(self):
+        from repro.transport.framing import InPlaceFrameWriter
+
+        tx, rx, view = self._ring_frame(capacity=1024, request=16)
+        grant = len(view)
+        frame = InPlaceFrameWriter(view)
+        body = bytes(range(200))
+        frame.writer.write_bytes(body)
+        in_place, spill = frame.finish()
+        assert in_place == grant
+        assert spill is not None
+        assert in_place + len(spill) == 4 + len(body)
+        tx.commit(in_place)
+        remainder = memoryview(bytes(spill))
+        stream = bytearray(read_all(rx))
+        while len(remainder):
+            wrote = tx.try_write(remainder)
+            remainder = remainder[wrote:]
+            stream += read_all(rx)
+        assert bytes(stream) == struct.pack(">I", len(body)) + body
+
+    def test_frame_stream_is_wire_identical_with_and_without_spill(self):
+        from repro.transport.framing import InPlaceFrameWriter
+
+        body = bytes(range(256)) * 3
+        expected = struct.pack(">I", len(body)) + body
+        for request in (16, 64, 1024):
+            tx, rx, view = self._ring_frame(capacity=4096, request=request)
+            frame = InPlaceFrameWriter(view)
+            frame.writer.write_bytes(body)
+            in_place, spill = frame.finish()
+            tx.commit(in_place)
+            stream = bytearray(read_all(rx))
+            if spill is not None:
+                remainder = memoryview(bytes(spill))
+                while len(remainder):
+                    wrote = tx.try_write(remainder)
+                    remainder = remainder[wrote:]
+                    stream += read_all(rx)
+            assert bytes(stream) == expected
+
+    def test_abort_pools_spill_and_rolls_back_reservation(self):
+        """Satellite audit: a failed in-place encode must return the
+        pooled spill buffer and unpublish the reservation — no torn
+        record, no leaked pool buffer."""
+        from repro.transport.framing import InPlaceFrameWriter
+        from repro.util.buffers import BufferPool
+
+        pool = BufferPool()
+        tx, rx, view = self._ring_frame(request=8)
+        frame = InPlaceFrameWriter(view, pool)
+        frame.writer.write_bytes(b"q" * 100)  # forces a pooled spill
+        assert len(pool) == 0
+        frame.abort()
+        assert len(pool) == 1  # spill returned, not leaked
+        tx.abort()
+        assert not rx.readable()  # nothing published
+        assert tx.try_write(b"next") == 4
+        assert read_all(rx) == b"next"
+
+    def test_reservation_too_small_for_header_rejected(self):
+        from repro.transport.framing import InPlaceFrameWriter
+
+        with pytest.raises(ValueError, match="header"):
+            InPlaceFrameWriter(memoryview(bytearray(4)))
+
+
+class _ZcProbeService(Remote):
+    """Exercises values whose encode touches every writer primitive."""
+
+    def echo(self, data: bytes) -> bytes:
+        return data
+
+    def combine(self, items, scale: float):
+        return {
+            "items": list(items),
+            "scale": scale * 2,
+            "text": "résultat ☃",
+            "blob": b"\x00\x01" * 64,
+        }
+
+
+class TestZeroCopyEndToEnd:
+    """shm endpoint calls: zero-copy on/off must be value-identical."""
+
+    def _call_matrix(self, zero_copy: bool):
+        from repro.nrmi.config import NRMIConfig
+        from repro.nrmi.runtime import Endpoint
+        from repro.transport.resolver import ChannelResolver
+
+        resolver = ChannelResolver()
+        config = NRMIConfig(
+            transport="shm", tcp_pipelined=False, shm_zero_copy=zero_copy
+        )
+        server = Endpoint(
+            name=f"zc-e2e-server-{zero_copy}", config=config, resolver=resolver
+        )
+        client = Endpoint(
+            name=f"zc-e2e-client-{zero_copy}", config=config, resolver=resolver
+        )
+        try:
+            address = server.serve_remote()
+            server.bind("probe", _ZcProbeService())
+            service = client.lookup(address, "probe")
+            results = []
+            for size in (0, 1, 64, 4096, 70_000):
+                payload = bytes((i * 7) & 0xFF for i in range(size))
+                results.append(service.echo(payload))
+            results.append(service.combine([1, "two", 3.5, None], 1.25))
+            return results
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
+
+    def test_zero_copy_results_match_staged_path(self):
+        staged = self._call_matrix(zero_copy=False)
+        zero_copy = self._call_matrix(zero_copy=True)
+        assert staged == zero_copy
+        # Sanity on the shared shape, not just cross-equality.
+        assert zero_copy[-1]["scale"] == 2.5
+        assert zero_copy[-2] == bytes((i * 7) & 0xFF for i in range(70_000))
+
+    def test_zero_copy_calls_survive_many_iterations(self):
+        """Borrow/consume discipline across sequential calls: no view
+        leak, no ring desync, wraps included (payload > ring slack)."""
+        from repro.nrmi.config import NRMIConfig
+        from repro.nrmi.runtime import Endpoint
+        from repro.transport.resolver import ChannelResolver
+
+        resolver = ChannelResolver()
+        config = NRMIConfig(transport="shm", tcp_pipelined=False)
+        server = Endpoint(name="zc-iter-server", config=config, resolver=resolver)
+        client = Endpoint(name="zc-iter-client", config=config, resolver=resolver)
+        try:
+            address = server.serve_remote()
+            server.bind("probe", _ZcProbeService())
+            service = client.lookup(address, "probe")
+            for index in range(200):
+                payload = bytes([index & 0xFF]) * (17 * index % 3000)
+                assert service.echo(payload) == payload
+        finally:
+            client.close()
+            server.close()
+            resolver.close_all()
